@@ -1,0 +1,18 @@
+fn main() {
+    use kplex_baselines::*;
+    use kplex_core::*;
+    use kplex_graph::gen;
+    let g = gen::gnp(40, 0.25, 9);
+    let params = Params::new(3, 5).unwrap();
+    let naive = kplex_core::naive::naive_bron_kerbosch(&g, 3, 5);
+    let (lp, _) = Algorithm::ListPlex.run_collect(&g, params);
+    let mut dup = lp.clone();
+    dup.dedup();
+    println!("lp {} dedup {} naive {}", lp.len(), dup.len(), naive.len());
+    for e in dup.iter() { if !naive.contains(e) {
+        println!("LP EXTRA {:?} maximal={} kplex={}", e,
+            kplex_core::plex::is_maximal_kplex(&g, e, 3),
+            kplex_core::plex::is_kplex(&g, e, 3));
+    }}
+    for e in naive.iter() { if !dup.contains(e) { println!("LP MISSING {:?}", e); } }
+}

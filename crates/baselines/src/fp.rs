@@ -1,0 +1,126 @@
+//! FP baseline [16] (Dai et al., CIKM 2022), reimplemented from its
+//! published description.
+//!
+//! FP enumerates over seed subgraphs like the other algorithms but does
+//! **not** partition them into `S`-sub-tasks: each seed spawns a single
+//! branch-and-bound task whose candidate set contains the full later
+//! two-hop ball. Pruning relies on an upper bound computed with a sorting
+//! pass per recursion ([16, Lemma 5]; `UpperBoundKind::FpSorting` in the
+//! engine). FP performs weaker subgraph reduction, which is also why its
+//! memory footprint is larger (Table 7 of the paper).
+
+use kplex_core::enumerate::{prepare, MapSink};
+use kplex_core::{
+    AlgoConfig, BranchingKind, Params, PivotKind, PlexSink, SearchStats, Searcher, SeedBuilder,
+    SinkFlow, UpperBoundKind, XOUT_FLAG,
+};
+use kplex_graph::CsrGraph;
+
+/// The engine configuration that realises FP's per-branch behaviour.
+pub fn fp_config() -> AlgoConfig {
+    AlgoConfig {
+        pivot: PivotKind::MinDegree,
+        upper_bound: UpperBoundKind::FpSorting,
+        use_r1: false,
+        use_r2: false,
+        branching: BranchingKind::RepickPivot,
+        // FP applies one pass of second-order reduction when building
+        // subgraphs (weaker than the iterated CTCP-style reduction of
+        // kPlexS/ListPlex) and keeps full exclusive sets, which is also why
+        // its memory footprint is larger (Table 7).
+        seed_prune_rounds: 1,
+        prune_xout: false,
+    }
+}
+
+/// Enumerates all maximal k-plexes with `|P| >= q` using FP: one task per
+/// seed vertex, candidates = the entire later two-hop ball.
+pub fn enumerate_fp(g: &CsrGraph, params: Params, sink: &mut dyn PlexSink) -> SearchStats {
+    enumerate_whole_seed(g, params, &fp_config(), sink)
+}
+
+/// Shared "one task per seed" driver used by the FP and D2K baselines
+/// (candidate set = the full later two-hop ball, no S-sub-tasks).
+pub fn enumerate_whole_seed(
+    g: &CsrGraph,
+    params: Params,
+    cfg: &AlgoConfig,
+    sink: &mut dyn PlexSink,
+) -> SearchStats {
+    let mut stats = SearchStats::default();
+    let prep = prepare(g, params);
+    let n = prep.graph.num_vertices();
+    if n < params.q {
+        return stats;
+    }
+    let mut builder = SeedBuilder::new(n);
+    let mut msink = MapSink::new(sink, &prep.map);
+    for &sv in &prep.decomp.order {
+        let Some(seed) = builder.build(&prep.graph, &prep.decomp, sv, params, cfg) else {
+            continue;
+        };
+        stats.seed_graphs += 1;
+        stats.subtasks += 1;
+        let mut searcher = Searcher::new(&seed, params, cfg, None);
+        // Single task: P = {seed}, C = every other local vertex, X = the
+        // outside witnesses.
+        let c: Vec<u32> = (1..seed.len() as u32).collect();
+        let x: Vec<u32> = (0..seed.xout.len() as u32).map(|i| i | XOUT_FLAG).collect();
+        let flow = searcher.run_task(&[0], c, x, &mut msink);
+        stats.merge(&searcher.stats);
+        if flow == SinkFlow::Stop {
+            break;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kplex_core::{naive, CollectSink};
+    use kplex_graph::gen;
+
+    #[test]
+    fn fp_matches_oracle() {
+        for seed in 0..10 {
+            let g = gen::gnp(14, 0.4, 100 + seed);
+            for (k, q) in [(2, 3), (2, 4), (3, 5)] {
+                let params = Params::new(k, q).unwrap();
+                let mut sink = CollectSink::default();
+                enumerate_fp(&g, params, &mut sink);
+                assert_eq!(
+                    sink.into_sorted(),
+                    naive::brute_force(&g, k, q),
+                    "seed {seed} k {k} q {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fp_matches_ours_on_larger_graphs() {
+        let g = gen::powerlaw_cluster(150, 5, 0.7, 4);
+        let params = Params::new(2, 5).unwrap();
+        let (ours, _) = kplex_core::enumerate_collect(&g, params, &AlgoConfig::ours());
+        let mut sink = CollectSink::default();
+        let stats = enumerate_fp(&g, params, &mut sink);
+        assert_eq!(sink.into_sorted(), ours);
+        // One task per seed graph, never more.
+        assert_eq!(stats.subtasks, stats.seed_graphs);
+    }
+
+    #[test]
+    fn fp_single_task_covers_two_hop_candidates() {
+        // A graph with significant two-hop structure: FP has no S-subtasks,
+        // so its subtask count equals its seed count, unlike ListPlex.
+        let g = gen::gnp(40, 0.25, 9);
+        let params = Params::new(3, 5).unwrap();
+        let mut sink = CollectSink::default();
+        let fp_stats = enumerate_fp(&g, params, &mut sink);
+        let mut sink2 = CollectSink::default();
+        let lp_stats = crate::listplex::enumerate_listplex(&g, params, &mut sink2);
+        assert_eq!(sink.into_sorted(), sink2.into_sorted());
+        assert!(fp_stats.subtasks <= lp_stats.subtasks);
+    }
+}

@@ -1,0 +1,17 @@
+//! # kplex-baselines
+//!
+//! From-scratch reimplementations of the two state-of-the-art baselines the
+//! paper compares against — ListPlex [39] and FP [16] — plus a uniform
+//! [`Algorithm`] handle over every variant used by the evaluation harness.
+
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod d2k;
+pub mod fp;
+pub mod listplex;
+
+pub use algorithms::Algorithm;
+pub use d2k::{d2k_config, enumerate_d2k};
+pub use fp::{enumerate_fp, enumerate_whole_seed, fp_config};
+pub use listplex::{enumerate_listplex, listplex_config};

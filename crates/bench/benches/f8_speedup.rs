@@ -1,0 +1,26 @@
+//! Criterion bench for Figure 8: parallel Ours across thread counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kplex_baselines::Algorithm;
+use kplex_bench::load;
+use kplex_core::Params;
+use kplex_parallel::{par_enumerate_count, EngineOptions};
+
+fn bench(c: &mut Criterion) {
+    let g = load("enwiki-2021");
+    let params = Params::new(2, 13).unwrap();
+    let mut group = c.benchmark_group("fig8/enwiki-2021-k2-q13");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+        group.warm_up_time(std::time::Duration::from_millis(500));
+    for t in kplex_bench::experiments::thread_counts() {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            let opts = EngineOptions::with_threads(t);
+            b.iter(|| par_enumerate_count(&g, params, &Algorithm::Ours.config(), &opts).0)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for Figure 9: Basic vs Ours as q varies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kplex_baselines::Algorithm;
+use kplex_bench::load;
+use kplex_core::{CountSink, Params};
+
+fn bench(c: &mut Criterion) {
+    let g = load("wiki-vote");
+    for algo in [Algorithm::Basic, Algorithm::Ours] {
+        let mut group = c.benchmark_group(format!("fig9/wiki-vote-k4/{}", algo.name()));
+        group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        for q in [11usize, 13] {
+            let params = Params::new(4, q).unwrap();
+            group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, _| {
+                b.iter(|| {
+                    let mut sink = CountSink::default();
+                    algo.run(&g, params, &mut sink);
+                    sink.count
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Micro-benchmarks of the graph substrate: core decomposition, bitset
+//! intersection counting, and seed-subgraph construction — the per-seed
+//! costs that Section 5's complexity analysis bounds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kplex_core::{AlgoConfig, Params, SeedBuilder};
+use kplex_graph::{core_decomposition, gen, BitSet};
+
+fn bench(c: &mut Criterion) {
+    let g = gen::powerlaw_cluster(20_000, 8, 0.4, 99);
+
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("core_decomposition_20k", |b| {
+        b.iter(|| core_decomposition(&g).degeneracy)
+    });
+
+    group.bench_function("bitset_intersection_4096", |b| {
+        let mut x = BitSet::new(4096);
+        let mut y = BitSet::new(4096);
+        for i in (0..4096).step_by(3) {
+            x.insert(i);
+        }
+        for i in (0..4096).step_by(7) {
+            y.insert(i);
+        }
+        b.iter(|| x.intersection_count(&y))
+    });
+
+    group.bench_function("seed_graphs_20k", |b| {
+        let params = Params::new(3, 10).unwrap();
+        let cfg = AlgoConfig::ours();
+        let decomp = core_decomposition(&g);
+        b.iter(|| {
+            let mut builder = SeedBuilder::new(g.num_vertices());
+            let mut built = 0usize;
+            for &sv in decomp.order.iter() {
+                if builder.build(&g, &decomp, sv, params, &cfg).is_some() {
+                    built += 1;
+                }
+            }
+            built
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

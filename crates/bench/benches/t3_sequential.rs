@@ -1,0 +1,33 @@
+//! Criterion bench for Table 3: sequential FP vs ListPlex vs Ours_P vs Ours.
+//! Uses two representative cells so `cargo bench` stays bounded; the full
+//! grid is produced by `repro table3`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kplex_baselines::Algorithm;
+use kplex_bench::load;
+use kplex_core::{CountSink, Params};
+
+fn bench(c: &mut Criterion) {
+    let cells = [("lastfm", 4usize, 9usize), ("wiki-vote", 3, 9)];
+    for (ds, k, q) in cells {
+        let g = load(ds);
+        let params = Params::new(k, q).unwrap();
+        let mut group = c.benchmark_group(format!("table3/{ds}-k{k}-q{q}"));
+        group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        for algo in [Algorithm::Fp, Algorithm::ListPlex, Algorithm::OursP, Algorithm::Ours] {
+            group.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, &a| {
+                b.iter(|| {
+                    let mut sink = CountSink::default();
+                    a.run(&g, params, &mut sink);
+                    sink.count
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for Table 4: parallel FP vs ListPlex vs Ours on one
+//! large stand-in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kplex_baselines::Algorithm;
+use kplex_bench::load;
+use kplex_core::Params;
+use kplex_parallel::{par_enumerate_count, EngineOptions};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let g = load("enwiki-2021");
+    let params = Params::new(2, 13).unwrap();
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let mut group = c.benchmark_group(format!("table4/enwiki-2021-k2-q13-{threads}thr"));
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+        group.warm_up_time(std::time::Duration::from_millis(500));
+    for algo in [Algorithm::Fp, Algorithm::ListPlex, Algorithm::Ours] {
+        group.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, &a| {
+            let mut opts = EngineOptions::with_threads(threads);
+            match a {
+                Algorithm::Fp => {
+                    opts.serial_construction = true;
+                    opts.single_task_per_seed = true;
+                    opts.timeout = None;
+                }
+                Algorithm::ListPlex => opts.timeout = None,
+                _ => opts.timeout = Some(Duration::from_micros(100)),
+            }
+            b.iter(|| par_enumerate_count(&g, params, &a.config(), &opts).0)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for Table 5: upper-bound ablation (Ours\ub, Ours\ub+fp,
+//! Ours) on a hard cell.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kplex_baselines::Algorithm;
+use kplex_bench::load;
+use kplex_core::{CountSink, Params};
+
+fn bench(c: &mut Criterion) {
+    let g = load("wiki-vote");
+    let params = Params::new(4, 11).unwrap();
+    let mut group = c.benchmark_group("table5/wiki-vote-k4-q11");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+        group.warm_up_time(std::time::Duration::from_millis(500));
+    for algo in [Algorithm::OursNoUb, Algorithm::OursFpUb, Algorithm::Ours] {
+        group.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, &a| {
+            b.iter(|| {
+                let mut sink = CountSink::default();
+                a.run(&g, params, &mut sink);
+                sink.count
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

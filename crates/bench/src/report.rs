@@ -1,0 +1,140 @@
+//! Markdown table rendering and result persistence for the `repro` harness.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A markdown table under construction.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders GitHub-flavoured markdown with aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut width = vec![0usize; ncol];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(width) {
+                let _ = write!(line, " {c:<w$} |");
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &width));
+        let mut sep = String::from("|");
+        for w in &width {
+            let _ = write!(sep, "{:-<1$}|", "", w + 2);
+        }
+        let _ = writeln!(out, "{sep}");
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(r, &width));
+        }
+        out
+    }
+}
+
+/// Formats a duration in seconds with adaptive precision, like the paper's
+/// tables (two decimals above 0.1 s).
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.1}")
+    } else if s >= 0.01 {
+        format!("{s:.2}")
+    } else {
+        format!("{s:.4}")
+    }
+}
+
+/// Formats a ratio as `x.xx×`.
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+/// Formats bytes as MiB with two decimals (Table 7 units).
+pub fn fmt_mib(bytes: usize) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Directory where the harness writes its artifacts (`results/` by default,
+/// overridable via `KPLEX_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("KPLEX_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Writes an artifact (markdown fragment) to `results/<id>.md` and echoes it
+/// to stdout.
+pub fn publish(id: &str, title: &str, body: &str) {
+    println!("\n## {title}\n");
+    println!("{body}");
+    let dir = results_dir();
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{id}.md"));
+        let content = format!("## {title}\n\n{body}");
+        if let Err(e) = std::fs::write(&path, content) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_markdown() {
+        let mut t = Table::new(&["name", "time"]);
+        t.row(vec!["a".into(), "1.00".into()]);
+        t.row(vec!["long-name".into(), "2".into()]);
+        let md = t.render();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with("|---"));
+        // All lines equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_secs(123.456), "123.5");
+        assert_eq!(fmt_secs(1.234), "1.23");
+        assert_eq!(fmt_secs(0.00123), "0.0012");
+        assert_eq!(fmt_ratio(2.5), "2.50x");
+        assert_eq!(fmt_mib(1024 * 1024), "1.00");
+    }
+}

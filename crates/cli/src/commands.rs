@@ -1,0 +1,376 @@
+//! CLI subcommands.
+
+use crate::args::Args;
+use kplex_baselines::Algorithm;
+use kplex_core::{CountSink, FnSink, Params, PlexSink, SinkFlow};
+use kplex_datasets::all_datasets;
+use kplex_graph::{io, CsrGraph, GraphStats};
+use kplex_parallel::{par_enumerate_count, EngineOptions};
+use std::io::Write;
+use std::time::Instant;
+
+const USAGE: &str = "\
+kplex — enumeration of large maximal k-plexes (EDBT 2025 reproduction)
+
+USAGE:
+  kplex enumerate --k K --q Q (--input FILE | --dataset NAME)
+                  [--algo ALGO] [--threads N] [--timeout-us U]
+                  [--count-only] [--limit N]
+  kplex maximum   --k K [--q-floor Q] (--input FILE | --dataset NAME)
+  kplex verify    --k K --q Q --results FILE (--input FILE | --dataset NAME)
+  kplex stats     (--input FILE | --dataset NAME)
+  kplex generate  --dataset NAME --output FILE
+  kplex datasets
+  kplex help
+
+OPTIONS:
+  --k K            plex slack (every member may miss up to k links)
+  --q Q            minimum plex size (requires q >= 2k-1)
+  --input FILE     graph file (see --format)
+  --format FMT     edges (default) | dimacs | metis
+  --dataset NAME   one of the built-in Table 2 stand-ins (see `kplex datasets`)
+  --algo ALGO      ours | ours_p | ours-ub | ours-ub+fp | basic | basic+r1 |
+                   basic+r2 | listplex | fp          (default: ours)
+  --threads N      parallel engine with N workers    (default: sequential)
+  --timeout-us U   straggler timeout in microseconds (default: 100)
+  --count-only     print only the number of k-plexes
+  --limit N        stop after N results
+";
+
+/// Entry point shared with the binary's `main`.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv);
+    let cmd = args.positional().first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "enumerate" => cmd_enumerate(&args),
+        "maximum" => cmd_maximum(&args),
+        "verify" => cmd_verify(&args),
+        "stats" => cmd_stats(&args),
+        "generate" => cmd_generate(&args),
+        "datasets" => cmd_datasets(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+fn load_graph(args: &Args) -> Result<(CsrGraph, String), String> {
+    let format = args.get("format").unwrap_or("edges").to_string();
+    match (args.get("input"), args.get("dataset")) {
+        (Some(path), None) => {
+            let g = match format.as_str() {
+                "edges" => io::read_edge_list(path).map_err(|e| e.to_string())?.0,
+                "dimacs" => {
+                    let f = std::fs::File::open(path).map_err(|e| e.to_string())?;
+                    kplex_graph::io_formats::parse_dimacs(f).map_err(|e| e.to_string())?
+                }
+                "metis" => {
+                    let f = std::fs::File::open(path).map_err(|e| e.to_string())?;
+                    kplex_graph::io_formats::parse_metis(f).map_err(|e| e.to_string())?
+                }
+                other => return Err(format!("unknown --format {other:?} (edges|dimacs|metis)")),
+            };
+            Ok((g, path.to_string()))
+        }
+        (None, Some(name)) => {
+            let ds = kplex_datasets::by_name(name)
+                .ok_or_else(|| format!("unknown dataset {name:?} (try `kplex datasets`)"))?;
+            Ok((ds.load(), name.to_string()))
+        }
+        _ => Err("provide exactly one of --input FILE or --dataset NAME".into()),
+    }
+}
+
+fn cmd_enumerate(args: &Args) -> Result<(), String> {
+    let k: usize = args.require("k")?;
+    let q: usize = args.require("q")?;
+    let params = Params::new(k, q).map_err(|e| e.to_string())?;
+    let algo_name = args.get("algo").unwrap_or("ours").to_string();
+    let algo = Algorithm::parse(&algo_name)
+        .ok_or_else(|| format!("unknown algorithm {algo_name:?}"))?;
+    let threads: usize = args.get_parse("threads", 0)?;
+    let timeout_us: u64 = args.get_parse("timeout-us", 100)?;
+    let count_only = args.flag("count-only");
+    let limit: u64 = args.get_parse("limit", u64::MAX)?;
+    let (g, source) = load_graph(args)?;
+    args.reject_unknown()?;
+
+    eprintln!(
+        "# {source}: n={} m={} | algo={} k={k} q={q}{}",
+        g.num_vertices(),
+        g.num_edges(),
+        algo.name(),
+        if threads > 0 {
+            format!(" threads={threads}")
+        } else {
+            String::new()
+        }
+    );
+    let start = Instant::now();
+    if threads > 0 {
+        if !count_only {
+            return Err("parallel mode currently supports --count-only output".into());
+        }
+        let mut opts = EngineOptions::with_threads(threads);
+        opts.timeout = (timeout_us > 0).then(|| std::time::Duration::from_micros(timeout_us));
+        if algo == Algorithm::Fp {
+            opts.serial_construction = true;
+            opts.single_task_per_seed = true;
+            opts.timeout = None;
+        } else if algo == Algorithm::ListPlex {
+            opts.timeout = None;
+        }
+        let (count, stats) = par_enumerate_count(&g, params, &algo.config(), &opts);
+        println!("{count}");
+        eprintln!("# {} in {:.3}s | {stats}", count, start.elapsed().as_secs_f64());
+        return Ok(());
+    }
+    if count_only {
+        let mut sink = CountSink::default();
+        let stats = algo.run(&g, params, &mut sink);
+        println!("{}", sink.count);
+        eprintln!(
+            "# {} maximal {k}-plexes (q={q}) in {:.3}s | {stats}",
+            sink.count,
+            start.elapsed().as_secs_f64()
+        );
+    } else {
+        let stdout = std::io::stdout();
+        let mut out = std::io::BufWriter::new(stdout.lock());
+        let mut printed = 0u64;
+        let mut failed = false;
+        {
+            let mut sink = FnSink(|vs: &[u32]| {
+                let line = vs
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                if writeln!(out, "{line}").is_err() {
+                    failed = true;
+                    return SinkFlow::Stop;
+                }
+                printed += 1;
+                if printed >= limit {
+                    SinkFlow::Stop
+                } else {
+                    SinkFlow::Continue
+                }
+            });
+            let stats = algo.run(&g, params, &mut sink);
+            eprintln!(
+                "# {} maximal {k}-plexes (q={q}) in {:.3}s | {stats}",
+                stats.outputs,
+                start.elapsed().as_secs_f64()
+            );
+        }
+        out.flush().map_err(|e| e.to_string())?;
+        if failed {
+            return Err("failed writing results to stdout".into());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_maximum(args: &Args) -> Result<(), String> {
+    let k: usize = args.require("k")?;
+    let q_floor: usize = args.get_parse("q-floor", 2 * k.max(1) - 1)?;
+    let (g, source) = load_graph(args)?;
+    args.reject_unknown()?;
+    let start = Instant::now();
+    let result = kplex_core::maximum_kplex(&g, k, q_floor, &kplex_core::AlgoConfig::ours());
+    match &result.plex {
+        Some(p) => {
+            let line = p.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" ");
+            println!("{line}");
+            eprintln!(
+                "# maximum {k}-plex of {source} has {} vertices (floor q={q_floor}) in {:.3}s | {}",
+                p.len(),
+                start.elapsed().as_secs_f64(),
+                result.stats
+            );
+        }
+        None => {
+            eprintln!(
+                "# no {k}-plex with >= {q_floor} vertices in {source} ({:.3}s)",
+                start.elapsed().as_secs_f64()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_verify(args: &Args) -> Result<(), String> {
+    let k: usize = args.require("k")?;
+    let q: usize = args.require("q")?;
+    let results_path: String = args.require("results")?;
+    let (g, source) = load_graph(args)?;
+    args.reject_unknown()?;
+    // One plex per line, whitespace-separated vertex ids.
+    let text = std::fs::read_to_string(&results_path).map_err(|e| e.to_string())?;
+    let mut results: Vec<Vec<u32>> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut set = Vec::new();
+        for tok in line.split_whitespace() {
+            let v: u32 = tok
+                .parse()
+                .map_err(|e| format!("{results_path}:{}: bad vertex id: {e}", lineno + 1))?;
+            set.push(v);
+        }
+        results.push(set);
+    }
+    let violations = if g.num_vertices() <= 200 {
+        kplex_core::verify_complete(&g, k, q, &results)
+    } else {
+        kplex_core::verify_results(&g, k, q, &results)
+    };
+    if violations.is_empty() {
+        println!(
+            "OK: {} result(s) verified against {source} (k={k}, q={q})",
+            results.len()
+        );
+        Ok(())
+    } else {
+        for v in violations.iter().take(20) {
+            eprintln!("violation: {v}");
+        }
+        Err(format!("{} violation(s) found", violations.len()))
+    }
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let (g, source) = load_graph(args)?;
+    args.reject_unknown()?;
+    let s = GraphStats::compute(&g);
+    println!("{source}: {s}");
+    Ok(())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let name = args
+        .get("dataset")
+        .ok_or("generate requires --dataset NAME")?
+        .to_string();
+    let output = args
+        .get("output")
+        .ok_or("generate requires --output FILE")?
+        .to_string();
+    args.reject_unknown()?;
+    let ds = kplex_datasets::by_name(&name).ok_or_else(|| format!("unknown dataset {name:?}"))?;
+    let g = ds.load();
+    let f = std::fs::File::create(&output).map_err(|e| e.to_string())?;
+    io::write_edge_list(&g, f).map_err(|e| e.to_string())?;
+    eprintln!("# wrote {} ({} vertices, {} edges)", output, g.num_vertices(), g.num_edges());
+    Ok(())
+}
+
+fn cmd_datasets(args: &Args) -> Result<(), String> {
+    args.reject_unknown()?;
+    println!(
+        "{:<14} {:<7} {:>22} {:>14}  family",
+        "name", "class", "paper (n, m)", "stand-in n"
+    );
+    for d in all_datasets() {
+        let g = d.load();
+        println!(
+            "{:<14} {:<7} {:>10} {:>11} {:>14}  {}",
+            d.name,
+            format!("{:?}", d.class),
+            d.paper.n,
+            d.paper.m,
+            g.num_vertices(),
+            d.family
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(argv: &[&str]) -> Result<(), String> {
+        dispatch(&argv.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn help_succeeds() {
+        run(&["help"]).unwrap();
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        assert!(run(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn enumerate_requires_k_and_q() {
+        assert!(run(&["enumerate", "--dataset", "jazz"]).is_err());
+    }
+
+    #[test]
+    fn enumerate_rejects_bad_params() {
+        assert!(run(&["enumerate", "--dataset", "jazz", "--k", "3", "--q", "2"]).is_err());
+        assert!(run(&["enumerate", "--dataset", "nope", "--k", "2", "--q", "4"]).is_err());
+        assert!(run(&[
+            "enumerate", "--dataset", "jazz", "--k", "2", "--q", "4", "--algo", "bogus"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn enumerate_counts_on_dataset() {
+        run(&[
+            "enumerate", "--dataset", "jazz", "--k", "2", "--q", "9", "--count-only",
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn maximum_works_on_dataset() {
+        run(&["maximum", "--dataset", "jazz", "--k", "2"]).unwrap();
+        assert!(run(&["maximum", "--dataset", "jazz"]).is_err());
+    }
+
+    #[test]
+    fn verify_accepts_engine_output_and_rejects_junk() {
+        let dir = std::env::temp_dir().join(format!("kplex-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Produce results for a tiny synthetic file.
+        let graph_path = dir.join("g.txt");
+        std::fs::write(&graph_path, "0 1\n0 2\n0 3\n1 2\n1 3\n2 3\n").unwrap();
+        let results_path = dir.join("res.txt");
+        std::fs::write(&results_path, "0 1 2 3\n").unwrap();
+        run(&[
+            "verify", "--k", "2", "--q", "4",
+            "--input", graph_path.to_str().unwrap(),
+            "--results", results_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        // A non-maximal claim must fail.
+        std::fs::write(&results_path, "0 1 2\n").unwrap();
+        assert!(run(&[
+            "verify", "--k", "2", "--q", "3",
+            "--input", graph_path.to_str().unwrap(),
+            "--results", results_path.to_str().unwrap(),
+        ])
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_works_on_dataset() {
+        run(&["stats", "--dataset", "jazz"]).unwrap();
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(run(&["stats", "--dataset", "jazz", "--wat", "1"]).is_err());
+    }
+}

@@ -1,0 +1,22 @@
+//! `kplex` — command-line tool for enumerating large maximal k-plexes.
+//!
+//! Mirrors the tool released with the paper: point it at an edge-list file
+//! (or a named synthetic dataset), pick an algorithm and (k, q), and it
+//! streams maximal k-plexes. Argument parsing is hand-rolled (the project
+//! uses no third-party CLI dependency).
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

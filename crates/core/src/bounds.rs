@@ -1,0 +1,349 @@
+//! Upper bounds on the largest k-plex extending the current partial solution.
+//!
+//! * [`ub_support`] — Theorem 5.5 computed by Algorithm 4: a support-number
+//!   greedy over the pivot's candidate neighbours, O(|C|·|P|) with bitset
+//!   adjacency, no sorting.
+//! * [`ub_subtask`] — Theorem 5.7, the specialisation used to prune whole
+//!   initial sub-tasks (rule R1), combined with the Theorem 5.3 degree bound.
+//! * [`ub_fp_sorting`] — the FP baseline's bound [16, Lemma 5]: a budget
+//!   prefix over candidates sorted by non-neighbour cost. Requires a sort per
+//!   invocation, which is exactly the overhead the Table 5 ablation measures.
+//!
+//! All three return an upper bound on `|P_m|` for any k-plex `P_m ⊇ P ∪
+//! {pivot}` drawn from the current candidates; pruning compares against `q`.
+
+use crate::seed::SeedGraph;
+use kplex_graph::BitSet;
+
+/// Scratch buffers shared by bound computations, sized once per seed graph.
+#[derive(Clone, Debug)]
+pub struct BoundScratch {
+    sup: Vec<i64>,
+    costs: Vec<u32>,
+}
+
+impl BoundScratch {
+    /// Scratch for a seed graph with `n` local vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            sup: vec![0; n],
+            costs: Vec::with_capacity(n),
+        }
+    }
+}
+
+/// Theorem 5.5 via Algorithm 4.
+///
+/// `p` is the current plex (local ids), `d_p[v] = |N(v) ∩ P|` for every local
+/// vertex, `pivot` is the candidate about to be added (must not be in `p`),
+/// and `c_bits` marks the remaining candidates (including the pivot; the
+/// pivot's own bit is ignored because it is not its own neighbour).
+pub fn ub_support(
+    seed: &SeedGraph,
+    k: usize,
+    p: &[u32],
+    d_p: &[u32],
+    pivot: u32,
+    c_bits: &BitSet,
+    scratch: &mut BoundScratch,
+) -> usize {
+    let psz = p.len();
+    // Pivot support: non-neighbours inside P (pivot not counted).
+    let sup_pivot = k as i64 - (psz as i64 - d_p[pivot as usize] as i64);
+    debug_assert!(sup_pivot >= 1, "pivot must be addable to P");
+    for &u in p {
+        // Self-inclusive non-neighbour count for members: |P| - d_P(u).
+        scratch.sup[u as usize] = k as i64 - (psz as i64 - d_p[u as usize] as i64);
+        debug_assert!(scratch.sup[u as usize] >= 0, "P must be a k-plex");
+    }
+    let mut ub = psz as i64 + sup_pivot;
+    // Walk the pivot's neighbours among the candidates (the set K of the
+    // theorem starts as N_C(v_p)). Word-at-a-time, no allocation.
+    let pivot_row = seed.adj.row(pivot as usize);
+    let mut word_idx = 0usize;
+    for (a, b) in pivot_row.words().iter().zip(c_bits.words()) {
+        let mut w = a & b;
+        while w != 0 {
+            let bit = w.trailing_zeros() as usize;
+            w &= w - 1;
+            let cand = (word_idx * 64 + bit) as u32;
+            if cand == pivot {
+                continue;
+            }
+            // u_m = the non-neighbour of `cand` in P with minimum support.
+            let mut min_sup = i64::MAX;
+            let mut um = u32::MAX;
+            for &u in p {
+                if !seed.adj.has_edge(u as usize, cand as usize) {
+                    let s = scratch.sup[u as usize];
+                    if s < min_sup {
+                        min_sup = s;
+                        um = u;
+                    }
+                }
+            }
+            if um == u32::MAX {
+                ub += 1; // unconstrained candidate
+            } else if min_sup > 0 {
+                // Charge the tightest member and admit the candidate.
+                scratch.sup[um as usize] -= 1;
+                ub += 1;
+            }
+            // else: some non-neighbour is exhausted; cand leaves K.
+        }
+        word_idx += 1;
+    }
+    ub.max(0) as usize
+}
+
+/// Theorem 5.7 combined with Theorem 5.3: upper bound for the initial
+/// sub-task `P_S = {v_i} ∪ S` with candidate set `c_s ⊆ N_{G_i}(v_i)`.
+/// Used for rule R1: if the result is `< q` the entire sub-task is pruned.
+pub fn ub_subtask(
+    seed: &SeedGraph,
+    k: usize,
+    s: &[u32],
+    c_s: &[u32],
+    scratch: &mut BoundScratch,
+) -> usize {
+    // P_S member supports (self-inclusive). The seed's support is forced to 0
+    // (no candidate is a seed non-neighbour: C_S ⊆ N(v_i)).
+    let psz = 1 + s.len();
+    scratch.sup[0] = 0;
+    for &u in s {
+        // d̄_{P_S}(u) = 1 (seed) + 1 (self) + non-neighbours within S.
+        let mut nn = 2i64;
+        for &w in s {
+            if w != u && !seed.adj.has_edge(u as usize, w as usize) {
+                nn += 1;
+            }
+        }
+        scratch.sup[u as usize] = k as i64 - nn;
+        debug_assert!(scratch.sup[u as usize] >= 0, "P_S must be a k-plex");
+    }
+    let mut ksize = 0i64;
+    for &w in c_s {
+        let mut min_sup = i64::MAX;
+        let mut min_u = u32::MAX;
+        // Non-neighbours of w inside P_S: the seed never qualifies.
+        for &u in s {
+            if !seed.adj.has_edge(u as usize, w as usize) {
+                let sv = scratch.sup[u as usize];
+                if sv < min_sup {
+                    min_sup = sv;
+                    min_u = u;
+                }
+            }
+        }
+        if min_u == u32::MAX {
+            ksize += 1;
+        } else if min_sup > 0 {
+            scratch.sup[min_u as usize] -= 1;
+            ksize += 1;
+        }
+    }
+    let ub1 = psz as i64 + ksize;
+    // Theorem 5.3: min static degree over P_S, plus k.
+    let min_deg = std::iter::once(0u32)
+        .chain(s.iter().copied())
+        .map(|u| seed.deg[u as usize])
+        .min()
+        .unwrap_or(0) as i64;
+    ub1.min(min_deg + k as i64).max(0) as usize
+}
+
+/// FP's sorting-based upper bound [16, Lemma 5], adapted to bound extensions
+/// of `P ∪ {pivot}`.
+///
+/// Every candidate pays a "cost" equal to its non-neighbour count inside
+/// `P ∪ {pivot}`; the total budget is the summed slack of the members.
+/// Sorting costs ascending, the longest affordable prefix (plus the free
+/// candidates) bounds how many candidates can still join.
+pub fn ub_fp_sorting(
+    seed: &SeedGraph,
+    k: usize,
+    p: &[u32],
+    d_p: &[u32],
+    pivot: u32,
+    c_bits: &BitSet,
+    scratch: &mut BoundScratch,
+) -> usize {
+    let psz1 = p.len() + 1; // |P ∪ {pivot}|
+    // Budget: sum of supports of P ∪ {pivot} w.r.t. P ∪ {pivot}.
+    let mut budget = 0i64;
+    for &u in p {
+        let d = d_p[u as usize] as i64
+            + i64::from(seed.adj.has_edge(u as usize, pivot as usize));
+        let slack = k as i64 - (psz1 as i64 - d);
+        debug_assert!(slack >= 0);
+        budget += slack;
+    }
+    {
+        let d = d_p[pivot as usize] as i64;
+        let slack = k as i64 - (psz1 as i64 - d);
+        debug_assert!(slack >= 0);
+        budget += slack;
+    }
+    // Candidate costs.
+    scratch.costs.clear();
+    let mut free = 0usize;
+    for cand in c_bits.iter() {
+        if cand == pivot as usize {
+            continue;
+        }
+        let d = d_p[cand] as i64 + i64::from(seed.adj.has_edge(cand, pivot as usize));
+        let cost = psz1 as i64 - d;
+        debug_assert!(cost >= 0);
+        if cost == 0 {
+            free += 1;
+        } else {
+            scratch.costs.push(cost as u32);
+        }
+    }
+    // The deliberate O(|C| log |C|) step.
+    scratch.costs.sort_unstable();
+    let mut admitted = 0usize;
+    let mut spent = 0i64;
+    for &c in &scratch.costs {
+        spent += c as i64;
+        if spent > budget {
+            break;
+        }
+        admitted += 1;
+    }
+    psz1 + free + admitted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AlgoConfig, Params};
+    use crate::seed::SeedBuilder;
+    use kplex_graph::{core_decomposition, gen};
+
+    /// Builds the seed graph of a clique's first seed and a default scratch.
+    fn clique_seed(n: usize, k: usize, q: usize) -> (SeedGraph, BoundScratch) {
+        let g = gen::complete(n);
+        let params = Params::new(k, q).unwrap();
+        let decomp = core_decomposition(&g);
+        let mut b = SeedBuilder::new(n);
+        let sg = b
+            .build(&g, &decomp, decomp.order[0], params, &AlgoConfig::ours())
+            .unwrap();
+        let scratch = BoundScratch::new(sg.len());
+        (sg, scratch)
+    }
+
+    #[test]
+    fn support_bound_on_clique_allows_everything() {
+        let (sg, mut scratch) = clique_seed(8, 2, 5);
+        // P = {seed}; pivot = any hop1 vertex; C = all hop1.
+        let p = [0u32];
+        let mut d_p = vec![1u32; sg.len()]; // everyone adjacent to the seed
+        d_p[0] = 0;
+        let mut c_bits = BitSet::new(sg.len());
+        for &h in &sg.hop1 {
+            c_bits.insert(h as usize);
+        }
+        let pivot = sg.hop1[0];
+        let ub = ub_support(&sg, 2, &p, &d_p, pivot, &c_bits, &mut scratch);
+        // The whole clique (8 vertices) must remain admissible.
+        assert!(ub >= 8, "ub = {ub}");
+    }
+
+    #[test]
+    fn support_bound_is_tight_for_star() {
+        // Star around the seed: hop1 vertices pairwise non-adjacent.
+        // A 2-plex containing the seed and two leaves: each leaf misses the
+        // other leaf + itself = 2 = k, so at most... bound should be small.
+        let g = gen::star(8);
+        let params = Params::new(2, 3).unwrap();
+        let decomp = core_decomposition(&g);
+        let mut b = SeedBuilder::new(8);
+        // Center is peeled last so seeds are leaves first; find the center's
+        // seed graph via explicit construction: only the center yields a
+        // non-trivial subgraph (leaves have degree 1 < q - k).
+        let mut built = None;
+        for s in g.vertices() {
+            if let Some(sg) = b.build(&g, &decomp, s, params, &AlgoConfig::ours()) {
+                built = Some(sg);
+            }
+        }
+        let Some(sg) = built else {
+            // Star is too sparse for q=3 after gates; acceptable.
+            return;
+        };
+        let mut scratch = BoundScratch::new(sg.len());
+        let p = [0u32];
+        let mut d_p = vec![0u32; sg.len()];
+        for &h in &sg.hop1 {
+            d_p[h as usize] = 1;
+        }
+        let mut c_bits = BitSet::new(sg.len());
+        for &h in &sg.hop1 {
+            c_bits.insert(h as usize);
+        }
+        let pivot = sg.hop1[0];
+        let ub = ub_support(&sg, 2, &p, &d_p, pivot, &c_bits, &mut scratch);
+        // {seed, pivot, one more leaf} is the largest 2-plex: ub >= 3 but
+        // should not exceed |P| + sup + |K| = 1 + 2 + 0 = 3.
+        assert_eq!(ub, 3);
+    }
+
+    #[test]
+    fn subtask_bound_on_clique() {
+        let (sg, mut scratch) = clique_seed(7, 2, 5);
+        let c_s: Vec<u32> = sg.hop1.clone();
+        // S empty: bound = min(1 + |K|, deg(seed) + k) = min(1+6, 6+2) = 7.
+        let ub = ub_subtask(&sg, 2, &[], &c_s, &mut scratch);
+        assert_eq!(ub, 7);
+    }
+
+    #[test]
+    fn fp_bound_on_clique_allows_everything() {
+        let (sg, mut scratch) = clique_seed(8, 2, 5);
+        let p = [0u32];
+        let mut d_p = vec![1u32; sg.len()];
+        d_p[0] = 0;
+        let mut c_bits = BitSet::new(sg.len());
+        for &h in &sg.hop1 {
+            c_bits.insert(h as usize);
+        }
+        let pivot = sg.hop1[0];
+        let ub = ub_fp_sorting(&sg, 2, &p, &d_p, pivot, &c_bits, &mut scratch);
+        assert!(ub >= 8, "ub = {ub}");
+    }
+
+    #[test]
+    fn fp_bound_never_below_support_feasibility() {
+        // Both bounds must be valid upper bounds; on random graphs the FP
+        // bound is usually looser (larger or equal in the tight spots where
+        // pruning matters). We check both stay above the true extension.
+        let g = gen::gnp(25, 0.5, 3);
+        let params = Params::new(2, 4).unwrap();
+        let decomp = core_decomposition(&g);
+        let mut b = SeedBuilder::new(25);
+        for s in g.vertices() {
+            let Some(sg) = b.build(&g, &decomp, s, params, &AlgoConfig::ours()) else {
+                continue;
+            };
+            let mut scratch = BoundScratch::new(sg.len());
+            let p = [0u32];
+            let mut d_p = vec![0u32; sg.len()];
+            for v in 1..sg.len() {
+                d_p[v] = u32::from(sg.adj.has_edge(0, v));
+            }
+            let mut c_bits = BitSet::new(sg.len());
+            for &h in &sg.hop1 {
+                c_bits.insert(h as usize);
+            }
+            for &pivot in sg.hop1.iter().take(3) {
+                let u1 = ub_support(&sg, 2, &p, &d_p, pivot, &c_bits, &mut scratch);
+                let u2 = ub_fp_sorting(&sg, 2, &p, &d_p, pivot, &c_bits, &mut scratch);
+                // Sanity floor: P ∪ {pivot} itself always extends.
+                assert!(u1 >= 2);
+                assert!(u2 >= 2);
+            }
+        }
+    }
+}

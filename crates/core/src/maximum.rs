@@ -1,0 +1,182 @@
+//! Maximum k-plex finding (the companion problem surveyed in Section 2).
+//!
+//! Built on top of the enumeration engine with *dynamic threshold
+//! tightening*: the search starts at `q_min = max(q_floor, 2k-1)` and every
+//! time a plex of size `s` is reported the engine's threshold rises to
+//! `s + 1`, so the upper-bound pruning (Theorems 5.3/5.5/5.7) immediately
+//! discards branches that cannot beat the incumbent — the same
+//! best-so-far pruning used by the dedicated maximum-k-plex solvers the
+//! paper cites (BS, kPlexS, Maplex).
+
+use crate::branch::Searcher;
+use crate::config::{AlgoConfig, Params};
+use crate::enumerate::{prepare, MapSink};
+use crate::pairs::PairMatrix;
+use crate::seed::SeedBuilder;
+use crate::sink::{PlexSink, SinkFlow};
+use crate::stats::SearchStats;
+use crate::subtask::collect_subtasks;
+use kplex_graph::{CsrGraph, VertexId};
+
+/// Result of a maximum k-plex search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MaximumResult {
+    /// A maximum k-plex with at least `q_floor` vertices, if one exists.
+    pub plex: Option<Vec<VertexId>>,
+    /// Search statistics.
+    pub stats: SearchStats,
+}
+
+/// Sink that keeps the largest plex and signals the driver to tighten q.
+struct BestSink {
+    best: Option<Vec<VertexId>>,
+}
+
+impl PlexSink for BestSink {
+    fn report(&mut self, vertices: &[VertexId]) -> SinkFlow {
+        let better = self.best.as_ref().is_none_or(|b| vertices.len() > b.len());
+        if better {
+            self.best = Some(vertices.to_vec());
+        }
+        SinkFlow::Continue
+    }
+}
+
+/// Finds one maximum k-plex of `g` among those with at least `q_floor`
+/// vertices (`q_floor` is clamped up to `2k - 1`, the connectivity bound the
+/// engine requires). Returns `None` in [`MaximumResult::plex`] when no plex
+/// reaches the floor.
+pub fn maximum_kplex(g: &CsrGraph, k: usize, q_floor: usize, cfg: &AlgoConfig) -> MaximumResult {
+    let q0 = q_floor.max(2 * k - 1).max(1);
+    let params0 = Params::new(k, q0).expect("q clamped to the valid range");
+    let mut stats = SearchStats::default();
+    let prep = prepare(g, params0);
+    let n = prep.graph.num_vertices();
+    let mut best = BestSink { best: None };
+    if n < q0 {
+        return MaximumResult { plex: None, stats };
+    }
+    let mut builder = SeedBuilder::new(n);
+    // Current threshold: one more than the incumbent size.
+    let mut q = q0;
+    for &sv in &prep.decomp.order {
+        // Rising q makes later seed graphs cheaper to build (stronger
+        // Corollary 5.2 thresholds and size gates).
+        let params = Params::new(k, q).expect("valid");
+        let Some(seed) = builder.build(&prep.graph, &prep.decomp, sv, params, cfg) else {
+            continue;
+        };
+        stats.seed_graphs += 1;
+        let pairs = cfg.use_r2.then(|| PairMatrix::build(&seed, params));
+        let tasks = collect_subtasks(&seed, params, cfg, pairs.as_ref(), &mut stats);
+        let mut searcher = Searcher::new(&seed, params, cfg, pairs.as_ref());
+        for t in tasks {
+            let mut msink = MapSink::new(&mut best, &prep.map);
+            searcher.run_task(&t.p, t.c, t.x, &mut msink);
+            // Tighten the engine's threshold to beat the incumbent.
+            if let Some(b) = &best.best {
+                let want = b.len() + 1;
+                if want > q {
+                    q = want;
+                }
+                if want > searcher.params_q() {
+                    searcher.raise_q(want);
+                }
+            }
+        }
+        stats.merge(&searcher.stats);
+    }
+    MaximumResult {
+        plex: best.best,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::brute_force;
+    use kplex_graph::gen;
+
+    fn brute_maximum(g: &CsrGraph, k: usize, q: usize) -> Option<usize> {
+        brute_force(g, k, q).iter().map(Vec::len).max()
+    }
+
+    #[test]
+    fn clique_maximum_is_everything() {
+        let g = gen::complete(8);
+        let r = maximum_kplex(&g, 2, 4, &AlgoConfig::ours());
+        assert_eq!(r.plex.unwrap().len(), 8);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        for seed in 0..25 {
+            let g = gen::gnp(13, 0.5, 400 + seed);
+            for k in 1..=3usize {
+                let q = 2 * k - 1;
+                let expected = brute_maximum(&g, k, q.max(3));
+                let got = maximum_kplex(&g, k, q.max(3), &AlgoConfig::ours());
+                assert_eq!(
+                    got.plex.map(|p| p.len()),
+                    expected,
+                    "seed {seed} k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn result_is_a_valid_kplex() {
+        let g = gen::powerlaw_cluster(150, 5, 0.8, 7);
+        let r = maximum_kplex(&g, 2, 5, &AlgoConfig::ours());
+        let p = r.plex.expect("dense graph has 2-plexes of size 5");
+        assert!(crate::plex::is_kplex(&g, &p, 2));
+        assert!(crate::plex::is_maximal_kplex(&g, &p, 2));
+        // Nothing larger exists: re-run the enumerator at q = |p| + 1.
+        let params = Params::new(2, p.len() + 1).unwrap();
+        let (bigger, _) = crate::enumerate::enumerate_count(&g, params, &AlgoConfig::ours());
+        assert_eq!(bigger, 0);
+    }
+
+    #[test]
+    fn floor_filters_small_answers() {
+        // A triangle has maximum 1-plex of size 3; with a floor of 4 the
+        // search reports none.
+        let g = gen::complete(3);
+        let r = maximum_kplex(&g, 1, 4, &AlgoConfig::ours());
+        assert!(r.plex.is_none());
+        let r = maximum_kplex(&g, 1, 3, &AlgoConfig::ours());
+        assert_eq!(r.plex.unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn planted_largest_plex_is_found() {
+        let bg = gen::gnm(200, 400, 3);
+        let cfg = gen::PlantedPlexConfig {
+            count: 3,
+            size_lo: 12,
+            size_hi: 12,
+            missing: 1,
+            overlap: false,
+        };
+        let (g, _) = gen::planted_plexes(&bg, &cfg, 9);
+        let r = maximum_kplex(&g, 2, 4, &AlgoConfig::ours());
+        // The planted 12-vertex 2-plexes dominate the background.
+        assert!(r.plex.unwrap().len() >= 12);
+    }
+
+    #[test]
+    fn tightening_prunes_aggressively() {
+        // The dynamic-q search should visit far fewer branches than full
+        // enumeration at the floor threshold.
+        let g = gen::powerlaw_cluster(200, 6, 0.7, 11);
+        let max_r = maximum_kplex(&g, 2, 5, &AlgoConfig::ours());
+        let params = Params::new(2, 5).unwrap();
+        let (_, enum_stats) = crate::enumerate::enumerate_count(&g, params, &AlgoConfig::ours());
+        assert!(
+            max_r.stats.branch_calls <= enum_stats.branch_calls,
+            "dynamic tightening explored more than full enumeration"
+        );
+    }
+}

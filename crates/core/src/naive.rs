@@ -1,0 +1,170 @@
+//! Reference oracles.
+//!
+//! Two deliberately simple enumerators used to validate every optimised
+//! variant:
+//! * [`brute_force`] — exhaustive subset scan, exact for graphs up to ~20
+//!   vertices;
+//! * [`naive_bron_kerbosch`] — Algorithm 1 of the paper verbatim (no seed
+//!   decomposition, no pivoting, no bounds), practical to a few hundred
+//!   vertices on sparse inputs.
+
+use crate::plex::{is_kplex, is_maximal_kplex};
+use kplex_graph::{CsrGraph, VertexId};
+
+/// Exhaustively enumerates all maximal k-plexes with at least `q` vertices by
+/// scanning every vertex subset. Panics if the graph has more than 24
+/// vertices (2^24 subsets is the practical ceiling for a test oracle).
+pub fn brute_force(g: &CsrGraph, k: usize, q: usize) -> Vec<Vec<VertexId>> {
+    let n = g.num_vertices();
+    assert!(n <= 24, "brute force oracle limited to 24 vertices, got {n}");
+    let mut out = Vec::new();
+    for mask in 1u32..(1u32 << n) {
+        if (mask.count_ones() as usize) < q {
+            continue;
+        }
+        let set: Vec<VertexId> = (0..n as u32).filter(|&v| mask >> v & 1 == 1).collect();
+        if is_kplex(g, &set, k) && is_maximal_kplex(g, &set, k) {
+            out.push(set);
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Algorithm 1 (Bron–Kerbosch adapted to k-plexes) with no optimisation at
+/// all: candidates are every later vertex, maximality via the exclusive set.
+/// Returns the sorted list of maximal k-plexes with `|P| >= q`.
+pub fn naive_bron_kerbosch(g: &CsrGraph, k: usize, q: usize) -> Vec<Vec<VertexId>> {
+    let mut out = Vec::new();
+    let all: Vec<VertexId> = g.vertices().collect();
+    let mut p = Vec::new();
+    recurse(g, k, q, &mut p, all, Vec::new(), &mut out);
+    out.sort();
+    out
+}
+
+fn recurse(
+    g: &CsrGraph,
+    k: usize,
+    q: usize,
+    p: &mut Vec<VertexId>,
+    mut c: Vec<VertexId>,
+    mut x: Vec<VertexId>,
+    out: &mut Vec<Vec<VertexId>>,
+) {
+    // Invariant: every u in C or X satisfies "P ∪ {u} is a k-plex", so a
+    // nonempty C means P is not maximal and a nonempty X means P was seen
+    // inside a larger plex before.
+    if c.is_empty() {
+        if x.is_empty() && p.len() >= q {
+            let mut res = p.clone();
+            res.sort_unstable();
+            out.push(res);
+        }
+        return;
+    }
+    while let Some(v) = c.first().copied() {
+        c.remove(0);
+        // Branch including v.
+        p.push(v);
+        let c2: Vec<VertexId> = c.iter().copied().filter(|&u| extends(g, k, p, u)).collect();
+        let x2: Vec<VertexId> = x.iter().copied().filter(|&u| extends(g, k, p, u)).collect();
+        recurse(g, k, q, p, c2, x2, out);
+        p.pop();
+        // From now on v is excluded; it witnesses non-maximality.
+        x.push(v);
+    }
+}
+
+/// True iff `p ∪ {u}` is a k-plex (`p` already is one).
+fn extends(g: &CsrGraph, k: usize, p: &[VertexId], u: VertexId) -> bool {
+    extends_set(g, k, p, u)
+}
+
+fn extends_set(g: &CsrGraph, k: usize, p: &[VertexId], u: VertexId) -> bool {
+    let m = p.len() + 1;
+    // u's own constraint.
+    let du = p.iter().filter(|&&w| g.has_edge(u, w)).count();
+    if du + k < m {
+        return false;
+    }
+    // Everyone else's constraint.
+    for &w in p {
+        let dw = p.iter().filter(|&&y| y != w && g.has_edge(w, y)).count()
+            + usize::from(g.has_edge(w, u));
+        if dw + k < m {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kplex_graph::gen;
+
+    #[test]
+    fn clique_has_single_maximal_plex() {
+        let g = gen::complete(5);
+        for k in 1..=2 {
+            let res = brute_force(&g, k, 2 * k - 1);
+            assert_eq!(res, vec![vec![0, 1, 2, 3, 4]], "k={k}");
+        }
+    }
+
+    #[test]
+    fn cycle5_2plexes() {
+        // In C5 with k=2, q=3: each maximal 2-plex is a path of 3 vertices.
+        let g = gen::cycle(5);
+        let res = brute_force(&g, 2, 3);
+        assert_eq!(res.len(), 5);
+        for p in &res {
+            assert_eq!(p.len(), 3);
+        }
+    }
+
+    #[test]
+    fn naive_bk_matches_brute_force_small() {
+        for seed in 0..20 {
+            let g = gen::gnp(10, 0.45, seed);
+            for k in 1..=3usize {
+                let q = 2 * k - 1;
+                let bf = brute_force(&g, k, q);
+                let bk = naive_bron_kerbosch(&g, k, q);
+                assert_eq!(bf, bk, "seed {seed} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn naive_bk_respects_q_threshold() {
+        let g = gen::gnp(12, 0.5, 3);
+        let all = naive_bron_kerbosch(&g, 2, 3);
+        let large = naive_bron_kerbosch(&g, 2, 5);
+        assert!(large.iter().all(|p| p.len() >= 5));
+        assert!(large.len() <= all.len());
+        for p in &large {
+            assert!(all.contains(p));
+        }
+    }
+
+    #[test]
+    fn outputs_are_maximal_and_valid() {
+        let g = gen::gnp(11, 0.4, 9);
+        for p in naive_bron_kerbosch(&g, 2, 3) {
+            assert!(is_kplex(&g, &p, 2));
+            assert!(is_maximal_kplex(&g, &p, 2));
+        }
+    }
+
+    #[test]
+    fn empty_graph_yields_nothing() {
+        let g = gen::empty(6);
+        assert!(naive_bron_kerbosch(&g, 2, 3).is_empty());
+        // Singletons are 2-plexes but q=3 filters them; with q >= 2k-1 = 3
+        // nothing qualifies. (Two isolated vertices form a disconnected
+        // 2-plex of size 2 < q.)
+        assert!(brute_force(&g, 2, 3).is_empty());
+    }
+}

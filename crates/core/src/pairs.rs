@@ -1,0 +1,216 @@
+//! Vertex-pair pruning (R2): Theorems 5.13, 5.14 and 5.15.
+//!
+//! For each seed subgraph a boolean matrix `T` records, for every pair of
+//! local vertices, whether the two can co-occur in a k-plex of size at least
+//! `q` (that necessarily also contains the seed). The thresholds compare the
+//! pair's common-neighbour count inside the initial candidate set
+//! `C_S = N_{G_i}(v_i)` against lower bounds derived from Lemma 5.12.
+//!
+//! Two deliberate deviations from the paper's *statement* text, both
+//! validated by the oracle cross-checks in `tests/`:
+//! * Theorem 5.14, adjacent case: the statement prints
+//!   `q − 2k − 2·max{k−2,0}` but its proof (Appendix A.9) derives
+//!   `q − 2k − max{k−2,0}`; we implement the proof's (stronger, still sound)
+//!   threshold.
+//! * Structural infeasibility: two hop-2 vertices can only co-occur if both
+//!   sit in `S`, which needs `|S| ≤ k−1 ≥ 2`, i.e. `k ≥ 3` (and `k ≥ 2` for
+//!   a single hop-2 vertex). The theorems implicitly assume this; we encode
+//!   it explicitly so the matrix is correct for small `k` as well.
+
+use crate::config::Params;
+use crate::seed::SeedGraph;
+use kplex_graph::BitSet;
+
+/// Symmetric co-occurrence matrix: `allowed(u, v)` is false when `u` and `v`
+/// provably cannot both belong to a k-plex of size `>= q` in this seed graph.
+#[derive(Clone, Debug)]
+pub struct PairMatrix {
+    rows: Vec<BitSet>,
+    /// Number of pairs ruled out (diagnostics).
+    pub disallowed_pairs: u64,
+}
+
+impl PairMatrix {
+    /// True when the pair may co-occur (always true for the seed itself and
+    /// for the diagonal).
+    #[inline]
+    pub fn allowed(&self, u: u32, v: u32) -> bool {
+        self.rows[u as usize].contains(v as usize)
+    }
+
+    /// The row of vertices compatible with `u`.
+    #[inline]
+    pub fn row(&self, u: u32) -> &BitSet {
+        &self.rows[u as usize]
+    }
+
+    /// Builds the matrix for a seed subgraph.
+    pub fn build(seed: &SeedGraph, params: Params) -> Self {
+        let n = seed.len();
+        let (k, q) = (params.k as i64, params.q as i64);
+        let mut rows: Vec<BitSet> = (0..n).map(|_| BitSet::full(n)).collect();
+        let mut disallowed = 0u64;
+
+        // Hop classification per local id (seed = 0 is neither).
+        let mut is_hop1 = vec![false; n];
+        for &h in &seed.hop1 {
+            is_hop1[h as usize] = true;
+        }
+
+        let thr_22_adj = q - k - 2 * (k - 2).max(0);
+        let thr_22_non = q - k - 2 * (k - 3).max(0);
+        let thr_12_adj = q - 2 * k - (k - 2).max(0); // proof version (A.9)
+        let thr_12_non = q - k - (k - 2).max(0) - (k - 2).max(1);
+        let thr_11_adj = q - 3 * k;
+        let thr_11_non = q - k - 2 * (k - 1).max(1);
+
+        for u in 1..n {
+            for v in (u + 1)..n {
+                let adjacent = seed.adj.has_edge(u, v);
+                let hops = (is_hop1[u], is_hop1[v]);
+                // Structural gates: hop-2 vertices live in S, |S| <= k-1.
+                let structurally_impossible = match hops {
+                    (false, false) => k < 3,
+                    (true, false) | (false, true) => k < 2,
+                    (true, true) => false,
+                };
+                let threshold = match (hops, adjacent) {
+                    ((false, false), true) => thr_22_adj,
+                    ((false, false), false) => thr_22_non,
+                    ((true, false), _) | ((false, true), _) => {
+                        if adjacent {
+                            thr_12_adj
+                        } else {
+                            thr_12_non
+                        }
+                    }
+                    ((true, true), true) => thr_11_adj,
+                    ((true, true), false) => thr_11_non,
+                };
+                let prune = structurally_impossible || {
+                    threshold > 0 && {
+                        let common =
+                            seed.adj.common_neighbors_in(u, v, &seed.hop1_bits) as i64;
+                        common < threshold
+                    }
+                };
+                if prune {
+                    rows[u].remove(v);
+                    rows[v].remove(u);
+                    disallowed += 1;
+                }
+            }
+        }
+        Self {
+            rows,
+            disallowed_pairs: disallowed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AlgoConfig;
+    use crate::seed::SeedBuilder;
+    use kplex_graph::{core_decomposition, gen, CsrGraph};
+
+    fn first_seed(g: &CsrGraph, params: Params) -> Option<SeedGraph> {
+        let decomp = core_decomposition(g);
+        let mut b = SeedBuilder::new(g.num_vertices());
+        let cfg = AlgoConfig::ours();
+        decomp
+            .order
+            .iter()
+            .find_map(|&s| b.build(g, &decomp, s, params, &cfg))
+    }
+
+    #[test]
+    fn clique_pairs_all_allowed() {
+        let g = gen::complete(8);
+        let params = Params::new(2, 5).unwrap();
+        let sg = first_seed(&g, params).unwrap();
+        let pm = PairMatrix::build(&sg, params);
+        assert_eq!(pm.disallowed_pairs, 0);
+        for u in 0..sg.len() as u32 {
+            for v in 0..sg.len() as u32 {
+                assert!(pm.allowed(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_pairs_get_ruled_out() {
+        // Two (q-1)-cliques sharing only vertex 0. With vertex 0 forced to be
+        // the first seed (identity ordering), cross-clique candidate pairs
+        // are non-adjacent and share zero common neighbours inside C_S, so
+        // Theorem 5.15 rules them out (threshold q - k - 2(k-1) = 1).
+        let mut edges = Vec::new();
+        // Clique A = {0..5}, clique B = {0, 6..10} (0 shared).
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                edges.push((u, v));
+            }
+        }
+        let b: Vec<u32> = std::iter::once(0).chain(6..11).collect();
+        for i in 0..b.len() {
+            for j in (i + 1)..b.len() {
+                edges.push((b[i], b[j]));
+            }
+        }
+        let g = CsrGraph::from_edges(11, edges).unwrap();
+        let params = Params::new(2, 5).unwrap();
+        // Identity ordering makes every other vertex "later" than seed 0.
+        let n = g.num_vertices();
+        let decomp = kplex_graph::CoreDecomposition {
+            core: vec![0; n],
+            order: (0..n as u32).collect(),
+            position: (0..n as u32).collect(),
+            degeneracy: 0,
+        };
+        let mut builder = SeedBuilder::new(n);
+        let sg = builder
+            .build(&g, &decomp, 0, params, &AlgoConfig::ours())
+            .expect("seed 0 must build");
+        let pm = PairMatrix::build(&sg, params);
+        assert!(pm.disallowed_pairs > 0, "expected cross-clique pairs pruned");
+        // Concretely: locals of 1 and 6 must be incompatible.
+        let l1 = sg.verts.iter().position(|&v| v == 1).unwrap() as u32;
+        let l6 = sg.verts.iter().position(|&v| v == 6).unwrap() as u32;
+        assert!(!pm.allowed(l1, l6));
+        // Same-clique pairs stay allowed.
+        let l2 = sg.verts.iter().position(|&v| v == 2).unwrap() as u32;
+        assert!(pm.allowed(l1, l2));
+    }
+
+    #[test]
+    fn matrix_is_symmetric_and_diagonal_true() {
+        let g = gen::gnp(30, 0.35, 5);
+        let params = Params::new(3, 5).unwrap();
+        if let Some(sg) = first_seed(&g, params) {
+            let pm = PairMatrix::build(&sg, params);
+            for u in 0..sg.len() as u32 {
+                assert!(pm.allowed(u, u));
+                assert!(pm.allowed(0, u), "seed row must stay allowed");
+                for v in 0..sg.len() as u32 {
+                    assert_eq!(pm.allowed(u, v), pm.allowed(v, u));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_k_disallows_hop2_pairs() {
+        // For k = 2, two hop-2 vertices can never co-occur (|S| <= 1).
+        let g = gen::gnp(40, 0.3, 11);
+        let params = Params::new(2, 4).unwrap();
+        if let Some(sg) = first_seed(&g, params) {
+            let pm = PairMatrix::build(&sg, params);
+            for (i, &u) in sg.hop2.iter().enumerate() {
+                for &v in &sg.hop2[i + 1..] {
+                    assert!(!pm.allowed(u, v), "hop2 pair {u},{v} must be pruned at k=2");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! k-plex predicates over the input graph (Definition 3.1), used by the
+//! engine's output paths and by the test oracles.
+
+use kplex_graph::{CsrGraph, VertexId};
+
+/// True iff `set` (distinct vertices) induces a k-plex in `g`: every member
+/// is adjacent to all but at most `k` members (itself included).
+pub fn is_kplex(g: &CsrGraph, set: &[VertexId], k: usize) -> bool {
+    let need = set.len().saturating_sub(k);
+    set.iter().all(|&u| degree_within(g, u, set) >= need)
+}
+
+/// Number of neighbours of `u` inside `set` (`u` itself not counted even if
+/// present).
+pub fn degree_within(g: &CsrGraph, u: VertexId, set: &[VertexId]) -> usize {
+    // Iterate whichever side is smaller.
+    if set.len() < g.degree(u) {
+        set.iter().filter(|&&v| v != u && g.has_edge(u, v)).count()
+    } else {
+        let mut sorted_check = set;
+        let mut buf;
+        if !set.windows(2).all(|w| w[0] < w[1]) {
+            buf = set.to_vec();
+            buf.sort_unstable();
+            sorted_check = &buf[..];
+            return g
+                .neighbors(u)
+                .iter()
+                .filter(|w| sorted_check.binary_search(w).is_ok())
+                .count();
+        }
+        g.neighbors(u)
+            .iter()
+            .filter(|w| sorted_check.binary_search(w).is_ok())
+            .count()
+    }
+}
+
+/// Finds a vertex outside `set` whose addition keeps the k-plex property, or
+/// `None` if `set` is maximal. `set` must already be a k-plex.
+pub fn find_extension(g: &CsrGraph, set: &[VertexId], k: usize) -> Option<VertexId> {
+    debug_assert!(is_kplex(g, set, k));
+    // A valid extension v must satisfy two conditions:
+    //   (1) d_set(v) >= |set| + 1 - k,
+    //   (2) v is adjacent to every saturated member (one already missing k).
+    let saturated: Vec<VertexId> = set
+        .iter()
+        .copied()
+        .filter(|&u| set.len() - degree_within(g, u, set) == k)
+        .collect();
+    let need = (set.len() + 1).saturating_sub(k);
+    let mut in_set = vec![false; g.num_vertices()];
+    for &u in set {
+        in_set[u as usize] = true;
+    }
+    // Candidates must neighbour at least one member whenever need >= 1;
+    // when need == 0 (tiny sets vs large k) every outside vertex qualifies
+    // structurally, so scan all vertices in that case.
+    let candidates: Box<dyn Iterator<Item = VertexId>> = if need >= 1 {
+        Box::new(set.iter().flat_map(|&u| g.neighbors(u).iter().copied()))
+    } else {
+        Box::new(g.vertices())
+    };
+    for v in candidates {
+        if in_set[v as usize] {
+            continue;
+        }
+        if degree_within(g, v, set) >= need
+            && saturated.iter().all(|&u| g.has_edge(u, v))
+        {
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// True iff `set` is a maximal k-plex in `g`.
+pub fn is_maximal_kplex(g: &CsrGraph, set: &[VertexId], k: usize) -> bool {
+    is_kplex(g, set, k) && find_extension(g, set, k).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kplex_graph::gen;
+
+    #[test]
+    fn clique_is_kplex_for_all_k() {
+        let g = gen::complete(5);
+        let all: Vec<VertexId> = g.vertices().collect();
+        for k in 1..=5 {
+            assert!(is_kplex(&g, &all, k));
+        }
+        assert!(is_maximal_kplex(&g, &all, 1));
+    }
+
+    #[test]
+    fn cycle_four_is_2plex_not_1plex() {
+        let g = gen::cycle(4);
+        let all = [0, 1, 2, 3];
+        assert!(is_kplex(&g, &all, 2));
+        assert!(!is_kplex(&g, &all, 1));
+    }
+
+    #[test]
+    fn degree_within_handles_unsorted_sets() {
+        let g = gen::complete(6);
+        assert_eq!(degree_within(&g, 0, &[5, 3, 1]), 3);
+        assert_eq!(degree_within(&g, 0, &[0, 1, 2]), 2);
+    }
+
+    #[test]
+    fn extension_found_when_not_maximal() {
+        let g = gen::complete(4);
+        // {0,1,2} extends to {0,1,2,3} as a 1-plex.
+        assert_eq!(find_extension(&g, &[0, 1, 2], 1), Some(3));
+        assert!(!is_maximal_kplex(&g, &[0, 1, 2], 1));
+    }
+
+    #[test]
+    fn saturated_member_blocks_extension() {
+        // Path 0-1-2 plus vertex 3 adjacent to 1,2 only. {0,1,2} is a 2-plex
+        // where 0 is saturated (misses 2 and itself). 3 is not adjacent to 0,
+        // so {0,1,2} cannot take 3; it is maximal as a 2-plex iff no other
+        // vertex extends it.
+        let g = CsrGraph::from_edges(4, [(0, 1), (1, 2), (1, 3), (2, 3)]).unwrap();
+        assert!(is_kplex(&g, &[0, 1, 2], 2));
+        assert_eq!(find_extension(&g, &[0, 1, 2], 2), None);
+        assert!(is_maximal_kplex(&g, &[0, 1, 2], 2));
+    }
+
+    use kplex_graph::CsrGraph;
+
+    #[test]
+    fn empty_and_singleton_sets() {
+        let g = gen::path(3);
+        assert!(is_kplex(&g, &[], 1));
+        assert!(is_kplex(&g, &[1], 1));
+        // Singleton {1} extends with 0 or 2 as a 1-plex? {1,0}: both need
+        // degree >= 1 within the pair — edge exists, fine.
+        assert!(find_extension(&g, &[1], 1).is_some());
+    }
+
+    #[test]
+    fn need_zero_extension_scans_all_vertices() {
+        // Two isolated vertices: {0} with k = 2 can absorb 1 even without an
+        // edge (each misses one other + itself = 2 <= k).
+        let g = CsrGraph::from_edges(2, []).unwrap();
+        assert_eq!(find_extension(&g, &[0], 2), Some(1));
+    }
+}

@@ -1,0 +1,199 @@
+//! CTCP-style global graph reduction (an extension; the technique is due to
+//! kPlexS [12], reviewed in Section 2 of the paper).
+//!
+//! Theorem 3.5 already shrinks the input to its (q−k)-core. The second-order
+//! property (Theorem 5.1, case ii) allows more: an edge can only appear
+//! *inside* a k-plex with `>= q` vertices when its endpoints share at least
+//! `q − 2k` common neighbours. CTCP alternates edge pruning on that rule
+//! with core peeling until a fixpoint, producing a subgraph no larger than
+//! the plain core reduction — often much smaller at high q.
+//!
+//! Subtlety: removing an edge is only sound when the *endpoint pair* cannot
+//! co-occur, and a maximality witness outside a plex still needs the edge…
+//! it does not: a witness x for plex P means P ∪ {x} is itself a plex with
+//! `>= q + 1` vertices, so every pair inside P ∪ {x} satisfies the same
+//! thresholds. Hence mining on the CTCP-reduced graph reports exactly the
+//! maximal k-plexes of the original graph (validated against the oracle in
+//! the tests below).
+
+use crate::config::Params;
+use kplex_graph::{core_decomposition, CsrGraph, GraphBuilder, VertexId};
+
+/// Outcome of the reduction.
+#[derive(Clone, Debug)]
+pub struct CtcpReduction {
+    /// The reduced, densely renumbered graph.
+    pub graph: CsrGraph,
+    /// Reduced id -> original id (strictly increasing).
+    pub map: Vec<VertexId>,
+    /// Rounds until fixpoint.
+    pub rounds: usize,
+    /// Edges removed by the common-neighbour rule (across all rounds).
+    pub edges_removed: usize,
+}
+
+/// Applies CTCP to `g` for the given parameters.
+pub fn ctcp_reduce(g: &CsrGraph, params: Params) -> CtcpReduction {
+    let k = params.k as i64;
+    let q = params.q as i64;
+    let core_floor = (q - k).max(0) as u32;
+    let edge_thr = q - 2 * k; // common neighbours required under an edge
+
+    let mut current = g.clone();
+    // map composition: current id -> original id.
+    let mut map: Vec<VertexId> = g.vertices().collect();
+    let mut rounds = 0usize;
+    let mut edges_removed = 0usize;
+    loop {
+        rounds += 1;
+        let mut changed = false;
+
+        // --- core peeling ------------------------------------------------
+        let decomp = core_decomposition(&current);
+        let keep: Vec<VertexId> = current
+            .vertices()
+            .filter(|&v| decomp.core[v as usize] >= core_floor)
+            .collect();
+        if keep.len() < current.num_vertices() {
+            let (sub, submap) = current.induced_subgraph(&keep);
+            map = submap.iter().map(|&v| map[v as usize]).collect();
+            current = sub;
+            changed = true;
+        }
+
+        // --- second-order edge pruning ------------------------------------
+        if edge_thr > 0 {
+            let mut b = GraphBuilder::new(current.num_vertices());
+            let mut removed_here = 0usize;
+            for (u, v) in current.edges() {
+                // Sorted-list intersection.
+                let (mut i, mut j, mut common) = (0usize, 0usize, 0i64);
+                let nu = current.neighbors(u);
+                let nv = current.neighbors(v);
+                while i < nu.len() && j < nv.len() {
+                    match nu[i].cmp(&nv[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            common += 1;
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                if common >= edge_thr {
+                    b.add_edge(u, v).expect("ids in range");
+                } else {
+                    removed_here += 1;
+                }
+            }
+            if removed_here > 0 {
+                current = b.build();
+                edges_removed += removed_here;
+                changed = true;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+    CtcpReduction {
+        graph: current,
+        map,
+        rounds,
+        edges_removed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AlgoConfig;
+    use crate::enumerate::enumerate_collect;
+    use kplex_graph::gen;
+
+    /// Mines on the reduced graph and maps ids back.
+    fn mine_reduced(g: &CsrGraph, params: Params) -> Vec<Vec<VertexId>> {
+        let red = ctcp_reduce(g, params);
+        let (res, _) = enumerate_collect(&red.graph, params, &AlgoConfig::ours());
+        let mut mapped: Vec<Vec<VertexId>> = res
+            .into_iter()
+            .map(|p| p.iter().map(|&v| red.map[v as usize]).collect())
+            .collect();
+        mapped.sort();
+        mapped
+    }
+
+    #[test]
+    fn reduction_is_lossless_on_random_graphs() {
+        for seed in 0..10 {
+            let g = gen::gnp(25, 0.4, 700 + seed);
+            for (k, q) in [(2usize, 5usize), (3, 6)] {
+                let params = Params::new(k, q).unwrap();
+                let (direct, _) = enumerate_collect(&g, params, &AlgoConfig::ours());
+                let via_ctcp = mine_reduced(&g, params);
+                assert_eq!(via_ctcp, direct, "seed {seed} k {k} q {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_shrinks_sparse_graphs() {
+        // A big sparse graph with one dense pocket: CTCP should strip nearly
+        // everything outside the pocket.
+        let bg = gen::gnm(500, 700, 9);
+        let cfg = gen::PlantedPlexConfig {
+            count: 1,
+            size_lo: 12,
+            size_hi: 12,
+            missing: 1,
+            overlap: false,
+        };
+        let (g, _) = gen::planted_plexes(&bg, &cfg, 4);
+        let params = Params::new(2, 10).unwrap();
+        let red = ctcp_reduce(&g, params);
+        assert!(
+            red.graph.num_vertices() <= 60,
+            "expected strong reduction, kept {}",
+            red.graph.num_vertices()
+        );
+        // And the planted plex survives.
+        let via = mine_reduced(&g, params);
+        assert!(!via.is_empty());
+    }
+
+    #[test]
+    fn reduction_never_beats_correctness_at_low_q() {
+        // q = 2k - 1 means edge_thr <= 0: only core peeling applies.
+        let g = gen::powerlaw_cluster(80, 4, 0.7, 5);
+        let params = Params::new(2, 3).unwrap();
+        let red = ctcp_reduce(&g, params);
+        assert_eq!(red.edges_removed, 0);
+        let (direct, _) = enumerate_collect(&g, params, &AlgoConfig::ours());
+        assert_eq!(mine_reduced(&g, params), direct);
+    }
+
+    #[test]
+    fn map_points_into_original_ids() {
+        let g = gen::gnm(60, 200, 2);
+        let params = Params::new(2, 6).unwrap();
+        let red = ctcp_reduce(&g, params);
+        assert!(red.map.windows(2).all(|w| w[0] < w[1]));
+        for &orig in &red.map {
+            assert!((orig as usize) < g.num_vertices());
+        }
+        // Edges of the reduced graph exist in the original.
+        for (u, v) in red.graph.edges() {
+            assert!(g.has_edge(red.map[u as usize], red.map[v as usize]));
+        }
+    }
+
+    #[test]
+    fn empty_result_when_core_dies() {
+        let g = gen::path(40);
+        let params = Params::new(2, 6).unwrap();
+        let red = ctcp_reduce(&g, params);
+        assert_eq!(red.graph.num_vertices(), 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Initial sub-task generation (Algorithm 2 lines 7–9).
+//!
+//! For each seed subgraph the search space splits into disjoint sub-tasks
+//! `T_{ {v_i} ∪ S }`, one per subset `S` of the seed's two-hop vertices with
+//! `|S| ≤ k−1`: the plexes of a sub-task contain all of `S` and no other
+//! two-hop vertex. `S` is itself enumerated over a set-enumeration tree, with
+//! Theorem 5.13 pruning extension candidates and Theorem 5.14 shrinking the
+//! candidate set incrementally; Theorem 5.7 (rule R1) then discards
+//! hopeless sub-tasks before any branching happens.
+
+use crate::bounds::{ub_subtask, BoundScratch};
+use crate::config::{AlgoConfig, Params};
+use crate::pairs::PairMatrix;
+use crate::seed::{SeedGraph, XOUT_FLAG};
+use crate::stats::SearchStats;
+
+/// One initial sub-task ⟨P_S, C_S, X_S⟩ in seed-local encoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InitialTask {
+    /// `P_S = {seed} ∪ S` (local ids, seed first).
+    pub p: Vec<u32>,
+    /// `C_S ⊆ N_{G_i}(v_i)`, already shrunk by Theorem 5.14.
+    pub c: Vec<u32>,
+    /// `X_S`: outside witnesses plus the unused two-hop vertices.
+    pub x: Vec<u32>,
+}
+
+/// Generates all initial sub-tasks of a seed graph, applying R1/R2 as
+/// configured. Returns them in deterministic order (S-sets in set-enumeration
+/// order over ascending local ids).
+pub fn collect_subtasks(
+    seed: &SeedGraph,
+    params: Params,
+    cfg: &AlgoConfig,
+    pairs: Option<&PairMatrix>,
+    stats: &mut SearchStats,
+) -> Vec<InitialTask> {
+    let pairs = if cfg.use_r2 { pairs } else { None };
+    let mut out = Vec::new();
+    let mut scratch = BoundScratch::new(seed.len());
+    let mut gen = SubtaskGen {
+        seed,
+        params,
+        cfg,
+        pairs,
+        stats,
+        scratch: &mut scratch,
+        out: &mut out,
+        s: Vec::new(),
+    };
+    let ext: Vec<u32> = seed.hop2.clone();
+    let c0: Vec<u32> = seed.hop1.clone();
+    gen.recurse(&ext, &c0);
+    out
+}
+
+struct SubtaskGen<'a> {
+    seed: &'a SeedGraph,
+    params: Params,
+    cfg: &'a AlgoConfig,
+    pairs: Option<&'a PairMatrix>,
+    stats: &'a mut SearchStats,
+    scratch: &'a mut BoundScratch,
+    out: &'a mut Vec<InitialTask>,
+    s: Vec<u32>,
+}
+
+impl SubtaskGen<'_> {
+    fn recurse(&mut self, ext: &[u32], c_s: &[u32]) {
+        self.emit(c_s);
+        if self.s.len() + 1 >= self.params.k {
+            return; // |S| ≤ k − 1
+        }
+        for (i, &u) in ext.iter().enumerate() {
+            if !self.s_addition_valid(u) {
+                continue;
+            }
+            self.s.push(u);
+            // Theorem 5.13: only pair-compatible two-hop vertices can extend
+            // S further; Theorem 5.14: shrink C_S by compatibility with u.
+            let (ext2, c2): (Vec<u32>, Vec<u32>) = match self.pairs {
+                Some(pm) => (
+                    ext[i + 1..]
+                        .iter()
+                        .copied()
+                        .filter(|&w| pm.allowed(u, w))
+                        .collect(),
+                    c_s.iter().copied().filter(|&w| pm.allowed(u, w)).collect(),
+                ),
+                None => (ext[i + 1..].to_vec(), c_s.to_vec()),
+            };
+            self.recurse(&ext2, &c2);
+            self.s.pop();
+        }
+    }
+
+    /// `{seed} ∪ S ∪ {u}` must remain a k-plex.
+    fn s_addition_valid(&self, u: u32) -> bool {
+        let k = self.params.k;
+        // u misses the seed and itself, plus its non-neighbours within S.
+        let mut miss_u = 2usize;
+        for &w in &self.s {
+            if !self.seed.adj.has_edge(u as usize, w as usize) {
+                miss_u += 1;
+                // w gains one more missing link; check its budget: w misses
+                // the seed, itself, and its non-neighbours in S ∪ {u}.
+                let mut miss_w = 3usize; // seed + self + u
+                for &y in &self.s {
+                    if y != w && !self.seed.adj.has_edge(w as usize, y as usize) {
+                        miss_w += 1;
+                    }
+                }
+                if miss_w > k {
+                    return false;
+                }
+            }
+        }
+        miss_u <= k
+    }
+
+    fn emit(&mut self, c_s: &[u32]) {
+        self.stats.subtasks += 1;
+        // R1 (Theorem 5.7): only defined for nonempty S.
+        if self.cfg.use_r1 && !self.s.is_empty() {
+            let ub = ub_subtask(self.seed, self.params.k, &self.s, c_s, self.scratch);
+            if ub < self.params.q {
+                self.stats.r1_pruned += 1;
+                return;
+            }
+        }
+        let mut p = Vec::with_capacity(1 + self.s.len());
+        p.push(0u32);
+        p.extend_from_slice(&self.s);
+        // X_S: every outside witness + the two-hop vertices not in S.
+        let mut x =
+            Vec::with_capacity(self.seed.xout.len() + self.seed.hop2.len() - self.s.len());
+        for i in 0..self.seed.xout.len() {
+            x.push(i as u32 | XOUT_FLAG);
+        }
+        for &h in &self.seed.hop2 {
+            if !self.s.contains(&h) {
+                x.push(h);
+            }
+        }
+        self.out.push(InitialTask {
+            p,
+            c: c_s.to_vec(),
+            x,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seed::SeedBuilder;
+    use kplex_graph::{core_decomposition, gen, CsrGraph};
+
+    fn seed_of(g: &CsrGraph, params: Params, cfg: &AlgoConfig) -> Option<SeedGraph> {
+        let decomp = core_decomposition(g);
+        let mut b = SeedBuilder::new(g.num_vertices());
+        decomp
+            .order
+            .iter()
+            .find_map(|&s| b.build(g, &decomp, s, params, cfg))
+    }
+
+    #[test]
+    fn clique_yields_single_empty_s_task() {
+        let g = gen::complete(6);
+        let params = Params::new(2, 4).unwrap();
+        let cfg = AlgoConfig::ours();
+        let sg = seed_of(&g, params, &cfg).unwrap();
+        let mut stats = SearchStats::default();
+        let tasks = collect_subtasks(&sg, params, &cfg, None, &mut stats);
+        assert_eq!(tasks.len(), 1);
+        assert_eq!(tasks[0].p, vec![0]);
+        assert_eq!(tasks[0].c.len(), sg.hop1.len());
+        assert!(tasks[0].x.len() == sg.xout.len());
+    }
+
+    #[test]
+    fn s_sets_bounded_by_k_minus_one() {
+        // Build a graph with plenty of two-hop structure.
+        let g = gen::gnp(30, 0.3, 7);
+        for k in 2..=4usize {
+            let params = Params::new(k, 2 * k - 1).unwrap();
+            let cfg = AlgoConfig {
+                use_r1: false,
+                use_r2: false,
+                ..AlgoConfig::ours()
+            };
+            let Some(sg) = seed_of(&g, params, &cfg) else {
+                continue;
+            };
+            let mut stats = SearchStats::default();
+            let tasks = collect_subtasks(&sg, params, &cfg, None, &mut stats);
+            for t in &tasks {
+                assert!(t.p.len() <= k, "|P_S| = 1 + |S| must be ≤ k");
+                assert_eq!(t.p[0], 0);
+                // S vertices must be hop2 vertices.
+                for &v in &t.p[1..] {
+                    assert!(sg.hop2.contains(&v));
+                }
+                // X covers all unused hop2 vertices.
+                let used: Vec<u32> = t.p[1..].to_vec();
+                for &h in &sg.hop2 {
+                    if !used.contains(&h) {
+                        assert!(t.x.contains(&h));
+                    }
+                }
+            }
+            // S-sets are pairwise distinct.
+            let mut sets: Vec<Vec<u32>> = tasks.iter().map(|t| t.p.clone()).collect();
+            sets.sort();
+            let before = sets.len();
+            sets.dedup();
+            assert_eq!(before, sets.len());
+        }
+    }
+
+    #[test]
+    fn r1_prunes_hopeless_subtasks() {
+        // A sparse graph with high q: most S-subtasks cannot reach q.
+        let g = gen::gnp(40, 0.25, 13);
+        let params = Params::new(3, 6).unwrap();
+        let with_r1 = AlgoConfig::ours();
+        let without = AlgoConfig {
+            use_r1: false,
+            ..AlgoConfig::ours()
+        };
+        let Some(sg) = seed_of(&g, params, &with_r1) else {
+            return;
+        };
+        let pm = PairMatrix::build(&sg, params);
+        let mut s1 = SearchStats::default();
+        let t1 = collect_subtasks(&sg, params, &with_r1, Some(&pm), &mut s1);
+        let mut s2 = SearchStats::default();
+        let t2 = collect_subtasks(&sg, params, &without, Some(&pm), &mut s2);
+        assert!(t1.len() <= t2.len());
+        assert_eq!(s1.r1_pruned as usize, t2.len() - t1.len());
+    }
+
+    #[test]
+    fn invalid_s_additions_are_rejected() {
+        // Star-of-triangles: the seed's two-hop vertices are mutually far
+        // apart; with k = 3 an S of two non-adjacent two-hop vertices needs
+        // each to miss seed+self+other = 3 ≤ k, boundary case exercised.
+        let g = gen::powerlaw_cluster(60, 3, 0.9, 5);
+        let params = Params::new(3, 5).unwrap();
+        let cfg = AlgoConfig {
+            use_r1: false,
+            use_r2: false,
+            ..AlgoConfig::ours()
+        };
+        let Some(sg) = seed_of(&g, params, &cfg) else {
+            return;
+        };
+        let mut stats = SearchStats::default();
+        let tasks = collect_subtasks(&sg, params, &cfg, None, &mut stats);
+        // Every emitted P_S must be a valid k-plex in the seed subgraph.
+        for t in &tasks {
+            for &u in &t.p {
+                let mut miss = 1usize; // self
+                for &w in &t.p {
+                    if w != u && !sg.adj.has_edge(u as usize, w as usize) {
+                        miss += 1;
+                    }
+                }
+                assert!(miss <= 3, "P_S {:?} violates the 3-plex bound", t.p);
+            }
+        }
+    }
+}

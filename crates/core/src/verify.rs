@@ -1,0 +1,238 @@
+//! Result-set verification.
+//!
+//! Independent validation of an enumeration output against the definition:
+//! every set must be a k-plex, meet the size threshold, be maximal in the
+//! input graph, satisfy the diameter-2 property of Theorem 3.3, and appear
+//! exactly once. For small graphs the verifier can additionally certify
+//! *completeness* against the naive Bron–Kerbosch oracle.
+//!
+//! This is the machinery behind `kplex verify` in the CLI and the deep
+//! assertions in the integration tests; it deliberately shares no code with
+//! the search engine.
+
+use crate::naive::naive_bron_kerbosch;
+use crate::plex::{degree_within, find_extension, is_kplex};
+use kplex_graph::{induced_diameter, CsrGraph, VertexId};
+use std::collections::HashSet;
+
+/// One verification failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// The set has fewer than q vertices.
+    TooSmall {
+        /// Index in the result list.
+        index: usize,
+        /// Actual size.
+        size: usize,
+    },
+    /// The set contains a repeated or out-of-range vertex.
+    MalformedSet {
+        /// Index in the result list.
+        index: usize,
+    },
+    /// The set is not a k-plex: some member misses too many links.
+    NotAPlex {
+        /// Index in the result list.
+        index: usize,
+        /// The offending member.
+        vertex: VertexId,
+        /// Its in-set degree.
+        degree: usize,
+    },
+    /// The set can be extended by `witness` and is therefore not maximal.
+    NotMaximal {
+        /// Index in the result list.
+        index: usize,
+        /// A vertex whose addition keeps the k-plex property.
+        witness: VertexId,
+    },
+    /// The induced subgraph is disconnected or has diameter above two.
+    DiameterViolation {
+        /// Index in the result list.
+        index: usize,
+    },
+    /// The same set appears twice.
+    Duplicate {
+        /// Index of the second occurrence.
+        index: usize,
+    },
+    /// A maximal k-plex of size >= q is missing (completeness check only).
+    Missing {
+        /// The plex the result set failed to contain.
+        plex: Vec<VertexId>,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::TooSmall { index, size } => {
+                write!(f, "result #{index}: only {size} vertices")
+            }
+            Violation::MalformedSet { index } => {
+                write!(f, "result #{index}: repeated or out-of-range vertex")
+            }
+            Violation::NotAPlex { index, vertex, degree } => {
+                write!(f, "result #{index}: vertex {vertex} has in-set degree {degree}, violating the k-plex bound")
+            }
+            Violation::NotMaximal { index, witness } => {
+                write!(f, "result #{index}: extensible by vertex {witness}")
+            }
+            Violation::DiameterViolation { index } => {
+                write!(f, "result #{index}: induced diameter exceeds 2 (or disconnected)")
+            }
+            Violation::Duplicate { index } => write!(f, "result #{index}: duplicate set"),
+            Violation::Missing { plex } => write!(f, "missing maximal k-plex {plex:?}"),
+        }
+    }
+}
+
+/// Verifies soundness of `results` (validity, maximality, dedup, diameter).
+/// Returns all violations found (empty = verified).
+pub fn verify_results(
+    g: &CsrGraph,
+    k: usize,
+    q: usize,
+    results: &[Vec<VertexId>],
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut seen: HashSet<Vec<VertexId>> = HashSet::with_capacity(results.len() * 2);
+    for (index, set) in results.iter().enumerate() {
+        let mut canonical = set.clone();
+        canonical.sort_unstable();
+        canonical.dedup();
+        if canonical.len() != set.len()
+            || canonical.iter().any(|&v| v as usize >= g.num_vertices())
+        {
+            violations.push(Violation::MalformedSet { index });
+            continue;
+        }
+        if !seen.insert(canonical.clone()) {
+            violations.push(Violation::Duplicate { index });
+            continue;
+        }
+        if set.len() < q {
+            violations.push(Violation::TooSmall {
+                index,
+                size: set.len(),
+            });
+        }
+        if !is_kplex(g, &canonical, k) {
+            let (&vertex, degree) = canonical
+                .iter()
+                .map(|v| (v, degree_within(g, *v, &canonical)))
+                .min_by_key(|&(_, d)| d)
+                .expect("nonempty set");
+            violations.push(Violation::NotAPlex {
+                index,
+                vertex,
+                degree,
+            });
+            continue; // maximality is meaningless for a non-plex
+        }
+        if let Some(witness) = find_extension(g, &canonical, k) {
+            violations.push(Violation::NotMaximal { index, witness });
+        }
+        if set.len() >= 2 * k - 1
+            && !matches!(induced_diameter(g, &canonical), Some(d) if d <= 2)
+        {
+            // None (disconnected) also violates Theorem 3.3 at this size.
+            violations.push(Violation::DiameterViolation { index });
+        }
+    }
+    violations
+}
+
+/// Verifies soundness *and completeness* by recomputing the answer with the
+/// naive oracle. Only feasible for small graphs; panics above the cap.
+pub fn verify_complete(
+    g: &CsrGraph,
+    k: usize,
+    q: usize,
+    results: &[Vec<VertexId>],
+) -> Vec<Violation> {
+    assert!(
+        g.num_vertices() <= 200,
+        "completeness verification is oracle-based; graph too large"
+    );
+    let mut violations = verify_results(g, k, q, results);
+    let expected = naive_bron_kerbosch(g, k, q);
+    let have: HashSet<Vec<VertexId>> = results
+        .iter()
+        .map(|s| {
+            let mut c = s.clone();
+            c.sort_unstable();
+            c
+        })
+        .collect();
+    for plex in expected {
+        if !have.contains(&plex) {
+            violations.push(Violation::Missing { plex });
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AlgoConfig;
+    use crate::enumerate::enumerate_collect;
+    use crate::Params;
+    use kplex_graph::gen;
+
+    #[test]
+    fn engine_output_verifies_clean() {
+        let g = gen::powerlaw_cluster(80, 4, 0.8, 3);
+        let params = Params::new(2, 5).unwrap();
+        let (res, _) = enumerate_collect(&g, params, &AlgoConfig::ours());
+        assert!(!res.is_empty());
+        let v = verify_complete(&g, 2, 5, &res);
+        assert!(v.is_empty(), "violations: {v:?}");
+    }
+
+    #[test]
+    fn detects_non_maximal_sets() {
+        let g = gen::complete(5);
+        let v = verify_results(&g, 1, 3, &[vec![0, 1, 2]]);
+        assert!(v.iter().any(|x| matches!(x, Violation::NotMaximal { witness, .. } if *witness < 5)));
+    }
+
+    #[test]
+    fn detects_non_plexes() {
+        let g = gen::path(5);
+        let v = verify_results(&g, 1, 3, &[vec![0, 2, 4]]);
+        assert!(v.iter().any(|x| matches!(x, Violation::NotAPlex { .. })));
+    }
+
+    #[test]
+    fn detects_too_small_duplicates_and_malformed() {
+        let g = gen::complete(6);
+        let all: Vec<u32> = (0..6).collect();
+        let v = verify_results(&g, 1, 7, &[all.clone(), all.clone(), vec![0, 0, 1], vec![99]]);
+        assert!(v.iter().any(|x| matches!(x, Violation::TooSmall { .. })));
+        assert!(v.iter().any(|x| matches!(x, Violation::Duplicate { index: 1 })));
+        assert_eq!(
+            v.iter()
+                .filter(|x| matches!(x, Violation::MalformedSet { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn detects_missing_results() {
+        let g = gen::complete(6);
+        // Claim there are no plexes: completeness flags the missing clique.
+        let v = verify_complete(&g, 2, 4, &[]);
+        assert!(matches!(&v[0], Violation::Missing { plex } if plex.len() == 6));
+    }
+
+    #[test]
+    fn violations_have_readable_messages() {
+        let g = gen::path(5);
+        for v in verify_results(&g, 1, 3, &[vec![0, 2, 4]]) {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Property test: every upper bound used for pruning is a true upper bound.
+//!
+//! For random seed subgraphs we brute-force the largest k-plex extending
+//! `P ∪ {pivot}` and check that Theorem 5.3 (degree + k), Theorem 5.5
+//! (Algorithm 4 support bound), Theorem 5.7 (sub-task bound) and the FP
+//! sorting bound all dominate it. An unsound bound would silently drop
+//! results — this is the test that would catch it directly, independent of
+//! the end-to-end oracle comparisons.
+
+use kplex_core::bounds::{ub_fp_sorting, ub_subtask, ub_support, BoundScratch};
+use kplex_core::{AlgoConfig, Params, SeedBuilder, SeedGraph};
+use kplex_graph::{gen, BitSet, CoreDecomposition, CsrGraph};
+use proptest::prelude::*;
+
+/// Identity ordering so that seed 0's subgraph covers the whole graph.
+fn identity_decomp(n: usize) -> CoreDecomposition {
+    CoreDecomposition {
+        core: vec![0; n],
+        order: (0..n as u32).collect(),
+        position: (0..n as u32).collect(),
+        degeneracy: 0,
+    }
+}
+
+/// Largest k-plex `Q` with `must ⊆ Q ⊆ must ∪ allowed` (local ids), by
+/// exhaustive scan. Returns 0 when even `must` is not a k-plex.
+fn brute_max_extension(seed: &SeedGraph, k: usize, must: &[u32], allowed: &[u32]) -> usize {
+    let is_plex = |members: &[u32]| {
+        members.iter().all(|&u| {
+            let inside = members
+                .iter()
+                .filter(|&&v| v != u && seed.adj.has_edge(u as usize, v as usize))
+                .count();
+            inside + k >= members.len()
+        })
+    };
+    if !is_plex(must) {
+        return 0;
+    }
+    let mut best = must.len();
+    let m = allowed.len();
+    assert!(m <= 20, "brute force cap");
+    for mask in 0u32..(1 << m) {
+        let mut q: Vec<u32> = must.to_vec();
+        for (i, &v) in allowed.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                q.push(v);
+            }
+        }
+        if q.len() > best && is_plex(&q) {
+            best = q.len();
+        }
+    }
+    best
+}
+
+fn build_seed(g: &CsrGraph, k: usize, q: usize) -> Option<SeedGraph> {
+    let params = Params::new(k, q).ok()?;
+    // Disable the optional pruning so the seed graph stays rich enough to
+    // exercise the bounds.
+    let cfg = AlgoConfig {
+        seed_prune_rounds: 0,
+        prune_xout: false,
+        ..AlgoConfig::ours()
+    };
+    let mut b = SeedBuilder::new(g.num_vertices());
+    b.build(g, &identity_decomp(g.num_vertices()), 0, params, &cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pivot_bounds_dominate_true_maximum(
+        n in 8usize..=16,
+        density in 0.3f64..0.8,
+        k in 2usize..=4,
+        rng_seed in 0u64..500,
+    ) {
+        let g = gen::gnp(n, density, rng_seed);
+        let q = 2 * k - 1;
+        let Some(seed) = build_seed(&g, k, q) else { return Ok(()); };
+        if seed.hop1.len() < 2 || seed.len() > 21 {
+            return Ok(());
+        }
+        // P = {seed}; candidates = hop1.
+        let p = [0u32];
+        let mut d_p = vec![0u32; seed.len()];
+        for v in 1..seed.len() {
+            d_p[v] = u32::from(seed.adj.has_edge(0, v));
+        }
+        let mut c_bits = BitSet::new(seed.len());
+        for &h in &seed.hop1 {
+            c_bits.insert(h as usize);
+        }
+        let mut scratch = BoundScratch::new(seed.len());
+        for &pivot in seed.hop1.iter().take(4) {
+            let allowed: Vec<u32> = seed
+                .hop1
+                .iter()
+                .copied()
+                .filter(|&v| v != pivot)
+                .collect();
+            let truth = brute_max_extension(&seed, k, &[0, pivot], &allowed);
+            let ub1 = ub_support(&seed, k, &p, &d_p, pivot, &c_bits, &mut scratch);
+            prop_assert!(
+                ub1 >= truth,
+                "Alg.4 bound {ub1} < true max {truth} (n={n}, k={k}, pivot={pivot})"
+            );
+            let ub2 = ub_fp_sorting(&seed, k, &p, &d_p, pivot, &c_bits, &mut scratch);
+            prop_assert!(
+                ub2 >= truth,
+                "FP bound {ub2} < true max {truth} (n={n}, k={k}, pivot={pivot})"
+            );
+            let ub3 = seed.deg[0].min(seed.deg[pivot as usize]) as usize + k;
+            prop_assert!(ub3 >= truth, "Thm 5.3 bound {ub3} < true max {truth}");
+        }
+    }
+
+    #[test]
+    fn subtask_bound_dominates_true_maximum(
+        n in 8usize..=16,
+        density in 0.25f64..0.6,
+        k in 3usize..=4,
+        rng_seed in 500u64..900,
+    ) {
+        let g = gen::gnp(n, density, rng_seed);
+        let q = 2 * k - 1;
+        let Some(seed) = build_seed(&g, k, q) else { return Ok(()); };
+        if seed.hop2.is_empty() || seed.hop1.len() > 18 {
+            return Ok(());
+        }
+        let mut scratch = BoundScratch::new(seed.len());
+        // Single-vertex S (|S| <= k-1 holds since k >= 3 here).
+        for &s_vertex in seed.hop2.iter().take(3) {
+            let s = [s_vertex];
+            let c_s: Vec<u32> = seed.hop1.clone();
+            let must = [0u32, s_vertex];
+            let truth = brute_max_extension(&seed, k, &must, &c_s);
+            if truth == 0 {
+                continue; // {seed, s} itself is not a k-plex
+            }
+            let ub = ub_subtask(&seed, k, &s, &c_s, &mut scratch);
+            prop_assert!(
+                ub >= truth,
+                "Thm 5.7 bound {ub} < true max {truth} (n={n}, k={k}, S={{{s_vertex}}})"
+            );
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # kplex-datasets
+//!
+//! Deterministic synthetic stand-ins for the 16 SNAP/LAW datasets of the
+//! paper's Table 2.
+//!
+//! The original graphs (up to 10^9 edges) are not redistributable and far
+//! exceed a laptop-scale reproduction, so each dataset is replaced by a
+//! generator configuration matched to the original's *structural class* —
+//! power-law social graphs, overlapping-community collaboration graphs,
+//! internet topologies, locally dense web crawls — at 100–1000× reduced
+//! scale, with noisy k-plex communities planted so the paper's (k, q)
+//! parameter regimes return non-trivial result sets. Every graph is a pure
+//! function of a fixed seed; a binary cache (`data/cache/*.kplx`) makes
+//! repeated benchmark runs instant.
+
+#![warn(missing_docs)]
+
+pub mod registry;
+
+pub use registry::{all_datasets, by_name, Dataset, DatasetClass, PaperStats};

@@ -1,0 +1,270 @@
+//! The dataset registry: one entry per Table 2 graph.
+
+use kplex_graph::gen::{self, PlantedPlexConfig, RmatConfig};
+use kplex_graph::{io, CsrGraph, GraphStats};
+use std::path::PathBuf;
+
+/// Size class used by the paper (Section 7): small < 10^4 vertices,
+/// medium < 5·10^6, large beyond. Our stand-ins keep the same relative
+/// ordering at reduced absolute scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DatasetClass {
+    /// Small graphs (sequential experiments).
+    Small,
+    /// Medium graphs (sequential experiments).
+    Medium,
+    /// Large graphs (parallel experiments, Table 4 / Figure 8).
+    Large,
+}
+
+/// The original dataset's statistics as printed in Table 2 of the paper.
+#[derive(Clone, Copy, Debug)]
+pub struct PaperStats {
+    /// Vertices of the original graph.
+    pub n: u64,
+    /// Edges of the original graph.
+    pub m: u64,
+    /// Maximum degree Δ of the original graph.
+    pub max_degree: u64,
+    /// Degeneracy D of the original graph.
+    pub degeneracy: u64,
+}
+
+/// One evaluation dataset: the paper's original plus our stand-in generator.
+#[derive(Clone)]
+pub struct Dataset {
+    /// The paper's dataset name (e.g. `wiki-vote`).
+    pub name: &'static str,
+    /// Size class (drives which experiments use it).
+    pub class: DatasetClass,
+    /// Structural family of the original, documented for the report.
+    pub family: &'static str,
+    /// The original's Table 2 statistics.
+    pub paper: PaperStats,
+    build: fn() -> CsrGraph,
+}
+
+impl std::fmt::Debug for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dataset")
+            .field("name", &self.name)
+            .field("class", &self.class)
+            .finish()
+    }
+}
+
+impl Dataset {
+    /// Generates the stand-in graph (no cache).
+    pub fn generate(&self) -> CsrGraph {
+        (self.build)()
+    }
+
+    /// Loads the stand-in graph through the on-disk binary cache. The cache
+    /// directory is `$KPLEX_DATA_DIR` or `data/cache` under the current
+    /// directory.
+    pub fn load(&self) -> CsrGraph {
+        let dir = cache_dir();
+        let path = dir.join(format!("{}.kplx", self.name));
+        if let Ok(g) = io::read_binary(&path) {
+            return g;
+        }
+        let g = self.generate();
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let _ = io::write_binary(&g, &path);
+        }
+        g
+    }
+
+    /// Computes the stand-in's own statistics (the "ours" column of the
+    /// Table 2 reproduction).
+    pub fn stats(&self) -> GraphStats {
+        GraphStats::compute(&self.load())
+    }
+}
+
+fn cache_dir() -> PathBuf {
+    std::env::var_os("KPLEX_DATA_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("data/cache"))
+}
+
+/// Plants `count` noisy communities sized `[lo, hi]` (each a `(miss+1)`-plex)
+/// on top of `bg`.
+fn plant(bg: CsrGraph, count: usize, lo: usize, hi: usize, miss: usize, seed: u64) -> CsrGraph {
+    let cfg = PlantedPlexConfig {
+        count,
+        size_lo: lo,
+        size_hi: hi,
+        missing: miss,
+        overlap: false,
+    };
+    gen::planted_plexes(&bg, &cfg, seed).0
+}
+
+/// Plants a density mix: near-cliques (`missing = 1`, valid for every
+/// k >= 2), 3-plex communities and 4-plex communities, so all of the paper's
+/// k = 2, 3, 4 settings return non-trivial result sets.
+fn plant_mixed(bg: CsrGraph, count: usize, lo: usize, hi: usize, miss_hi: usize, seed: u64) -> CsrGraph {
+    let tight = count.div_ceil(2);
+    let g = plant(bg, tight, lo, hi, 1, seed);
+    let g = plant(g, count - tight, lo, hi, miss_hi.clamp(2, 3), seed ^ 0x5EED);
+    // Organic overlapping communities: dense random blobs, slightly larger
+    // than the planted plexes. These drive the combinatorial result counts
+    // of the paper's Table 3 regime (search-dominated workloads).
+    gen::dense_blobs(&g, count, hi, hi + 5, 0.82, seed ^ 0xB10B)
+}
+
+macro_rules! dataset {
+    ($name:literal, $class:ident, $family:literal, ($n:expr, $m:expr, $d:expr, $deg:expr), $build:expr) => {
+        Dataset {
+            name: $name,
+            class: DatasetClass::$class,
+            family: $family,
+            paper: PaperStats {
+                n: $n,
+                m: $m,
+                max_degree: $d,
+                degeneracy: $deg,
+            },
+            build: $build,
+        }
+    };
+}
+
+/// All 16 Table 2 datasets, in the paper's order.
+pub fn all_datasets() -> Vec<Dataset> {
+    vec![
+        dataset!("jazz", Small, "musician collaboration (small, dense)",
+            (198, 2742, 100, 29),
+            || plant_mixed(gen::gnp(200, 0.10, 0xA001), 8, 9, 13, 2, 0xB001)),
+        dataset!("wiki-vote", Small, "who-votes-on-whom social graph",
+            (7115, 100_762, 1065, 53),
+            || plant_mixed(gen::powerlaw_cluster(2400, 7, 0.55, 0xA002), 14, 9, 13, 2, 0xB002)),
+        dataset!("lastfm", Small, "social network of music listeners",
+            (7624, 27_806, 216, 20),
+            || plant_mixed(gen::powerlaw_cluster(2600, 4, 0.50, 0xA003), 10, 9, 12, 2, 0xB003)),
+        dataset!("as-caida", Medium, "internet autonomous-system topology",
+            (26_475, 53_381, 2628, 22),
+            || plant_mixed(gen::barabasi_albert(6000, 2, 0xA004), 10, 9, 12, 2, 0xB004)),
+        dataset!("soc-epinions", Medium, "trust network of a review site",
+            (75_879, 405_740, 3044, 67),
+            || plant_mixed(gen::powerlaw_cluster(7000, 6, 0.45, 0xA005), 18, 9, 13, 3, 0xB005)),
+        dataset!("soc-slashdot", Medium, "technology news social network",
+            (82_168, 504_230, 2552, 55),
+            || plant_mixed(gen::powerlaw_cluster(7500, 6, 0.45, 0xA006), 18, 9, 13, 3, 0xB006)),
+        dataset!("email-euall", Medium, "EU research institution e-mail graph",
+            (265_009, 364_481, 7636, 37),
+            || plant_mixed(gen::barabasi_albert(9000, 3, 0xA007), 20, 9, 13, 3, 0xB007)),
+        dataset!("com-dblp", Medium, "co-authorship with overlapping communities",
+            (317_080, 1_049_866, 343, 113),
+            || plant_mixed(gen::caveman(9000, 900, 5, 10, 4000, 0xA008), 10, 10, 13, 2, 0xB008)),
+        dataset!("amazon0505", Medium, "co-purchase graph (low degeneracy)",
+            (410_236, 2_439_437, 2760, 10),
+            || plant_mixed(gen::watts_strogatz(12_000, 3, 0.05, 0xA009), 8, 9, 11, 2, 0xB009)),
+        dataset!("soc-pokec", Medium, "large online social network",
+            (1_632_803, 22_301_964, 14_854, 47),
+            || plant_mixed(gen::powerlaw_cluster(12_000, 8, 0.40, 0xA00A), 24, 9, 14, 3, 0xB00A)),
+        dataset!("as-skitter", Medium, "traceroute internet topology",
+            (1_696_415, 11_095_298, 35_455, 111),
+            || plant_mixed(gen::rmat(RmatConfig { scale: 13, edge_factor: 6, ..RmatConfig::default() }, 0xA00B),
+                     16, 10, 14, 3, 0xB00B)),
+        dataset!("enwiki-2021", Large, "Wikipedia link graph",
+            (6_253_897, 136_494_843, 232_410, 178),
+            || plant_mixed(gen::powerlaw_cluster(24_000, 9, 0.45, 0xA00C), 40, 10, 15, 3, 0xB00C)),
+        dataset!("arabic-2005", Large, "web crawl of Arabic-language pages",
+            (22_743_881, 553_903_073, 575_628, 3247),
+            || plant_mixed(gen::rmat(RmatConfig { scale: 15, edge_factor: 7, ..RmatConfig::default() }, 0xA00D),
+                     48, 11, 16, 3, 0xB00D)),
+        dataset!("uk-2005", Large, "web crawl of the .uk domain",
+            (39_454_463, 783_027_125, 1_776_858, 588),
+            || plant_mixed(gen::rmat(RmatConfig { scale: 15, edge_factor: 8, ..RmatConfig::default() }, 0xA00E),
+                     48, 11, 16, 3, 0xB00E)),
+        dataset!("it-2004", Large, "web crawl of the .it domain",
+            (41_290_648, 1_027_474_947, 1_326_744, 3224),
+            || plant_mixed(gen::powerlaw_cluster(28_000, 10, 0.50, 0xA00F), 56, 11, 16, 3, 0xB00F)),
+        dataset!("webbase-2001", Large, "2001 WebBase crawl",
+            (115_554_441, 854_809_761, 816_127, 1506),
+            || plant_mixed(gen::rmat(RmatConfig { scale: 16, edge_factor: 5, ..RmatConfig::default() }, 0xA010),
+                     64, 10, 15, 3, 0xB010)),
+    ]
+}
+
+/// Looks a dataset up by its paper name.
+pub fn by_name(name: &str) -> Option<Dataset> {
+    all_datasets().into_iter().find(|d| d.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_all_16_table2_rows() {
+        let ds = all_datasets();
+        assert_eq!(ds.len(), 16);
+        let mut names: Vec<&str> = ds.iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 16, "duplicate dataset names");
+    }
+
+    #[test]
+    fn class_split_matches_paper_usage() {
+        let ds = all_datasets();
+        let large: Vec<&str> = ds
+            .iter()
+            .filter(|d| d.class == DatasetClass::Large)
+            .map(|d| d.name)
+            .collect();
+        assert_eq!(
+            large,
+            vec!["enwiki-2021", "arabic-2005", "uk-2005", "it-2004", "webbase-2001"]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("jazz").is_some());
+        assert!(by_name("wiki-vote").is_some());
+        assert!(by_name("unknown").is_none());
+    }
+
+    #[test]
+    fn small_datasets_generate_deterministically() {
+        let d = by_name("jazz").unwrap();
+        let a = d.generate();
+        let b = d.generate();
+        assert_eq!(a, b);
+        assert!(a.num_vertices() >= 190);
+    }
+
+    #[test]
+    fn cache_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("kplex-ds-{}", std::process::id()));
+        std::env::set_var("KPLEX_DATA_DIR", &dir);
+        let d = by_name("jazz").unwrap();
+        let a = d.load(); // generates + writes
+        let b = d.load(); // reads from cache
+        assert_eq!(a, b);
+        std::env::remove_var("KPLEX_DATA_DIR");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stand_ins_have_community_structure() {
+        // Planted communities must survive generation: degeneracy of every
+        // small dataset should be at least the plexes' internal degree.
+        for d in all_datasets() {
+            if d.class == DatasetClass::Small {
+                let g = d.generate();
+                let stats = GraphStats::compute(&g);
+                assert!(
+                    stats.degeneracy >= 6,
+                    "{}: degeneracy {} too small for planted plexes",
+                    d.name,
+                    stats.degeneracy
+                );
+            }
+        }
+    }
+}

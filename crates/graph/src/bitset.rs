@@ -1,0 +1,389 @@
+//! A fixed-capacity dynamic bitset backed by `u64` words.
+//!
+//! The enumeration algorithms spend most of their time intersecting
+//! neighbourhoods inside dense seed subgraphs (Section 4 of the paper points
+//! out that seed subgraphs are dense enough to warrant an adjacency-matrix
+//! representation). This bitset is the storage unit of that matrix as well as
+//! of the dynamic `P`/`C` indicator sets maintained during branching, so the
+//! operations that dominate (`intersection_count`, in-place boolean algebra,
+//! set iteration) are all word-parallel.
+
+/// Number of bits per storage word.
+const WORD_BITS: usize = 64;
+
+/// A growable-but-fixed-capacity bitset over `u64` words.
+///
+/// Unlike `Vec<bool>`, all binary operations work a word at a time, and the
+/// popcount-style queries (`count`, `intersection_count`) compile to `popcnt`
+/// loops. Capacity is fixed at construction; indices must be `< capacity()`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    /// Number of addressable bits.
+    nbits: usize,
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[inline]
+fn word_count(nbits: usize) -> usize {
+    nbits.div_ceil(WORD_BITS)
+}
+
+impl BitSet {
+    /// Creates an empty bitset able to address `nbits` bits.
+    pub fn new(nbits: usize) -> Self {
+        Self {
+            words: vec![0u64; word_count(nbits)],
+            nbits,
+        }
+    }
+
+    /// Creates a bitset with all `nbits` bits set.
+    pub fn full(nbits: usize) -> Self {
+        let mut s = Self::new(nbits);
+        s.set_all();
+        s
+    }
+
+    /// Number of addressable bits.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.nbits
+    }
+
+    /// Raw word slice (low bit of word 0 is bit 0).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable raw word slice.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.nbits, "bit {i} out of range {}", self.nbits);
+        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.nbits, "bit {i} out of range {}", self.nbits);
+        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+    }
+
+    /// Tests bit `i`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.nbits, "bit {i} out of range {}", self.nbits);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 != 0
+    }
+
+    /// Sets every addressable bit.
+    pub fn set_all(&mut self) {
+        for w in &mut self.words {
+            *w = !0;
+        }
+        self.mask_tail();
+    }
+
+    /// Clears every bit.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// True if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `self &= other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.nbits, other.nbits);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// `self |= other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.nbits, other.nbits);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// `self &= !other`.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.nbits, other.nbits);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+    }
+
+    /// Copies `other` into `self` (capacities must match).
+    pub fn copy_from(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.nbits, other.nbits);
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// `|self & other|` without materialising the intersection.
+    #[inline]
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        debug_assert_eq!(self.nbits, other.nbits);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self & other & third|`, used for common-neighbour counts restricted
+    /// to a candidate set (Theorems 5.13–5.15).
+    #[inline]
+    pub fn intersection_count3(&self, other: &BitSet, third: &BitSet) -> usize {
+        debug_assert_eq!(self.nbits, other.nbits);
+        debug_assert_eq!(self.nbits, third.nbits);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .zip(&third.words)
+            .map(|((a, b), c)| (a & b & c).count_ones() as usize)
+            .sum()
+    }
+
+    /// True if the two sets share at least one bit.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// True if `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.nbits, other.nbits);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Lowest set bit, if any.
+    pub fn first(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(wi * WORD_BITS + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Iterates over set bit indices in increasing order.
+    pub fn iter(&self) -> BitIter<'_> {
+        BitIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collects set bits as `u32` indices (graph-local vertex ids).
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.iter().map(|i| i as u32).collect()
+    }
+
+    /// Clears any bits beyond `nbits` in the last word so that counting stays
+    /// correct after `set_all`.
+    fn mask_tail(&mut self) {
+        let rem = self.nbits % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a bitset sized to exactly fit the largest element.
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let nbits = items.iter().max().map_or(0, |&m| m + 1);
+        let mut s = BitSet::new(nbits);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+/// Iterator over set bits of a [`BitSet`].
+pub struct BitIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for BitIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * WORD_BITS + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_has_no_bits() {
+        let s = BitSet::new(130);
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.first(), None);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(200);
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(199);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(199));
+        assert!(!s.contains(1) && !s.contains(65));
+        assert_eq!(s.count(), 4);
+        s.remove(63);
+        assert!(!s.contains(63));
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn set_all_masks_tail() {
+        let mut s = BitSet::new(70);
+        s.set_all();
+        assert_eq!(s.count(), 70);
+        assert!(s.contains(69));
+    }
+
+    #[test]
+    fn full_equals_set_all() {
+        let f = BitSet::full(99);
+        assert_eq!(f.count(), 99);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let mut a = BitSet::new(128);
+        let mut b = BitSet::new(128);
+        for i in (0..128).step_by(2) {
+            a.insert(i);
+        }
+        for i in (0..128).step_by(3) {
+            b.insert(i);
+        }
+        let mut inter = a.clone();
+        inter.intersect_with(&b);
+        assert_eq!(inter.count(), (0..128).filter(|i| i % 6 == 0).count());
+        assert_eq!(a.intersection_count(&b), inter.count());
+
+        let mut uni = a.clone();
+        uni.union_with(&b);
+        assert_eq!(uni.count(), (0..128).filter(|i| i % 2 == 0 || i % 3 == 0).count());
+
+        let mut diff = a.clone();
+        diff.difference_with(&b);
+        assert_eq!(diff.count(), (0..128).filter(|i| i % 2 == 0 && i % 3 != 0).count());
+    }
+
+    #[test]
+    fn three_way_intersection_count() {
+        let mut a = BitSet::new(64);
+        let mut b = BitSet::new(64);
+        let mut c = BitSet::new(64);
+        for i in 0..64 {
+            if i % 2 == 0 {
+                a.insert(i);
+            }
+            if i % 3 == 0 {
+                b.insert(i);
+            }
+            if i % 5 == 0 {
+                c.insert(i);
+            }
+        }
+        assert_eq!(
+            a.intersection_count3(&b, &c),
+            (0..64).filter(|i| i % 30 == 0).count()
+        );
+    }
+
+    #[test]
+    fn subset_and_intersects() {
+        let mut a = BitSet::new(64);
+        a.insert(3);
+        a.insert(10);
+        let mut b = a.clone();
+        b.insert(40);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(a.intersects(&b));
+        let c = BitSet::new(64);
+        assert!(!a.intersects(&c));
+        assert!(c.is_subset_of(&a));
+    }
+
+    #[test]
+    fn iteration_order_is_increasing() {
+        let mut s = BitSet::new(300);
+        let bits = [0usize, 1, 63, 64, 65, 127, 128, 255, 299];
+        for &b in &bits {
+            s.insert(b);
+        }
+        let collected: Vec<usize> = s.iter().collect();
+        assert_eq!(collected, bits);
+        assert_eq!(s.first(), Some(0));
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max() {
+        let s: BitSet = [5usize, 17, 2].into_iter().collect();
+        assert_eq!(s.capacity(), 18);
+        assert_eq!(s.to_vec(), vec![2, 5, 17]);
+    }
+
+    #[test]
+    fn copy_from_overwrites() {
+        let mut a = BitSet::new(64);
+        a.insert(1);
+        let mut b = BitSet::new(64);
+        b.insert(2);
+        b.insert(3);
+        a.copy_from(&b);
+        assert_eq!(a.to_vec(), vec![2, 3]);
+    }
+}

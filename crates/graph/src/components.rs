@@ -1,0 +1,185 @@
+//! Connected components and breadth-first traversal utilities.
+//!
+//! Plexes with `q >= 2k - 1` are connected (Theorem 3.3), so every result
+//! lives inside one connected component; these helpers let applications
+//! split inputs, validate connectivity of results, and estimate distances.
+
+use crate::csr::{CsrGraph, VertexId};
+use std::collections::VecDeque;
+
+/// Connected-component labelling.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// Component id per vertex (dense, 0-based).
+    pub label: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+    /// Size of each component.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Vertices of the largest component.
+    pub fn largest(&self) -> Vec<VertexId> {
+        let Some((best, _)) = self
+            .sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, s)| *s)
+        else {
+            return Vec::new();
+        };
+        (0..self.label.len() as u32)
+            .filter(|&v| self.label[v as usize] == best as u32)
+            .collect()
+    }
+
+    /// True when `set` lies entirely in one component.
+    pub fn same_component(&self, set: &[VertexId]) -> bool {
+        match set.first() {
+            None => true,
+            Some(&v0) => {
+                let l = self.label[v0 as usize];
+                set.iter().all(|&v| self.label[v as usize] == l)
+            }
+        }
+    }
+}
+
+/// Labels connected components by BFS in O(n + m).
+pub fn connected_components(g: &CsrGraph) -> Components {
+    let n = g.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue = VecDeque::new();
+    for start in 0..n as u32 {
+        if label[start as usize] != u32::MAX {
+            continue;
+        }
+        let id = sizes.len() as u32;
+        let mut size = 0usize;
+        label[start as usize] = id;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            size += 1;
+            for &w in g.neighbors(v) {
+                if label[w as usize] == u32::MAX {
+                    label[w as usize] = id;
+                    queue.push_back(w);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    Components {
+        label,
+        count: sizes.len(),
+        sizes,
+    }
+}
+
+/// Single-source BFS distances; unreachable vertices get `u32::MAX`.
+pub fn bfs_distances(g: &CsrGraph, source: VertexId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == u32::MAX {
+                dist[w as usize] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Exact diameter of the subgraph induced by `set` (`None` when the induced
+/// subgraph is disconnected or empty). Intended for verifying the
+/// diameter-2 property of results (Theorem 3.3), so `set` is small.
+pub fn induced_diameter(g: &CsrGraph, set: &[VertexId]) -> Option<u32> {
+    if set.is_empty() {
+        return None;
+    }
+    let (sub, _) = g.induced_subgraph(set);
+    let mut diameter = 0u32;
+    for v in sub.vertices() {
+        let dist = bfs_distances(&sub, v);
+        for &d in &dist {
+            if d == u32::MAX {
+                return None; // disconnected
+            }
+            diameter = diameter.max(d);
+        }
+    }
+    Some(diameter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn single_component_graph() {
+        let g = gen::cycle(10);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 1);
+        assert_eq!(c.sizes, vec![10]);
+        assert!(c.same_component(&[0, 5, 9]));
+        assert_eq!(c.largest().len(), 10);
+    }
+
+    #[test]
+    fn multiple_components() {
+        // Two triangles and an isolated vertex.
+        let g = CsrGraph::from_edges(7, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 3);
+        let mut sizes = c.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 3, 3]);
+        assert!(c.same_component(&[0, 1, 2]));
+        assert!(!c.same_component(&[0, 3]));
+        assert_eq!(c.largest().len(), 3);
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = gen::path(6);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+        let d = bfs_distances(&g, 3);
+        assert_eq!(d, vec![3, 2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_marks_unreachable() {
+        let g = CsrGraph::from_edges(4, [(0, 1)]).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], u32::MAX);
+    }
+
+    #[test]
+    fn induced_diameter_cases() {
+        let g = gen::complete(5);
+        assert_eq!(induced_diameter(&g, &[0, 1, 2]), Some(1));
+        let p = gen::path(5);
+        assert_eq!(induced_diameter(&p, &[0, 1, 2, 3, 4]), Some(4));
+        // Disconnected induced set.
+        assert_eq!(induced_diameter(&p, &[0, 4]), None);
+        assert_eq!(induced_diameter(&p, &[]), None);
+        assert_eq!(induced_diameter(&p, &[2]), Some(0));
+    }
+
+    #[test]
+    fn empty_graph_components() {
+        let g = gen::empty(0);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 0);
+        assert!(c.largest().is_empty());
+    }
+}

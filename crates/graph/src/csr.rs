@@ -1,0 +1,335 @@
+//! Compressed sparse row (CSR) representation of an undirected simple graph.
+//!
+//! This is the canonical at-rest representation for the enumeration pipeline:
+//! neighbour lists are sorted and deduplicated, self-loops are dropped at
+//! construction, and every edge is stored in both directions. Vertex ids are
+//! dense `u32` in `0..n`.
+
+use crate::error::GraphError;
+
+/// Dense vertex identifier. The substrate renumbers all inputs to `0..n`.
+pub type VertexId = u32;
+
+/// An immutable undirected simple graph in CSR form.
+///
+/// Invariants (checked in debug builds, guaranteed by [`GraphBuilder`]):
+/// * `offsets.len() == n + 1`, `offsets[0] == 0`, non-decreasing,
+/// * each neighbour list `neighbors(v)` is strictly increasing,
+/// * no self loops, and `u ∈ neighbors(v) ⇔ v ∈ neighbors(u)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    edges: Vec<VertexId>,
+}
+
+impl CsrGraph {
+    /// Builds a graph with `n` vertices from an iterator of undirected edges.
+    ///
+    /// Self-loops are dropped and duplicate edges collapsed. Returns an error
+    /// if any endpoint is `>= n`.
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (VertexId, VertexId)>,
+    ) -> Result<Self, GraphError> {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(u, v)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Constructs directly from parts. `offsets`/`edges` must satisfy the CSR
+    /// invariants documented on the type; this is checked in debug builds.
+    pub(crate) fn from_parts(offsets: Vec<usize>, edges: Vec<VertexId>) -> Self {
+        let g = Self { offsets, edges };
+        debug_assert!(g.check_invariants().is_ok(), "CSR invariants violated");
+        g
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len() / 2
+    }
+
+    /// Sorted neighbour list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.edges[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Adjacency test via binary search over the sorted neighbour list.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        // Search the shorter list: worst-case degree can be huge on power-law
+        // graphs while the other endpoint is usually low-degree.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Maximum degree Δ.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as VertexId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterates all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Iterates each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Number of vertices with degree zero.
+    pub fn isolated_count(&self) -> usize {
+        self.vertices().filter(|&v| self.degree(v) == 0).count()
+    }
+
+    /// Extracts the subgraph induced by `keep` (any iterable of distinct
+    /// vertex ids). Returns the new graph and the mapping `new id -> old id`
+    /// (sorted ascending, so relative order is preserved).
+    pub fn induced_subgraph(&self, keep: &[VertexId]) -> (CsrGraph, Vec<VertexId>) {
+        let mut ids: Vec<VertexId> = keep.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        // old id -> new id, dense lookup.
+        let mut remap = vec![u32::MAX; self.num_vertices()];
+        for (new, &old) in ids.iter().enumerate() {
+            remap[old as usize] = new as u32;
+        }
+        let mut offsets = Vec::with_capacity(ids.len() + 1);
+        let mut edges = Vec::new();
+        offsets.push(0usize);
+        for &old in &ids {
+            for &w in self.neighbors(old) {
+                let nw = remap[w as usize];
+                if nw != u32::MAX {
+                    edges.push(nw);
+                }
+            }
+            offsets.push(edges.len());
+        }
+        (CsrGraph::from_parts(offsets, edges), ids)
+    }
+
+    /// Validates all CSR invariants; used by tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), GraphError> {
+        let n = self.num_vertices();
+        if self.offsets[0] != 0 || *self.offsets.last().unwrap() != self.edges.len() {
+            return Err(GraphError::Corrupt("offset bounds".into()));
+        }
+        for v in 0..n as VertexId {
+            let ns = self.neighbors(v);
+            if !ns.windows(2).all(|w| w[0] < w[1]) {
+                return Err(GraphError::Corrupt(format!("neighbors of {v} not strictly sorted")));
+            }
+            for &w in ns {
+                if w as usize >= n {
+                    return Err(GraphError::Corrupt(format!("edge endpoint {w} out of range")));
+                }
+                if w == v {
+                    return Err(GraphError::Corrupt(format!("self loop at {v}")));
+                }
+                if self.neighbors(w).binary_search(&v).is_err() {
+                    return Err(GraphError::Corrupt(format!("asymmetric edge ({v},{w})")));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder that tolerates duplicates, self-loops and arbitrary
+/// insertion order, producing a canonical [`CsrGraph`].
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    pairs: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self { n, pairs: Vec::new() }
+    }
+
+    /// Number of vertices declared.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Adds an undirected edge; self-loops are silently ignored.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), GraphError> {
+        if u as usize >= self.n || v as usize >= self.n {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u.max(v),
+                n: self.n,
+            });
+        }
+        if u != v {
+            self.pairs.push((u.min(v), u.max(v)));
+        }
+        Ok(())
+    }
+
+    /// Grows the vertex count (used by parsers that discover ids on the fly).
+    pub fn ensure_vertex(&mut self, v: VertexId) {
+        if v as usize >= self.n {
+            self.n = v as usize + 1;
+        }
+    }
+
+    /// Finalises into CSR form: sorts, dedups and mirrors every edge.
+    pub fn build(mut self) -> CsrGraph {
+        self.pairs.sort_unstable();
+        self.pairs.dedup();
+        let mut degree = vec![0usize; self.n];
+        for &(u, v) in &self.pairs {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut edges = vec![0 as VertexId; acc];
+        for &(u, v) in &self.pairs {
+            edges[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            edges[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Each mirrored half is filled in (u, v)-sorted order. The forward
+        // half of a row is naturally sorted; the mirrored entries interleave,
+        // so sort each row once.
+        for v in 0..self.n {
+            edges[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        CsrGraph::from_parts(offsets, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_pendant() -> CsrGraph {
+        // 0-1, 1-2, 0-2 triangle; 3 hangs off 2.
+        CsrGraph::from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn basic_shape() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.max_degree(), 3);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn has_edge_is_symmetric() {
+        let g = triangle_plus_pendant();
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(g.has_edge(2, 3) && g.has_edge(3, 2));
+        assert!(!g.has_edge(0, 3) && !g.has_edge(3, 0));
+    }
+
+    #[test]
+    fn duplicates_and_self_loops_collapse() {
+        let g = CsrGraph::from_edges(3, [(0, 1), (1, 0), (0, 1), (2, 2)]).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(2), 0);
+        assert_eq!(g.isolated_count(), 1);
+    }
+
+    #[test]
+    fn out_of_range_edge_is_rejected() {
+        let err = CsrGraph::from_edges(2, [(0, 5)]).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 5, n: 2 }));
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = triangle_plus_pendant();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn induced_subgraph_remaps_densely() {
+        let g = triangle_plus_pendant();
+        let (sub, map) = g.induced_subgraph(&[3, 1, 2]);
+        assert_eq!(map, vec![1, 2, 3]);
+        assert_eq!(sub.num_vertices(), 3);
+        // Edges kept: (1,2) -> (0,1), (2,3) -> (1,2).
+        assert_eq!(sub.num_edges(), 2);
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(1, 2));
+        assert!(!sub.has_edge(0, 2));
+        sub.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn induced_subgraph_of_everything_is_identity() {
+        let g = triangle_plus_pendant();
+        let all: Vec<u32> = g.vertices().collect();
+        let (sub, map) = g.induced_subgraph(&all);
+        assert_eq!(sub, g);
+        assert_eq!(map, all);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, []).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn builder_ensure_vertex_grows() {
+        let mut b = GraphBuilder::new(0);
+        b.ensure_vertex(4);
+        b.add_edge(0, 4).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 5);
+        assert!(g.has_edge(0, 4));
+    }
+}

@@ -1,0 +1,77 @@
+//! Error types for the graph substrate.
+
+use std::fmt;
+
+/// Errors produced by graph construction, I/O and validation.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge endpoint was not a valid vertex id for the declared size.
+    VertexOutOfRange {
+        /// The offending id.
+        vertex: u32,
+        /// Number of vertices in the graph.
+        n: usize,
+    },
+    /// A structural invariant of an internal representation was violated.
+    Corrupt(String),
+    /// Failure while parsing a textual graph format.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Failure while decoding the binary graph format.
+    BinaryFormat(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+            }
+            GraphError::Corrupt(msg) => write!(f, "corrupt graph structure: {msg}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::BinaryFormat(msg) => write!(f, "binary format error: {msg}"),
+            GraphError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::VertexOutOfRange { vertex: 9, n: 3 };
+        assert!(e.to_string().contains("vertex 9"));
+        let e = GraphError::Parse {
+            line: 7,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        let e = GraphError::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        assert!(e.to_string().contains("I/O"));
+    }
+}

@@ -1,0 +1,240 @@
+//! Classic deterministic and random graph families.
+
+use super::rng;
+use crate::csr::{CsrGraph, VertexId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The empty graph on `n` vertices.
+pub fn empty(n: usize) -> CsrGraph {
+    CsrGraph::from_edges(n, []).expect("no edges")
+}
+
+/// The complete graph K_n.
+pub fn complete(n: usize) -> CsrGraph {
+    let mut edges = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
+    for u in 0..n as VertexId {
+        for v in u + 1..n as VertexId {
+            edges.push((u, v));
+        }
+    }
+    CsrGraph::from_edges(n, edges).expect("in range")
+}
+
+/// A simple path 0-1-…-(n-1).
+pub fn path(n: usize) -> CsrGraph {
+    let edges = (1..n as VertexId).map(|v| (v - 1, v));
+    CsrGraph::from_edges(n, edges).expect("in range")
+}
+
+/// A cycle on `n >= 3` vertices (or a path/empty graph for smaller n).
+pub fn cycle(n: usize) -> CsrGraph {
+    if n < 3 {
+        return path(n);
+    }
+    let mut edges: Vec<(VertexId, VertexId)> = (1..n as VertexId).map(|v| (v - 1, v)).collect();
+    edges.push((n as VertexId - 1, 0));
+    CsrGraph::from_edges(n, edges).expect("in range")
+}
+
+/// A star: vertex 0 connected to all others.
+pub fn star(n: usize) -> CsrGraph {
+    let edges = (1..n as VertexId).map(|v| (0, v));
+    CsrGraph::from_edges(n, edges).expect("in range")
+}
+
+/// Turán graph T(n, r): complete multipartite with r near-equal parts. The
+/// complement of a disjoint union of cliques; a useful extremal stress case
+/// for k-plex bounds (every vertex misses exactly its own part).
+pub fn turan(n: usize, r: usize) -> CsrGraph {
+    assert!(r >= 1);
+    let part = |v: usize| v % r;
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in u + 1..n {
+            if part(u) != part(v) {
+                edges.push((u as VertexId, v as VertexId));
+            }
+        }
+    }
+    CsrGraph::from_edges(n, edges).expect("in range")
+}
+
+/// Erdős–Rényi G(n, p): each pair independently with probability `p`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> CsrGraph {
+    let mut r = rng(seed);
+    let mut edges = Vec::new();
+    for u in 0..n as VertexId {
+        for v in u + 1..n as VertexId {
+            if r.random_bool(p) {
+                edges.push((u, v));
+            }
+        }
+    }
+    CsrGraph::from_edges(n, edges).expect("in range")
+}
+
+/// Uniform random graph with exactly `m` distinct edges (rejection sampling;
+/// requires `m <= n(n-1)/2`).
+pub fn gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let max_edges = n * n.saturating_sub(1) / 2;
+    assert!(m <= max_edges, "too many edges requested: {m} > {max_edges}");
+    let mut r = rng(seed);
+    let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = r.random_range(0..n as VertexId);
+        let v = r.random_range(0..n as VertexId);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if chosen.insert(key) {
+            edges.push(key);
+        }
+    }
+    CsrGraph::from_edges(n, edges).expect("in range")
+}
+
+/// Watts–Strogatz small world: ring lattice with `k` nearest neighbours per
+/// side, each edge rewired with probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
+    assert!(k < n / 2 || n == 0, "lattice degree too large");
+    let mut r = rng(seed);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for j in 1..=k {
+            let v = (u + j) % n;
+            if r.random_bool(beta) {
+                // Rewire to a uniform random endpoint (self handled below).
+                let mut w = r.random_range(0..n);
+                if w == u {
+                    w = (w + 1) % n;
+                }
+                edges.push((u as VertexId, w as VertexId));
+            } else {
+                edges.push((u as VertexId, v as VertexId));
+            }
+        }
+    }
+    CsrGraph::from_edges(n, edges).expect("in range")
+}
+
+/// Relaxed-caveman / overlapping-community graph in the style of
+/// collaboration networks (com-dblp): `communities` cliques of size drawn
+/// from `[size_lo, size_hi]`, each vertex participating in one or two
+/// communities, plus uniform noise edges.
+pub fn caveman(
+    n: usize,
+    communities: usize,
+    size_lo: usize,
+    size_hi: usize,
+    noise_edges: usize,
+    seed: u64,
+) -> CsrGraph {
+    let mut r = rng(seed);
+    let mut edges = Vec::new();
+    let mut ids: Vec<VertexId> = (0..n as VertexId).collect();
+    for _ in 0..communities {
+        let size = r.random_range(size_lo..=size_hi).min(n);
+        ids.shuffle(&mut r);
+        let members = &ids[..size];
+        for i in 0..members.len() {
+            for j in i + 1..members.len() {
+                // Drop ~10% of intra-community links so communities are
+                // k-plexes rather than cliques.
+                if !r.random_bool(0.1) {
+                    edges.push((members[i], members[j]));
+                }
+            }
+        }
+    }
+    for _ in 0..noise_edges {
+        let u = r.random_range(0..n as VertexId);
+        let v = r.random_range(0..n as VertexId);
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    CsrGraph::from_edges(n, edges).expect("in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_graph_shape() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert!(g.vertices().all(|v| g.degree(v) == 5));
+    }
+
+    #[test]
+    fn path_cycle_star_shapes() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(5).num_edges(), 5);
+        let s = star(5);
+        assert_eq!(s.degree(0), 4);
+        assert_eq!(s.num_edges(), 4);
+        assert_eq!(cycle(2).num_edges(), 1);
+    }
+
+    #[test]
+    fn turan_is_complete_multipartite() {
+        let g = turan(6, 3); // parts {0,3},{1,4},{2,5}
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(1, 4));
+        assert!(g.has_edge(0, 1));
+        assert_eq!(g.num_edges(), 12);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 1).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, 1).num_edges(), 45);
+    }
+
+    #[test]
+    fn gnm_has_exactly_m_edges() {
+        let g = gnm(30, 100, 5);
+        assert_eq!(g.num_edges(), 100);
+        assert_eq!(g.num_vertices(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many edges")]
+    fn gnm_rejects_impossible_m() {
+        gnm(3, 10, 0);
+    }
+
+    #[test]
+    fn watts_strogatz_degree_sum() {
+        let g = watts_strogatz(40, 3, 0.1, 2);
+        // Each vertex contributes k edges; rewiring may collide, so m <= n*k.
+        assert!(g.num_edges() <= 120);
+        assert!(g.num_edges() > 100);
+    }
+
+    #[test]
+    fn caveman_contains_dense_blocks() {
+        let g = caveman(100, 8, 6, 10, 50, 3);
+        // Average degree of community members should well exceed noise level.
+        let max_deg = g.max_degree();
+        assert!(max_deg >= 5, "expected dense communities, max degree {max_deg}");
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        assert_eq!(gnp(20, 0.3, 9), gnp(20, 0.3, 9));
+        assert_eq!(gnm(20, 40, 9), gnm(20, 40, 9));
+        assert_eq!(
+            watts_strogatz(30, 2, 0.2, 9),
+            watts_strogatz(30, 2, 0.2, 9)
+        );
+        assert_eq!(
+            caveman(50, 4, 5, 8, 20, 9),
+            caveman(50, 4, 5, 8, 20, 9)
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! Planted k-plex generator.
+//!
+//! The paper's experiments mine graphs where large maximal k-plexes actually
+//! exist (social communities, web link farms). Our stand-in datasets plant a
+//! controllable number of "noisy cliques" — vertex sets where every member
+//! misses at most `k-1` intra-set links — on top of an arbitrary background
+//! graph, so (k, q) settings analogous to the paper's return non-trivial
+//! result counts.
+
+use super::rng;
+use crate::csr::{CsrGraph, VertexId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Configuration for [`planted_plexes`].
+#[derive(Clone, Debug)]
+pub struct PlantedPlexConfig {
+    /// Number of planted plexes.
+    pub count: usize,
+    /// Smallest planted plex size (inclusive).
+    pub size_lo: usize,
+    /// Largest planted plex size (inclusive).
+    pub size_hi: usize,
+    /// Every planted member misses at most `missing` intra-plex edges
+    /// (excluding itself), i.e. the planted set is a `(missing+1)`-plex.
+    pub missing: usize,
+    /// If true, planted sets may share vertices (overlapping communities).
+    pub overlap: bool,
+}
+
+impl Default for PlantedPlexConfig {
+    fn default() -> Self {
+        Self {
+            count: 10,
+            size_lo: 10,
+            size_hi: 14,
+            missing: 1,
+            overlap: false,
+        }
+    }
+}
+
+/// What was planted, for test assertions.
+#[derive(Clone, Debug)]
+pub struct PlantedReport {
+    /// The vertex sets of the planted plexes (sorted).
+    pub plexes: Vec<Vec<VertexId>>,
+}
+
+/// Adds `cfg.count` noisy cliques to `background`, returning the combined
+/// graph and the planted sets. Planting only *adds* edges, so the background
+/// stays a subgraph of the result.
+pub fn planted_plexes(
+    background: &CsrGraph,
+    cfg: &PlantedPlexConfig,
+    seed: u64,
+) -> (CsrGraph, PlantedReport) {
+    let n = background.num_vertices();
+    assert!(
+        cfg.size_hi <= n && cfg.size_lo >= 2 && cfg.size_lo <= cfg.size_hi,
+        "invalid planted sizes for n = {n}"
+    );
+    let mut r = rng(seed);
+    let mut edges: Vec<(VertexId, VertexId)> = background.edges().collect();
+    let mut pool: Vec<VertexId> = (0..n as VertexId).collect();
+    pool.shuffle(&mut r);
+    let mut cursor = 0usize;
+    let mut plexes = Vec::with_capacity(cfg.count);
+    for _ in 0..cfg.count {
+        let size = r.random_range(cfg.size_lo..=cfg.size_hi);
+        let members: Vec<VertexId> = if cfg.overlap {
+            let mut ids: Vec<VertexId> = (0..n as VertexId).collect();
+            ids.shuffle(&mut r);
+            ids.truncate(size);
+            ids
+        } else {
+            if cursor + size > pool.len() {
+                break; // not enough disjoint vertices left
+            }
+            let m = pool[cursor..cursor + size].to_vec();
+            cursor += size;
+            m
+        };
+        // Build a clique, then remove up to `missing` edges per vertex while
+        // tracking each vertex's deficit so the set stays a (missing+1)-plex.
+        let mut present =
+            vec![true; members.len() * members.len()];
+        let idx = |i: usize, j: usize| i * members.len() + j;
+        let mut deficit = vec![0usize; members.len()];
+        let mut pairs: Vec<(usize, usize)> = (0..members.len())
+            .flat_map(|i| (i + 1..members.len()).map(move |j| (i, j)))
+            .collect();
+        pairs.shuffle(&mut r);
+        for (i, j) in pairs {
+            if deficit[i] < cfg.missing && deficit[j] < cfg.missing && r.random_bool(0.35) {
+                present[idx(i, j)] = false;
+                deficit[i] += 1;
+                deficit[j] += 1;
+            }
+        }
+        for i in 0..members.len() {
+            for j in i + 1..members.len() {
+                if present[idx(i, j)] {
+                    edges.push((members[i], members[j]));
+                }
+            }
+        }
+        let mut sorted = members;
+        sorted.sort_unstable();
+        plexes.push(sorted);
+    }
+    let g = CsrGraph::from_edges(n, edges).expect("in range");
+    (g, PlantedReport { plexes })
+}
+
+/// Adds `count` dense random blobs to `background`: each blob is a vertex
+/// set of size in `[size_lo, size_hi]` whose internal pairs are connected
+/// independently with probability `p_edge`.
+///
+/// Unlike [`planted_plexes`], blobs give no plex guarantee — they are the
+/// "organic" noisy communities of real social graphs, and they are what
+/// makes maximal k-plex counts combinatorially large (the regime the paper's
+/// Table 3 operates in). Blobs may overlap each other and the background.
+pub fn dense_blobs(
+    background: &CsrGraph,
+    count: usize,
+    size_lo: usize,
+    size_hi: usize,
+    p_edge: f64,
+    seed: u64,
+) -> CsrGraph {
+    let n = background.num_vertices();
+    assert!(size_hi <= n && size_lo >= 2 && size_lo <= size_hi);
+    let mut r = rng(seed);
+    let mut edges: Vec<(VertexId, VertexId)> = background.edges().collect();
+    let mut ids: Vec<VertexId> = (0..n as VertexId).collect();
+    for _ in 0..count {
+        let size = r.random_range(size_lo..=size_hi);
+        ids.shuffle(&mut r);
+        let members = &ids[..size];
+        for i in 0..members.len() {
+            for j in i + 1..members.len() {
+                if r.random_bool(p_edge) {
+                    edges.push((members[i], members[j]));
+                }
+            }
+        }
+    }
+    CsrGraph::from_edges(n, edges).expect("in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{empty, gnm};
+
+    fn is_kplex(g: &CsrGraph, set: &[VertexId], k: usize) -> bool {
+        set.iter().all(|&u| {
+            let inside = set.iter().filter(|&&v| v != u && g.has_edge(u, v)).count();
+            inside + k >= set.len()
+        })
+    }
+
+    #[test]
+    fn planted_sets_are_valid_plexes() {
+        let bg = empty(100);
+        let cfg = PlantedPlexConfig {
+            count: 5,
+            size_lo: 8,
+            size_hi: 12,
+            missing: 1,
+            overlap: false,
+        };
+        let (g, report) = planted_plexes(&bg, &cfg, 42);
+        assert_eq!(report.plexes.len(), 5);
+        for p in &report.plexes {
+            assert!(is_kplex(&g, p, 2), "planted set {p:?} is not a 2-plex");
+            assert!(p.len() >= 8 && p.len() <= 12);
+        }
+    }
+
+    #[test]
+    fn planting_preserves_background_edges() {
+        let bg = gnm(60, 100, 1);
+        let cfg = PlantedPlexConfig::default();
+        let (g, _) = planted_plexes(&bg, &cfg, 2);
+        for (u, v) in bg.edges() {
+            assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn disjoint_mode_produces_disjoint_sets() {
+        let bg = empty(200);
+        let cfg = PlantedPlexConfig {
+            count: 8,
+            size_lo: 10,
+            size_hi: 10,
+            missing: 2,
+            overlap: false,
+        };
+        let (_, report) = planted_plexes(&bg, &cfg, 7);
+        let mut seen = std::collections::HashSet::new();
+        for p in &report.plexes {
+            for &v in p {
+                assert!(seen.insert(v), "vertex {v} appears in two planted sets");
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_mode_allows_sharing() {
+        let bg = empty(30);
+        let cfg = PlantedPlexConfig {
+            count: 10,
+            size_lo: 10,
+            size_hi: 12,
+            missing: 1,
+            overlap: true,
+        };
+        let (_, report) = planted_plexes(&bg, &cfg, 3);
+        assert_eq!(report.plexes.len(), 10);
+    }
+
+    #[test]
+    fn dense_blobs_add_density() {
+        let bg = empty(100);
+        let g = dense_blobs(&bg, 3, 10, 14, 0.9, 5);
+        assert!(g.num_edges() > 3 * 35, "blobs too sparse: {}", g.num_edges());
+        assert!(g.max_degree() >= 8);
+    }
+
+    #[test]
+    fn dense_blobs_preserve_background() {
+        let bg = gnm(60, 100, 2);
+        let g = dense_blobs(&bg, 2, 8, 10, 0.8, 3);
+        for (u, v) in bg.edges() {
+            assert!(g.has_edge(u, v));
+        }
+        assert_eq!(dense_blobs(&bg, 2, 8, 10, 0.8, 3), g);
+    }
+
+    #[test]
+    fn deterministic() {
+        let bg = gnm(80, 150, 5);
+        let cfg = PlantedPlexConfig::default();
+        let (a, ra) = planted_plexes(&bg, &cfg, 11);
+        let (b, rb) = planted_plexes(&bg, &cfg, 11);
+        assert_eq!(a, b);
+        assert_eq!(ra.plexes, rb.plexes);
+    }
+}

@@ -1,0 +1,220 @@
+//! Power-law / scale-free generators used as stand-ins for the SNAP social
+//! and web graphs of Table 2.
+
+use super::rng;
+use crate::csr::{CsrGraph, VertexId};
+use rand::Rng;
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to `m`
+/// existing vertices chosen proportionally to degree. Produces the heavy
+/// degree tail characteristic of wiki-vote / soc-epinions style graphs.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(m >= 1 && n > m, "need n > m >= 1");
+    let mut r = rng(seed);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * m);
+    // `targets` holds one entry per edge endpoint: sampling uniformly from it
+    // is sampling proportional to degree.
+    let mut targets: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+    // Start from a star on m+1 vertices so early degrees are nonzero.
+    for v in 1..=m as VertexId {
+        edges.push((0, v));
+        targets.push(0);
+        targets.push(v);
+    }
+    for v in (m + 1) as VertexId..n as VertexId {
+        let mut picked = Vec::with_capacity(m);
+        let mut guard = 0;
+        while picked.len() < m && guard < 50 * m {
+            guard += 1;
+            let t = targets[r.random_range(0..targets.len())];
+            if t != v && !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        for &t in &picked {
+            edges.push((v, t));
+            targets.push(v);
+            targets.push(t);
+        }
+    }
+    CsrGraph::from_edges(n, edges).expect("in range")
+}
+
+/// Holme–Kim power-law clustered graph: preferential attachment where each
+/// attachment step is followed with probability `p_triangle` by a triad
+/// closure (connect to a random neighbour of the previous target). This adds
+/// the high local clustering of real social networks, which is what makes
+/// large k-plexes exist at all.
+pub fn powerlaw_cluster(n: usize, m: usize, p_triangle: f64, seed: u64) -> CsrGraph {
+    assert!(m >= 1 && n > m, "need n > m >= 1");
+    let mut r = rng(seed);
+    let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    let mut targets: Vec<VertexId> = Vec::new();
+    let add = |adj: &mut Vec<Vec<VertexId>>, targets: &mut Vec<VertexId>, u: VertexId, v: VertexId| {
+        adj[u as usize].push(v);
+        adj[v as usize].push(u);
+        targets.push(u);
+        targets.push(v);
+    };
+    for v in 1..=m as VertexId {
+        add(&mut adj, &mut targets, 0, v);
+    }
+    for v in (m + 1) as VertexId..n as VertexId {
+        let mut last_target: Option<VertexId> = None;
+        let mut added = 0;
+        let mut guard = 0;
+        while added < m && guard < 100 * m {
+            guard += 1;
+            let do_triangle = last_target.is_some() && r.random_bool(p_triangle);
+            let t = if do_triangle {
+                let lt = last_target.unwrap();
+                let nbrs = &adj[lt as usize];
+                nbrs[r.random_range(0..nbrs.len())]
+            } else {
+                targets[r.random_range(0..targets.len())]
+            };
+            if t != v && !adj[v as usize].contains(&t) {
+                add(&mut adj, &mut targets, v, t);
+                last_target = Some(t);
+                added += 1;
+            }
+        }
+    }
+    let mut edges = Vec::new();
+    for (u, nbrs) in adj.iter().enumerate() {
+        for &w in nbrs {
+            if (u as VertexId) < w {
+                edges.push((u as VertexId, w));
+            }
+        }
+    }
+    CsrGraph::from_edges(n, edges).expect("in range")
+}
+
+/// Parameters of the recursive-matrix (R-MAT) generator, the model behind
+/// many SNAP-style synthetic graphs. Probabilities must sum to ~1.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatConfig {
+    /// Probability of recursing into the top-left quadrant.
+    pub a: f64,
+    /// Top-right quadrant.
+    pub b: f64,
+    /// Bottom-left quadrant.
+    pub c: f64,
+    /// log2 of the number of vertices.
+    pub scale: u32,
+    /// Number of (directed) edge samples; the undirected simple graph keeps
+    /// fewer after dedup.
+    pub edge_factor: usize,
+}
+
+impl Default for RmatConfig {
+    fn default() -> Self {
+        // Graph500 defaults, skewed like web/internet topologies.
+        Self {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            scale: 10,
+            edge_factor: 16,
+        }
+    }
+}
+
+/// R-MAT generator: recursively partitions the adjacency matrix, landing each
+/// sampled edge in quadrants with probabilities (a, b, c, 1-a-b-c). Produces
+/// skewed, community-rich graphs similar to `as-skitter`/web crawls.
+pub fn rmat(cfg: RmatConfig, seed: u64) -> CsrGraph {
+    let n = 1usize << cfg.scale;
+    let m = n * cfg.edge_factor;
+    let mut r = rng(seed);
+    let d = 1.0 - cfg.a - cfg.b - cfg.c;
+    assert!(d >= -1e-9, "quadrant probabilities exceed 1");
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..cfg.scale {
+            let x: f64 = r.random();
+            let (du, dv) = if x < cfg.a {
+                (0, 0)
+            } else if x < cfg.a + cfg.b {
+                (0, 1)
+            } else if x < cfg.a + cfg.b + cfg.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        if u != v {
+            edges.push((u as VertexId, v as VertexId));
+        }
+    }
+    CsrGraph::from_edges(n, edges).expect("in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ba_degree_tail_is_skewed() {
+        let g = barabasi_albert(500, 3, 1);
+        // Hub degree should far exceed the attachment parameter.
+        assert!(g.max_degree() > 20, "max degree {}", g.max_degree());
+        // Every non-initial vertex attaches with m edges.
+        assert!(g.num_edges() >= 3 * (500 - 4));
+    }
+
+    #[test]
+    fn ba_is_connected_enough() {
+        let g = barabasi_albert(100, 2, 7);
+        assert_eq!(g.isolated_count(), 0);
+    }
+
+    #[test]
+    fn powerlaw_cluster_has_triangles() {
+        let g = powerlaw_cluster(300, 4, 0.8, 3);
+        // Count triangles incident to the heaviest vertex.
+        let hub = g.vertices().max_by_key(|&v| g.degree(v)).unwrap();
+        let nbrs = g.neighbors(hub);
+        let mut tri = 0usize;
+        for i in 0..nbrs.len() {
+            for j in i + 1..nbrs.len() {
+                if g.has_edge(nbrs[i], nbrs[j]) {
+                    tri += 1;
+                }
+            }
+        }
+        assert!(tri > 0, "expected clustering around hubs");
+    }
+
+    #[test]
+    fn rmat_shape() {
+        let g = rmat(
+            RmatConfig {
+                scale: 8,
+                edge_factor: 8,
+                ..Default::default()
+            },
+            9,
+        );
+        assert_eq!(g.num_vertices(), 256);
+        assert!(g.num_edges() > 500);
+        // Skew: the max degree should be much larger than average.
+        let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(g.max_degree() as f64 > 3.0 * avg);
+    }
+
+    #[test]
+    fn powerlaw_generators_deterministic() {
+        assert_eq!(barabasi_albert(200, 3, 5), barabasi_albert(200, 3, 5));
+        assert_eq!(
+            powerlaw_cluster(200, 3, 0.5, 5),
+            powerlaw_cluster(200, 3, 0.5, 5)
+        );
+        let cfg = RmatConfig::default();
+        assert_eq!(rmat(cfg, 5), rmat(cfg, 5));
+    }
+}

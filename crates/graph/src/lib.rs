@@ -1,0 +1,32 @@
+//! # kplex-graph
+//!
+//! Graph substrate for the maximal k-plex enumeration system: CSR graphs,
+//! core decomposition / degeneracy orderings, word-parallel bitsets and
+//! adjacency matrices for dense seed subgraphs, two-hop extraction, synthetic
+//! generators that stand in for the paper's SNAP/LAW datasets, and graph I/O.
+//!
+//! Everything in this crate is independent of the k-plex definition; it is
+//! the layer the enumeration engine (in `kplex-core`) is built on.
+
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod components;
+pub mod coreness;
+pub mod csr;
+pub mod error;
+pub mod gen;
+pub mod io;
+pub mod io_formats;
+pub mod matrix;
+pub mod stats;
+pub mod twohop;
+
+pub use bitset::BitSet;
+pub use components::{bfs_distances, connected_components, induced_diameter, Components};
+pub use coreness::{core_decomposition, degeneracy_order_by_id, kcore_subgraph, CoreDecomposition};
+pub use csr::{CsrGraph, GraphBuilder, VertexId};
+pub use error::GraphError;
+pub use matrix::{induced_matrix, AdjMatrix, RectBitMatrix};
+pub use stats::GraphStats;
+pub use twohop::{Hop, TwoHopExtractor};

@@ -1,0 +1,252 @@
+//! Dense adjacency matrix over bitset rows, for seed subgraphs.
+//!
+//! Section 4: "since G_i tends to be dense, it is efficient when G_i is
+//! represented by an adjacency matrix". Rows are `u64`-word bitsets so the
+//! common-neighbour counts of Theorems 5.13–5.15 and the k-plex filters of
+//! Algorithm 3 are popcount loops.
+
+use crate::bitset::BitSet;
+use crate::csr::{CsrGraph, VertexId};
+
+/// Symmetric boolean adjacency matrix with one [`BitSet`] row per vertex.
+#[derive(Clone, Debug)]
+pub struct AdjMatrix {
+    rows: Vec<BitSet>,
+    n: usize,
+}
+
+impl AdjMatrix {
+    /// An empty (edgeless) matrix on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            rows: (0..n).map(|_| BitSet::new(n)).collect(),
+            n,
+        }
+    }
+
+    /// Builds the matrix of a (small) CSR graph.
+    pub fn from_graph(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let mut m = Self::new(n);
+        for v in g.vertices() {
+            for &w in g.neighbors(v) {
+                m.rows[v as usize].insert(w as usize);
+            }
+        }
+        m
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the matrix has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Inserts the undirected edge (u, v).
+    #[inline]
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        debug_assert_ne!(u, v, "self loop");
+        self.rows[u].insert(v);
+        self.rows[v].insert(u);
+    }
+
+    /// Removes the undirected edge (u, v).
+    #[inline]
+    pub fn remove_edge(&mut self, u: usize, v: usize) {
+        self.rows[u].remove(v);
+        self.rows[v].remove(u);
+    }
+
+    /// Adjacency test.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.rows[u].contains(v)
+    }
+
+    /// The neighbourhood row of `v`.
+    #[inline]
+    pub fn row(&self, v: usize) -> &BitSet {
+        &self.rows[v]
+    }
+
+    /// Degree of `v` (popcount of its row).
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.rows[v].count()
+    }
+
+    /// `|N(u) ∩ N(v)|`.
+    #[inline]
+    pub fn common_neighbors(&self, u: usize, v: usize) -> usize {
+        self.rows[u].intersection_count(&self.rows[v])
+    }
+
+    /// `|N(u) ∩ N(v) ∩ restrict|` — common neighbours inside a candidate set.
+    #[inline]
+    pub fn common_neighbors_in(&self, u: usize, v: usize, restrict: &BitSet) -> usize {
+        self.rows[u].intersection_count3(&self.rows[v], restrict)
+    }
+
+    /// `|N(v) ∩ set|` — degree into an arbitrary vertex set.
+    #[inline]
+    pub fn degree_in(&self, v: usize, set: &BitSet) -> usize {
+        self.rows[v].intersection_count(set)
+    }
+
+    /// Removes a vertex by clearing its row and column.
+    pub fn isolate(&mut self, v: usize) {
+        let row = std::mem::replace(&mut self.rows[v], BitSet::new(self.n));
+        for w in row.iter() {
+            self.rows[w].remove(v);
+        }
+    }
+
+    /// Total number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.rows.iter().map(BitSet::count).sum::<usize>() / 2
+    }
+}
+
+/// Rectangular bit matrix: rows indexed by "outside" vertices, columns by the
+/// seed-subgraph vertices. Used for the exclusive-set vertices that live
+/// outside G_i (the `V'_i` part of Algorithm 2 line 9).
+#[derive(Clone, Debug)]
+pub struct RectBitMatrix {
+    rows: Vec<BitSet>,
+    cols: usize,
+}
+
+impl RectBitMatrix {
+    /// `rows × cols` zero matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows: (0..rows).map(|_| BitSet::new(cols)).collect(),
+            cols,
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Sets cell (r, c).
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize) {
+        self.rows[r].insert(c);
+    }
+
+    /// Reads row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &BitSet {
+        &self.rows[r]
+    }
+}
+
+/// Builds the adjacency matrix of the subgraph induced by `vertices` of `g`,
+/// where matrix index `i` corresponds to `vertices[i]`. `vertices` must be
+/// duplicate-free.
+pub fn induced_matrix(g: &CsrGraph, vertices: &[VertexId]) -> AdjMatrix {
+    let mut index = std::collections::HashMap::with_capacity(vertices.len() * 2);
+    for (i, &v) in vertices.iter().enumerate() {
+        index.insert(v, i);
+    }
+    let mut m = AdjMatrix::new(vertices.len());
+    for (i, &v) in vertices.iter().enumerate() {
+        for &w in g.neighbors(v) {
+            if let Some(&j) = index.get(&w) {
+                if i < j {
+                    m.add_edge(i, j);
+                }
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn from_graph_roundtrip() {
+        let g = gen::gnm(40, 120, 3);
+        let m = AdjMatrix::from_graph(&g);
+        assert_eq!(m.num_edges(), g.num_edges());
+        for u in g.vertices() {
+            for v in g.vertices() {
+                if u != v {
+                    assert_eq!(m.has_edge(u as usize, v as usize), g.has_edge(u, v));
+                }
+            }
+            assert_eq!(m.degree(u as usize), g.degree(u));
+        }
+    }
+
+    #[test]
+    fn common_neighbors_counts() {
+        // 0 and 1 share neighbours {2, 3}.
+        let g = CsrGraph::from_edges(5, [(0, 2), (0, 3), (1, 2), (1, 3), (0, 4)]).unwrap();
+        let m = AdjMatrix::from_graph(&g);
+        assert_eq!(m.common_neighbors(0, 1), 2);
+        let mut restrict = BitSet::new(5);
+        restrict.insert(2);
+        assert_eq!(m.common_neighbors_in(0, 1, &restrict), 1);
+    }
+
+    #[test]
+    fn degree_in_set() {
+        let g = gen::complete(6);
+        let m = AdjMatrix::from_graph(&g);
+        let mut set = BitSet::new(6);
+        set.insert(1);
+        set.insert(2);
+        set.insert(3);
+        assert_eq!(m.degree_in(0, &set), 3);
+        assert_eq!(m.degree_in(1, &set), 2); // 1 not adjacent to itself
+    }
+
+    #[test]
+    fn isolate_clears_row_and_column() {
+        let g = gen::complete(4);
+        let mut m = AdjMatrix::from_graph(&g);
+        m.isolate(2);
+        assert_eq!(m.degree(2), 0);
+        for v in [0usize, 1, 3] {
+            assert!(!m.has_edge(v, 2));
+            assert_eq!(m.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn induced_matrix_respects_ordering() {
+        let g = CsrGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (1, 3)]).unwrap();
+        let m = induced_matrix(&g, &[3, 1, 4]);
+        // index 0 = vertex 3, index 1 = vertex 1, index 2 = vertex 4.
+        assert!(m.has_edge(0, 1)); // 3-1
+        assert!(m.has_edge(0, 2)); // 3-4
+        assert!(!m.has_edge(1, 2)); // 1-4 absent
+    }
+
+    #[test]
+    fn rect_matrix_basics() {
+        let mut r = RectBitMatrix::new(3, 10);
+        r.set(0, 9);
+        r.set(2, 0);
+        assert!(r.row(0).contains(9));
+        assert!(!r.row(1).contains(9));
+        assert_eq!(r.num_rows(), 3);
+        assert_eq!(r.num_cols(), 10);
+    }
+}

@@ -1,0 +1,163 @@
+//! Graph summary statistics (the columns of Table 2).
+
+use crate::coreness::core_decomposition;
+use crate::csr::CsrGraph;
+use serde::{Deserialize, Serialize};
+
+/// The headline statistics reported per dataset in Table 2 of the paper.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of vertices n.
+    pub n: usize,
+    /// Number of undirected edges m.
+    pub m: usize,
+    /// Maximum degree Δ.
+    pub max_degree: usize,
+    /// Degeneracy D.
+    pub degeneracy: u32,
+    /// Average degree 2m/n.
+    pub avg_degree: f64,
+}
+
+impl GraphStats {
+    /// Computes all statistics in one pass plus a core decomposition.
+    pub fn compute(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        Self {
+            n,
+            m,
+            max_degree: g.max_degree(),
+            degeneracy: core_decomposition(g).degeneracy,
+            avg_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} Δ={} D={} avg={:.2}",
+            self.n, self.m, self.max_degree, self.degeneracy, self.avg_degree
+        )
+    }
+}
+
+/// Degree histogram: `hist[d]` = number of vertices with degree `d`.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.vertices() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Exact triangle count via neighbour-list merging on the degeneracy DAG.
+pub fn triangle_count(g: &CsrGraph) -> u64 {
+    let decomp = core_decomposition(g);
+    let mut count = 0u64;
+    // Orient edges from earlier to later in η; each triangle is counted once
+    // at its η-minimal vertex.
+    let mut later: Vec<Vec<u32>> = vec![Vec::new(); g.num_vertices()];
+    for v in g.vertices() {
+        later[v as usize] = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&w| decomp.before(v, w))
+            .collect();
+        later[v as usize].sort_unstable();
+    }
+    for v in g.vertices() {
+        let lv = &later[v as usize];
+        for &w in lv {
+            // Intersect later[v] with later[w].
+            let lw = &later[w as usize];
+            let (mut i, mut j) = (0, 0);
+            while i < lv.len() && j < lw.len() {
+                match lv[i].cmp(&lw[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        count += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Global clustering coefficient = 3·triangles / open-or-closed wedges.
+pub fn global_clustering(g: &CsrGraph) -> f64 {
+    let wedges: u64 = g
+        .vertices()
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        0.0
+    } else {
+        3.0 * triangle_count(g) as f64 / wedges as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn stats_of_complete_graph() {
+        let g = gen::complete(6);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.n, 6);
+        assert_eq!(s.m, 15);
+        assert_eq!(s.max_degree, 5);
+        assert_eq!(s.degeneracy, 5);
+        assert!((s.avg_degree - 5.0).abs() < 1e-9);
+        assert!(s.to_string().contains("D=5"));
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_n() {
+        let g = gen::gnm(50, 120, 2);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 50);
+    }
+
+    #[test]
+    fn triangles_of_known_graphs() {
+        assert_eq!(triangle_count(&gen::complete(4)), 4);
+        assert_eq!(triangle_count(&gen::complete(6)), 20);
+        assert_eq!(triangle_count(&gen::cycle(5)), 0);
+        assert_eq!(triangle_count(&gen::star(10)), 0);
+    }
+
+    #[test]
+    fn clustering_extremes() {
+        assert!((global_clustering(&gen::complete(5)) - 1.0).abs() < 1e-9);
+        assert_eq!(global_clustering(&gen::star(6)), 0.0);
+    }
+
+    #[test]
+    fn triangle_count_matches_bruteforce() {
+        let g = gen::gnp(40, 0.25, 7);
+        let mut brute = 0u64;
+        for u in 0..40u32 {
+            for v in u + 1..40 {
+                for w in v + 1..40 {
+                    if g.has_edge(u, v) && g.has_edge(v, w) && g.has_edge(u, w) {
+                        brute += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(triangle_count(&g), brute);
+    }
+}

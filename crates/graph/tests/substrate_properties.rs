@@ -1,0 +1,193 @@
+//! Property-based tests for the graph substrate: the bitset against a
+//! set-model oracle, CSR construction invariants, core decomposition
+//! definitions, component labelling, and I/O roundtrips.
+
+use kplex_graph::{
+    bfs_distances, connected_components, core_decomposition, degeneracy_order_by_id, io,
+    io_formats, BitSet, CsrGraph,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+// --- bitset against a BTreeSet model ----------------------------------------
+
+#[derive(Clone, Debug)]
+enum BitOp {
+    Insert(usize),
+    Remove(usize),
+    Clear,
+}
+
+fn arb_ops(universe: usize) -> impl Strategy<Value = Vec<BitOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..universe).prop_map(BitOp::Insert),
+            (0..universe).prop_map(BitOp::Remove),
+            Just(BitOp::Clear),
+        ],
+        0..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bitset_behaves_like_btreeset(ops in arb_ops(200)) {
+        let mut bits = BitSet::new(200);
+        let mut model: BTreeSet<usize> = BTreeSet::new();
+        for op in ops {
+            match op {
+                BitOp::Insert(i) => {
+                    bits.insert(i);
+                    model.insert(i);
+                }
+                BitOp::Remove(i) => {
+                    bits.remove(i);
+                    model.remove(&i);
+                }
+                BitOp::Clear => {
+                    bits.clear();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(bits.count(), model.len());
+            prop_assert_eq!(bits.is_empty(), model.is_empty());
+            prop_assert_eq!(bits.first(), model.iter().next().copied());
+        }
+        let collected: Vec<usize> = bits.iter().collect();
+        let expected: Vec<usize> = model.iter().copied().collect();
+        prop_assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn bitset_algebra_matches_set_algebra(
+        a in proptest::collection::btree_set(0usize..128, 0..40),
+        b in proptest::collection::btree_set(0usize..128, 0..40),
+    ) {
+        let mut ba = BitSet::new(128);
+        let mut bb = BitSet::new(128);
+        for &x in &a { ba.insert(x); }
+        for &x in &b { bb.insert(x); }
+        prop_assert_eq!(ba.intersection_count(&bb), a.intersection(&b).count());
+        prop_assert_eq!(ba.intersects(&bb), !a.is_disjoint(&b));
+        prop_assert_eq!(ba.is_subset_of(&bb), a.is_subset(&b));
+        let mut union = ba.clone();
+        union.union_with(&bb);
+        prop_assert_eq!(union.count(), a.union(&b).count());
+        let mut diff = ba.clone();
+        diff.difference_with(&bb);
+        prop_assert_eq!(diff.count(), a.difference(&b).count());
+    }
+}
+
+// --- CSR construction ---------------------------------------------------------
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..40).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..120)
+            .prop_map(move |pairs| CsrGraph::from_edges(n, pairs).expect("in range"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn csr_invariants_hold(g in arb_graph()) {
+        g.check_invariants().expect("invariants");
+        // Handshake lemma.
+        let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+        // has_edge consistent with neighbour lists.
+        for v in g.vertices() {
+            for &w in g.neighbors(v) {
+                prop_assert!(g.has_edge(v, w));
+                prop_assert!(g.has_edge(w, v));
+                prop_assert_ne!(v, w);
+            }
+        }
+    }
+
+    #[test]
+    fn core_numbers_satisfy_their_definition(g in arb_graph()) {
+        let d = core_decomposition(&g);
+        // Every vertex of the c-core subgraph has degree >= c within it.
+        let dmax = d.degeneracy;
+        for c in 1..=dmax {
+            let members: Vec<u32> = g.vertices().filter(|&v| d.core[v as usize] >= c).collect();
+            let set: BTreeSet<u32> = members.iter().copied().collect();
+            for &v in &members {
+                let inside = g.neighbors(v).iter().filter(|w| set.contains(w)).count();
+                prop_assert!(
+                    inside >= c as usize,
+                    "vertex {v} has degree {inside} inside its {c}-core"
+                );
+            }
+        }
+        // Degeneracy ordering: every vertex has at most D later neighbours.
+        for v in g.vertices() {
+            let later = g.neighbors(v).iter().filter(|&&w| d.before(v, w)).count();
+            prop_assert!(later <= d.degeneracy as usize);
+        }
+        // Both peeling implementations agree on core numbers.
+        let d2 = degeneracy_order_by_id(&g);
+        prop_assert_eq!(d.core, d2.core);
+    }
+
+    #[test]
+    fn components_partition_and_respect_edges(g in arb_graph()) {
+        let c = connected_components(&g);
+        prop_assert_eq!(c.sizes.iter().sum::<usize>(), g.num_vertices());
+        for (u, v) in g.edges() {
+            prop_assert_eq!(c.label[u as usize], c.label[v as usize]);
+        }
+        // BFS from any vertex reaches exactly its component.
+        if g.num_vertices() > 0 {
+            let d = bfs_distances(&g, 0);
+            for v in g.vertices() {
+                prop_assert_eq!(
+                    d[v as usize] != u32::MAX,
+                    c.label[v as usize] == c.label[0]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binary_and_text_roundtrips(g in arb_graph()) {
+        let bytes = io::encode_binary(&g);
+        prop_assert_eq!(&io::decode_binary(&bytes).expect("decode"), &g);
+
+        let mut dimacs = Vec::new();
+        io_formats::write_dimacs(&g, &mut dimacs).expect("write");
+        prop_assert_eq!(&io_formats::parse_dimacs(dimacs.as_slice()).expect("parse"), &g);
+
+        let mut metis = Vec::new();
+        io_formats::write_metis(&g, &mut metis).expect("write");
+        prop_assert_eq!(&io_formats::parse_metis(metis.as_slice()).expect("parse"), &g);
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_adjacency(
+        g in arb_graph(),
+        selector in proptest::collection::vec(any::<bool>(), 40),
+    ) {
+        let keep: Vec<u32> = g
+            .vertices()
+            .filter(|&v| selector.get(v as usize).copied().unwrap_or(false))
+            .collect();
+        let (sub, map) = g.induced_subgraph(&keep);
+        prop_assert_eq!(sub.num_vertices(), keep.len());
+        for a in 0..sub.num_vertices() as u32 {
+            for b in 0..sub.num_vertices() as u32 {
+                if a != b {
+                    prop_assert_eq!(
+                        sub.has_edge(a, b),
+                        g.has_edge(map[a as usize], map[b as usize])
+                    );
+                }
+            }
+        }
+    }
+}

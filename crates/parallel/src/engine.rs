@@ -1,0 +1,444 @@
+//! The stage-based parallel engine.
+
+use crossbeam::deque::{Steal, Stealer, Worker as Deque};
+use kplex_core::enumerate::{prepare, MapSink};
+use kplex_core::{
+    collect_subtasks, AlgoConfig, CollectSink, CountSink, PairMatrix, Params, PlexSink,
+    SearchStats, Searcher, SeedBuilder, SeedGraph, XOUT_FLAG,
+};
+use kplex_graph::{CsrGraph, VertexId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Barrier, OnceLock};
+use std::time::Duration;
+
+/// Knobs of the parallel engine.
+#[derive(Clone, Debug)]
+pub struct EngineOptions {
+    /// Number of worker threads `M`.
+    pub threads: usize,
+    /// Straggler timeout `τ_time`; tasks running longer re-queue their
+    /// remaining branches. `None` disables splitting (ListPlex/FP style).
+    pub timeout: Option<Duration>,
+    /// Build every seed subgraph up-front on one thread before any task
+    /// runs — the behaviour of parallel FP that the paper identifies as its
+    /// bottleneck. When false (default), construction is part of each stage.
+    pub serial_construction: bool,
+    /// One task per seed with the full two-hop candidate set (FP's layout)
+    /// instead of S-sub-tasks.
+    pub single_task_per_seed: bool,
+}
+
+impl EngineOptions {
+    /// Default options for `t` threads with the paper's default timeout
+    /// (τ_time = 0.1 ms).
+    pub fn with_threads(t: usize) -> Self {
+        Self {
+            threads: t.max(1),
+            timeout: Some(Duration::from_micros(100)),
+            serial_construction: false,
+            single_task_per_seed: false,
+        }
+    }
+}
+
+/// Per-seed shared state for one stage.
+struct Slot {
+    seed: SeedGraph,
+    pairs: Option<PairMatrix>,
+}
+
+/// A unit of work: a branch ⟨P, C, X⟩ on a stage slot's seed subgraph.
+struct Task {
+    slot: usize,
+    p: Vec<u32>,
+    c: Vec<u32>,
+    x: Vec<u32>,
+}
+
+/// Counts maximal k-plexes in parallel. Returns the count and merged stats.
+pub fn par_enumerate_count(
+    g: &CsrGraph,
+    params: Params,
+    cfg: &AlgoConfig,
+    opts: &EngineOptions,
+) -> (u64, SearchStats) {
+    let (sinks, stats) = run_parallel(g, params, cfg, opts, CountSink::default);
+    (sinks.into_iter().map(|s| s.count).sum(), stats)
+}
+
+/// Collects all maximal k-plexes in parallel, in canonical sorted order.
+pub fn par_enumerate_collect(
+    g: &CsrGraph,
+    params: Params,
+    cfg: &AlgoConfig,
+    opts: &EngineOptions,
+) -> (Vec<Vec<VertexId>>, SearchStats) {
+    let (sinks, stats) = run_parallel(g, params, cfg, opts, CollectSink::default);
+    let mut all: Vec<Vec<VertexId>> = sinks.into_iter().flat_map(|s| s.plexes).collect();
+    all.sort();
+    (all, stats)
+}
+
+/// The generic engine: one sink per worker, merged stats.
+pub fn run_parallel<S, F>(
+    g: &CsrGraph,
+    params: Params,
+    cfg: &AlgoConfig,
+    opts: &EngineOptions,
+    make_sink: F,
+) -> (Vec<S>, SearchStats)
+where
+    S: PlexSink + Send,
+    F: Fn() -> S + Sync,
+{
+    let m = opts.threads.max(1);
+    let prep = prepare(g, params);
+    let n = prep.graph.num_vertices();
+    let mut total = SearchStats::default();
+    let mut sinks: Vec<S> = (0..m).map(|_| make_sink()).collect();
+    if n < params.q {
+        return (sinks, total);
+    }
+
+    if opts.serial_construction {
+        // FP-style: build every slot up-front, one big stage.
+        let mut builder = SeedBuilder::new(n);
+        let mut slots = Vec::new();
+        for &sv in &prep.decomp.order {
+            if let Some(seed) = builder.build(&prep.graph, &prep.decomp, sv, params, cfg) {
+                total.seed_graphs += 1;
+                total.seed_pruned_vertices += seed.pruned_vertices;
+                let pairs = cfg.use_r2.then(|| PairMatrix::build(&seed, params));
+                slots.push(Slot { seed, pairs });
+            }
+        }
+        let filled: Vec<OnceLock<Slot>> = slots
+            .into_iter()
+            .map(|s| {
+                let cell = OnceLock::new();
+                cell.set(s).ok().expect("fresh cell");
+                cell
+            })
+            .collect();
+        let stage_stats = run_stage(&prep.map, params, cfg, opts, &filled, None, &mut sinks);
+        total.merge(&stage_stats);
+        return (sinks, total);
+    }
+
+    // Eligibility pre-filter: the builder's cheapest gate (enough later
+    // neighbours to host a q-plex) rejects the vast majority of vertices
+    // without building anything.
+    let eligible: Vec<VertexId> = prep
+        .decomp
+        .order
+        .iter()
+        .copied()
+        .filter(|&v| {
+            let later = prep
+                .graph
+                .neighbors(v)
+                .iter()
+                .filter(|&&w| prep.decomp.before(v, w))
+                .count();
+            later + params.k >= params.q
+        })
+        .collect();
+    // One spawn for the whole run: worker w builds eligible seeds w, w+M,
+    // w+2M, … (parallel construction, per-worker task locality) and all
+    // workers then drain with stealing. Spawning fresh threads per batch of
+    // M seeds would cost thousands of thread spawns on large inputs.
+    let slots: Vec<OnceLock<Slot>> = (0..eligible.len()).map(|_| OnceLock::new()).collect();
+    let stage_stats = run_stage(
+        &prep.map,
+        params,
+        cfg,
+        opts,
+        &slots,
+        Some((&prep, &eligible)),
+        &mut sinks,
+    );
+    total.merge(&stage_stats);
+    for slot in &slots {
+        if let Some(s) = slot.get() {
+            total.seed_graphs += 1;
+            total.seed_pruned_vertices += s.seed.pruned_vertices;
+        }
+    }
+    (sinks, total)
+}
+
+/// Runs one stage to completion. When `construct` is provided, worker `i`
+/// first builds slot `i` and enqueues its sub-tasks; with `None` the slots
+/// are pre-filled and tasks are dealt round-robin.
+#[allow(clippy::too_many_arguments)]
+fn run_stage<S: PlexSink + Send>(
+    id_map: &[VertexId],
+    params: Params,
+    cfg: &AlgoConfig,
+    opts: &EngineOptions,
+    slots: &[OnceLock<Slot>],
+    construct: Option<(&kplex_core::Prepared, &[VertexId])>,
+    sinks: &mut [S],
+) -> SearchStats {
+    let m = sinks.len();
+    let deques: Vec<Deque<Task>> = (0..m).map(|_| Deque::new_lifo()).collect();
+    let stealers: Vec<Stealer<Task>> = deques.iter().map(|d| d.stealer()).collect();
+    let pending = AtomicUsize::new(0);
+    let barrier = Barrier::new(m);
+
+    // Pre-filled slots: deal tasks before spawning workers.
+    let mut dealer_stats = SearchStats::default();
+    if construct.is_none() {
+        for (si, slot) in slots.iter().enumerate() {
+            let slot_ref = slot.get().expect("pre-filled");
+            for t in make_tasks(si, slot_ref, params, cfg, opts, &mut dealer_stats) {
+                pending.fetch_add(1, Ordering::Relaxed);
+                deques[si % m].push(t);
+            }
+        }
+    }
+
+    let mut worker_stats: Vec<SearchStats> = (0..m).map(|_| SearchStats::default()).collect();
+    std::thread::scope(|scope| {
+        let pending = &pending;
+        let barrier = &barrier;
+        let stealers = &stealers;
+        let mut handles = Vec::new();
+        for (((wid, deque), sink), wstats) in deques
+            .into_iter()
+            .enumerate()
+            .zip(sinks.iter_mut())
+            .zip(worker_stats.iter_mut())
+        {
+            let construct = construct;
+            handles.push(scope.spawn(move || {
+                // Phase 1: construction (when not pre-filled). Worker w
+                // builds every M-th eligible seed and enqueues its tasks on
+                // the worker's own deque (cache locality: a worker drains
+                // its own seeds' tasks first).
+                if let Some((prep, seeds)) = construct {
+                    let mut builder = SeedBuilder::new(prep.graph.num_vertices());
+                    let mut idx = wid;
+                    while idx < seeds.len() {
+                        if let Some(seed) =
+                            builder.build(&prep.graph, &prep.decomp, seeds[idx], params, cfg)
+                        {
+                            let pairs = cfg.use_r2.then(|| PairMatrix::build(&seed, params));
+                            slots[idx]
+                                .set(Slot { seed, pairs })
+                                .ok()
+                                .expect("slot filled once");
+                            let slot_ref = slots[idx].get().expect("just set");
+                            for t in make_tasks(idx, slot_ref, params, cfg, opts, wstats) {
+                                pending.fetch_add(1, Ordering::Relaxed);
+                                deque.push(t);
+                            }
+                        }
+                        idx += m;
+                    }
+                    barrier.wait();
+                }
+                // Phase 2: drain own queue, then steal.
+                let mut sink = MapSink::new(sink, id_map);
+                // Cache the searcher across consecutive tasks on one slot.
+                let mut cur: Option<(usize, Searcher)> = None;
+                loop {
+                    let task = match deque.pop() {
+                        Some(t) => Some(t),
+                        None => steal_task(stealers, wid),
+                    };
+                    let Some(task) = task else {
+                        if pending.load(Ordering::Acquire) == 0 {
+                            break;
+                        }
+                        std::thread::yield_now();
+                        continue;
+                    };
+                    let slot_ref = slots[task.slot].get().expect("slot set before tasks");
+                    let searcher = match &mut cur {
+                        Some((sid, s)) if *sid == task.slot => s,
+                        _ => {
+                            if let Some((_, old)) = cur.take() {
+                                wstats.merge(&old.stats);
+                            }
+                            let mut s =
+                                Searcher::new(&slot_ref.seed, params, cfg, slot_ref.pairs.as_ref());
+                            s.set_time_budget(opts.timeout);
+                            cur = Some((task.slot, s));
+                            &mut cur.as_mut().expect("just set").1
+                        }
+                    };
+                    searcher.run_task(&task.p, task.c, task.x, &mut sink);
+                    for saved in searcher.take_saved() {
+                        pending.fetch_add(1, Ordering::Relaxed);
+                        deque.push(Task {
+                            slot: task.slot,
+                            p: saved.p,
+                            c: saved.c,
+                            x: saved.x,
+                        });
+                    }
+                    pending.fetch_sub(1, Ordering::Release);
+                }
+                if let Some((_, old)) = cur.take() {
+                    wstats.merge(&old.stats);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+    });
+
+    let mut merged = dealer_stats;
+    for ws in &worker_stats {
+        merged.merge(ws);
+    }
+    merged
+}
+
+/// Builds the initial tasks for one slot, accumulating sub-task counters
+/// (generated / R1-pruned) into `stats`.
+fn make_tasks(
+    slot: usize,
+    s: &Slot,
+    params: Params,
+    cfg: &AlgoConfig,
+    opts: &EngineOptions,
+    stats: &mut SearchStats,
+) -> Vec<Task> {
+    if opts.single_task_per_seed {
+        stats.subtasks += 1;
+        let c: Vec<u32> = (1..s.seed.len() as u32).collect();
+        let x: Vec<u32> = (0..s.seed.xout.len() as u32).map(|i| i | XOUT_FLAG).collect();
+        return vec![Task {
+            slot,
+            p: vec![0],
+            c,
+            x,
+        }];
+    }
+    collect_subtasks(&s.seed, params, cfg, s.pairs.as_ref(), stats)
+        .into_iter()
+        .map(|t| Task {
+            slot,
+            p: t.p,
+            c: t.c,
+            x: t.x,
+        })
+        .collect()
+}
+
+/// Round-robin steal starting after the worker's own index.
+fn steal_task(stealers: &[Stealer<Task>], wid: usize) -> Option<Task> {
+    let m = stealers.len();
+    for off in 1..m {
+        let victim = (wid + off) % m;
+        loop {
+            match stealers[victim].steal() {
+                Steal::Success(t) => return Some(t),
+                Steal::Retry => continue,
+                Steal::Empty => break,
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kplex_core::enumerate_collect;
+    use kplex_graph::gen;
+
+    fn check_parallel_matches_serial(g: &CsrGraph, k: usize, q: usize, opts: &EngineOptions) {
+        let params = Params::new(k, q).unwrap();
+        let cfg = AlgoConfig::ours();
+        let (serial, _) = enumerate_collect(g, params, &cfg);
+        let (par, _) = par_enumerate_collect(g, params, &cfg, opts);
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn two_threads_match_serial() {
+        let g = gen::gnp(40, 0.3, 5);
+        check_parallel_matches_serial(&g, 2, 4, &EngineOptions::with_threads(2));
+    }
+
+    #[test]
+    fn four_threads_match_serial_on_clustered_graph() {
+        let g = gen::powerlaw_cluster(200, 5, 0.7, 8);
+        check_parallel_matches_serial(&g, 3, 6, &EngineOptions::with_threads(4));
+    }
+
+    #[test]
+    fn tiny_timeout_still_correct() {
+        // A 0ns timeout forces maximal task splitting; results must not
+        // change, only the split count.
+        let g = gen::powerlaw_cluster(120, 5, 0.7, 3);
+        let params = Params::new(2, 5).unwrap();
+        let cfg = AlgoConfig::ours();
+        let (serial, _) = enumerate_collect(&g, params, &cfg);
+        let mut opts = EngineOptions::with_threads(3);
+        opts.timeout = Some(Duration::from_nanos(0));
+        let (par, stats) = par_enumerate_collect(&g, params, &cfg, &opts);
+        assert_eq!(par, serial);
+        assert!(stats.timeout_splits > 0, "expected task splitting");
+    }
+
+    #[test]
+    fn no_timeout_matches_serial() {
+        let g = gen::gnp(50, 0.3, 9);
+        let params = Params::new(2, 4).unwrap();
+        let cfg = AlgoConfig::ours();
+        let (serial, _) = enumerate_collect(&g, params, &cfg);
+        let mut opts = EngineOptions::with_threads(4);
+        opts.timeout = None;
+        let (par, stats) = par_enumerate_collect(&g, params, &cfg, &opts);
+        assert_eq!(par, serial);
+        assert_eq!(stats.timeout_splits, 0);
+    }
+
+    #[test]
+    fn fp_layout_parallel_matches() {
+        let g = gen::gnp(40, 0.3, 11);
+        let params = Params::new(2, 4).unwrap();
+        let fp_cfg = kplex_baselines::fp_config();
+        let mut sink = CollectSink::default();
+        kplex_baselines::enumerate_fp(&g, params, &mut sink);
+        let serial = sink.into_sorted();
+        let opts = EngineOptions {
+            threads: 3,
+            timeout: None,
+            serial_construction: true,
+            single_task_per_seed: true,
+        };
+        let (par, _) = par_enumerate_collect(&g, params, &fp_cfg, &opts);
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn single_thread_engine_equals_serial_stats_outputs() {
+        let g = gen::gnp(30, 0.35, 2);
+        let params = Params::new(2, 4).unwrap();
+        let cfg = AlgoConfig::ours();
+        let (serial, s1) = enumerate_collect(&g, params, &cfg);
+        let mut opts = EngineOptions::with_threads(1);
+        opts.timeout = None;
+        let (par, s2) = par_enumerate_collect(&g, params, &cfg, &opts);
+        assert_eq!(par, serial);
+        assert_eq!(s1.outputs, s2.outputs);
+        assert_eq!(s1.subtasks, s2.subtasks);
+    }
+
+    #[test]
+    fn count_and_collect_agree() {
+        let g = gen::powerlaw_cluster(150, 4, 0.6, 7);
+        let params = Params::new(2, 5).unwrap();
+        let cfg = AlgoConfig::ours();
+        let opts = EngineOptions::with_threads(4);
+        let (count, _) = par_enumerate_count(&g, params, &cfg, &opts);
+        let (collected, _) = par_enumerate_collect(&g, params, &cfg, &opts);
+        assert_eq!(count as usize, collected.len());
+    }
+}

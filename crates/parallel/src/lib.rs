@@ -1,0 +1,24 @@
+//! # kplex-parallel
+//!
+//! Task-based parallel enumeration (Section 6 of the paper).
+//!
+//! The engine processes seed vertices in *stages*: in stage `j`, the `M`
+//! worker threads take the next `M` seed vertices of the degeneracy
+//! ordering, each builds its seed subgraph and enqueues that seed's initial
+//! sub-tasks into its own work-stealing deque, and then all workers drain
+//! the stage — own queue first (cache locality: tasks of one queue share a
+//! seed subgraph), stealing from siblings once empty (load balance). Stage
+//! memory (seed subgraphs, pair matrices) is released before the next stage
+//! begins.
+//!
+//! Straggler elimination: every task carries a time budget `τ_time`; when a
+//! task runs past it, the searcher stops recursing and re-packages its
+//! pending branches as new tasks on the worker's queue
+//! ([`kplex_core::SavedTask`]), so one deep sub-tree cannot serialise the
+//! stage tail.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+
+pub use engine::{par_enumerate_collect, par_enumerate_count, EngineOptions};

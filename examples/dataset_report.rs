@@ -1,0 +1,34 @@
+//! Prints a report over the built-in datasets: statistics, core structure
+//! and a quick k-plex profile of each small dataset.
+//!
+//! Run with: `cargo run --release --example dataset_report`
+
+use maximal_kplex::datasets::{all_datasets, DatasetClass};
+use maximal_kplex::graph::core_decomposition;
+use maximal_kplex::prelude::*;
+
+fn main() {
+    println!(
+        "{:<14} {:>7} {:>8} {:>5} {:>4}  {:>10} {:>10}",
+        "dataset", "n", "m", "Δ", "D", "2-plex@q9", "3-plex@q9"
+    );
+    for d in all_datasets() {
+        let g = d.load();
+        let stats = GraphStats::compute(&g);
+        let decomp = core_decomposition(&g);
+        assert_eq!(decomp.degeneracy, stats.degeneracy);
+        // Profile only the small/medium datasets (the large ones are for the
+        // parallel experiments).
+        let profile = if d.class != DatasetClass::Large {
+            let (c2, _) = enumerate_count(&g, Params::new(2, 9).unwrap(), &AlgoConfig::ours());
+            let (c3, _) = enumerate_count(&g, Params::new(3, 9).unwrap(), &AlgoConfig::ours());
+            (c2.to_string(), c3.to_string())
+        } else {
+            ("-".into(), "-".into())
+        };
+        println!(
+            "{:<14} {:>7} {:>8} {:>5} {:>4}  {:>10} {:>10}",
+            d.name, stats.n, stats.m, stats.max_degree, stats.degeneracy, profile.0, profile.1
+        );
+    }
+}

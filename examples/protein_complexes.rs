@@ -1,0 +1,92 @@
+//! Protein-complex discovery in a noisy interaction network.
+//!
+//! Biological motivation from the paper's introduction: protein complexes
+//! appear as dense modules in protein-protein interaction (PPI) networks,
+//! but experimental noise removes edges, so complexes surface as k-plexes
+//! rather than cliques. This example simulates a PPI network with known
+//! complexes, drops a fraction of intra-complex edges ("false negatives"),
+//! and shows that k-plex mining still recovers the complexes where clique
+//! mining (k = 1) fails.
+//!
+//! Run with: `cargo run --release --example protein_complexes`
+
+use maximal_kplex::graph::gen;
+use maximal_kplex::graph::CsrGraph;
+use maximal_kplex::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Builds a synthetic PPI network: sparse random background + `complexes`
+/// cliques of size `size`, then deletes intra-complex edges with probability
+/// `dropout` while keeping every protein's loss below `max_missing`.
+fn simulated_ppi(
+    n: usize,
+    complexes: usize,
+    size: usize,
+    dropout: f64,
+    max_missing: usize,
+    seed: u64,
+) -> (CsrGraph, Vec<Vec<u32>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let background = gen::gnm(n, n * 2, seed ^ 1);
+    let mut edges: Vec<(u32, u32)> = background.edges().collect();
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    ids.shuffle(&mut rng);
+    let mut truth = Vec::new();
+    for c in 0..complexes {
+        let members = &ids[c * size..(c + 1) * size];
+        let mut missing = vec![0usize; size];
+        for i in 0..size {
+            for j in i + 1..size {
+                let drop = rng.random_bool(dropout)
+                    && missing[i] < max_missing
+                    && missing[j] < max_missing;
+                if drop {
+                    missing[i] += 1;
+                    missing[j] += 1;
+                } else {
+                    edges.push((members[i], members[j]));
+                }
+            }
+        }
+        let mut m = members.to_vec();
+        m.sort_unstable();
+        truth.push(m);
+    }
+    (CsrGraph::from_edges(n, edges).unwrap(), truth)
+}
+
+fn recovered(plexes: &[Vec<u32>], truth: &[Vec<u32>]) -> usize {
+    truth
+        .iter()
+        .filter(|complex| plexes.iter().any(|p| complex.iter().all(|v| p.contains(v))))
+        .count()
+}
+
+fn main() {
+    let (g, truth) = simulated_ppi(2_000, 10, 10, 0.18, 2, 42);
+    println!("PPI network: {}", GraphStats::compute(&g));
+    println!("ground truth: {} complexes of 10 proteins", truth.len());
+
+    // Clique mining (k = 1) misses complexes with any dropped edge.
+    let (cliques, _) = enumerate_collect(&g, Params::new(1, 8).unwrap(), &AlgoConfig::ours());
+    let r1 = recovered(&cliques, &truth);
+    println!("\nclique mining  (k=1, q=8): {} complexes recovered", r1);
+
+    // 3-plex mining tolerates two missing partners per protein.
+    let (plexes, stats) = enumerate_collect(&g, Params::new(3, 8).unwrap(), &AlgoConfig::ours());
+    let r3 = recovered(&plexes, &truth);
+    println!("k-plex mining  (k=3, q=8): {} complexes recovered", r3);
+    println!("stats: {stats}");
+
+    assert_eq!(r3, truth.len(), "3-plex mining must recover every complex");
+    assert!(
+        r1 < truth.len(),
+        "with 18% edge dropout, clique mining should miss some complexes"
+    );
+    println!(
+        "\nk-plex relaxation recovered {} complexes that clique mining missed",
+        r3 - r1
+    );
+}

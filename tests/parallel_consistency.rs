@@ -1,0 +1,107 @@
+//! Consistency of the parallel engine (Section 6) against the sequential
+//! driver across thread counts, timeouts and task layouts.
+
+use kplex_baselines::{fp_config, listplex_config};
+use kplex_core::{enumerate_collect, AlgoConfig, CollectSink, Params};
+use kplex_graph::gen;
+use kplex_parallel::{par_enumerate_collect, par_enumerate_count, EngineOptions};
+use std::time::Duration;
+
+#[test]
+fn thread_counts_all_agree() {
+    let g = gen::powerlaw_cluster(300, 6, 0.6, 21);
+    let params = Params::new(2, 7).unwrap();
+    let cfg = AlgoConfig::ours();
+    let (reference, _) = enumerate_collect(&g, params, &cfg);
+    for threads in [1usize, 2, 3, 4, 7] {
+        let opts = EngineOptions::with_threads(threads);
+        let (got, _) = par_enumerate_collect(&g, params, &cfg, &opts);
+        assert_eq!(got, reference, "diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn timeout_values_all_agree() {
+    let g = gen::powerlaw_cluster(250, 6, 0.6, 23);
+    let params = Params::new(3, 8).unwrap();
+    let cfg = AlgoConfig::ours();
+    let (reference, _) = enumerate_collect(&g, params, &cfg);
+    for timeout in [None, Some(Duration::ZERO), Some(Duration::from_micros(1)), Some(Duration::from_micros(100)), Some(Duration::from_millis(10))] {
+        let mut opts = EngineOptions::with_threads(2);
+        opts.timeout = timeout;
+        let (got, stats) = par_enumerate_collect(&g, params, &cfg, &opts);
+        assert_eq!(got, reference, "diverged at timeout {timeout:?}");
+        if timeout == Some(Duration::ZERO) {
+            assert!(stats.timeout_splits > 0, "zero timeout must split tasks");
+        }
+        if timeout.is_none() {
+            assert_eq!(stats.timeout_splits, 0);
+        }
+    }
+}
+
+#[test]
+fn parallel_listplex_matches_serial_listplex() {
+    let g = gen::caveman(200, 14, 6, 10, 120, 25);
+    let params = Params::new(2, 6).unwrap();
+    let cfg = listplex_config();
+    let mut sink = CollectSink::default();
+    kplex_baselines::enumerate_listplex(&g, params, &mut sink);
+    let serial = sink.into_sorted();
+    let mut opts = EngineOptions::with_threads(3);
+    opts.timeout = None; // ListPlex has no straggler elimination
+    let (par, _) = par_enumerate_collect(&g, params, &cfg, &opts);
+    assert_eq!(par, serial);
+}
+
+#[test]
+fn parallel_fp_matches_serial_fp() {
+    let g = gen::powerlaw_cluster(200, 5, 0.6, 27);
+    let params = Params::new(2, 6).unwrap();
+    let mut sink = CollectSink::default();
+    kplex_baselines::enumerate_fp(&g, params, &mut sink);
+    let serial = sink.into_sorted();
+    let opts = EngineOptions {
+        threads: 3,
+        timeout: None,
+        serial_construction: true,
+        single_task_per_seed: true,
+    };
+    let (par, _) = par_enumerate_collect(&g, params, &fp_config(), &opts);
+    assert_eq!(par, serial);
+}
+
+#[test]
+fn oversubscription_is_safe() {
+    // More threads than seeds / cores: still exact.
+    let g = gen::gnp(60, 0.3, 29);
+    let params = Params::new(2, 5).unwrap();
+    let cfg = AlgoConfig::ours();
+    let (reference, _) = enumerate_collect(&g, params, &cfg);
+    let opts = EngineOptions::with_threads(16);
+    let (got, _) = par_enumerate_collect(&g, params, &cfg, &opts);
+    assert_eq!(got, reference);
+}
+
+#[test]
+fn empty_and_tiny_inputs_parallel() {
+    let cfg = AlgoConfig::ours();
+    let opts = EngineOptions::with_threads(4);
+    let params = Params::new(2, 4).unwrap();
+    let (c0, _) = par_enumerate_count(&gen::empty(0), params, &cfg, &opts);
+    assert_eq!(c0, 0);
+    let (c1, _) = par_enumerate_count(&gen::empty(50), params, &cfg, &opts);
+    assert_eq!(c1, 0);
+    let (c2, _) = par_enumerate_count(&gen::complete(6), params, &cfg, &opts);
+    assert_eq!(c2, 1);
+}
+
+#[test]
+fn stats_outputs_match_counts() {
+    let g = gen::powerlaw_cluster(200, 6, 0.5, 31);
+    let params = Params::new(2, 7).unwrap();
+    let cfg = AlgoConfig::ours();
+    let opts = EngineOptions::with_threads(3);
+    let (count, stats) = par_enumerate_count(&g, params, &cfg, &opts);
+    assert_eq!(count, stats.outputs);
+}
