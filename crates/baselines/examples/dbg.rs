@@ -9,10 +9,19 @@ fn main() {
     let mut dup = lp.clone();
     dup.dedup();
     println!("lp {} dedup {} naive {}", lp.len(), dup.len(), naive.len());
-    for e in dup.iter() { if !naive.contains(e) {
-        println!("LP EXTRA {:?} maximal={} kplex={}", e,
-            kplex_core::plex::is_maximal_kplex(&g, e, 3),
-            kplex_core::plex::is_kplex(&g, e, 3));
-    }}
-    for e in naive.iter() { if !dup.contains(e) { println!("LP MISSING {:?}", e); } }
+    for e in dup.iter() {
+        if !naive.contains(e) {
+            println!(
+                "LP EXTRA {:?} maximal={} kplex={}",
+                e,
+                kplex_core::plex::is_maximal_kplex(&g, e, 3),
+                kplex_core::plex::is_kplex(&g, e, 3)
+            );
+        }
+    }
+    for e in naive.iter() {
+        if !dup.contains(e) {
+            println!("LP MISSING {:?}", e);
+        }
+    }
 }

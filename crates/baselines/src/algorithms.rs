@@ -1,7 +1,9 @@
 //! A uniform handle over every algorithm in the paper's evaluation, used by
 //! the CLI and the benchmark harness.
 
-use crate::{d2k_config, enumerate_d2k, enumerate_fp, enumerate_listplex, fp_config, listplex_config};
+use crate::{
+    d2k_config, enumerate_d2k, enumerate_fp, enumerate_listplex, fp_config, listplex_config,
+};
 use kplex_core::{enumerate, AlgoConfig, CollectSink, CountSink, Params, PlexSink, SearchStats};
 use kplex_graph::{CsrGraph, VertexId};
 

@@ -9,7 +9,9 @@
 //! ListPlex — it does not split seeds into `S`-sub-tasks.
 
 use crate::fp::enumerate_whole_seed;
-use kplex_core::{AlgoConfig, BranchingKind, Params, PivotKind, PlexSink, SearchStats, UpperBoundKind};
+use kplex_core::{
+    AlgoConfig, BranchingKind, Params, PivotKind, PlexSink, SearchStats, UpperBoundKind,
+};
 use kplex_graph::CsrGraph;
 
 /// The engine configuration that realises D2K.

@@ -3,6 +3,20 @@
 //! From-scratch reimplementations of the two state-of-the-art baselines the
 //! paper compares against — ListPlex [39] and FP [16] — plus a uniform
 //! [`Algorithm`] handle over every variant used by the evaluation harness.
+//!
+//! ```
+//! use kplex_baselines::Algorithm;
+//! use kplex_core::Params;
+//! use kplex_graph::gen;
+//!
+//! // Independent implementations must return identical sorted result sets.
+//! let g = gen::gnp(30, 0.3, 7);
+//! let params = Params::new(2, 4).unwrap();
+//! let (reference, _) = Algorithm::Ours.run_collect(&g, params);
+//! for baseline in [Algorithm::ListPlex, Algorithm::Fp] {
+//!     assert_eq!(baseline.run_collect(&g, params).0, reference);
+//! }
+//! ```
 
 #![warn(missing_docs)]
 

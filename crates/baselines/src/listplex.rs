@@ -10,7 +10,9 @@
 //! exact engine configuration below — which is also what makes the paper's
 //! Table 3 comparison an apples-to-apples measurement of the mechanisms.
 
-use kplex_core::{enumerate, AlgoConfig, BranchingKind, Params, PivotKind, PlexSink, SearchStats, UpperBoundKind};
+use kplex_core::{
+    enumerate, AlgoConfig, BranchingKind, Params, PivotKind, PlexSink, SearchStats, UpperBoundKind,
+};
 use kplex_graph::CsrGraph;
 
 /// The engine configuration that realises ListPlex.

@@ -10,7 +10,7 @@ fn bench(c: &mut Criterion) {
     for algo in [Algorithm::Fp, Algorithm::ListPlex, Algorithm::Ours] {
         let mut group = c.benchmark_group(format!("fig7/wiki-vote-k3/{}", algo.name()));
         group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
+        group.measurement_time(std::time::Duration::from_secs(2));
         group.warm_up_time(std::time::Duration::from_millis(500));
         for q in [9usize, 11, 13] {
             let params = Params::new(3, q).unwrap();

@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8/enwiki-2021-k2-q13");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(2));
-        group.warm_up_time(std::time::Duration::from_millis(500));
+    group.warm_up_time(std::time::Duration::from_millis(500));
     for t in kplex_bench::experiments::thread_counts() {
         group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
             let opts = EngineOptions::with_threads(t);

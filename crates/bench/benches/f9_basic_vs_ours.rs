@@ -10,7 +10,7 @@ fn bench(c: &mut Criterion) {
     for algo in [Algorithm::Basic, Algorithm::Ours] {
         let mut group = c.benchmark_group(format!("fig9/wiki-vote-k4/{}", algo.name()));
         group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
+        group.measurement_time(std::time::Duration::from_secs(2));
         group.warm_up_time(std::time::Duration::from_millis(500));
         for q in [11usize, 13] {
             let params = Params::new(4, q).unwrap();

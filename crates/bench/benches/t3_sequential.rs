@@ -14,9 +14,14 @@ fn bench(c: &mut Criterion) {
         let params = Params::new(k, q).unwrap();
         let mut group = c.benchmark_group(format!("table3/{ds}-k{k}-q{q}"));
         group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
+        group.measurement_time(std::time::Duration::from_secs(2));
         group.warm_up_time(std::time::Duration::from_millis(500));
-        for algo in [Algorithm::Fp, Algorithm::ListPlex, Algorithm::OursP, Algorithm::Ours] {
+        for algo in [
+            Algorithm::Fp,
+            Algorithm::ListPlex,
+            Algorithm::OursP,
+            Algorithm::Ours,
+        ] {
             group.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, &a| {
                 b.iter(|| {
                     let mut sink = CountSink::default();

@@ -11,11 +11,13 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     let g = load("enwiki-2021");
     let params = Params::new(2, 13).unwrap();
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     let mut group = c.benchmark_group(format!("table4/enwiki-2021-k2-q13-{threads}thr"));
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(2));
-        group.warm_up_time(std::time::Duration::from_millis(500));
+    group.warm_up_time(std::time::Duration::from_millis(500));
     for algo in [Algorithm::Fp, Algorithm::ListPlex, Algorithm::Ours] {
         group.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, &a| {
             let mut opts = EngineOptions::with_threads(threads);

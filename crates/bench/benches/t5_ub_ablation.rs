@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table5/wiki-vote-k4-q11");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(2));
-        group.warm_up_time(std::time::Duration::from_millis(500));
+    group.warm_up_time(std::time::Duration::from_millis(500));
     for algo in [Algorithm::OursNoUb, Algorithm::OursFpUb, Algorithm::Ours] {
         group.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, &a| {
             b.iter(|| {

@@ -12,8 +12,13 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table6/wiki-vote-k4-q11");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(2));
-        group.warm_up_time(std::time::Duration::from_millis(500));
-    for algo in [Algorithm::Basic, Algorithm::BasicR1, Algorithm::BasicR2, Algorithm::Ours] {
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for algo in [
+        Algorithm::Basic,
+        Algorithm::BasicR1,
+        Algorithm::BasicR2,
+        Algorithm::Ours,
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, &a| {
             b.iter(|| {
                 let mut sink = CountSink::default();

@@ -62,7 +62,9 @@ fn main() {
 }
 
 fn threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
 }
 
 // --- Table 2: dataset statistics -------------------------------------------
@@ -151,7 +153,12 @@ fn table3() {
         "table3",
         "Table 3 — sequential running time (s), small & medium graphs",
         &experiments::table3(),
-        &[Algorithm::Fp, Algorithm::ListPlex, Algorithm::OursP, Algorithm::Ours],
+        &[
+            Algorithm::Fp,
+            Algorithm::ListPlex,
+            Algorithm::OursP,
+            Algorithm::Ours,
+        ],
     );
 }
 
@@ -169,7 +176,12 @@ fn table6() {
         "table6",
         "Table 6 — effect of pruning rules R1/R2 (s)",
         &experiments::ablation(),
-        &[Algorithm::Basic, Algorithm::BasicR1, Algorithm::BasicR2, Algorithm::Ours],
+        &[
+            Algorithm::Basic,
+            Algorithm::BasicR1,
+            Algorithm::BasicR2,
+            Algorithm::Ours,
+        ],
     );
 }
 
@@ -189,7 +201,14 @@ fn ctcp_ablation() {
     // (q-k)-core preprocessing.
     use kplex_core::{ctcp_reduce, enumerate_count, prepare, AlgoConfig, Params};
     let mut t = Table::new(&[
-        "network", "k", "q", "core n/m", "ctcp n/m", "rounds", "enum (s)", "ctcp+enum (s)",
+        "network",
+        "k",
+        "q",
+        "core n/m",
+        "ctcp n/m",
+        "rounds",
+        "enum (s)",
+        "ctcp+enum (s)",
     ]);
     for s in experiments::ablation().iter().step_by(2) {
         let g = load(s.dataset);
@@ -249,7 +268,12 @@ fn sweep_figure(id: &str, title: &str, sweeps: &[Sweep], algos: &[Algorithm]) {
             t.row(row);
             eprintln!("[{id}] {} k={} q={q} done", sw.dataset, sw.k);
         }
-        body.push_str(&format!("\n### {} (k = {})\n\n{}", sw.dataset, sw.k, t.render()));
+        body.push_str(&format!(
+            "\n### {} (k = {})\n\n{}",
+            sw.dataset,
+            sw.k,
+            t.render()
+        ));
     }
     publish(id, title, &body);
 }
@@ -302,7 +326,14 @@ fn run_parallel(
 fn table4() {
     let m = threads();
     let mut t = Table::new(&[
-        "network", "k", "q", "#k-plexes", "FP", "ListPlex", "Ours (τ=0.1ms)", "τ_best(µs)",
+        "network",
+        "k",
+        "q",
+        "#k-plexes",
+        "FP",
+        "ListPlex",
+        "Ours (τ=0.1ms)",
+        "τ_best(µs)",
         "Ours (τ_best)",
     ]);
     for s in experiments::table4() {
@@ -380,10 +411,21 @@ fn fig8() {
         let g = load(s.dataset);
         let mut times = Vec::new();
         for &c in &counts {
-            let (secs, _) =
-                run_parallel(&g, s.k, s.q, Algorithm::Ours, c, Some(Duration::from_micros(100)));
+            let (secs, _) = run_parallel(
+                &g,
+                s.k,
+                s.q,
+                Algorithm::Ours,
+                c,
+                Some(Duration::from_micros(100)),
+            );
             times.push(secs);
-            eprintln!("[fig8] {} k={} {c} threads: {}s", s.dataset, s.k, fmt_secs(secs));
+            eprintln!(
+                "[fig8] {} k={} {c} threads: {}s",
+                s.dataset,
+                s.k,
+                fmt_secs(secs)
+            );
         }
         let mut row = vec![s.dataset.to_string(), s.k.to_string(), s.q.to_string()];
         row.extend(times.iter().map(|&x| fmt_secs(x)));
@@ -438,7 +480,14 @@ fn fig13() {
 // --- Table 7: memory ----------------------------------------------------------
 
 fn table7() {
-    let mut t = Table::new(&["network", "k", "q", "FP (MiB)", "ListPlex (MiB)", "Ours (MiB)"]);
+    let mut t = Table::new(&[
+        "network",
+        "k",
+        "q",
+        "FP (MiB)",
+        "ListPlex (MiB)",
+        "Ours (MiB)",
+    ]);
     for s in experiments::table7() {
         let g = load(s.dataset);
         let mut cells = Vec::new();

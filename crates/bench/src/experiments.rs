@@ -120,15 +120,47 @@ pub fn fig7() -> Vec<Sweep> {
     let lo: Vec<usize> = vec![9, 10, 11, 12, 13];
     let hi: Vec<usize> = vec![10, 11, 12, 13, 14];
     vec![
-        Sweep { dataset: "wiki-vote", k: 3, qs: lo.clone() },
-        Sweep { dataset: "wiki-vote", k: 4, qs: hi.clone() },
-        Sweep { dataset: "soc-pokec", k: 3, qs: lo.clone() },
-        Sweep { dataset: "soc-pokec", k: 4, qs: hi.clone() },
+        Sweep {
+            dataset: "wiki-vote",
+            k: 3,
+            qs: lo.clone(),
+        },
+        Sweep {
+            dataset: "wiki-vote",
+            k: 4,
+            qs: hi.clone(),
+        },
+        Sweep {
+            dataset: "soc-pokec",
+            k: 3,
+            qs: lo.clone(),
+        },
+        Sweep {
+            dataset: "soc-pokec",
+            k: 4,
+            qs: hi.clone(),
+        },
         // Figure 14 (appendix) additions:
-        Sweep { dataset: "soc-epinions", k: 2, qs: lo.clone() },
-        Sweep { dataset: "soc-epinions", k: 3, qs: hi.clone() },
-        Sweep { dataset: "email-euall", k: 3, qs: lo },
-        Sweep { dataset: "email-euall", k: 4, qs: hi },
+        Sweep {
+            dataset: "soc-epinions",
+            k: 2,
+            qs: lo.clone(),
+        },
+        Sweep {
+            dataset: "soc-epinions",
+            k: 3,
+            qs: hi.clone(),
+        },
+        Sweep {
+            dataset: "email-euall",
+            k: 3,
+            qs: lo,
+        },
+        Sweep {
+            dataset: "email-euall",
+            k: 4,
+            qs: hi,
+        },
     ]
 }
 
@@ -182,7 +214,11 @@ mod tests {
 
     #[test]
     fn all_settings_reference_known_datasets() {
-        for s in table3().iter().chain(ablation().iter()).chain(table4().iter()) {
+        for s in table3()
+            .iter()
+            .chain(ablation().iter())
+            .chain(table4().iter())
+        {
             assert!(
                 kplex_datasets::by_name(s.dataset).is_some(),
                 "unknown dataset {}",

@@ -2,7 +2,7 @@
 
 use crate::args::Args;
 use kplex_baselines::Algorithm;
-use kplex_core::{CountSink, FnSink, Params, PlexSink, SinkFlow};
+use kplex_core::{CountSink, FnSink, Params, SinkFlow};
 use kplex_datasets::all_datasets;
 use kplex_graph::{io, CsrGraph, GraphStats};
 use kplex_parallel::{par_enumerate_count, EngineOptions};
@@ -40,7 +40,11 @@ OPTIONS:
 /// Entry point shared with the binary's `main`.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv);
-    let cmd = args.positional().first().map(String::as_str).unwrap_or("help");
+    let cmd = args
+        .positional()
+        .first()
+        .map(String::as_str)
+        .unwrap_or("help");
     match cmd {
         "enumerate" => cmd_enumerate(&args),
         "maximum" => cmd_maximum(&args),
@@ -88,8 +92,8 @@ fn cmd_enumerate(args: &Args) -> Result<(), String> {
     let q: usize = args.require("q")?;
     let params = Params::new(k, q).map_err(|e| e.to_string())?;
     let algo_name = args.get("algo").unwrap_or("ours").to_string();
-    let algo = Algorithm::parse(&algo_name)
-        .ok_or_else(|| format!("unknown algorithm {algo_name:?}"))?;
+    let algo =
+        Algorithm::parse(&algo_name).ok_or_else(|| format!("unknown algorithm {algo_name:?}"))?;
     let threads: usize = args.get_parse("threads", 0)?;
     let timeout_us: u64 = args.get_parse("timeout-us", 100)?;
     let count_only = args.flag("count-only");
@@ -124,7 +128,11 @@ fn cmd_enumerate(args: &Args) -> Result<(), String> {
         }
         let (count, stats) = par_enumerate_count(&g, params, &algo.config(), &opts);
         println!("{count}");
-        eprintln!("# {} in {:.3}s | {stats}", count, start.elapsed().as_secs_f64());
+        eprintln!(
+            "# {} in {:.3}s | {stats}",
+            count,
+            start.elapsed().as_secs_f64()
+        );
         return Ok(());
     }
     if count_only {
@@ -183,7 +191,11 @@ fn cmd_maximum(args: &Args) -> Result<(), String> {
     let result = kplex_core::maximum_kplex(&g, k, q_floor, &kplex_core::AlgoConfig::ours());
     match &result.plex {
         Some(p) => {
-            let line = p.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" ");
+            let line = p
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
             println!("{line}");
             eprintln!(
                 "# maximum {k}-plex of {source} has {} vertices (floor q={q_floor}) in {:.3}s | {}",
@@ -266,7 +278,12 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     let g = ds.load();
     let f = std::fs::File::create(&output).map_err(|e| e.to_string())?;
     io::write_edge_list(&g, f).map_err(|e| e.to_string())?;
-    eprintln!("# wrote {} ({} vertices, {} edges)", output, g.num_vertices(), g.num_edges());
+    eprintln!(
+        "# wrote {} ({} vertices, {} edges)",
+        output,
+        g.num_vertices(),
+        g.num_edges()
+    );
     Ok(())
 }
 
@@ -319,7 +336,15 @@ mod tests {
         assert!(run(&["enumerate", "--dataset", "jazz", "--k", "3", "--q", "2"]).is_err());
         assert!(run(&["enumerate", "--dataset", "nope", "--k", "2", "--q", "4"]).is_err());
         assert!(run(&[
-            "enumerate", "--dataset", "jazz", "--k", "2", "--q", "4", "--algo", "bogus"
+            "enumerate",
+            "--dataset",
+            "jazz",
+            "--k",
+            "2",
+            "--q",
+            "4",
+            "--algo",
+            "bogus"
         ])
         .is_err());
     }
@@ -327,7 +352,14 @@ mod tests {
     #[test]
     fn enumerate_counts_on_dataset() {
         run(&[
-            "enumerate", "--dataset", "jazz", "--k", "2", "--q", "9", "--count-only",
+            "enumerate",
+            "--dataset",
+            "jazz",
+            "--k",
+            "2",
+            "--q",
+            "9",
+            "--count-only",
         ])
         .unwrap();
     }
@@ -348,17 +380,29 @@ mod tests {
         let results_path = dir.join("res.txt");
         std::fs::write(&results_path, "0 1 2 3\n").unwrap();
         run(&[
-            "verify", "--k", "2", "--q", "4",
-            "--input", graph_path.to_str().unwrap(),
-            "--results", results_path.to_str().unwrap(),
+            "verify",
+            "--k",
+            "2",
+            "--q",
+            "4",
+            "--input",
+            graph_path.to_str().unwrap(),
+            "--results",
+            results_path.to_str().unwrap(),
         ])
         .unwrap();
         // A non-maximal claim must fail.
         std::fs::write(&results_path, "0 1 2\n").unwrap();
         assert!(run(&[
-            "verify", "--k", "2", "--q", "3",
-            "--input", graph_path.to_str().unwrap(),
-            "--results", results_path.to_str().unwrap(),
+            "verify",
+            "--k",
+            "2",
+            "--q",
+            "3",
+            "--input",
+            graph_path.to_str().unwrap(),
+            "--results",
+            results_path.to_str().unwrap(),
         ])
         .is_err());
         std::fs::remove_dir_all(&dir).ok();

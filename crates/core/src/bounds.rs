@@ -169,11 +169,10 @@ pub fn ub_fp_sorting(
     scratch: &mut BoundScratch,
 ) -> usize {
     let psz1 = p.len() + 1; // |P ∪ {pivot}|
-    // Budget: sum of supports of P ∪ {pivot} w.r.t. P ∪ {pivot}.
+                            // Budget: sum of supports of P ∪ {pivot} w.r.t. P ∪ {pivot}.
     let mut budget = 0i64;
     for &u in p {
-        let d = d_p[u as usize] as i64
-            + i64::from(seed.adj.has_edge(u as usize, pivot as usize));
+        let d = d_p[u as usize] as i64 + i64::from(seed.adj.has_edge(u as usize, pivot as usize));
         let slack = k as i64 - (psz1 as i64 - d);
         debug_assert!(slack >= 0);
         budget += slack;
@@ -330,8 +329,8 @@ mod tests {
             let mut scratch = BoundScratch::new(sg.len());
             let p = [0u32];
             let mut d_p = vec![0u32; sg.len()];
-            for v in 1..sg.len() {
-                d_p[v] = u32::from(sg.adj.has_edge(0, v));
+            for (v, d) in d_p.iter_mut().enumerate().skip(1) {
+                *d = u32::from(sg.adj.has_edge(0, v));
             }
             let mut c_bits = BitSet::new(sg.len());
             for &h in &sg.hop1 {

@@ -201,16 +201,18 @@ impl<'a> Searcher<'a> {
         if row.intersection_count(&self.p_bits) < need {
             return false;
         }
-        self.sat
-            .iter()
-            .all(|&u| row.contains(u as usize))
+        self.sat.iter().all(|&u| row.contains(u as usize))
     }
 
     /// Degree of a local vertex within P ∪ C (C given by `c_bits`).
     #[inline]
     fn deg_pc(&self, v: u32) -> usize {
         self.d_p[v as usize] as usize
-            + self.seed.adj.row(v as usize).intersection_count(&self.c_bits)
+            + self
+                .seed
+                .adj
+                .row(v as usize)
+                .intersection_count(&self.c_bits)
     }
 
     // --- output paths -------------------------------------------------------
@@ -294,7 +296,6 @@ impl<'a> Searcher<'a> {
             .iter()
             .map(|v| (v, 0u8))
             .chain(c.iter().map(|v| (v, 1u8)))
-            .map(|(v, s)| (v, s))
         {
             let d = self.deg_pc(v);
             min_deg_pc = min_deg_pc.min(d);
@@ -408,7 +409,11 @@ impl<'a> Searcher<'a> {
                 best = w;
             }
         }
-        debug_assert_ne!(best, u32::MAX, "P-pivot must have a candidate non-neighbour");
+        debug_assert_ne!(
+            best,
+            u32::MAX,
+            "P-pivot must have a candidate non-neighbour"
+        );
         best
     }
 
@@ -439,11 +444,7 @@ impl<'a> Searcher<'a> {
                 return;
             }
             let removed = &w_list[..i];
-            let c_i: Vec<u32> = c
-                .iter()
-                .copied()
-                .filter(|w| !removed.contains(w))
-                .collect();
+            let c_i: Vec<u32> = c.iter().copied().filter(|w| !removed.contains(w)).collect();
             let mut x_i = x.clone();
             x_i.push(w_list[i - 1]);
             let included = w_list[..i - 1].to_vec();
@@ -454,11 +455,7 @@ impl<'a> Searcher<'a> {
         }
         // Final branch: include W[..s_budget]; the rest of W can never join
         // (the pivot saturates) and cannot witness non-maximality either.
-        let c_f: Vec<u32> = c
-            .iter()
-            .copied()
-            .filter(|w| !w_list.contains(w))
-            .collect();
+        let c_f: Vec<u32> = c.iter().copied().filter(|w| !w_list.contains(w)).collect();
         let included = w_list[..s_budget].to_vec();
         self.recurse_or_save(&included, c_f, x, sink);
     }
@@ -575,9 +572,7 @@ mod tests {
         let cfg = AlgoConfig::ours();
         let decomp = core_decomposition(&g);
         let mut b = SeedBuilder::new(6);
-        let sg = b
-            .build(&g, &decomp, decomp.order[0], params, &cfg)
-            .unwrap();
+        let sg = b.build(&g, &decomp, decomp.order[0], params, &cfg).unwrap();
         let pm = PairMatrix::build(&sg, params);
         let mut searcher = Searcher::new(&sg, params, &cfg, Some(&pm));
         let mut sink = CollectSink::default();

@@ -37,7 +37,10 @@ impl fmt::Display for ParamError {
         match self {
             ParamError::KTooSmall => write!(f, "k must be >= 1"),
             ParamError::QTooSmall { q, min_q } => {
-                write!(f, "q = {q} too small: the algorithm requires q >= 2k-1 = {min_q}")
+                write!(
+                    f,
+                    "q = {q} too small: the algorithm requires q >= 2k-1 = {min_q}"
+                )
             }
         }
     }
@@ -252,7 +255,10 @@ mod tests {
         assert_eq!(basic.upper_bound, UpperBoundKind::Ours);
 
         assert_eq!(AlgoConfig::ours_no_ub().upper_bound, UpperBoundKind::None);
-        assert_eq!(AlgoConfig::ours_fp_ub().upper_bound, UpperBoundKind::FpSorting);
+        assert_eq!(
+            AlgoConfig::ours_fp_ub().upper_bound,
+            UpperBoundKind::FpSorting
+        );
         assert_eq!(AlgoConfig::ours_p().branching, BranchingKind::MultiWay);
         assert_eq!(
             AlgoConfig::ours_min_degree_pivot().pivot,
@@ -267,8 +273,15 @@ mod tests {
     #[test]
     fn by_name_resolves_all_presets() {
         for name in [
-            "ours", "ours_p", "ours-ub", "ours-ub+fp", "basic", "basic+r1", "basic+r2",
-            "ours-mindeg", "ours-firstpivot",
+            "ours",
+            "ours_p",
+            "ours-ub",
+            "ours-ub+fp",
+            "basic",
+            "basic+r1",
+            "basic+r2",
+            "ours-mindeg",
+            "ours-firstpivot",
         ] {
             assert!(AlgoConfig::by_name(name).is_some(), "{name}");
         }

@@ -16,6 +16,18 @@
 //!
 //! Entry points: [`enumerate::enumerate`], [`enumerate::enumerate_count`],
 //! [`enumerate::enumerate_collect`].
+//!
+//! ```
+//! use kplex_core::{enumerate_count, AlgoConfig, Params};
+//! use kplex_graph::gen;
+//!
+//! // K6: the only maximal 2-plex with at least 5 vertices is K6 itself.
+//! let g = gen::complete(6);
+//! let params = Params::new(2, 5).unwrap();
+//! let (count, stats) = enumerate_count(&g, params, &AlgoConfig::ours());
+//! assert_eq!(count, 1);
+//! assert_eq!(stats.outputs, 1);
+//! ```
 
 #![warn(missing_docs)]
 

@@ -117,11 +117,7 @@ mod tests {
                 let q = 2 * k - 1;
                 let expected = brute_maximum(&g, k, q.max(3));
                 let got = maximum_kplex(&g, k, q.max(3), &AlgoConfig::ours());
-                assert_eq!(
-                    got.plex.map(|p| p.len()),
-                    expected,
-                    "seed {seed} k {k}"
-                );
+                assert_eq!(got.plex.map(|p| p.len()), expected, "seed {seed} k {k}");
             }
         }
     }

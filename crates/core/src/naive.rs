@@ -16,7 +16,10 @@ use kplex_graph::{CsrGraph, VertexId};
 /// vertices (2^24 subsets is the practical ceiling for a test oracle).
 pub fn brute_force(g: &CsrGraph, k: usize, q: usize) -> Vec<Vec<VertexId>> {
     let n = g.num_vertices();
-    assert!(n <= 24, "brute force oracle limited to 24 vertices, got {n}");
+    assert!(
+        n <= 24,
+        "brute force oracle limited to 24 vertices, got {n}"
+    );
     let mut out = Vec::new();
     for mask in 1u32..(1u32 << n) {
         if (mask.count_ones() as usize) < q {

@@ -89,8 +89,7 @@ impl PairMatrix {
                 };
                 let prune = structurally_impossible || {
                     threshold > 0 && {
-                        let common =
-                            seed.adj.common_neighbors_in(u, v, &seed.hop1_bits) as i64;
+                        let common = seed.adj.common_neighbors_in(u, v, &seed.hop1_bits) as i64;
                         common < threshold
                     }
                 };
@@ -173,7 +172,10 @@ mod tests {
             .build(&g, &decomp, 0, params, &AlgoConfig::ours())
             .expect("seed 0 must build");
         let pm = PairMatrix::build(&sg, params);
-        assert!(pm.disallowed_pairs > 0, "expected cross-clique pairs pruned");
+        assert!(
+            pm.disallowed_pairs > 0,
+            "expected cross-clique pairs pruned"
+        );
         // Concretely: locals of 1 and 6 must be incompatible.
         let l1 = sg.verts.iter().position(|&v| v == 1).unwrap() as u32;
         let l6 = sg.verts.iter().position(|&v| v == 6).unwrap() as u32;

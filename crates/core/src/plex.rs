@@ -65,9 +65,7 @@ pub fn find_extension(g: &CsrGraph, set: &[VertexId], k: usize) -> Option<Vertex
         if in_set[v as usize] {
             continue;
         }
-        if degree_within(g, v, set) >= need
-            && saturated.iter().all(|&u| g.has_edge(u, v))
-        {
+        if degree_within(g, v, set) >= need && saturated.iter().all(|&u| g.has_edge(u, v)) {
             return Some(v);
         }
     }

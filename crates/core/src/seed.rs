@@ -12,8 +12,8 @@
 //! over the local columns (`xout`).
 
 use crate::config::{AlgoConfig, Params};
-use kplex_graph::{BitSet, CoreDecomposition, CsrGraph, RectBitMatrix, VertexId};
 use kplex_graph::matrix::AdjMatrix;
+use kplex_graph::{BitSet, CoreDecomposition, CsrGraph, RectBitMatrix, VertexId};
 
 /// Encoding for exclusive-set entries: local vertices are plain indices,
 /// outside vertices carry this flag over their `xout` row index.
@@ -192,9 +192,7 @@ impl SeedBuilder {
                     // and for k = 1 plexes are cliques so two-hop vertices
                     // can never join the seed. Corollary 5.2 strengthens the
                     // threshold.
-                    k == 1
-                        || common < 1
-                        || (round < cfg.seed_prune_rounds && common < thr_two)
+                    k == 1 || common < 1 || (round < cfg.seed_prune_rounds && common < thr_two)
                 };
                 if prune {
                     alive.remove(u);
@@ -456,14 +454,12 @@ mod tests {
         let cfg = AlgoConfig::ours();
         let decomp = core_decomposition(&g);
         let mut b1 = SeedBuilder::new(30);
-        let mut b2 = SeedBuilder::new(30);
         for s in g.vertices() {
             let a = b1.build(&g, &decomp, s, params, &cfg);
-            // b2 only ever builds this seed; results must agree.
+            // A fresh builder only ever builds this seed; results must agree.
             let mut fresh = SeedBuilder::new(30);
             let c = fresh.build(&g, &decomp, s, params, &cfg);
             assert_eq!(a.map(|x| x.verts), c.map(|x| x.verts));
-            let _ = b2;
         }
     }
 }

@@ -118,9 +118,9 @@ impl LargestN {
 
 impl PlexSink for LargestN {
     fn report(&mut self, vertices: &[VertexId]) -> SinkFlow {
-        let pos = self
-            .plexes
-            .partition_point(|p| p.len() > vertices.len() || (p.len() == vertices.len() && p.as_slice() <= vertices));
+        let pos = self.plexes.partition_point(|p| {
+            p.len() > vertices.len() || (p.len() == vertices.len() && p.as_slice() <= vertices)
+        });
         self.plexes.insert(pos, vertices.to_vec());
         self.plexes.truncate(self.n);
         SinkFlow::Continue

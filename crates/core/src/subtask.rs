@@ -132,8 +132,7 @@ impl SubtaskGen<'_> {
         p.push(0u32);
         p.extend_from_slice(&self.s);
         // X_S: every outside witness + the two-hop vertices not in S.
-        let mut x =
-            Vec::with_capacity(self.seed.xout.len() + self.seed.hop2.len() - self.s.len());
+        let mut x = Vec::with_capacity(self.seed.xout.len() + self.seed.hop2.len() - self.s.len());
         for i in 0..self.seed.xout.len() {
             x.push(i as u32 | XOUT_FLAG);
         }

@@ -72,14 +72,21 @@ impl std::fmt::Display for Violation {
             Violation::MalformedSet { index } => {
                 write!(f, "result #{index}: repeated or out-of-range vertex")
             }
-            Violation::NotAPlex { index, vertex, degree } => {
+            Violation::NotAPlex {
+                index,
+                vertex,
+                degree,
+            } => {
                 write!(f, "result #{index}: vertex {vertex} has in-set degree {degree}, violating the k-plex bound")
             }
             Violation::NotMaximal { index, witness } => {
                 write!(f, "result #{index}: extensible by vertex {witness}")
             }
             Violation::DiameterViolation { index } => {
-                write!(f, "result #{index}: induced diameter exceeds 2 (or disconnected)")
+                write!(
+                    f,
+                    "result #{index}: induced diameter exceeds 2 (or disconnected)"
+                )
             }
             Violation::Duplicate { index } => write!(f, "result #{index}: duplicate set"),
             Violation::Missing { plex } => write!(f, "missing maximal k-plex {plex:?}"),
@@ -101,8 +108,7 @@ pub fn verify_results(
         let mut canonical = set.clone();
         canonical.sort_unstable();
         canonical.dedup();
-        if canonical.len() != set.len()
-            || canonical.iter().any(|&v| v as usize >= g.num_vertices())
+        if canonical.len() != set.len() || canonical.iter().any(|&v| v as usize >= g.num_vertices())
         {
             violations.push(Violation::MalformedSet { index });
             continue;
@@ -133,9 +139,7 @@ pub fn verify_results(
         if let Some(witness) = find_extension(g, &canonical, k) {
             violations.push(Violation::NotMaximal { index, witness });
         }
-        if set.len() >= 2 * k - 1
-            && !matches!(induced_diameter(g, &canonical), Some(d) if d <= 2)
-        {
+        if set.len() >= 2 * k - 1 && !matches!(induced_diameter(g, &canonical), Some(d) if d <= 2) {
             // None (disconnected) also violates Theorem 3.3 at this size.
             violations.push(Violation::DiameterViolation { index });
         }
@@ -195,7 +199,9 @@ mod tests {
     fn detects_non_maximal_sets() {
         let g = gen::complete(5);
         let v = verify_results(&g, 1, 3, &[vec![0, 1, 2]]);
-        assert!(v.iter().any(|x| matches!(x, Violation::NotMaximal { witness, .. } if *witness < 5)));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::NotMaximal { witness, .. } if *witness < 5)));
     }
 
     #[test]
@@ -209,9 +215,16 @@ mod tests {
     fn detects_too_small_duplicates_and_malformed() {
         let g = gen::complete(6);
         let all: Vec<u32> = (0..6).collect();
-        let v = verify_results(&g, 1, 7, &[all.clone(), all.clone(), vec![0, 0, 1], vec![99]]);
+        let v = verify_results(
+            &g,
+            1,
+            7,
+            &[all.clone(), all.clone(), vec![0, 0, 1], vec![99]],
+        );
         assert!(v.iter().any(|x| matches!(x, Violation::TooSmall { .. })));
-        assert!(v.iter().any(|x| matches!(x, Violation::Duplicate { index: 1 })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::Duplicate { index: 1 })));
         assert_eq!(
             v.iter()
                 .filter(|x| matches!(x, Violation::MalformedSet { .. }))

@@ -86,8 +86,8 @@ proptest! {
         // P = {seed}; candidates = hop1.
         let p = [0u32];
         let mut d_p = vec![0u32; seed.len()];
-        for v in 1..seed.len() {
-            d_p[v] = u32::from(seed.adj.has_edge(0, v));
+        for (v, d) in d_p.iter_mut().enumerate().skip(1) {
+            *d = u32::from(seed.adj.has_edge(0, v));
         }
         let mut c_bits = BitSet::new(seed.len());
         for &h in &seed.hop1 {

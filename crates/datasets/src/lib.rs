@@ -12,6 +12,13 @@
 //! parameter regimes return non-trivial result sets. Every graph is a pure
 //! function of a fixed seed; a binary cache (`data/cache/*.kplx`) makes
 //! repeated benchmark runs instant.
+//!
+//! ```
+//! use kplex_datasets::{all_datasets, by_name};
+//!
+//! assert!(all_datasets().len() >= 10);
+//! assert!(by_name("no-such-dataset").is_none());
+//! ```
 
 #![warn(missing_docs)]
 

@@ -104,7 +104,14 @@ fn plant(bg: CsrGraph, count: usize, lo: usize, hi: usize, miss: usize, seed: u6
 /// Plants a density mix: near-cliques (`missing = 1`, valid for every
 /// k >= 2), 3-plex communities and 4-plex communities, so all of the paper's
 /// k = 2, 3, 4 settings return non-trivial result sets.
-fn plant_mixed(bg: CsrGraph, count: usize, lo: usize, hi: usize, miss_hi: usize, seed: u64) -> CsrGraph {
+fn plant_mixed(
+    bg: CsrGraph,
+    count: usize,
+    lo: usize,
+    hi: usize,
+    miss_hi: usize,
+    seed: u64,
+) -> CsrGraph {
     let tight = count.div_ceil(2);
     let g = plant(bg, tight, lo, hi, 1, seed);
     let g = plant(g, count - tight, lo, hi, miss_hi.clamp(2, 3), seed ^ 0x5EED);
@@ -134,58 +141,237 @@ macro_rules! dataset {
 /// All 16 Table 2 datasets, in the paper's order.
 pub fn all_datasets() -> Vec<Dataset> {
     vec![
-        dataset!("jazz", Small, "musician collaboration (small, dense)",
+        dataset!(
+            "jazz",
+            Small,
+            "musician collaboration (small, dense)",
             (198, 2742, 100, 29),
-            || plant_mixed(gen::gnp(200, 0.10, 0xA001), 8, 9, 13, 2, 0xB001)),
-        dataset!("wiki-vote", Small, "who-votes-on-whom social graph",
+            || plant_mixed(gen::gnp(200, 0.10, 0xA001), 8, 9, 13, 2, 0xB001)
+        ),
+        dataset!(
+            "wiki-vote",
+            Small,
+            "who-votes-on-whom social graph",
             (7115, 100_762, 1065, 53),
-            || plant_mixed(gen::powerlaw_cluster(2400, 7, 0.55, 0xA002), 14, 9, 13, 2, 0xB002)),
-        dataset!("lastfm", Small, "social network of music listeners",
+            || plant_mixed(
+                gen::powerlaw_cluster(2400, 7, 0.55, 0xA002),
+                14,
+                9,
+                13,
+                2,
+                0xB002
+            )
+        ),
+        dataset!(
+            "lastfm",
+            Small,
+            "social network of music listeners",
             (7624, 27_806, 216, 20),
-            || plant_mixed(gen::powerlaw_cluster(2600, 4, 0.50, 0xA003), 10, 9, 12, 2, 0xB003)),
-        dataset!("as-caida", Medium, "internet autonomous-system topology",
+            || plant_mixed(
+                gen::powerlaw_cluster(2600, 4, 0.50, 0xA003),
+                10,
+                9,
+                12,
+                2,
+                0xB003
+            )
+        ),
+        dataset!(
+            "as-caida",
+            Medium,
+            "internet autonomous-system topology",
             (26_475, 53_381, 2628, 22),
-            || plant_mixed(gen::barabasi_albert(6000, 2, 0xA004), 10, 9, 12, 2, 0xB004)),
-        dataset!("soc-epinions", Medium, "trust network of a review site",
+            || plant_mixed(gen::barabasi_albert(6000, 2, 0xA004), 10, 9, 12, 2, 0xB004)
+        ),
+        dataset!(
+            "soc-epinions",
+            Medium,
+            "trust network of a review site",
             (75_879, 405_740, 3044, 67),
-            || plant_mixed(gen::powerlaw_cluster(7000, 6, 0.45, 0xA005), 18, 9, 13, 3, 0xB005)),
-        dataset!("soc-slashdot", Medium, "technology news social network",
+            || plant_mixed(
+                gen::powerlaw_cluster(7000, 6, 0.45, 0xA005),
+                18,
+                9,
+                13,
+                3,
+                0xB005
+            )
+        ),
+        dataset!(
+            "soc-slashdot",
+            Medium,
+            "technology news social network",
             (82_168, 504_230, 2552, 55),
-            || plant_mixed(gen::powerlaw_cluster(7500, 6, 0.45, 0xA006), 18, 9, 13, 3, 0xB006)),
-        dataset!("email-euall", Medium, "EU research institution e-mail graph",
+            || plant_mixed(
+                gen::powerlaw_cluster(7500, 6, 0.45, 0xA006),
+                18,
+                9,
+                13,
+                3,
+                0xB006
+            )
+        ),
+        dataset!(
+            "email-euall",
+            Medium,
+            "EU research institution e-mail graph",
             (265_009, 364_481, 7636, 37),
-            || plant_mixed(gen::barabasi_albert(9000, 3, 0xA007), 20, 9, 13, 3, 0xB007)),
-        dataset!("com-dblp", Medium, "co-authorship with overlapping communities",
+            || plant_mixed(gen::barabasi_albert(9000, 3, 0xA007), 20, 9, 13, 3, 0xB007)
+        ),
+        dataset!(
+            "com-dblp",
+            Medium,
+            "co-authorship with overlapping communities",
             (317_080, 1_049_866, 343, 113),
-            || plant_mixed(gen::caveman(9000, 900, 5, 10, 4000, 0xA008), 10, 10, 13, 2, 0xB008)),
-        dataset!("amazon0505", Medium, "co-purchase graph (low degeneracy)",
+            || plant_mixed(
+                gen::caveman(9000, 900, 5, 10, 4000, 0xA008),
+                10,
+                10,
+                13,
+                2,
+                0xB008
+            )
+        ),
+        dataset!(
+            "amazon0505",
+            Medium,
+            "co-purchase graph (low degeneracy)",
             (410_236, 2_439_437, 2760, 10),
-            || plant_mixed(gen::watts_strogatz(12_000, 3, 0.05, 0xA009), 8, 9, 11, 2, 0xB009)),
-        dataset!("soc-pokec", Medium, "large online social network",
+            || plant_mixed(
+                gen::watts_strogatz(12_000, 3, 0.05, 0xA009),
+                8,
+                9,
+                11,
+                2,
+                0xB009
+            )
+        ),
+        dataset!(
+            "soc-pokec",
+            Medium,
+            "large online social network",
             (1_632_803, 22_301_964, 14_854, 47),
-            || plant_mixed(gen::powerlaw_cluster(12_000, 8, 0.40, 0xA00A), 24, 9, 14, 3, 0xB00A)),
-        dataset!("as-skitter", Medium, "traceroute internet topology",
+            || plant_mixed(
+                gen::powerlaw_cluster(12_000, 8, 0.40, 0xA00A),
+                24,
+                9,
+                14,
+                3,
+                0xB00A
+            )
+        ),
+        dataset!(
+            "as-skitter",
+            Medium,
+            "traceroute internet topology",
             (1_696_415, 11_095_298, 35_455, 111),
-            || plant_mixed(gen::rmat(RmatConfig { scale: 13, edge_factor: 6, ..RmatConfig::default() }, 0xA00B),
-                     16, 10, 14, 3, 0xB00B)),
-        dataset!("enwiki-2021", Large, "Wikipedia link graph",
+            || plant_mixed(
+                gen::rmat(
+                    RmatConfig {
+                        scale: 13,
+                        edge_factor: 6,
+                        ..RmatConfig::default()
+                    },
+                    0xA00B
+                ),
+                16,
+                10,
+                14,
+                3,
+                0xB00B
+            )
+        ),
+        dataset!(
+            "enwiki-2021",
+            Large,
+            "Wikipedia link graph",
             (6_253_897, 136_494_843, 232_410, 178),
-            || plant_mixed(gen::powerlaw_cluster(24_000, 9, 0.45, 0xA00C), 40, 10, 15, 3, 0xB00C)),
-        dataset!("arabic-2005", Large, "web crawl of Arabic-language pages",
+            || plant_mixed(
+                gen::powerlaw_cluster(24_000, 9, 0.45, 0xA00C),
+                40,
+                10,
+                15,
+                3,
+                0xB00C
+            )
+        ),
+        dataset!(
+            "arabic-2005",
+            Large,
+            "web crawl of Arabic-language pages",
             (22_743_881, 553_903_073, 575_628, 3247),
-            || plant_mixed(gen::rmat(RmatConfig { scale: 15, edge_factor: 7, ..RmatConfig::default() }, 0xA00D),
-                     48, 11, 16, 3, 0xB00D)),
-        dataset!("uk-2005", Large, "web crawl of the .uk domain",
+            || plant_mixed(
+                gen::rmat(
+                    RmatConfig {
+                        scale: 15,
+                        edge_factor: 7,
+                        ..RmatConfig::default()
+                    },
+                    0xA00D
+                ),
+                48,
+                11,
+                16,
+                3,
+                0xB00D
+            )
+        ),
+        dataset!(
+            "uk-2005",
+            Large,
+            "web crawl of the .uk domain",
             (39_454_463, 783_027_125, 1_776_858, 588),
-            || plant_mixed(gen::rmat(RmatConfig { scale: 15, edge_factor: 8, ..RmatConfig::default() }, 0xA00E),
-                     48, 11, 16, 3, 0xB00E)),
-        dataset!("it-2004", Large, "web crawl of the .it domain",
+            || plant_mixed(
+                gen::rmat(
+                    RmatConfig {
+                        scale: 15,
+                        edge_factor: 8,
+                        ..RmatConfig::default()
+                    },
+                    0xA00E
+                ),
+                48,
+                11,
+                16,
+                3,
+                0xB00E
+            )
+        ),
+        dataset!(
+            "it-2004",
+            Large,
+            "web crawl of the .it domain",
             (41_290_648, 1_027_474_947, 1_326_744, 3224),
-            || plant_mixed(gen::powerlaw_cluster(28_000, 10, 0.50, 0xA00F), 56, 11, 16, 3, 0xB00F)),
-        dataset!("webbase-2001", Large, "2001 WebBase crawl",
+            || plant_mixed(
+                gen::powerlaw_cluster(28_000, 10, 0.50, 0xA00F),
+                56,
+                11,
+                16,
+                3,
+                0xB00F
+            )
+        ),
+        dataset!(
+            "webbase-2001",
+            Large,
+            "2001 WebBase crawl",
             (115_554_441, 854_809_761, 816_127, 1506),
-            || plant_mixed(gen::rmat(RmatConfig { scale: 16, edge_factor: 5, ..RmatConfig::default() }, 0xA010),
-                     64, 10, 15, 3, 0xB010)),
+            || plant_mixed(
+                gen::rmat(
+                    RmatConfig {
+                        scale: 16,
+                        edge_factor: 5,
+                        ..RmatConfig::default()
+                    },
+                    0xA010
+                ),
+                64,
+                10,
+                15,
+                3,
+                0xB010
+            )
+        ),
     ]
 }
 
@@ -218,7 +404,13 @@ mod tests {
             .collect();
         assert_eq!(
             large,
-            vec!["enwiki-2021", "arabic-2005", "uk-2005", "it-2004", "webbase-2001"]
+            vec![
+                "enwiki-2021",
+                "arabic-2005",
+                "uk-2005",
+                "it-2004",
+                "webbase-2001"
+            ]
         );
     }
 

@@ -177,7 +177,10 @@ impl BitSet {
     /// True if `self ⊆ other`.
     pub fn is_subset_of(&self, other: &BitSet) -> bool {
         debug_assert_eq!(self.nbits, other.nbits);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Lowest set bit, if any.
@@ -313,11 +316,17 @@ mod tests {
 
         let mut uni = a.clone();
         uni.union_with(&b);
-        assert_eq!(uni.count(), (0..128).filter(|i| i % 2 == 0 || i % 3 == 0).count());
+        assert_eq!(
+            uni.count(),
+            (0..128).filter(|i| i % 2 == 0 || i % 3 == 0).count()
+        );
 
         let mut diff = a.clone();
         diff.difference_with(&b);
-        assert_eq!(diff.count(), (0..128).filter(|i| i % 2 == 0 && i % 3 != 0).count());
+        assert_eq!(
+            diff.count(),
+            (0..128).filter(|i| i % 2 == 0 && i % 3 != 0).count()
+        );
     }
 
     #[test]

@@ -21,12 +21,7 @@ pub struct Components {
 impl Components {
     /// Vertices of the largest component.
     pub fn largest(&self) -> Vec<VertexId> {
-        let Some((best, _)) = self
-            .sizes
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, s)| *s)
-        else {
+        let Some((best, _)) = self.sizes.iter().enumerate().max_by_key(|&(_, s)| *s) else {
             return Vec::new();
         };
         (0..self.label.len() as u32)

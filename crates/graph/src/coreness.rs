@@ -261,7 +261,7 @@ mod tests {
     fn order_is_a_permutation_and_position_is_inverse() {
         let g = gen::gnm(120, 500, 7);
         let d = core_decomposition(&g);
-        let mut seen = vec![false; 120];
+        let mut seen = [false; 120];
         for &v in &d.order {
             assert!(!seen[v as usize]);
             seen[v as usize] = true;
@@ -292,11 +292,7 @@ mod tests {
         let g = gen::barabasi_albert(200, 4, 9);
         let d = core_decomposition(&g);
         for v in g.vertices() {
-            let later = g
-                .neighbors(v)
-                .iter()
-                .filter(|&&w| d.before(v, w))
-                .count();
+            let later = g.neighbors(v).iter().filter(|&&w| d.before(v, w)).count();
             assert!(later <= d.degeneracy as usize);
         }
     }

@@ -150,11 +150,15 @@ impl CsrGraph {
         for v in 0..n as VertexId {
             let ns = self.neighbors(v);
             if !ns.windows(2).all(|w| w[0] < w[1]) {
-                return Err(GraphError::Corrupt(format!("neighbors of {v} not strictly sorted")));
+                return Err(GraphError::Corrupt(format!(
+                    "neighbors of {v} not strictly sorted"
+                )));
             }
             for &w in ns {
                 if w as usize >= n {
-                    return Err(GraphError::Corrupt(format!("edge endpoint {w} out of range")));
+                    return Err(GraphError::Corrupt(format!(
+                        "edge endpoint {w} out of range"
+                    )));
                 }
                 if w == v {
                     return Err(GraphError::Corrupt(format!("self loop at {v}")));
@@ -179,7 +183,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// A builder for a graph over `n` vertices.
     pub fn new(n: usize) -> Self {
-        Self { n, pairs: Vec::new() }
+        Self {
+            n,
+            pairs: Vec::new(),
+        }
     }
 
     /// Number of vertices declared.
@@ -282,7 +289,10 @@ mod tests {
     #[test]
     fn out_of_range_edge_is_rejected() {
         let err = CsrGraph::from_edges(2, [(0, 5)]).unwrap_err();
-        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 5, n: 2 }));
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfRange { vertex: 5, n: 2 }
+        ));
     }
 
     #[test]

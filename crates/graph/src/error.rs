@@ -31,7 +31,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vertex, n } => {
-                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {n} vertices"
+                )
             }
             GraphError::Corrupt(msg) => write!(f, "corrupt graph structure: {msg}"),
             GraphError::Parse { line, message } => {
@@ -71,7 +74,7 @@ mod tests {
             message: "bad token".into(),
         };
         assert!(e.to_string().contains("line 7"));
-        let e = GraphError::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        let e = GraphError::from(std::io::Error::other("x"));
         assert!(e.to_string().contains("I/O"));
     }
 }

@@ -78,7 +78,10 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> CsrGraph {
 /// requires `m <= n(n-1)/2`).
 pub fn gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
     let max_edges = n * n.saturating_sub(1) / 2;
-    assert!(m <= max_edges, "too many edges requested: {m} > {max_edges}");
+    assert!(
+        m <= max_edges,
+        "too many edges requested: {m} > {max_edges}"
+    );
     let mut r = rng(seed);
     let mut chosen = std::collections::HashSet::with_capacity(m * 2);
     let mut edges = Vec::with_capacity(m);
@@ -221,20 +224,17 @@ mod tests {
         let g = caveman(100, 8, 6, 10, 50, 3);
         // Average degree of community members should well exceed noise level.
         let max_deg = g.max_degree();
-        assert!(max_deg >= 5, "expected dense communities, max degree {max_deg}");
+        assert!(
+            max_deg >= 5,
+            "expected dense communities, max degree {max_deg}"
+        );
     }
 
     #[test]
     fn generators_deterministic() {
         assert_eq!(gnp(20, 0.3, 9), gnp(20, 0.3, 9));
         assert_eq!(gnm(20, 40, 9), gnm(20, 40, 9));
-        assert_eq!(
-            watts_strogatz(30, 2, 0.2, 9),
-            watts_strogatz(30, 2, 0.2, 9)
-        );
-        assert_eq!(
-            caveman(50, 4, 5, 8, 20, 9),
-            caveman(50, 4, 5, 8, 20, 9)
-        );
+        assert_eq!(watts_strogatz(30, 2, 0.2, 9), watts_strogatz(30, 2, 0.2, 9));
+        assert_eq!(caveman(50, 4, 5, 8, 20, 9), caveman(50, 4, 5, 8, 20, 9));
     }
 }

@@ -145,8 +145,8 @@ pub fn lfr(cfg: &LfrConfig, seed: u64) -> LfrGraph {
 
     // --- inter-community wiring ----------------------------------------------
     let mut stubs: Vec<VertexId> = Vec::new();
-    for v in 0..n {
-        for _ in 0..inter_target[v] {
+    for (v, &target) in inter_target.iter().enumerate().take(n) {
+        for _ in 0..target {
             stubs.push(v as u32);
         }
     }

@@ -83,8 +83,7 @@ pub fn planted_plexes(
         };
         // Build a clique, then remove up to `missing` edges per vertex while
         // tracking each vertex's deficit so the set stays a (missing+1)-plex.
-        let mut present =
-            vec![true; members.len() * members.len()];
+        let mut present = vec![true; members.len() * members.len()];
         let idx = |i: usize, j: usize| i * members.len() + j;
         let mut deficit = vec![0usize; members.len()];
         let mut pairs: Vec<(usize, usize)> = (0..members.len())
@@ -226,7 +225,11 @@ mod tests {
     fn dense_blobs_add_density() {
         let bg = empty(100);
         let g = dense_blobs(&bg, 3, 10, 14, 0.9, 5);
-        assert!(g.num_edges() > 3 * 35, "blobs too sparse: {}", g.num_edges());
+        assert!(
+            g.num_edges() > 3 * 35,
+            "blobs too sparse: {}",
+            g.num_edges()
+        );
         assert!(g.max_degree() >= 8);
     }
 

@@ -50,12 +50,13 @@ pub fn powerlaw_cluster(n: usize, m: usize, p_triangle: f64, seed: u64) -> CsrGr
     let mut r = rng(seed);
     let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
     let mut targets: Vec<VertexId> = Vec::new();
-    let add = |adj: &mut Vec<Vec<VertexId>>, targets: &mut Vec<VertexId>, u: VertexId, v: VertexId| {
-        adj[u as usize].push(v);
-        adj[v as usize].push(u);
-        targets.push(u);
-        targets.push(v);
-    };
+    let add =
+        |adj: &mut Vec<Vec<VertexId>>, targets: &mut Vec<VertexId>, u: VertexId, v: VertexId| {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+            targets.push(u);
+            targets.push(v);
+        };
     for v in 1..=m as VertexId {
         add(&mut adj, &mut targets, 0, v);
     }

@@ -65,7 +65,12 @@ pub fn read_edge_list(path: impl AsRef<Path>) -> Result<(CsrGraph, Vec<u64>), Gr
 /// Writes `g` as an edge list (one `u v` per line, dense ids).
 pub fn write_edge_list(g: &CsrGraph, writer: impl Write) -> Result<(), GraphError> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v) in g.edges() {
         writeln!(w, "{u} {v}")?;
     }
@@ -123,7 +128,9 @@ pub fn decode_binary(mut data: &[u8]) -> Result<CsrGraph, GraphError> {
     for _ in 0..m2 {
         let w = data.get_u32_le();
         if w as usize >= n {
-            return Err(GraphError::BinaryFormat(format!("endpoint {w} out of range")));
+            return Err(GraphError::BinaryFormat(format!(
+                "endpoint {w} out of range"
+            )));
         }
         edges.push(w);
     }

@@ -7,6 +7,18 @@
 //!
 //! Everything in this crate is independent of the k-plex definition; it is
 //! the layer the enumeration engine (in `kplex-core`) is built on.
+//!
+//! ```
+//! use kplex_graph::{gen, GraphStats};
+//!
+//! // Deterministic generators: same parameters + seed, same graph.
+//! let g = gen::complete(5);
+//! assert_eq!((g.num_vertices(), g.num_edges()), (5, 10));
+//! assert_eq!(gen::gnp(40, 0.3, 7), gen::gnp(40, 0.3, 7));
+//!
+//! let stats = GraphStats::compute(&g);
+//! assert_eq!(stats.degeneracy, 4); // K5 is 4-degenerate
+//! ```
 
 #![warn(missing_docs)]
 

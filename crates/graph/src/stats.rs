@@ -2,10 +2,9 @@
 
 use crate::coreness::core_decomposition;
 use crate::csr::CsrGraph;
-use serde::{Deserialize, Serialize};
 
 /// The headline statistics reported per dataset in Table 2 of the paper.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GraphStats {
     /// Number of vertices n.
     pub n: usize,
@@ -29,7 +28,11 @@ impl GraphStats {
             m,
             max_degree: g.max_degree(),
             degeneracy: core_decomposition(g).degeneracy,
-            avg_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            avg_degree: if n == 0 {
+                0.0
+            } else {
+                2.0 * m as f64 / n as f64
+            },
         }
     }
 }

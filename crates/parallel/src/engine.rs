@@ -210,7 +210,6 @@ fn run_stage<S: PlexSink + Send>(
             .zip(sinks.iter_mut())
             .zip(worker_stats.iter_mut())
         {
-            let construct = construct;
             handles.push(scope.spawn(move || {
                 // Phase 1: construction (when not pre-filled). Worker w
                 // builds every M-th eligible seed and enqueues its tasks on
@@ -310,7 +309,9 @@ fn make_tasks(
     if opts.single_task_per_seed {
         stats.subtasks += 1;
         let c: Vec<u32> = (1..s.seed.len() as u32).collect();
-        let x: Vec<u32> = (0..s.seed.xout.len() as u32).map(|i| i | XOUT_FLAG).collect();
+        let x: Vec<u32> = (0..s.seed.xout.len() as u32)
+            .map(|i| i | XOUT_FLAG)
+            .collect();
         return vec![Task {
             slot,
             p: vec![0],

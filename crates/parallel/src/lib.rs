@@ -16,6 +16,19 @@
 //! pending branches as new tasks on the worker's queue
 //! ([`kplex_core::SavedTask`]), so one deep sub-tree cannot serialise the
 //! stage tail.
+//!
+//! ```
+//! use kplex_core::{enumerate_count, AlgoConfig, Params};
+//! use kplex_graph::gen;
+//! use kplex_parallel::{par_enumerate_count, EngineOptions};
+//!
+//! let g = gen::powerlaw_cluster(100, 4, 0.6, 1);
+//! let params = Params::new(2, 5).unwrap();
+//! let cfg = AlgoConfig::ours();
+//! let (serial, _) = enumerate_count(&g, params, &cfg);
+//! let (parallel, _) = par_enumerate_count(&g, params, &cfg, &EngineOptions::with_threads(2));
+//! assert_eq!(parallel, serial);
+//! ```
 
 #![warn(missing_docs)]
 

@@ -51,8 +51,15 @@ fn main() {
             println!("  !! community {community:?} not recovered");
         }
     }
-    println!("recovered {recovered}/{} planted communities", report.plexes.len());
-    assert_eq!(recovered, report.plexes.len(), "all planted communities must be found");
+    println!(
+        "recovered {recovered}/{} planted communities",
+        report.plexes.len()
+    );
+    assert_eq!(
+        recovered,
+        report.plexes.len(),
+        "all planted communities must be found"
+    );
 
     // Communities are statistically significant: none of them appears if we
     // demand a size beyond the planted range (background alone cannot

@@ -23,7 +23,9 @@ fn main() {
     println!("\nsequential: {count_seq} plexes in {secs_seq:.2}s");
 
     // Parallel runs with increasing thread counts.
-    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     for threads in [1, 2, 4, 8].into_iter().filter(|&t| t <= max_threads) {
         let opts = EngineOptions::with_threads(threads);
         let t0 = Instant::now();

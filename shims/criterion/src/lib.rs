@@ -1,0 +1,255 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset the workspace's benches use — groups, per-group
+//! sample/timing knobs, `bench_function` / `bench_with_input`, `Bencher::iter`
+//! and the `criterion_group!` / `criterion_main!` macros — reporting
+//! min/mean/max wall-clock per iteration as plain text. No statistics, plots
+//! or baselines; swap the path dependency for crates.io `criterion = "0.5"`
+//! to get those.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimiser from deleting benchmark work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Id consisting of the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    warm_up: Duration,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget is spent (at least once).
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            if start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        self.times = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(routine());
+                t.elapsed()
+            })
+            .collect();
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Shared knobs and reporting for a set of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: usize,
+    warm_up: Duration,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim times a fixed number of
+    /// samples rather than a time budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Warm-up budget before sampling begins.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.samples,
+            warm_up: self.warm_up,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        self.report(&id, &b.times);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.samples,
+            warm_up: self.warm_up,
+            times: Vec::new(),
+        };
+        f(&mut b, input);
+        self.report(&id, &b.times);
+        self
+    }
+
+    /// Ends the group (reporting is incremental; this is a no-op).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, times: &[Duration]) {
+        if times.is_empty() {
+            println!(
+                "{}/{}: no samples (routine never called iter)",
+                self.name, id.id
+            );
+            return;
+        }
+        let min = *times.iter().min().expect("non-empty");
+        let max = *times.iter().max().expect("non-empty");
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "{}/{}: [{} {} {}] ({} samples)",
+            self.name,
+            id.id,
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max),
+            times.len()
+        );
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            warm_up: Duration::from_millis(100),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(name, f);
+        self
+    }
+
+    /// Prints the final summary (reporting is incremental; no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut ran = 0usize;
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(3);
+            g.warm_up_time(Duration::from_millis(0));
+            g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+            g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+                b.iter(|| x * 2)
+            });
+            ran += 1;
+            g.finish();
+        }
+        assert_eq!(ran, 1);
+    }
+}

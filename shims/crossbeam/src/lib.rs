@@ -1,0 +1,150 @@
+//! Offline stand-in for `crossbeam` (deque subset).
+//!
+//! The parallel engine needs a per-worker deque with owner-side LIFO pop
+//! and thief-side FIFO steal — the crossbeam-deque `Worker`/`Stealer` API.
+//! This shim reproduces that API and its ordering semantics over a
+//! `Mutex<VecDeque>`; it is correct under arbitrary interleavings and fast
+//! enough for test-scale workloads. Swap the workspace path dependency for
+//! crates.io `crossbeam = "0.8"` to get the lock-free version unchanged.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Owner side of a work-stealing deque.
+    ///
+    /// LIFO flavour: the owner pushes and pops at the back (depth-first,
+    /// cache-warm), thieves steal from the front (breadth-first, coarse
+    /// tasks). FIFO flavour: the owner also pops from the front.
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+        lifo: bool,
+    }
+
+    /// Thief side; clone one per sibling worker.
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The deque was observed empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// A race was lost; retrying may succeed.
+        Retry,
+    }
+
+    impl<T> Worker<T> {
+        /// New deque whose owner pops most-recently-pushed first.
+        pub fn new_lifo() -> Self {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+                lifo: true,
+            }
+        }
+
+        /// New deque whose owner pops oldest-first.
+        pub fn new_fifo() -> Self {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+                lifo: false,
+            }
+        }
+
+        /// Enqueues a task on the owner's end.
+        pub fn push(&self, task: T) {
+            self.inner.lock().expect("deque poisoned").push_back(task);
+        }
+
+        /// Dequeues the owner's next task.
+        pub fn pop(&self) -> Option<T> {
+            let mut q = self.inner.lock().expect("deque poisoned");
+            if self.lifo {
+                q.pop_back()
+            } else {
+                q.pop_front()
+            }
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().expect("deque poisoned").is_empty()
+        }
+
+        /// Creates a thief handle to this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Attempts to steal the oldest task. The locked implementation
+        /// never races, so [`Steal::Retry`] is never returned; callers
+        /// written against crossbeam's lock-free deque handle it anyway.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().expect("deque poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn lifo_owner_fifo_thief() {
+            let w = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(w.pop(), Some(3));
+            assert_eq!(s.steal(), Steal::Success(1));
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), None);
+            assert_eq!(s.steal(), Steal::Empty);
+        }
+
+        #[test]
+        fn cross_thread_stealing_loses_nothing() {
+            let w = Worker::new_lifo();
+            for i in 0..1000 {
+                w.push(i);
+            }
+            let stealers: Vec<Stealer<i32>> = (0..4).map(|_| w.stealer()).collect();
+            let total: i32 = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for s in &stealers {
+                    handles.push(scope.spawn(move || {
+                        let mut sum = 0;
+                        loop {
+                            match s.steal() {
+                                Steal::Success(v) => sum += v,
+                                Steal::Retry => continue,
+                                Steal::Empty => break,
+                            }
+                        }
+                        sum
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            });
+            assert_eq!(total, (0..1000).sum::<i32>());
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Collection strategies (`vec`, `btree_set`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+/// An inclusive size interval for generated collections.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(self, rng: &mut TestRng) -> usize {
+        rng.random_range(self.lo..=self.hi)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with lengths drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.generate_value(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<T>` with sizes drawn from `size`. As in real
+/// proptest, the set may come out smaller than the drawn size when the
+/// element strategy repeats values.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let want = self.size.sample(rng);
+        let mut set = BTreeSet::new();
+        // Give repeated values a bounded number of extra attempts.
+        for _ in 0..want.saturating_mul(2) {
+            if set.len() >= want {
+                break;
+            }
+            set.insert(self.element.generate_value(rng));
+        }
+        set
+    }
+}

@@ -1,0 +1,67 @@
+//! Test execution plumbing used by the [`crate::proptest!`] macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG driving generation. Seeded deterministically per test name, so
+/// every run (and every failure) is exactly reproducible.
+pub type TestRng = StdRng;
+
+/// Builds the deterministic RNG for a named test.
+pub fn rng_for(test_name: &str) -> TestRng {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let seed = test_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+    });
+    StdRng::seed_from_u64(seed)
+}
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property was violated; the test fails.
+    Fail(String),
+    /// The inputs were unsuitable; the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}

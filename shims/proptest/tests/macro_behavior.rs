@@ -1,0 +1,100 @@
+//! Behavioural tests of the shim's `proptest!` machinery itself: the macro
+//! must actually iterate, draw fresh inputs, respect the configured case
+//! count, and turn `prop_assert!` violations into test failures.
+
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static CASES_RUN: AtomicU32 = AtomicU32::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(37))]
+
+    #[test]
+    fn macro_runs_configured_number_of_cases(_x in 0usize..10) {
+        CASES_RUN.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[test]
+fn case_count_is_respected() {
+    macro_runs_configured_number_of_cases();
+    // Every invocation (including the harness's own) runs exactly 37 cases.
+    assert_eq!(CASES_RUN.load(Ordering::Relaxed) % 37, 0);
+    assert!(CASES_RUN.load(Ordering::Relaxed) >= 37);
+}
+
+#[test]
+#[allow(unnameable_test_items)]
+fn failing_property_panics_with_case_message() {
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+        #[test]
+        fn always_fails(x in 0usize..100) {
+            prop_assert!(x > 1000, "x was {}", x);
+        }
+    }
+    let err = catch_unwind(AssertUnwindSafe(always_fails)).unwrap_err();
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "non-string panic".into());
+    assert!(msg.contains("always_fails"), "message: {msg}");
+    assert!(msg.contains("x was"), "message: {msg}");
+}
+
+#[test]
+#[allow(unnameable_test_items)]
+fn inputs_vary_across_cases() {
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn collect_inputs(x in 0u32..1_000_000) {
+            // Threading state out through a thread_local keeps the closure Fn.
+            INPUTS.with(|v| v.borrow_mut().push(x));
+        }
+    }
+    thread_local! {
+        static INPUTS: std::cell::RefCell<Vec<u32>> = const { std::cell::RefCell::new(Vec::new()) };
+    }
+    collect_inputs();
+    INPUTS.with(|v| {
+        let inputs = v.borrow();
+        assert_eq!(inputs.len(), 64);
+        let mut dedup = inputs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert!(dedup.len() > 32, "only {} distinct inputs", dedup.len());
+    });
+}
+
+proptest! {
+    // No config block: the default (256 cases) applies.
+    #[test]
+    fn default_config_form_compiles(a in 0usize..5, b in 0usize..5) {
+        prop_assert!(a < 5 && b < 5);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn early_ok_return_skips_rest(n in 0usize..10) {
+        if n < 10 {
+            return Ok(());
+        }
+        prop_assert!(false, "unreachable");
+    }
+
+    #[test]
+    fn oneof_just_and_collections_compose(
+        v in proptest::collection::vec(prop_oneof![Just(1usize), 3usize..6], 0..20),
+        s in proptest::collection::btree_set(0usize..50, 0..10),
+    ) {
+        prop_assert!(v.iter().all(|&x| x == 1 || (3..6).contains(&x)));
+        prop_assert!(s.len() < 10);
+        prop_assert!(s.iter().all(|&x| x < 50));
+    }
+}

@@ -1,0 +1,221 @@
+//! Offline stand-in for the `rand` crate (0.9 API subset).
+//!
+//! The workspace builds in an environment without registry access, so the
+//! real `rand` cannot be fetched. This shim implements exactly the surface
+//! the workspace uses — a deterministic [`rngs::StdRng`] (xoshiro256**
+//! seeded by SplitMix64), the [`Rng`] extension methods `random`,
+//! `random_range` and `random_bool`, [`SeedableRng::seed_from_u64`], and
+//! [`seq::SliceRandom`] — with the same signatures, so replacing the path
+//! dependency with the crates.io `rand = "0.9"` is a no-op for callers.
+//!
+//! The streams differ from the real crate's, which is fine: every consumer
+//! in this workspace treats the seed as an opaque determinism handle, never
+//! as a cross-library reproducibility contract.
+
+pub mod rngs;
+pub mod seq;
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, auto-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the standard distribution of `T`
+    /// (uniform over the type's range; `[0, 1)` for floats).
+    fn random<T: distr::StandardUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distr::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of [0, 1]");
+        distr::f64_unit(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Distribution plumbing behind [`Rng`]'s convenience methods.
+pub mod distr {
+    use super::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Converts 64 random bits into a uniform `f64` in `[0, 1)`.
+    pub(crate) fn f64_unit<R: RngCore>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Types with a canonical "standard" distribution.
+    pub trait StandardUniform: Sized {
+        /// Draws one standard-distributed value.
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+    }
+
+    impl StandardUniform for f64 {
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+            f64_unit(rng)
+        }
+    }
+
+    impl StandardUniform for f32 {
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+            ((rng.next_u64() >> 40) as f32) * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl StandardUniform for bool {
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl StandardUniform for u64 {
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl StandardUniform for u32 {
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+            rng.next_u32()
+        }
+    }
+
+    /// Ranges that can be sampled from uniformly.
+    pub trait SampleRange<T> {
+        /// Draws one value; panics if the range is empty.
+        fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+    }
+
+    /// Uniform `u64` in `[0, span)` by rejection from the top, avoiding
+    /// modulo bias (Lemire-style threshold rejection).
+    pub(crate) fn u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        // zone = largest multiple of span that fits in u64.
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = rng.next_u64();
+            if v <= zone {
+                return v % span;
+            }
+        }
+    }
+
+    macro_rules! int_sample_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    // Two's-complement subtraction yields the span for signed
+                    // and unsigned ranges alike (e.g. -5..5 spans 10).
+                    let span = (self.end as i128).wrapping_sub(self.start as i128) as u64;
+                    self.start.wrapping_add(u64_below(rng, span) as $t)
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range");
+                    let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(u64_below(rng, span as u64) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl SampleRange<f64> for Range<f64> {
+        fn sample_single<R: RngCore>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "empty range");
+            self.start + f64_unit(rng) * (self.end - self.start)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0u32..1000), b.random_range(0u32..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = r.random_range(10usize..20);
+            assert!((10..20).contains(&x));
+            let y = r.random_range(3i32..=5);
+            assert!((3..=5).contains(&y));
+            let z = r.random_range(-5i32..5);
+            assert!((-5..5).contains(&z));
+            let w = r.random_range(i64::MIN..=i64::MAX);
+            let _ = w; // full-range draw must not panic
+            let v = r.random_range(-3i64..=-1);
+            assert!((-3..=-1).contains(&v));
+            let f: f64 = r.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_probabilities_are_sane() {
+        let mut r = StdRng::seed_from_u64(11);
+        assert!(!(0..100).any(|_| r.random_bool(0.0)));
+        assert!((0..100).all(|_| r.random_bool(1.0)));
+        let heads = (0..10_000).filter(|_| r.random_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads={heads}");
+    }
+}

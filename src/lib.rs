@@ -37,8 +37,8 @@ pub use kplex_parallel as parallel;
 pub mod prelude {
     pub use kplex_baselines::Algorithm;
     pub use kplex_core::{
-        enumerate, enumerate_collect, enumerate_count, AlgoConfig, CollectSink, CountSink,
-        Params, PlexSink, SearchStats, SinkFlow,
+        enumerate, enumerate_collect, enumerate_count, AlgoConfig, CollectSink, CountSink, Params,
+        PlexSink, SearchStats, SinkFlow,
     };
     pub use kplex_graph::{CsrGraph, GraphBuilder, GraphStats, VertexId};
     pub use kplex_parallel::{par_enumerate_collect, par_enumerate_count, EngineOptions};

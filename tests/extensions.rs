@@ -10,7 +10,7 @@ use kplex_graph::{gen, induced_diameter};
 
 #[test]
 fn maximum_agrees_with_enumeration_on_every_generator() {
-    let graphs = vec![
+    let graphs = [
         gen::gnp(40, 0.4, 1),
         gen::powerlaw_cluster(80, 5, 0.7, 2),
         gen::caveman(60, 5, 6, 9, 40, 3),
@@ -23,11 +23,7 @@ fn maximum_agrees_with_enumeration_on_every_generator() {
             let (all, _) = enumerate_collect(g, params, &AlgoConfig::ours());
             let expected = all.iter().map(Vec::len).max();
             let got = maximum_kplex(g, k, q, &AlgoConfig::ours());
-            assert_eq!(
-                got.plex.as_ref().map(Vec::len),
-                expected,
-                "graph {i} k {k}"
-            );
+            assert_eq!(got.plex.as_ref().map(Vec::len), expected, "graph {i} k {k}");
             // The reported maximum is among the enumerated maximal plexes.
             if let Some(p) = got.plex {
                 assert!(all.contains(&p), "graph {i} k {k}: {p:?} not maximal");
@@ -43,7 +39,12 @@ fn ctcp_composes_with_every_algorithm() {
     let red = ctcp_reduce(&g, params);
     assert!(red.graph.num_vertices() <= g.num_vertices());
     let (direct, _) = enumerate_collect(&g, params, &AlgoConfig::ours());
-    for algo in [Algorithm::Ours, Algorithm::ListPlex, Algorithm::Fp, Algorithm::D2k] {
+    for algo in [
+        Algorithm::Ours,
+        Algorithm::ListPlex,
+        Algorithm::Fp,
+        Algorithm::D2k,
+    ] {
         let (on_reduced, _) = algo.run_collect(&red.graph, params);
         let mut mapped: Vec<Vec<u32>> = on_reduced
             .into_iter()
@@ -134,7 +135,10 @@ fn lfr_communities_are_mined_as_plexes() {
     let lfr = gen::lfr(&cfg, 31);
     let params = Params::new(3, 6).unwrap();
     let (res, _) = enumerate_collect(&lfr.graph, params, &AlgoConfig::ours());
-    assert!(!res.is_empty(), "LFR communities should contain 3-plexes of size 6");
+    assert!(
+        !res.is_empty(),
+        "LFR communities should contain 3-plexes of size 6"
+    );
     // Most results should be community-pure (all members share a community).
     let pure = res
         .iter()

@@ -26,7 +26,13 @@ fn timeout_values_all_agree() {
     let params = Params::new(3, 8).unwrap();
     let cfg = AlgoConfig::ours();
     let (reference, _) = enumerate_collect(&g, params, &cfg);
-    for timeout in [None, Some(Duration::ZERO), Some(Duration::from_micros(1)), Some(Duration::from_micros(100)), Some(Duration::from_millis(10))] {
+    for timeout in [
+        None,
+        Some(Duration::ZERO),
+        Some(Duration::from_micros(1)),
+        Some(Duration::from_micros(100)),
+        Some(Duration::from_millis(10)),
+    ] {
         let mut opts = EngineOptions::with_threads(2);
         opts.timeout = timeout;
         let (got, stats) = par_enumerate_collect(&g, params, &cfg, &opts);

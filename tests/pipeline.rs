@@ -47,7 +47,10 @@ fn registry_datasets_yield_verified_plexes() {
     let g = kplex_datasets::by_name("jazz").unwrap().load();
     let params = Params::new(2, 9).unwrap();
     let (plexes, _) = enumerate_collect(&g, params, &AlgoConfig::ours());
-    assert!(!plexes.is_empty(), "jazz must contain 2-plexes of size >= 9");
+    assert!(
+        !plexes.is_empty(),
+        "jazz must contain 2-plexes of size >= 9"
+    );
     for p in plexes.iter().take(50) {
         assert!(is_maximal_kplex(&g, p, 2));
         assert!(p.len() >= 9);

@@ -9,9 +9,9 @@
 
 use kplex_baselines::Algorithm;
 use kplex_core::plex::{is_kplex, is_maximal_kplex};
-use kplex_core::{enumerate_collect, AlgoConfig, Params};
+use kplex_core::{enumerate_collect, enumerate_count, AlgoConfig, Params};
 use kplex_graph::{CsrGraph, VertexId};
-use kplex_parallel::{par_enumerate_collect, EngineOptions};
+use kplex_parallel::{par_enumerate_collect, par_enumerate_count, EngineOptions};
 use proptest::prelude::*;
 
 /// Strategy: a random simple graph with up to `max_n` vertices.
@@ -64,6 +64,16 @@ proptest! {
         let opts = EngineOptions::with_threads(3);
         let (par, _) = par_enumerate_collect(&g, params, &AlgoConfig::ours(), &opts);
         prop_assert_eq!(par, reference);
+    }
+
+    #[test]
+    fn parallel_count_matches_serial_under_1_2_4_threads(g in arb_graph(20), params in arb_params()) {
+        let (serial, _) = enumerate_count(&g, params, &AlgoConfig::ours());
+        for threads in [1usize, 2, 4] {
+            let opts = EngineOptions::with_threads(threads);
+            let (par, _) = par_enumerate_count(&g, params, &AlgoConfig::ours(), &opts);
+            prop_assert_eq!(par, serial, "count diverged at {} threads: {} != {}", threads, par, serial);
+        }
     }
 
     #[test]
