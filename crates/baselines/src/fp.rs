@@ -66,7 +66,7 @@ pub fn enumerate_whole_seed(
         // outside witnesses.
         let c: Vec<u32> = (1..seed.len() as u32).collect();
         let x: Vec<u32> = (0..seed.xout.len() as u32).map(|i| i | XOUT_FLAG).collect();
-        let flow = searcher.run_task(&[0], c, x, &mut msink);
+        let flow = searcher.run_task(&[0], &c, &x, &mut msink);
         stats.merge(&searcher.stats);
         if flow == SinkFlow::Stop {
             break;

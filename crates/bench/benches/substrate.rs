@@ -1,9 +1,14 @@
 //! Micro-benchmarks of the graph substrate: core decomposition, bitset
-//! intersection counting, and seed-subgraph construction — the per-seed
-//! costs that Section 5's complexity analysis bounds.
+//! intersection counting, seed-subgraph construction — the per-seed costs
+//! that Section 5's complexity analysis bounds — plus the branch-kernel
+//! head-to-head (arena kernel vs the legacy clone-based kernel).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use kplex_core::{AlgoConfig, Params, SeedBuilder};
+use kplex_core::enumerate::prepare;
+use kplex_core::{
+    collect_subtasks, AlgoConfig, CountSink, PairMatrix, Params, RefSearcher, SearchStats,
+    Searcher, SeedBuilder,
+};
 use kplex_graph::{core_decomposition, gen, BitSet};
 
 fn bench(c: &mut Criterion) {
@@ -44,6 +49,49 @@ fn bench(c: &mut Criterion) {
             built
         })
     });
+
+    // Branch-kernel head-to-head on one branchy seed graph: the arena
+    // kernel (production) vs the legacy clone-based kernel. Both walk a
+    // byte-identical tree (asserted by tests/kernel_equivalence.rs), so the
+    // delta is pure per-branch overhead: Vec clones + per-vertex tighten
+    // vs arena segments + word-parallel tighten.
+    {
+        let gb = gen::powerlaw_cluster(400, 8, 0.6, 42);
+        let params = Params::new(3, 6).unwrap();
+        let cfg = AlgoConfig::ours();
+        let prep = prepare(&gb, params);
+        let mut builder = SeedBuilder::new(prep.graph.num_vertices());
+        let seed = prep
+            .decomp
+            .order
+            .iter()
+            .filter_map(|&sv| builder.build(&prep.graph, &prep.decomp, sv, params, &cfg))
+            .max_by_key(|s| s.len())
+            .expect("instance builds");
+        let pairs = PairMatrix::build(&seed, params);
+        let mut stats = SearchStats::default();
+        let tasks = collect_subtasks(&seed, params, &cfg, Some(&pairs), &mut stats);
+        group.bench_function("branch_kernel_arena", |b| {
+            let mut searcher = Searcher::new(&seed, params, &cfg, Some(&pairs));
+            b.iter(|| {
+                let mut sink = CountSink::default();
+                for t in &tasks {
+                    searcher.run_task(t.p(), t.c(), t.x(), &mut sink);
+                }
+                sink.count
+            })
+        });
+        group.bench_function("branch_kernel_legacy", |b| {
+            let mut searcher = RefSearcher::new(&seed, params, &cfg, Some(&pairs));
+            b.iter(|| {
+                let mut sink = CountSink::default();
+                for t in &tasks {
+                    searcher.run_task(t.p(), t.c(), t.x(), &mut sink);
+                }
+                sink.count
+            })
+        });
+    }
     group.finish();
 }
 

@@ -1,7 +1,8 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
 //! Usage: `repro <experiment>` where experiment is one of
-//! `table2 table3 table4 table5 table6 table7 fig7 fig8 fig9 fig13 all`.
+//! `table2 table3 table4 table5 table6 table7 fig7 fig8 fig9 fig13 all`,
+//! or `bench-smoke` for the CI perf-snapshot job (writes `BENCH_2.json`).
 //!
 //! Each experiment prints a markdown artifact and stores it under
 //! `results/<id>.md`. Absolute numbers are from the synthetic stand-in
@@ -37,6 +38,7 @@ fn main() {
         "fig13" => fig13(),
         "pivot" => pivot_ablation(),
         "ctcp" => ctcp_ablation(),
+        "bench-smoke" => bench_smoke(args.get(1).map(String::as_str)),
         "all" => {
             table2();
             table3();
@@ -53,12 +55,53 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: repro <table2|table3|table4|table5|table6|table7|fig7|fig8|fig9|fig13|pivot|ctcp|all>"
+                "usage: repro <table2|table3|table4|table5|table6|table7|fig7|fig8|fig9|fig13|pivot|ctcp|bench-smoke|all>"
             );
             std::process::exit(2);
         }
     }
     eprintln!("\n[repro] finished in {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+// --- bench-smoke: the CI perf snapshot --------------------------------------
+
+/// Runs the two representative `t3_sequential` cells a handful of times and
+/// writes the medians to `BENCH_2.json` (or to `path` when given). CI uploads
+/// the file as an artifact so the perf trajectory has one data point per
+/// merge; the committed copy records the pre/post medians of PR 2's branch
+/// kernel swap.
+fn bench_smoke(path: Option<&str>) {
+    const RUNS: usize = 5;
+    let cells = [("lastfm", 4usize, 9usize), ("wiki-vote", 3, 9)];
+    let mut entries = Vec::new();
+    for (ds, k, q) in cells {
+        let g = load(ds);
+        let mut times = Vec::with_capacity(RUNS);
+        let mut count = 0u64;
+        for _ in 0..RUNS {
+            let (secs, c) = kplex_bench::time_algorithm(Algorithm::Ours, &g, k, q);
+            times.push(secs);
+            count = c;
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = times[RUNS / 2];
+        eprintln!(
+            "[bench-smoke] {ds} k={k} q={q}: median {}s over {RUNS} runs",
+            fmt_secs(median)
+        );
+        entries.push(format!(
+            "    {{\"dataset\": \"{ds}\", \"k\": {k}, \"q\": {q}, \"algo\": \"Ours\", \
+             \"runs\": {RUNS}, \"median_s\": {median:.6}, \"plexes\": {count}}}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"t3_sequential/bench-smoke\",\n  \"cells\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let out = path.unwrap_or("BENCH_2.json");
+    std::fs::write(out, &json).expect("write bench snapshot");
+    println!("{json}");
+    eprintln!("[bench-smoke] wrote {out}");
 }
 
 fn threads() -> usize {

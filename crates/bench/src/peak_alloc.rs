@@ -1,13 +1,17 @@
-//! A peak-tracking global allocator, used to reproduce the memory
-//! comparison of Appendix B.2 (Table 7).
+//! A counting global allocator: peak tracking for the memory comparison of
+//! Appendix B.2 (Table 7), plus an allocation-event counter used to prove
+//! the branch kernel's steady-state loop is allocation-free
+//! (`tests/alloc_free.rs`).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 static CURRENT: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
 
-/// Wraps the system allocator, tracking live bytes and the high-water mark.
+/// Wraps the system allocator, tracking live bytes, the high-water mark,
+/// and the number of allocation events (alloc + growing realloc).
 pub struct PeakAlloc;
 
 // SAFETY: delegates to `System` for all allocation; only adds counters.
@@ -15,6 +19,7 @@ unsafe impl GlobalAlloc for PeakAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = System.alloc(layout);
         if !p.is_null() {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
             let cur = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
             PEAK.fetch_max(cur, Ordering::Relaxed);
         }
@@ -30,6 +35,7 @@ unsafe impl GlobalAlloc for PeakAlloc {
         let p = System.realloc(ptr, layout, new_size);
         if !p.is_null() {
             if new_size >= layout.size() {
+                ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
                 let cur = CURRENT.fetch_add(new_size - layout.size(), Ordering::Relaxed) + new_size
                     - layout.size();
                 PEAK.fetch_max(cur, Ordering::Relaxed);
@@ -55,6 +61,12 @@ impl PeakAlloc {
     /// Restarts peak tracking from the current live set.
     pub fn reset_peak() {
         PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Total allocation events (alloc + growing realloc) since process
+    /// start. Diff two readings to count the allocations of a code region.
+    pub fn alloc_calls() -> usize {
+        ALLOC_CALLS.load(Ordering::Relaxed)
     }
 }
 

@@ -1,0 +1,127 @@
+//! Proof that the arena branch kernel's steady-state include/exclude loop is
+//! allocation-free: with [`PeakAlloc`] installed as the global allocator,
+//! re-running a warmed searcher over the same task performs **zero**
+//! allocation events, while the legacy clone-based kernel allocates on every
+//! branch.
+
+use kplex_bench::peak_alloc::PeakAlloc;
+use kplex_core::enumerate::prepare;
+use kplex_core::{
+    collect_subtasks, AlgoConfig, CountSink, PairMatrix, Params, RefSearcher, SavedTask,
+    SearchStats, Searcher, SeedBuilder, SeedGraph,
+};
+use kplex_graph::gen;
+
+#[global_allocator]
+static ALLOC: PeakAlloc = PeakAlloc;
+
+/// Builds a branchy seed graph plus its sub-tasks.
+fn branchy_instance(params: Params, cfg: &AlgoConfig) -> Option<(SeedGraph, Vec<SavedTask>)> {
+    let g = gen::powerlaw_cluster(400, 8, 0.6, 42);
+    let prep = prepare(&g, params);
+    let mut builder = SeedBuilder::new(prep.graph.num_vertices());
+    let mut best: Option<SeedGraph> = None;
+    for &sv in &prep.decomp.order {
+        if let Some(seed) = builder.build(&prep.graph, &prep.decomp, sv, params, cfg) {
+            if best.as_ref().is_none_or(|b| seed.len() > b.len()) {
+                best = Some(seed);
+            }
+        }
+    }
+    let seed = best?;
+    let pairs = cfg.use_r2.then(|| PairMatrix::build(&seed, params));
+    let mut stats = SearchStats::default();
+    let tasks = collect_subtasks(&seed, params, cfg, pairs.as_ref(), &mut stats);
+    Some((seed, tasks))
+}
+
+#[test]
+fn steady_state_branching_allocates_nothing() {
+    let params = Params::new(3, 6).unwrap();
+    let cfg = AlgoConfig::ours();
+    let (seed, tasks) = branchy_instance(params, &cfg).expect("instance builds");
+    let pairs = cfg.use_r2.then(|| PairMatrix::build(&seed, params));
+    let mut searcher = Searcher::new(&seed, params, &cfg, pairs.as_ref());
+    let mut sink = CountSink::default();
+
+    // Warm-up run: the arenas grow to the task's high-water mark here.
+    for t in &tasks {
+        searcher.run_task(t.p(), t.c(), t.x(), &mut sink);
+    }
+    let branches_per_run = searcher.stats.branch_calls;
+    assert!(
+        branches_per_run > 100,
+        "instance too shallow to prove anything: {branches_per_run} branches"
+    );
+
+    // Measured run: identical work, arenas already sized — the include /
+    // exclude / multiway recursion must not touch the heap at all.
+    let before = PeakAlloc::alloc_calls();
+    for t in &tasks {
+        searcher.run_task(t.p(), t.c(), t.x(), &mut sink);
+    }
+    let allocs = PeakAlloc::alloc_calls() - before;
+    assert_eq!(
+        allocs, 0,
+        "steady-state branch loop allocated {allocs} times over {branches_per_run} branches"
+    );
+}
+
+#[test]
+fn legacy_kernel_allocates_per_branch() {
+    // The contrast cell: same instance, clone-based reference kernel. This
+    // is the churn the arena rewrite removed, so it must stay visible here.
+    let params = Params::new(3, 6).unwrap();
+    let cfg = AlgoConfig::ours();
+    let (seed, tasks) = branchy_instance(params, &cfg).expect("instance builds");
+    let pairs = cfg.use_r2.then(|| PairMatrix::build(&seed, params));
+    let mut legacy = RefSearcher::new(&seed, params, &cfg, pairs.as_ref());
+    let mut sink = CountSink::default();
+    for t in &tasks {
+        legacy.run_task(t.p(), t.c(), t.x(), &mut sink);
+    }
+    let before = PeakAlloc::alloc_calls();
+    for t in &tasks {
+        legacy.run_task(t.p(), t.c(), t.x(), &mut sink);
+    }
+    let allocs = PeakAlloc::alloc_calls() - before;
+    assert!(
+        allocs as u64 >= legacy.stats.branch_calls / 4,
+        "expected the clone-based kernel to allocate roughly per branch \
+         ({allocs} allocations, {} branches total)",
+        legacy.stats.branch_calls
+    );
+}
+
+#[test]
+fn saves_allocate_once_per_task() {
+    // With a 0ns budget every recursion defers: each deferred branch must
+    // cost exactly one allocation (the packed SavedTask buffer), plus the
+    // amortised growth of the `saved` vector itself.
+    let params = Params::new(3, 6).unwrap();
+    let cfg = AlgoConfig::ours();
+    let (seed, tasks) = branchy_instance(params, &cfg).expect("instance builds");
+    let pairs = cfg.use_r2.then(|| PairMatrix::build(&seed, params));
+    let mut searcher = Searcher::new(&seed, params, &cfg, pairs.as_ref());
+    let mut sink = CountSink::default();
+    // Warm up without a budget, then arm 0ns and re-run.
+    for t in &tasks {
+        searcher.run_task(t.p(), t.c(), t.x(), &mut sink);
+    }
+    searcher.set_time_budget(Some(std::time::Duration::from_nanos(0)));
+    let mut saves = 0usize;
+    let before = PeakAlloc::alloc_calls();
+    for t in &tasks {
+        searcher.run_task(t.p(), t.c(), t.x(), &mut sink);
+        saves += searcher.take_saved().len();
+    }
+    let allocs = PeakAlloc::alloc_calls() - before;
+    assert!(saves > 0, "0ns budget must defer branches");
+    // One buffer per save + take_saved handing out fresh vectors + O(log)
+    // growth of `saved`; 3·saves is a safe ceiling that still rules out the
+    // legacy per-branch churn (which also cloned on non-deferred branches).
+    assert!(
+        allocs <= 3 * saves + 64,
+        "save path allocated {allocs} times for {saves} deferred branches"
+    );
+}

@@ -58,40 +58,33 @@ pub fn ub_support(
     }
     let mut ub = psz as i64 + sup_pivot;
     // Walk the pivot's neighbours among the candidates (the set K of the
-    // theorem starts as N_C(v_p)). Word-at-a-time, no allocation.
+    // theorem starts as N_C(v_p)). Word-at-a-time via the bitset
+    // intersection iterator, no allocation.
     let pivot_row = seed.adj.row(pivot as usize);
-    let mut word_idx = 0usize;
-    for (a, b) in pivot_row.words().iter().zip(c_bits.words()) {
-        let mut w = a & b;
-        while w != 0 {
-            let bit = w.trailing_zeros() as usize;
-            w &= w - 1;
-            let cand = (word_idx * 64 + bit) as u32;
-            if cand == pivot {
-                continue;
-            }
-            // u_m = the non-neighbour of `cand` in P with minimum support.
-            let mut min_sup = i64::MAX;
-            let mut um = u32::MAX;
-            for &u in p {
-                if !seed.adj.has_edge(u as usize, cand as usize) {
-                    let s = scratch.sup[u as usize];
-                    if s < min_sup {
-                        min_sup = s;
-                        um = u;
-                    }
+    for cand in pivot_row.intersection_iter(c_bits) {
+        if cand == pivot as usize {
+            continue;
+        }
+        // u_m = the non-neighbour of `cand` in P with minimum support.
+        let mut min_sup = i64::MAX;
+        let mut um = u32::MAX;
+        for &u in p {
+            if !seed.adj.has_edge(u as usize, cand) {
+                let s = scratch.sup[u as usize];
+                if s < min_sup {
+                    min_sup = s;
+                    um = u;
                 }
             }
-            if um == u32::MAX {
-                ub += 1; // unconstrained candidate
-            } else if min_sup > 0 {
-                // Charge the tightest member and admit the candidate.
-                scratch.sup[um as usize] -= 1;
-                ub += 1;
-            }
-            // else: some non-neighbour is exhausted; cand leaves K.
         }
-        word_idx += 1;
+        if um == u32::MAX {
+            ub += 1; // unconstrained candidate
+        } else if min_sup > 0 {
+            // Charge the tightest member and admit the candidate.
+            scratch.sup[um as usize] -= 1;
+            ub += 1;
+        }
+        // else: some non-neighbour is exhausted; cand leaves K.
     }
     ub.max(0) as usize
 }

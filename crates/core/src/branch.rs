@@ -1,4 +1,5 @@
-//! The branch-and-bound search procedure (Algorithm 3).
+//! The branch-and-bound search procedure (Algorithm 3), allocation-free
+//! branch kernel.
 //!
 //! One engine implements every variant of the paper: the pivot selection of
 //! lines 7–10, the re-picking of lines 15–16 (`Ours`), the FaPlexen multi-way
@@ -6,10 +7,42 @@
 //! FP sorting bound, and the pair-matrix filtering of rule R2. Flags on
 //! [`AlgoConfig`] choose the combination.
 //!
+//! # The arena kernel
+//!
+//! The paper's speedups depend on the branch loop staying cheap inside the
+//! dense seed subgraphs (Section 4), so the searcher's dynamic state lives in
+//! **depth-indexed scratch arenas** with an undo journal instead of the
+//! per-branch `Vec` clones of the legacy kernel (kept for comparison in
+//! [`crate::branch_ref`]):
+//!
+//! * the candidate set `C` is a compact ascending array — the top segment of
+//!   `c_arena` — mirrored by the `c_bits` indicator, which is kept in sync
+//!   incrementally (pivot removals) and snapshotted word-wise into
+//!   `bits_arena` whenever a frame tightens, so unwinding is a `memcpy`;
+//! * the exclusive set `X` is a segmented stack in `x_arena`: tightening
+//!   pushes a filtered child segment, exclude steps append the pivot to the
+//!   current segment, and frame exit truncates;
+//! * the lines 2–3 tightening pass is **word-parallel**: the candidate words
+//!   are intersected with the saturated members' adjacency rows and the R2
+//!   [`PairMatrix`] rows of the newly added vertices
+//!   ([`kplex_graph::BitSet::intersect_rows`]), leaving only the per-vertex
+//!   degree threshold as a scalar check;
+//! * `added` vertex lists and multi-way `W`-lists live in their own arenas
+//!   (`added_arena`, `w_arena`).
+//!
+//! Heap allocation therefore happens only when a branch is actually deferred
+//! into a [`SavedTask`] (one buffer per save); the steady-state
+//! include/exclude recursion allocates nothing, which
+//! `crates/bench/tests/alloc_free.rs` asserts with a counting allocator. The
+//! [`SearchStats::arena_recursions`] and [`SearchStats::tighten_words`]
+//! counters expose the kernel's work.
+//!
 //! The searcher also supports the parallel runtime's straggler timeout
 //! (Section 6): when a time budget is armed and exceeded, recursion sites
 //! stop descending and instead package their child branches as [`SavedTask`]
-//! values for re-queueing.
+//! values for re-queueing. The deadline clock is polled on the first and
+//! every 64th recursion (and latched once hit), so small τ budgets do not
+//! degenerate into an `Instant::now` per branch.
 
 use crate::bounds::{ub_fp_sorting, ub_support, BoundScratch};
 use crate::config::{AlgoConfig, BranchingKind, Params, UpperBoundKind};
@@ -20,16 +53,72 @@ use crate::stats::SearchStats;
 use kplex_graph::{BitSet, VertexId};
 use std::time::{Duration, Instant};
 
-/// A branch packaged for deferred execution (timeout splitting, Section 6).
-/// All ids are local to the seed subgraph; `p` lists the full current plex.
-#[derive(Clone, Debug)]
+/// The deadline clock is polled on the first and every `DEADLINE_STRIDE`-th
+/// recursion; once it fires, the hit is latched and every further recursion
+/// defers without touching the clock again.
+const DEADLINE_STRIDE: u32 = 64;
+
+/// A branch packaged for deferred execution (timeout splitting, Section 6)
+/// or initial sub-task dispatch.
+///
+/// The three sets share **one** heap buffer (`[P | C | X]`), so saving or
+/// re-queueing a task costs a single allocation — tasks are cheap POD
+/// snapshots. All ids are local to the seed subgraph; [`SavedTask::p`] lists
+/// the full current plex, `X` entries may carry [`XOUT_FLAG`].
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SavedTask {
+    buf: Vec<u32>,
+    p_len: u32,
+    c_len: u32,
+}
+
+impl SavedTask {
+    /// Packs ⟨P, C, X⟩ into one buffer (single allocation).
+    pub fn new(p: &[u32], c: &[u32], x: &[u32]) -> Self {
+        let mut buf = Vec::with_capacity(p.len() + c.len() + x.len());
+        buf.extend_from_slice(p);
+        buf.extend_from_slice(c);
+        buf.extend_from_slice(x);
+        Self {
+            buf,
+            p_len: p.len() as u32,
+            c_len: c.len() as u32,
+        }
+    }
+
+    /// Wraps an already-packed `[P | C | X]` buffer.
+    pub(crate) fn from_buf(buf: Vec<u32>, p_len: u32, c_len: u32) -> Self {
+        debug_assert!((p_len + c_len) as usize <= buf.len());
+        Self { buf, p_len, c_len }
+    }
+
     /// The plex built so far (local ids, includes the seed).
-    pub p: Vec<u32>,
-    /// Remaining candidates.
-    pub c: Vec<u32>,
+    #[inline]
+    pub fn p(&self) -> &[u32] {
+        &self.buf[..self.p_len as usize]
+    }
+
+    /// Remaining candidates (ascending local ids).
+    #[inline]
+    pub fn c(&self) -> &[u32] {
+        &self.buf[self.p_len as usize..(self.p_len + self.c_len) as usize]
+    }
+
     /// Exclusive set (local ids, or `XOUT_FLAG`-tagged outside row indices).
-    pub x: Vec<u32>,
+    #[inline]
+    pub fn x(&self) -> &[u32] {
+        &self.buf[(self.p_len + self.c_len) as usize..]
+    }
+}
+
+/// Undo record for one arena frame: every length the frame extended and the
+/// segment starts it replaced. Dropping the frame is truncate + `memcpy`.
+struct FrameUndo {
+    c_arena_len: usize,
+    x_arena_len: usize,
+    bits_len: usize,
+    prev_c_start: usize,
+    prev_x_start: usize,
 }
 
 /// Recursive searcher over one seed subgraph.
@@ -42,17 +131,34 @@ pub struct Searcher<'a> {
     p: Vec<u32>,
     d_p: Vec<u32>,
     p_bits: BitSet,
+    /// Indicator of the current candidate segment (always in sync with it).
     c_bits: BitSet,
     pc_bits: BitSet,
     sat: Vec<u32>,
     scratch: BoundScratch,
     out_buf: Vec<VertexId>,
+    // Depth-indexed arenas (see the module docs).
+    c_arena: Vec<u32>,
+    x_arena: Vec<u32>,
+    added_arena: Vec<u32>,
+    w_arena: Vec<u32>,
+    /// Undo journal: word snapshots of `c_bits`, one per tightened frame.
+    bits_arena: Vec<u64>,
+    /// Start of the current candidate segment in `c_arena`.
+    c_start: usize,
+    /// Start of the current exclusive segment in `x_arena`.
+    x_start: usize,
+    // Word-parallel tighten scratch.
+    tight_keep: BitSet,
+    tight_pair: BitSet,
     /// Counters for this searcher (merge into run totals when done).
     pub stats: SearchStats,
     stop: bool,
     // Timeout splitting.
     budget: Option<Duration>,
     deadline: Option<Instant>,
+    deadline_tick: u32,
+    deadline_hit: bool,
     saved: Vec<SavedTask>,
 }
 
@@ -79,10 +185,21 @@ impl<'a> Searcher<'a> {
             sat: Vec::new(),
             scratch: BoundScratch::new(n),
             out_buf: Vec::new(),
+            c_arena: Vec::with_capacity(4 * n),
+            x_arena: Vec::with_capacity(4 * n),
+            added_arena: Vec::with_capacity(n),
+            w_arena: Vec::with_capacity(n),
+            bits_arena: Vec::with_capacity(4 * n.div_ceil(64)),
+            c_start: 0,
+            x_start: 0,
+            tight_keep: BitSet::new(n),
+            tight_pair: BitSet::new(n),
             stats: SearchStats::default(),
             stop: false,
             budget: None,
             deadline: None,
+            deadline_tick: 0,
+            deadline_hit: false,
             saved: Vec::new(),
         }
     }
@@ -113,18 +230,41 @@ impl<'a> Searcher<'a> {
     }
 
     /// Runs one task ⟨P, C, X⟩. `init_p` is the full plex-so-far (e.g.
-    /// `{seed} ∪ S` for an initial sub-task, or a [`SavedTask`]'s `p`).
+    /// `{seed} ∪ S` for an initial sub-task, or a [`SavedTask::p`]); `c`
+    /// must be strictly ascending (the set-enumeration order every task
+    /// producer in this crate emits).
     pub fn run_task(
         &mut self,
         init_p: &[u32],
-        c: Vec<u32>,
-        x: Vec<u32>,
+        c: &[u32],
+        x: &[u32],
         sink: &mut dyn PlexSink,
     ) -> SinkFlow {
         debug_assert!(self.p.is_empty(), "searcher state must be clean");
+        debug_assert!(
+            c.windows(2).all(|w| w[0] < w[1]),
+            "candidates must be strictly ascending"
+        );
         self.deadline = self.budget.map(|b| Instant::now() + b);
-        self.branch(init_p, c, x, sink);
+        self.deadline_tick = 0;
+        self.deadline_hit = false;
+        // Seed the arenas: segment 0 is the task input.
+        self.c_arena.clear();
+        self.c_arena.extend_from_slice(c);
+        self.x_arena.clear();
+        self.x_arena.extend_from_slice(x);
+        self.c_start = 0;
+        self.x_start = 0;
+        self.c_bits.clear();
+        for &v in c {
+            self.c_bits.insert(v as usize);
+        }
+        self.added_arena.clear();
+        self.added_arena.extend_from_slice(init_p);
+        self.branch(0, sink);
+        self.added_arena.clear();
         debug_assert!(self.p.is_empty(), "unbalanced push/pop");
+        debug_assert!(self.bits_arena.is_empty(), "unbalanced undo journal");
         if self.stop {
             SinkFlow::Stop
         } else {
@@ -152,8 +292,9 @@ impl<'a> Searcher<'a> {
         }
     }
 
-    fn pop_added(&mut self, added: &[u32]) {
-        for &v in added.iter().rev() {
+    fn pop_added(&mut self, added_start: usize, added_len: usize) {
+        for i in (0..added_len).rev() {
+            let v = self.added_arena[added_start + i];
             self.pop_p(v);
         }
     }
@@ -170,9 +311,144 @@ impl<'a> Searcher<'a> {
         }
     }
 
+    /// Lines 2–3: snapshot `c_bits` into the undo journal, then filter `C`
+    /// into a fresh compact segment. Two equivalent paths, chosen by a cost
+    /// model per frame:
+    ///
+    /// * **word-parallel** (large C): intersect the candidate words with the
+    ///   saturated members' adjacency rows and the added vertices' R2 rows,
+    ///   leaving only the scalar degree threshold per surviving bit;
+    /// * **scalar** (small C, the deep-tree common case): the per-vertex
+    ///   admission test over the parent's compact segment, dropping losers
+    ///   from `c_bits` individually — word work stays O(snapshot).
+    ///
+    /// Both test degree → saturation → R2 in the legacy order, so
+    /// `pair_pruned` is identical either way. `X` is filtered per-entry (it
+    /// is small) into a new segment. Returns the undo record.
+    fn tighten(&mut self, added_start: usize) -> FrameUndo {
+        let undo = FrameUndo {
+            c_arena_len: self.c_arena.len(),
+            x_arena_len: self.x_arena.len(),
+            bits_len: self.bits_arena.len(),
+            prev_c_start: self.c_start,
+            prev_x_start: self.x_start,
+        };
+        self.collect_saturated();
+        let need = (self.p.len() + 1).saturating_sub(self.params.k);
+        // Journal the parent's candidate indicator (restored by memcpy).
+        self.bits_arena.extend_from_slice(self.c_bits.words());
+        // Cost model: the scalar path probes every parent candidate against
+        // each saturation/R2 row; the word path touches every word of those
+        // rows plus three full mask passes. Pick whichever reads less.
+        let c_len = undo.c_arena_len - self.c_start;
+        let nwords = self.c_bits.words().len();
+        let rows = self.sat.len()
+            + if self.pairs.is_some() {
+                self.added_arena.len() - added_start
+            } else {
+                0
+            };
+        if c_len * (1 + rows) > nwords * (3 + rows) {
+            let Self {
+                c_bits,
+                tight_keep,
+                tight_pair,
+                sat,
+                seed,
+                pairs,
+                added_arena,
+                c_arena,
+                d_p,
+                stats,
+                ..
+            } = self;
+            // keep-mask: candidates adjacent to every saturated member.
+            tight_keep.copy_from(c_bits);
+            let mut words = 2 * nwords;
+            words += tight_keep.intersect_rows(sat.iter().map(|&u| seed.adj.row(u as usize)));
+            // pair-mask: additionally R2-compatible with every added vertex.
+            tight_pair.copy_from(tight_keep);
+            if let Some(pm) = *pairs {
+                words += tight_pair
+                    .intersect_rows(added_arena[added_start..].iter().map(|&a| pm.row(a)));
+            }
+            stats.tighten_words += words as u64;
+            // Rebuild the compact segment (ascending) and its indicator,
+            // applying the scalar degree threshold; candidates that pass the
+            // degree and saturation gates but fail R2 are the pair-pruned
+            // ones (the legacy kernel tested in exactly this order).
+            c_bits.copy_from(tight_pair);
+            for wi in 0..nwords {
+                let mut w = tight_keep.words()[wi];
+                let pw = tight_pair.words()[wi];
+                while w != 0 {
+                    let b = w.trailing_zeros();
+                    w &= w - 1;
+                    let v = wi * 64 + b as usize;
+                    if (d_p[v] as usize) < need {
+                        if (pw >> b) & 1 != 0 {
+                            c_bits.remove(v);
+                        }
+                        continue;
+                    }
+                    if (pw >> b) & 1 != 0 {
+                        c_arena.push(v as u32);
+                    } else {
+                        stats.pair_pruned += 1;
+                    }
+                }
+            }
+        } else {
+            // Scalar path: same admission test the exclusive set uses. The
+            // parent's compact segment may still list vertices its frame
+            // already moved out of C (an included pivot, staged multi-way
+            // removals) — the indicator is authoritative, so skip those.
+            self.stats.tighten_words += nwords as u64; // the journal snapshot
+            for i in self.c_start..undo.c_arena_len {
+                let v = self.c_arena[i];
+                if !self.c_bits.contains(v as usize) {
+                    continue;
+                }
+                if self.keep_local(v, need, added_start) {
+                    self.c_arena.push(v);
+                } else {
+                    self.c_bits.remove(v as usize);
+                }
+            }
+        }
+        // X: per-entry admission test into a fresh segment.
+        let x_end = undo.x_arena_len;
+        for i in self.x_start..x_end {
+            let e = self.x_arena[i];
+            if self.keep_x(e, need, added_start) {
+                self.x_arena.push(e);
+            }
+        }
+        self.c_start = undo.c_arena_len;
+        self.x_start = x_end;
+        undo
+    }
+
+    /// Unwinds one tightened frame: truncate the arenas and restore the
+    /// parent's candidate indicator from the journal snapshot.
+    fn untighten(&mut self, undo: FrameUndo) {
+        self.c_arena.truncate(undo.c_arena_len);
+        self.x_arena.truncate(undo.x_arena_len);
+        self.c_start = undo.prev_c_start;
+        self.x_start = undo.prev_x_start;
+        let Self {
+            c_bits, bits_arena, ..
+        } = self;
+        c_bits
+            .words_mut()
+            .copy_from_slice(&bits_arena[undo.bits_len..]);
+        bits_arena.truncate(undo.bits_len);
+    }
+
     /// k-plex admission test for a local vertex against the current P,
-    /// plus R2 pair filtering against the newly added vertices.
-    fn keep_local(&mut self, v: u32, need: usize, added: &[u32]) -> bool {
+    /// plus R2 pair filtering against the newly added vertices. Used for the
+    /// (small) exclusive set; candidates go through the word-parallel path.
+    fn keep_local(&mut self, v: u32, need: usize, added_start: usize) -> bool {
         if (self.d_p[v as usize] as usize) < need {
             return false;
         }
@@ -182,7 +458,8 @@ impl<'a> Searcher<'a> {
             }
         }
         if let Some(pm) = self.pairs {
-            for &a in added {
+            for i in added_start..self.added_arena.len() {
+                let a = self.added_arena[i];
                 if !pm.allowed(a, v) {
                     self.stats.pair_pruned += 1;
                     return false;
@@ -193,9 +470,9 @@ impl<'a> Searcher<'a> {
     }
 
     /// Same admission test for an exclusive-set entry (local or outside).
-    fn keep_x(&mut self, entry: u32, need: usize, added: &[u32]) -> bool {
+    fn keep_x(&mut self, entry: u32, need: usize, added_start: usize) -> bool {
         if entry & XOUT_FLAG == 0 {
-            return self.keep_local(entry, need, added);
+            return self.keep_local(entry, need, added_start);
         }
         let row = self.seed.xout_rows.row((entry & !XOUT_FLAG) as usize);
         if row.intersection_count(&self.p_bits) < need {
@@ -215,15 +492,34 @@ impl<'a> Searcher<'a> {
                 .intersection_count(&self.c_bits)
     }
 
+    /// Removes `v` from the compact candidate segment, preserving the
+    /// ascending order (`v` must be present). `c_bits` is updated by the
+    /// caller, which may need the bit cleared earlier (include branch).
+    fn remove_from_c_segment(&mut self, v: u32) {
+        let pos = self.c_arena[self.c_start..]
+            .binary_search(&v)
+            .expect("pivot must be a candidate");
+        self.c_arena.remove(self.c_start + pos);
+    }
+
     // --- output paths -------------------------------------------------------
 
-    fn emit(&mut self, extra: &[u32], sink: &mut dyn PlexSink) {
-        self.out_buf.clear();
-        self.out_buf
-            .extend(self.p.iter().map(|&v| self.seed.verts[v as usize]));
-        self.out_buf
-            .extend(extra.iter().map(|&v| self.seed.verts[v as usize]));
-        self.out_buf.sort_unstable();
+    /// Reports P (plus the whole candidate segment when `with_candidates`)
+    /// through the sink, in input-graph ids.
+    fn emit(&mut self, with_candidates: bool, sink: &mut dyn PlexSink) {
+        let Self {
+            out_buf,
+            p,
+            c_bits,
+            seed,
+            ..
+        } = self;
+        out_buf.clear();
+        out_buf.extend(p.iter().map(|&v| seed.verts[v as usize]));
+        if with_candidates {
+            out_buf.extend(c_bits.iter().map(|i| seed.verts[i]));
+        }
+        out_buf.sort_unstable();
         self.stats.outputs += 1;
         if sink.report(&self.out_buf) == SinkFlow::Stop {
             self.stop = true;
@@ -232,48 +528,42 @@ impl<'a> Searcher<'a> {
 
     // --- the branch procedure (Algorithm 3) ---------------------------------
 
-    fn branch(&mut self, added: &[u32], mut c: Vec<u32>, mut x: Vec<u32>, sink: &mut dyn PlexSink) {
+    /// One branch frame: push the added vertices, tighten (when the frame
+    /// grew P), run the kernel, then unwind the arenas and P. `added_start`
+    /// indexes the segment of `added_arena` the caller pushed.
+    fn branch(&mut self, added_start: usize, sink: &mut dyn PlexSink) {
         if self.stop {
             return;
         }
         self.stats.branch_calls += 1;
-        for &v in added {
+        let added_len = self.added_arena.len() - added_start;
+        for i in 0..added_len {
+            let v = self.added_arena[added_start + i];
             self.push_p(v);
         }
+        // Lines 2–3 only strengthen when P grows, so exclude-only frames
+        // (added empty) skip the pass — and need no undo record: their
+        // in-place mutations are unwound by the nearest tightened ancestor.
+        let undo = (added_len > 0).then(|| self.tighten(added_start));
+        self.branch_kernel(sink);
+        if let Some(u) = undo {
+            self.untighten(u);
+        }
+        self.pop_added(added_start, added_len);
+    }
+
+    /// Lines 4–20, operating on the current arena segments.
+    fn branch_kernel(&mut self, sink: &mut dyn PlexSink) {
         let k = self.params.k;
         let q = self.params.q;
-
-        // Lines 2–3: tighten C and X. The conditions only strengthen when P
-        // grows, so the exclude-only path (added empty) can skip the pass.
-        if !added.is_empty() {
-            self.collect_saturated();
-            let need = (self.p.len() + 1).saturating_sub(k);
-            let mut w = 0;
-            for r in 0..c.len() {
-                let v = c[r];
-                if self.keep_local(v, need, added) {
-                    c[w] = v;
-                    w += 1;
-                }
-            }
-            c.truncate(w);
-            let mut w = 0;
-            for r in 0..x.len() {
-                let e = x[r];
-                if self.keep_x(e, need, added) {
-                    x[w] = e;
-                    w += 1;
-                }
-            }
-            x.truncate(w);
-        }
+        let psz = self.p.len();
+        let c_len = self.c_arena.len() - self.c_start;
 
         // Lines 4–6: no candidates left.
-        if c.is_empty() {
-            if x.is_empty() && self.p.len() >= q {
-                self.emit(&[], sink);
+        if c_len == 0 {
+            if self.x_arena.len() == self.x_start && psz >= q {
+                self.emit(false, sink);
             }
-            self.pop_added(added);
             return;
         }
 
@@ -282,21 +572,16 @@ impl<'a> Searcher<'a> {
         // configurations weaken the rule (see `PivotKind`); the minimum
         // degree itself is always tracked because the whole-set k-plex check
         // below depends on it.
-        self.c_bits.clear();
-        for &v in &c {
-            self.c_bits.insert(v as usize);
-        }
-        let psz = self.p.len();
         let mut best_key = (usize::MAX, i64::MIN, 2u8);
         let mut min_deg_pc = usize::MAX;
         let mut pivot = u32::MAX;
         let mut pivot_in_p = false;
-        for (&v, side) in self
-            .p
-            .iter()
-            .map(|v| (v, 0u8))
-            .chain(c.iter().map(|v| (v, 1u8)))
-        {
+        for idx in 0..psz + c_len {
+            let (v, side) = if idx < psz {
+                (self.p[idx], 0u8)
+            } else {
+                (self.c_arena[self.c_start + idx - psz], 1u8)
+            };
             let d = self.deg_pc(v);
             min_deg_pc = min_deg_pc.min(d);
             let key = match self.cfg.pivot {
@@ -318,30 +603,30 @@ impl<'a> Searcher<'a> {
         if self.cfg.pivot == crate::config::PivotKind::FirstCandidate {
             // Ignore the computed pivot entirely; branch on the first
             // candidate. The min-degree scan above still feeds the check.
-            pivot = c[0];
+            pivot = self.c_arena[self.c_start];
             pivot_in_p = false;
         }
         let pivot_orig = pivot;
 
         // Lines 11–14: if even the min-degree vertex tolerates P ∪ C, the
         // whole set is a k-plex — check maximality and stop this branch.
-        if min_deg_pc + k >= psz + c.len() {
+        if min_deg_pc + k >= psz + c_len {
             self.stats.whole_set_plex += 1;
-            if psz + c.len() >= q && self.whole_is_maximal(&c, &x) {
-                self.emit(&c, sink);
+            if psz + c_len >= q && self.whole_is_maximal() {
+                self.emit(true, sink);
             }
-            self.pop_added(added);
             return;
         }
 
         // Lines 15–16 (or the Ours_P / ListPlex multi-way alternative).
         if pivot_in_p {
             if self.cfg.branching == BranchingKind::MultiWay {
-                self.branch_multiway(pivot, c, x, sink);
-                self.pop_added(added);
+                let w_start = self.w_arena.len();
+                self.branch_multiway(pivot, w_start, sink);
+                self.w_arena.truncate(w_start);
                 return;
             }
-            pivot = self.repick(pivot, &c);
+            pivot = self.repick(pivot);
         }
 
         // Line 17: upper bound of any plex extending P ∪ {pivot} (Eq (3)).
@@ -373,31 +658,40 @@ impl<'a> Searcher<'a> {
             }
         };
 
+        // The pivot leaves C in both children (the indicator first — the
+        // include child rebuilds its own segment from it; the compact
+        // segment follows before the exclude child, which reads it raw).
+        self.c_bits.remove(pivot as usize);
+
         // Lines 18–19: include branch (pruned when the bound falls below q).
         if ub >= q {
-            let c_child: Vec<u32> = c.iter().copied().filter(|&w| w != pivot).collect();
-            let x_child = x.clone();
-            self.recurse_or_save(&[pivot], c_child, x_child, sink);
+            let a_start = self.added_arena.len();
+            self.added_arena.push(pivot);
+            self.recurse_or_save(a_start, sink);
+            self.added_arena.truncate(a_start);
         } else {
             self.stats.ub_pruned += 1;
         }
 
-        // Line 20: exclude branch.
+        // Line 20: exclude branch — a tail frame: it mutates the current
+        // segments in place and is unwound by the nearest tightened
+        // ancestor's `untighten`.
         if !self.stop {
-            c.retain(|&w| w != pivot);
-            x.push(pivot);
-            self.recurse_or_save(&[], c, x, sink);
+            self.remove_from_c_segment(pivot);
+            self.x_arena.push(pivot);
+            let a_start = self.added_arena.len();
+            self.recurse_or_save(a_start, sink);
         }
-        self.pop_added(added);
     }
 
     /// Lines 15–16: re-pick the pivot among the P-pivot's non-neighbours in
     /// C, with the same (min degree, max saturation) rule.
-    fn repick(&self, p_pivot: u32, c: &[u32]) -> u32 {
+    fn repick(&self, p_pivot: u32) -> u32 {
         let psz = self.p.len();
         let mut best_key = (usize::MAX, i64::MIN);
         let mut best = u32::MAX;
-        for &w in c {
+        for i in self.c_start..self.c_arena.len() {
+            let w = self.c_arena[i];
             if self.seed.adj.has_edge(p_pivot as usize, w as usize) {
                 continue;
             }
@@ -417,21 +711,22 @@ impl<'a> Searcher<'a> {
         best
     }
 
-    /// FaPlexen branching Eq (4)–(6) for a pivot inside P.
-    fn branch_multiway(&mut self, pivot: u32, c: Vec<u32>, x: Vec<u32>, sink: &mut dyn PlexSink) {
+    /// FaPlexen branching Eq (4)–(6) for a pivot inside P. `w_start` marks
+    /// the caller's `w_arena` watermark (the caller truncates it back).
+    fn branch_multiway(&mut self, pivot: u32, w_start: usize, sink: &mut dyn PlexSink) {
         let k = self.params.k;
         let psz = self.p.len();
         let s_budget = k - (psz - self.d_p[pivot as usize] as usize);
-        let w_list: Vec<u32> = c
-            .iter()
-            .copied()
-            .filter(|&w| !self.seed.adj.has_edge(pivot as usize, w as usize))
-            .collect();
+        // W = non-neighbours of the pivot among the candidates, ascending.
+        for i in self.c_start..self.c_arena.len() {
+            let w = self.c_arena[i];
+            if !self.seed.adj.has_edge(pivot as usize, w as usize) {
+                self.w_arena.push(w);
+            }
+        }
+        let w_len = self.w_arena.len() - w_start;
         debug_assert!(s_budget >= 1, "saturated P-pivots are caught earlier");
-        debug_assert!(
-            w_list.len() > s_budget,
-            "otherwise P ∪ C would have been a k-plex"
-        );
+        debug_assert!(w_len > s_budget, "otherwise P ∪ C would have been a k-plex");
         // Branch i (1-based): include W[..i-1], exclude W[i-1]. A branch is
         // only viable if P ∪ W[..i-1] is still a k-plex; once a prefix turns
         // infeasible every later branch (which contains it) is empty, by the
@@ -440,30 +735,84 @@ impl<'a> Searcher<'a> {
             if self.stop {
                 return;
             }
-            if i >= 2 && !self.prefix_is_plex(&w_list[..i - 1]) {
+            if i >= 2 && !self.prefix_is_plex(w_start, i - 1) {
                 return;
             }
-            let removed = &w_list[..i];
-            let c_i: Vec<u32> = c.iter().copied().filter(|w| !removed.contains(w)).collect();
-            let mut x_i = x.clone();
-            x_i.push(w_list[i - 1]);
-            let included = w_list[..i - 1].to_vec();
-            self.recurse_or_save(&included, c_i, x_i, sink);
+            let wi = self.w_arena[w_start + i - 1];
+            // Branch i's candidate set is C \ W[..i]: drop w_i cumulatively.
+            self.c_bits.remove(wi as usize);
+            if i == 1 {
+                // This child adds nothing to P, so it consumes the compact
+                // segments directly — give it private arena copies and a
+                // journal snapshot, exactly like a tightened frame.
+                let undo = self.push_sibling_frame(wi);
+                let a_start = self.added_arena.len();
+                self.recurse_or_save(a_start, sink);
+                self.untighten(undo);
+            } else {
+                // The child re-tightens from the indicator, so only `c_bits`
+                // and the X segment top need to be staged.
+                self.x_arena.push(wi);
+                let a_start = self.added_arena.len();
+                for j in 0..i - 1 {
+                    let w = self.w_arena[w_start + j];
+                    self.added_arena.push(w);
+                }
+                self.recurse_or_save(a_start, sink);
+                self.added_arena.truncate(a_start);
+                self.x_arena.pop();
+            }
         }
-        if self.stop || !self.prefix_is_plex(&w_list[..s_budget]) {
+        if self.stop || !self.prefix_is_plex(w_start, s_budget) {
             return;
         }
         // Final branch: include W[..s_budget]; the rest of W can never join
         // (the pivot saturates) and cannot witness non-maximality either.
-        let c_f: Vec<u32> = c.iter().copied().filter(|w| !w_list.contains(w)).collect();
-        let included = w_list[..s_budget].to_vec();
-        self.recurse_or_save(&included, c_f, x, sink);
+        for j in s_budget..w_len {
+            let w = self.w_arena[w_start + j];
+            self.c_bits.remove(w as usize);
+        }
+        let a_start = self.added_arena.len();
+        for j in 0..s_budget {
+            let w = self.w_arena[w_start + j];
+            self.added_arena.push(w);
+        }
+        self.recurse_or_save(a_start, sink);
+        self.added_arena.truncate(a_start);
     }
 
-    /// True iff `P ∪ prefix` is a k-plex. `prefix` is small (at most k
-    /// vertices), so the quadratic part is negligible.
-    fn prefix_is_plex(&self, prefix: &[u32]) -> bool {
+    /// Pushes a private frame for a sibling branch that grows X but not P:
+    /// copies of the current segments with `exclude` moved from C to X, plus
+    /// a journal snapshot of the (already updated) candidate indicator.
+    /// Undone with [`Searcher::untighten`].
+    fn push_sibling_frame(&mut self, exclude: u32) -> FrameUndo {
+        let undo = FrameUndo {
+            c_arena_len: self.c_arena.len(),
+            x_arena_len: self.x_arena.len(),
+            bits_len: self.bits_arena.len(),
+            prev_c_start: self.c_start,
+            prev_x_start: self.x_start,
+        };
+        self.bits_arena.extend_from_slice(self.c_bits.words());
+        for i in self.c_start..undo.c_arena_len {
+            let v = self.c_arena[i];
+            if v != exclude {
+                self.c_arena.push(v);
+            }
+        }
+        self.x_arena
+            .extend_from_within(self.x_start..undo.x_arena_len);
+        self.x_arena.push(exclude);
+        self.c_start = undo.c_arena_len;
+        self.x_start = undo.x_arena_len;
+        undo
+    }
+
+    /// True iff `P ∪ W[w_start .. w_start + len]` is a k-plex. The prefix is
+    /// small (at most k vertices), so the quadratic part is negligible.
+    fn prefix_is_plex(&self, w_start: usize, len: usize) -> bool {
         let k = self.params.k;
+        let prefix = &self.w_arena[w_start..w_start + len];
         for &u in &self.p {
             let mut miss = self.p.len() - self.d_p[u as usize] as usize; // self + P
             for &w in prefix {
@@ -489,18 +838,22 @@ impl<'a> Searcher<'a> {
         true
     }
 
-    /// Maximality check of P ∪ C against X (Algorithm 3 line 12).
-    fn whole_is_maximal(&mut self, c: &[u32], x: &[u32]) -> bool {
+    /// Maximality check of P ∪ C against X (Algorithm 3 line 12), over the
+    /// current arena segments (`pc_bits = p_bits | c_bits`, word-parallel).
+    fn whole_is_maximal(&mut self) -> bool {
         let k = self.params.k;
-        let total = self.p.len() + c.len();
-        // pc_bits = P ∪ C.
+        let psz = self.p.len();
+        let total = psz + (self.c_arena.len() - self.c_start);
         self.pc_bits.copy_from(&self.p_bits);
-        for &v in c {
-            self.pc_bits.insert(v as usize);
-        }
+        self.pc_bits.union_with(&self.c_bits);
         // Saturated members of P ∪ C.
         self.sat.clear();
-        for &v in self.p.iter().chain(c.iter()) {
+        for idx in 0..total {
+            let v = if idx < psz {
+                self.p[idx]
+            } else {
+                self.c_arena[self.c_start + idx - psz]
+            };
             let d = self
                 .seed
                 .adj
@@ -511,7 +864,8 @@ impl<'a> Searcher<'a> {
             }
         }
         let need = (total + 1).saturating_sub(k);
-        for &e in x {
+        for i in self.x_start..self.x_arena.len() {
+            let e = self.x_arena[i];
             let fits = if e & XOUT_FLAG == 0 {
                 let d = self
                     .seed
@@ -535,24 +889,51 @@ impl<'a> Searcher<'a> {
         true
     }
 
-    /// Recurse, unless the timeout budget is spent — then defer the branch.
-    fn recurse_or_save(
-        &mut self,
-        added_next: &[u32],
-        c: Vec<u32>,
-        x: Vec<u32>,
-        sink: &mut dyn PlexSink,
-    ) {
-        if let Some(dl) = self.deadline {
-            if Instant::now() > dl {
-                let mut p_full = self.p.clone();
-                p_full.extend_from_slice(added_next);
-                self.saved.push(SavedTask { p: p_full, c, x });
-                self.stats.timeout_splits += 1;
-                return;
-            }
+    /// Recurse, unless the timeout budget is spent — then defer the branch
+    /// as a [`SavedTask`] snapshot of the current arena state (the one
+    /// allocation site of the search loop).
+    fn recurse_or_save(&mut self, added_start: usize, sink: &mut dyn PlexSink) {
+        if self.deadline_due() {
+            self.save_current(added_start);
+            return;
         }
-        self.branch(added_next, c, x, sink);
+        self.stats.arena_recursions += 1;
+        self.branch(added_start, sink);
+    }
+
+    /// Amortized deadline test: poll the clock on the first and every
+    /// [`DEADLINE_STRIDE`]-th recursion, and latch once hit.
+    #[inline]
+    fn deadline_due(&mut self) -> bool {
+        let Some(dl) = self.deadline else {
+            return false;
+        };
+        if self.deadline_hit {
+            return true;
+        }
+        self.deadline_tick = self.deadline_tick.wrapping_add(1);
+        if self.deadline_tick & (DEADLINE_STRIDE - 1) == 1 && Instant::now() > dl {
+            self.deadline_hit = true;
+            return true;
+        }
+        false
+    }
+
+    /// Packages the child branch ⟨P ∪ added, C, X⟩ at the current arena
+    /// state into a single-buffer [`SavedTask`].
+    fn save_current(&mut self, added_start: usize) {
+        let added_len = self.added_arena.len() - added_start;
+        let p_len = self.p.len() + added_len;
+        let c_len = self.c_bits.count();
+        let x_len = self.x_arena.len() - self.x_start;
+        let mut buf = Vec::with_capacity(p_len + c_len + x_len);
+        buf.extend_from_slice(&self.p);
+        buf.extend_from_slice(&self.added_arena[added_start..]);
+        self.c_bits.collect_into(&mut buf);
+        buf.extend_from_slice(&self.x_arena[self.x_start..]);
+        self.saved
+            .push(SavedTask::from_buf(buf, p_len as u32, c_len as u32));
+        self.stats.timeout_splits += 1;
     }
 }
 
@@ -560,9 +941,10 @@ impl<'a> Searcher<'a> {
 mod tests {
     use super::*;
     use crate::config::Params;
-    use crate::seed::SeedBuilder;
+    use crate::seed::{SeedBuilder, SeedGraph};
     use crate::sink::CollectSink;
     use kplex_graph::{core_decomposition, gen};
+    use proptest::prelude::*;
 
     /// Minimal end-to-end run over one seed graph of a clique.
     #[test]
@@ -577,12 +959,12 @@ mod tests {
         let mut searcher = Searcher::new(&sg, params, &cfg, Some(&pm));
         let mut sink = CollectSink::default();
         // Initial task: P = {seed}, C = hop1, X = hop2 (none) + xout (none).
-        let c = sg.hop1.clone();
-        searcher.run_task(&[0], c, vec![], &mut sink);
+        searcher.run_task(&[0], &sg.hop1, &[], &mut sink);
         let res = sink.into_sorted();
         assert_eq!(res.len(), 1);
         assert_eq!(res[0].len(), 6);
         assert_eq!(searcher.stats.outputs, 1);
+        assert!(searcher.stats.arena_recursions > 0 || searcher.stats.branch_calls == 1);
     }
 
     #[test]
@@ -603,15 +985,121 @@ mod tests {
         let mut searcher = Searcher::new(&sg, params, &cfg, Some(&pm));
         searcher.set_time_budget(Some(Duration::from_nanos(1)));
         let mut sink = CollectSink::default();
-        searcher.run_task(&[0], sg.hop1.clone(), vec![], &mut sink);
-        // With a 1ns budget, the very first recursion defers.
+        searcher.run_task(&[0], &sg.hop1.clone(), &[], &mut sink);
+        // With a 1ns budget the first *polled* recursion (the very first,
+        // by the stride-64 schedule) defers and the hit is latched, so every
+        // later recursion defers too.
         let saved = searcher.take_saved();
         assert!(
             !saved.is_empty() || searcher.stats.branch_calls <= 2,
             "expected deferred branches"
         );
         for t in &saved {
-            assert!(!t.p.is_empty());
+            assert!(!t.p().is_empty());
+            // The packed snapshot round-trips through its accessors.
+            assert_eq!(
+                t.p().len() + t.c().len() + t.x().len(),
+                t.buf.len(),
+                "buffer fully covered"
+            );
+        }
+    }
+
+    #[test]
+    fn saved_task_accessors_partition_the_buffer() {
+        let t = SavedTask::new(&[0, 3], &[5, 7, 9], &[2, 1 | XOUT_FLAG]);
+        assert_eq!(t.p(), &[0, 3]);
+        assert_eq!(t.c(), &[5, 7, 9]);
+        assert_eq!(t.x(), &[2, 1 | XOUT_FLAG]);
+    }
+
+    /// Builds the first usable seed graph of a G(n, p) instance.
+    fn any_seed(n: usize, p: f64, rng_seed: u64, params: Params) -> Option<SeedGraph> {
+        let g = gen::gnp(n, p, rng_seed);
+        let cfg = AlgoConfig::ours();
+        let decomp = core_decomposition(&g);
+        let mut b = SeedBuilder::new(n);
+        decomp
+            .order
+            .iter()
+            .find_map(|&s| b.build(&g, &decomp, s, params, &cfg))
+    }
+
+    /// Full observable snapshot of the searcher's dynamic state.
+    #[allow(clippy::type_complexity)]
+    fn state_snapshot(
+        s: &Searcher<'_>,
+    ) -> (
+        Vec<u32>,
+        Vec<u32>,
+        Vec<u32>,
+        Vec<u32>,
+        BitSet,
+        BitSet,
+        usize,
+        usize,
+        usize,
+    ) {
+        (
+            s.p.clone(),
+            s.d_p.clone(),
+            s.c_arena.clone(),
+            s.x_arena.clone(),
+            s.p_bits.clone(),
+            s.c_bits.clone(),
+            s.c_start,
+            s.x_start,
+            s.bits_arena.len(),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64 })]
+        /// The frame round-trip is exact: pushing an arbitrary candidate
+        /// prefix into P, tightening, then unwinding restores `C`, `X`,
+        /// `d_p`, both indicator bitsets, the segment starts and the undo
+        /// journal bit-for-bit.
+        fn push_tighten_undo_roundtrip(
+            n in 10usize..32,
+            p in 0.25f64..0.6,
+            rng_seed in 0u64..500,
+            take in 1usize..4,
+        ) {
+            let params = Params::new(2, 4).unwrap();
+            let Some(sg) = any_seed(n, p, rng_seed, params) else {
+                return Ok(());
+            };
+            let cfg = AlgoConfig::ours();
+            let pm = PairMatrix::build(&sg, params);
+            let mut s = Searcher::new(&sg, params, &cfg, Some(&pm));
+            // Seed the arenas exactly like run_task for the initial task.
+            s.c_arena.extend_from_slice(&sg.hop1);
+            for &v in &sg.hop1 {
+                s.c_bits.insert(v as usize);
+            }
+            s.x_arena.extend_from_slice(&sg.hop2);
+            s.push_p(0);
+            let before = state_snapshot(&s);
+
+            // Frame: add up to `take` candidates to P, tighten, undo.
+            let added_start = s.added_arena.len();
+            let grab: Vec<u32> = sg.hop1.iter().copied().take(take).collect();
+            for &v in &grab {
+                s.added_arena.push(v);
+                s.push_p(v);
+            }
+            let undo = s.tighten(added_start);
+            // The tightened segments must mirror the indicator.
+            prop_assert_eq!(
+                s.c_arena[s.c_start..].to_vec(),
+                s.c_bits.to_vec()
+            );
+            s.untighten(undo);
+            s.pop_added(added_start, grab.len());
+            s.added_arena.truncate(added_start);
+
+            let after = state_snapshot(&s);
+            prop_assert_eq!(before, after);
         }
     }
 }

@@ -79,7 +79,7 @@ pub fn run_seed(
     let mut searcher = Searcher::new(seed, params, cfg, pairs.as_ref());
     let mut flow = SinkFlow::Continue;
     for t in tasks {
-        flow = searcher.run_task(&t.p, t.c, t.x, sink);
+        flow = searcher.run_task(t.p(), t.c(), t.x(), sink);
         if flow == SinkFlow::Stop {
             break;
         }

@@ -33,6 +33,7 @@
 
 pub mod bounds;
 pub mod branch;
+pub mod branch_ref;
 pub mod config;
 pub mod enumerate;
 pub mod maximum;
@@ -47,6 +48,7 @@ pub mod subtask;
 pub mod verify;
 
 pub use branch::{SavedTask, Searcher};
+pub use branch_ref::RefSearcher;
 pub use config::{AlgoConfig, BranchingKind, ParamError, Params, PivotKind, UpperBoundKind};
 pub use enumerate::{enumerate, enumerate_collect, enumerate_count, prepare, MapSink, Prepared};
 pub use maximum::{maximum_kplex, MaximumResult};
@@ -55,5 +57,5 @@ pub use reduce::{ctcp_reduce, CtcpReduction};
 pub use seed::{SeedBuilder, SeedGraph, XOUT_FLAG};
 pub use sink::{CollectSink, CountSink, FirstN, FnSink, LargestN, PlexSink, SinkFlow};
 pub use stats::SearchStats;
-pub use subtask::{collect_subtasks, InitialTask};
+pub use subtask::collect_subtasks;
 pub use verify::{verify_complete, verify_results, Violation};

@@ -72,7 +72,7 @@ pub fn maximum_kplex(g: &CsrGraph, k: usize, q_floor: usize, cfg: &AlgoConfig) -
         let mut searcher = Searcher::new(&seed, params, cfg, pairs.as_ref());
         for t in tasks {
             let mut msink = MapSink::new(&mut best, &prep.map);
-            searcher.run_task(&t.p, t.c, t.x, &mut msink);
+            searcher.run_task(t.p(), t.c(), t.x(), &mut msink);
             // Tighten the engine's threshold to beat the incumbent.
             if let Some(b) = &best.best {
                 let want = b.len() + 1;

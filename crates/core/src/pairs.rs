@@ -23,6 +23,12 @@ use kplex_graph::BitSet;
 
 /// Symmetric co-occurrence matrix: `allowed(u, v)` is false when `u` and `v`
 /// provably cannot both belong to a k-plex of size `>= q` in this seed graph.
+///
+/// Rows are stored as [`BitSet`]s over the local vertex ids so that they
+/// serve double duty: scalar `allowed` probes during sub-task generation,
+/// and word-parallel masks in the branch searcher's tighten kernel (the
+/// candidate words are intersected with [`PairMatrix::row`] of every newly
+/// added vertex instead of probing pairs one at a time).
 #[derive(Clone, Debug)]
 pub struct PairMatrix {
     rows: Vec<BitSet>,

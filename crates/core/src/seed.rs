@@ -58,10 +58,27 @@ impl SeedGraph {
 }
 
 /// Reusable scratch for building seed subgraphs over one (reduced) graph.
+///
+/// Every per-build intermediate — the two-hop ball lists, the
+/// pre-compaction adjacency matrix, the Corollary 5.2 pruning state — is
+/// pooled here and recycled across builds, because on real workloads the
+/// builder runs for thousands of eligible seeds that end up rejected: a
+/// `malloc` per matrix row per attempt used to dominate the whole
+/// sequential pipeline. Only the structures moved into the returned
+/// [`SeedGraph`] are freshly allocated, and only for seeds that survive.
 pub struct SeedBuilder {
     /// input id -> local id (u32::MAX = absent); reset after each build.
     map: Vec<u32>,
     touched: Vec<VertexId>,
+    // --- pooled per-build scratch ---
+    later: Vec<VertexId>,
+    earlier: Vec<VertexId>,
+    verts: Vec<VertexId>,
+    adj: AdjMatrix,
+    alive: BitSet,
+    seed_row: BitSet,
+    check: Vec<u32>,
+    old_to_new: Vec<u32>,
 }
 
 impl SeedBuilder {
@@ -70,6 +87,14 @@ impl SeedBuilder {
         Self {
             map: vec![u32::MAX; n],
             touched: Vec::new(),
+            later: Vec::new(),
+            earlier: Vec::new(),
+            verts: Vec::new(),
+            adj: AdjMatrix::new(0),
+            alive: BitSet::new(0),
+            seed_row: BitSet::new(0),
+            check: Vec::new(),
+            old_to_new: Vec::new(),
         }
     }
 
@@ -101,15 +126,18 @@ impl SeedBuilder {
         // plex member (or maximality witness) at distance two from the seed
         // shares a common neighbour *inside the plex*, and all plex members
         // other than the seed are later in η.
-        let mut later: Vec<VertexId> = Vec::new();
-        let mut earlier: Vec<VertexId> = Vec::new();
-        let mark = &mut self.map;
-        let touched = &mut self.touched;
-        let visit = |v: VertexId,
-                     mark: &mut Vec<u32>,
-                     touched: &mut Vec<VertexId>,
-                     later: &mut Vec<VertexId>,
-                     earlier: &mut Vec<VertexId>| {
+        let Self {
+            map: mark,
+            touched,
+            later,
+            earlier,
+            ..
+        } = self;
+        later.clear();
+        earlier.clear();
+        mark[seed as usize] = 0;
+        touched.push(seed);
+        let mut visit = |v: VertexId| {
             if mark[v as usize] == u32::MAX {
                 mark[v as usize] = 0; // provisional marker
                 touched.push(v);
@@ -120,10 +148,8 @@ impl SeedBuilder {
                 }
             }
         };
-        mark[seed as usize] = 0;
-        touched.push(seed);
         for &w in g.neighbors(seed) {
-            visit(w, mark, touched, &mut later, &mut earlier);
+            visit(w);
         }
         for &w in g.neighbors(seed) {
             if !decomp.before(seed, w) {
@@ -131,38 +157,38 @@ impl SeedBuilder {
             }
             for &x in g.neighbors(w) {
                 if x != seed {
-                    visit(x, mark, touched, &mut later, &mut earlier);
+                    visit(x);
                 }
             }
         }
 
-        if 1 + later.len() < q {
+        if 1 + self.later.len() < q {
             self.reset();
             return None;
         }
 
-        later.sort_unstable();
-        earlier.sort_unstable();
+        self.later.sort_unstable();
+        self.earlier.sort_unstable();
 
         // --- local matrix over {seed} ∪ later ------------------------------
         // Clear the provisional ball markers first so that earlier-ordered
         // vertices read as "absent" (u32::MAX) during the adjacency build.
-        for &t in touched.iter() {
-            mark[t as usize] = u32::MAX;
+        for &t in self.touched.iter() {
+            self.map[t as usize] = u32::MAX;
         }
-        let mut verts: Vec<VertexId> = Vec::with_capacity(1 + later.len());
-        verts.push(seed);
-        verts.extend_from_slice(&later);
-        for (i, &v) in verts.iter().enumerate() {
-            mark[v as usize] = i as u32;
+        self.verts.clear();
+        self.verts.push(seed);
+        self.verts.extend_from_slice(&self.later);
+        for (i, &v) in self.verts.iter().enumerate() {
+            self.map[v as usize] = i as u32;
         }
-        let n_local = verts.len();
-        let mut adj = AdjMatrix::new(n_local);
-        for (i, &v) in verts.iter().enumerate() {
+        let n_local = self.verts.len();
+        self.adj.reset(n_local);
+        for (i, &v) in self.verts.iter().enumerate() {
             for &w in g.neighbors(v) {
-                let j = mark[w as usize];
+                let j = self.map[w as usize];
                 if j != u32::MAX && (j as usize) > i {
-                    adj.add_edge(i, j as usize);
+                    self.adj.add_edge(i, j as usize);
                 }
             }
         }
@@ -171,18 +197,21 @@ impl SeedBuilder {
         // thresholds: adjacent to seed -> q - 2k; two hops -> q - 2k + 2.
         let thr_adj = q as i64 - 2 * k as i64;
         let thr_two = q as i64 - 2 * k as i64 + 2;
-        let mut alive = BitSet::full(n_local);
+        self.alive.reset(n_local);
+        self.alive.set_all();
         let mut pruned_vertices = 0u64;
         let mut round = 0usize;
         loop {
             let mut changed = false;
             // Current seed row restricted to alive.
-            let mut seed_row = adj.row(0).clone();
-            seed_row.intersect_with(&alive);
-            let to_check: Vec<usize> = alive.iter().filter(|&u| u != 0).collect();
-            for u in to_check {
-                let adjacent = adj.has_edge(0, u);
-                let common = adj.row(u).intersection_count(&seed_row) as i64;
+            self.seed_row.assign_from(self.adj.row(0));
+            self.seed_row.intersect_with(&self.alive);
+            for u in 1..n_local {
+                if !self.alive.contains(u) {
+                    continue;
+                }
+                let adjacent = self.adj.has_edge(0, u);
+                let common = self.adj.row(u).intersection_count(&self.seed_row) as i64;
                 let prune = if adjacent {
                     // Structural: nothing extra (already at distance 1).
                     round < cfg.seed_prune_rounds && common < thr_adj
@@ -195,8 +224,8 @@ impl SeedBuilder {
                     k == 1 || common < 1 || (round < cfg.seed_prune_rounds && common < thr_two)
                 };
                 if prune {
-                    alive.remove(u);
-                    adj.isolate(u);
+                    self.alive.remove(u);
+                    self.adj.isolate(u);
                     pruned_vertices += 1;
                     changed = true;
                 }
@@ -208,23 +237,26 @@ impl SeedBuilder {
         }
 
         // --- compact into the final local numbering ------------------------
-        let survivors: Vec<usize> = alive.iter().collect();
+        self.check.clear();
+        self.alive.collect_into(&mut self.check);
+        let survivors = &self.check;
         debug_assert_eq!(survivors.first(), Some(&0), "seed must survive pruning");
         if survivors.len() < q {
             self.reset();
             return None;
         }
         let mut final_verts = Vec::with_capacity(survivors.len());
-        let mut old_to_new = vec![u32::MAX; n_local];
+        self.old_to_new.clear();
+        self.old_to_new.resize(n_local, u32::MAX);
         for (new, &old) in survivors.iter().enumerate() {
-            old_to_new[old] = new as u32;
-            final_verts.push(verts[old]);
+            self.old_to_new[old as usize] = new as u32;
+            final_verts.push(self.verts[old as usize]);
         }
         let nf = final_verts.len();
         let mut fadj = AdjMatrix::new(nf);
         for (new, &old) in survivors.iter().enumerate() {
-            for w in adj.row(old).iter() {
-                let nw = old_to_new[w];
+            for w in self.adj.row(old as usize).iter() {
+                let nw = self.old_to_new[w];
                 if nw != u32::MAX && (nw as usize) > new {
                     fadj.add_edge(new, nw as usize);
                 }
@@ -252,19 +284,19 @@ impl SeedBuilder {
         // vertex (including the earlier-ordered ones, which carry the
         // provisional marker 0) must be cleared first, otherwise earlier
         // ball vertices masquerade as local id 0.
-        for &v in touched.iter() {
-            mark[v as usize] = u32::MAX;
+        for &v in self.touched.iter() {
+            self.map[v as usize] = u32::MAX;
         }
         for (i, &v) in final_verts.iter().enumerate() {
-            mark[v as usize] = i as u32;
+            self.map[v as usize] = i as u32;
         }
         let mut xout: Vec<VertexId> = Vec::new();
         let mut rows: Vec<BitSet> = Vec::new();
         let need_deg = (q + 1).saturating_sub(k); // |N(x) ∩ P| >= q+1-k
-        for &x in &earlier {
+        for &x in &self.earlier {
             let mut row = BitSet::new(nf);
             for &w in g.neighbors(x) {
-                let lw = mark[w as usize];
+                let lw = self.map[w as usize];
                 if lw != u32::MAX {
                     row.insert(lw as usize);
                 }

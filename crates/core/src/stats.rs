@@ -27,6 +27,13 @@ pub struct SearchStats {
     pub whole_set_plex: u64,
     /// Tasks re-queued by the parallel timeout mechanism.
     pub timeout_splits: u64,
+    /// Branch recursions served from the searcher's depth-indexed arena
+    /// without heap allocation — each was two to three `Vec` clones in the
+    /// legacy kernel (`branch_ref`), so this counts avoided allocations.
+    pub arena_recursions: u64,
+    /// `u64` words read or written by the word-parallel tighten kernels
+    /// (candidate-set snapshot, saturation rows, R2 rows).
+    pub tighten_words: u64,
 }
 
 impl SearchStats {
@@ -42,6 +49,22 @@ impl SearchStats {
         self.outputs += other.outputs;
         self.whole_set_plex += other.whole_set_plex;
         self.timeout_splits += other.timeout_splits;
+        self.arena_recursions += other.arena_recursions;
+        self.tighten_words += other.tighten_words;
+    }
+
+    /// The pruning/traversal fingerprint of a run: the counters that must be
+    /// byte-identical across branch-kernel implementations (the legacy
+    /// clone-based kernel and the arena kernel walk the same tree). Used by
+    /// the kernel-equivalence suite.
+    pub fn kernel_fingerprint(&self) -> [u64; 5] {
+        [
+            self.branch_calls,
+            self.ub_pruned,
+            self.pair_pruned,
+            self.outputs,
+            self.whole_set_plex,
+        ]
     }
 }
 
@@ -80,6 +103,36 @@ mod tests {
         assert_eq!(a.branch_calls, 10);
         assert_eq!(a.subtasks, 2);
         assert_eq!(a.outputs, 1);
+    }
+
+    #[test]
+    fn merge_adds_kernel_counters() {
+        let mut a = SearchStats {
+            arena_recursions: 5,
+            tighten_words: 100,
+            ..Default::default()
+        };
+        a.merge(&SearchStats {
+            arena_recursions: 7,
+            tighten_words: 23,
+            ..Default::default()
+        });
+        assert_eq!(a.arena_recursions, 12);
+        assert_eq!(a.tighten_words, 123);
+    }
+
+    #[test]
+    fn fingerprint_tracks_traversal_counters() {
+        let s = SearchStats {
+            branch_calls: 1,
+            ub_pruned: 2,
+            pair_pruned: 3,
+            outputs: 4,
+            whole_set_plex: 5,
+            arena_recursions: 99, // kernel-specific: not part of the print
+            ..Default::default()
+        };
+        assert_eq!(s.kernel_fingerprint(), [1, 2, 3, 4, 5]);
     }
 
     #[test]

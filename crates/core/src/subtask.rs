@@ -9,32 +9,25 @@
 //! hopeless sub-tasks before any branching happens.
 
 use crate::bounds::{ub_subtask, BoundScratch};
+use crate::branch::SavedTask;
 use crate::config::{AlgoConfig, Params};
 use crate::pairs::PairMatrix;
 use crate::seed::{SeedGraph, XOUT_FLAG};
 use crate::stats::SearchStats;
 
-/// One initial sub-task ⟨P_S, C_S, X_S⟩ in seed-local encoding.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct InitialTask {
-    /// `P_S = {seed} ∪ S` (local ids, seed first).
-    pub p: Vec<u32>,
-    /// `C_S ⊆ N_{G_i}(v_i)`, already shrunk by Theorem 5.14.
-    pub c: Vec<u32>,
-    /// `X_S`: outside witnesses plus the unused two-hop vertices.
-    pub x: Vec<u32>,
-}
-
-/// Generates all initial sub-tasks of a seed graph, applying R1/R2 as
-/// configured. Returns them in deterministic order (S-sets in set-enumeration
-/// order over ascending local ids).
+/// Generates all initial sub-tasks ⟨P_S, C_S, X_S⟩ of a seed graph (in
+/// seed-local encoding, `P_S = {seed} ∪ S` with the seed first), applying
+/// R1/R2 as configured. Each task is one [`SavedTask`] POD snapshot —
+/// a single buffer per task, the same shape the timeout splitter and the
+/// parallel engine's re-queue path use. Returns them in deterministic order
+/// (S-sets in set-enumeration order over ascending local ids).
 pub fn collect_subtasks(
     seed: &SeedGraph,
     params: Params,
     cfg: &AlgoConfig,
     pairs: Option<&PairMatrix>,
     stats: &mut SearchStats,
-) -> Vec<InitialTask> {
+) -> Vec<SavedTask> {
     let pairs = if cfg.use_r2 { pairs } else { None };
     let mut out = Vec::new();
     let mut scratch = BoundScratch::new(seed.len());
@@ -61,7 +54,7 @@ struct SubtaskGen<'a> {
     pairs: Option<&'a PairMatrix>,
     stats: &'a mut SearchStats,
     scratch: &'a mut BoundScratch,
-    out: &'a mut Vec<InitialTask>,
+    out: &'a mut Vec<SavedTask>,
     s: Vec<u32>,
 }
 
@@ -128,24 +121,24 @@ impl SubtaskGen<'_> {
                 return;
             }
         }
-        let mut p = Vec::with_capacity(1 + self.s.len());
-        p.push(0u32);
-        p.extend_from_slice(&self.s);
-        // X_S: every outside witness + the two-hop vertices not in S.
-        let mut x = Vec::with_capacity(self.seed.xout.len() + self.seed.hop2.len() - self.s.len());
+        // Pack [P_S | C_S | X_S] into one buffer: P_S = {seed} ∪ S, then the
+        // candidates, then every outside witness + the unused hop-2 vertices.
+        let p_len = 1 + self.s.len();
+        let x_len = self.seed.xout.len() + self.seed.hop2.len() - self.s.len();
+        let mut buf = Vec::with_capacity(p_len + c_s.len() + x_len);
+        buf.push(0u32);
+        buf.extend_from_slice(&self.s);
+        buf.extend_from_slice(c_s);
         for i in 0..self.seed.xout.len() {
-            x.push(i as u32 | XOUT_FLAG);
+            buf.push(i as u32 | XOUT_FLAG);
         }
         for &h in &self.seed.hop2 {
             if !self.s.contains(&h) {
-                x.push(h);
+                buf.push(h);
             }
         }
-        self.out.push(InitialTask {
-            p,
-            c: c_s.to_vec(),
-            x,
-        });
+        self.out
+            .push(SavedTask::from_buf(buf, p_len as u32, c_s.len() as u32));
     }
 }
 
@@ -173,9 +166,9 @@ mod tests {
         let mut stats = SearchStats::default();
         let tasks = collect_subtasks(&sg, params, &cfg, None, &mut stats);
         assert_eq!(tasks.len(), 1);
-        assert_eq!(tasks[0].p, vec![0]);
-        assert_eq!(tasks[0].c.len(), sg.hop1.len());
-        assert!(tasks[0].x.len() == sg.xout.len());
+        assert_eq!(tasks[0].p(), &[0]);
+        assert_eq!(tasks[0].c().len(), sg.hop1.len());
+        assert!(tasks[0].x().len() == sg.xout.len());
     }
 
     #[test]
@@ -195,22 +188,22 @@ mod tests {
             let mut stats = SearchStats::default();
             let tasks = collect_subtasks(&sg, params, &cfg, None, &mut stats);
             for t in &tasks {
-                assert!(t.p.len() <= k, "|P_S| = 1 + |S| must be ≤ k");
-                assert_eq!(t.p[0], 0);
+                assert!(t.p().len() <= k, "|P_S| = 1 + |S| must be ≤ k");
+                assert_eq!(t.p()[0], 0);
                 // S vertices must be hop2 vertices.
-                for &v in &t.p[1..] {
+                for &v in &t.p()[1..] {
                     assert!(sg.hop2.contains(&v));
                 }
                 // X covers all unused hop2 vertices.
-                let used: Vec<u32> = t.p[1..].to_vec();
+                let used: Vec<u32> = t.p()[1..].to_vec();
                 for &h in &sg.hop2 {
                     if !used.contains(&h) {
-                        assert!(t.x.contains(&h));
+                        assert!(t.x().contains(&h));
                     }
                 }
             }
             // S-sets are pairwise distinct.
-            let mut sets: Vec<Vec<u32>> = tasks.iter().map(|t| t.p.clone()).collect();
+            let mut sets: Vec<Vec<u32>> = tasks.iter().map(|t| t.p().to_vec()).collect();
             sets.sort();
             let before = sets.len();
             sets.dedup();
@@ -259,14 +252,14 @@ mod tests {
         let tasks = collect_subtasks(&sg, params, &cfg, None, &mut stats);
         // Every emitted P_S must be a valid k-plex in the seed subgraph.
         for t in &tasks {
-            for &u in &t.p {
+            for &u in t.p() {
                 let mut miss = 1usize; // self
-                for &w in &t.p {
+                for &w in t.p() {
                     if w != u && !sg.adj.has_edge(u as usize, w as usize) {
                         miss += 1;
                     }
                 }
-                assert!(miss <= 3, "P_S {:?} violates the 3-plex bound", t.p);
+                assert!(miss <= 3, "P_S {:?} violates the 3-plex bound", t.p());
             }
         }
     }

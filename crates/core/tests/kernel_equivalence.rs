@@ -1,0 +1,126 @@
+//! Kernel-equivalence suite: the arena branch kernel ([`Searcher`]) must
+//! walk a **byte-identical search tree** to the legacy clone-based kernel
+//! ([`RefSearcher`], the pre-rewrite implementation kept as reference
+//! semantics) on the differential grid.
+//!
+//! "Byte-identical" means the traversal fingerprint — `branch_calls`,
+//! `ub_pruned`, `pair_pruned`, `outputs` and `whole_set_plex` — matches
+//! exactly, not approximately: both kernels keep the candidate set in
+//! ascending order and tie-break pivots by scan position, so any divergence
+//! is a bug in the arena bookkeeping, not a legitimate reordering.
+
+use kplex_core::enumerate::prepare;
+use kplex_core::{
+    collect_subtasks, AlgoConfig, CollectSink, PairMatrix, Params, RefSearcher, SavedTask,
+    SearchStats, Searcher, SeedBuilder,
+};
+use kplex_graph::{gen, CsrGraph, VertexId};
+
+/// Runs the full per-seed pipeline with both kernels and compares results
+/// and traversal fingerprints, returning the number of seed graphs checked.
+fn check_equivalence(g: &CsrGraph, params: Params, cfg: &AlgoConfig, label: &str) -> usize {
+    let prep = prepare(g, params);
+    let n = prep.graph.num_vertices();
+    if n < params.q {
+        return 0;
+    }
+    let mut seeds = 0;
+    let mut builder = SeedBuilder::new(n);
+    for &sv in &prep.decomp.order {
+        let Some(seed) = builder.build(&prep.graph, &prep.decomp, sv, params, cfg) else {
+            continue;
+        };
+        seeds += 1;
+        let pairs = cfg.use_r2.then(|| PairMatrix::build(&seed, params));
+        let mut sub_stats = SearchStats::default();
+        let tasks: Vec<SavedTask> =
+            collect_subtasks(&seed, params, cfg, pairs.as_ref(), &mut sub_stats);
+
+        let mut arena = Searcher::new(&seed, params, cfg, pairs.as_ref());
+        let mut legacy = RefSearcher::new(&seed, params, cfg, pairs.as_ref());
+        let mut arena_sink = CollectSink::default();
+        let mut legacy_sink = CollectSink::default();
+        for t in &tasks {
+            arena.run_task(t.p(), t.c(), t.x(), &mut arena_sink);
+            legacy.run_task(t.p(), t.c(), t.x(), &mut legacy_sink);
+        }
+        let a: Vec<Vec<VertexId>> = arena_sink.into_sorted();
+        let l: Vec<Vec<VertexId>> = legacy_sink.into_sorted();
+        assert_eq!(a, l, "{label}: result sets diverged on seed {sv}");
+        assert_eq!(
+            arena.stats.kernel_fingerprint(),
+            legacy.stats.kernel_fingerprint(),
+            "{label}: traversal fingerprint diverged on seed {sv} \
+             (branch_calls/ub_pruned/pair_pruned/outputs/whole_set_plex)\n\
+             arena:  {:?}\nlegacy: {:?}",
+            arena.stats,
+            legacy.stats
+        );
+    }
+    seeds
+}
+
+/// The differential (k, q) grid (invalid cells are skipped by Params::new).
+const KQ_GRID: [(usize, usize); 6] = [(1, 3), (1, 5), (2, 3), (2, 4), (2, 6), (3, 5)];
+
+#[test]
+fn kernels_agree_on_gnp_battery() {
+    let mut checked = 0;
+    for &n in &[12usize, 16, 22] {
+        for &p in &[0.3f64, 0.5] {
+            for seed in 0..2u64 {
+                let g = gen::gnp(n, p, 5000 + n as u64 * 10 + seed);
+                for (k, q) in KQ_GRID {
+                    let Ok(params) = Params::new(k, q) else {
+                        continue;
+                    };
+                    checked += check_equivalence(&g, params, &AlgoConfig::ours(), "gnp/ours");
+                }
+            }
+        }
+    }
+    assert!(checked > 20, "grid too small: only {checked} seed graphs");
+}
+
+#[test]
+fn kernels_agree_on_planted_battery() {
+    for seed in 0..4u64 {
+        let bg = gen::gnm(40, 70, 6000 + seed);
+        let plant = gen::PlantedPlexConfig {
+            count: 2,
+            size_lo: 6,
+            size_hi: 8,
+            missing: 1,
+            overlap: seed % 2 == 0,
+        };
+        let (g, _) = gen::planted_plexes(&bg, &plant, 7000 + seed);
+        for (k, q) in [(2usize, 4usize), (2, 6), (3, 5)] {
+            let params = Params::new(k, q).expect("valid");
+            check_equivalence(&g, params, &AlgoConfig::ours(), "planted/ours");
+        }
+    }
+}
+
+#[test]
+fn kernels_agree_across_algorithm_variants() {
+    // The multi-way branching (Ours_P), the ablated bounds and the weakened
+    // pivot rules exercise every code path of the kernel.
+    let variants = [
+        AlgoConfig::ours(),
+        AlgoConfig::ours_p(),
+        AlgoConfig::ours_no_ub(),
+        AlgoConfig::ours_fp_ub(),
+        AlgoConfig::basic(),
+        AlgoConfig::basic_r1(),
+        AlgoConfig::basic_r2(),
+    ];
+    for seed in 0..3u64 {
+        let g = gen::gnp(20, 0.45, 8000 + seed);
+        for (vi, cfg) in variants.iter().enumerate() {
+            for (k, q) in [(2usize, 4usize), (3, 5)] {
+                let params = Params::new(k, q).expect("valid");
+                check_equivalence(&g, params, cfg, &format!("variant-{vi}"));
+            }
+        }
+    }
+}

@@ -50,6 +50,23 @@ impl BitSet {
         s
     }
 
+    /// Re-dimensions the bitset to `nbits` in place, clearing every bit.
+    /// Reuses the word buffer's capacity — the allocation-free way to
+    /// recycle scratch bitsets across differently-sized seed subgraphs.
+    pub fn reset(&mut self, nbits: usize) {
+        self.words.clear();
+        self.words.resize(word_count(nbits), 0);
+        self.nbits = nbits;
+    }
+
+    /// Re-dimensions to `other`'s size and copies its contents (capacity
+    /// reused; see [`BitSet::reset`]).
+    pub fn assign_from(&mut self, other: &BitSet) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+        self.nbits = other.nbits;
+    }
+
     /// Number of addressable bits.
     #[inline]
     pub fn capacity(&self) -> usize {
@@ -130,12 +147,31 @@ impl BitSet {
         }
     }
 
-    /// `self &= !other`.
-    pub fn difference_with(&mut self, other: &BitSet) {
+    /// `self &= !other`, word-parallel (the and-not primitive behind
+    /// [`BitSet::difference_with`]).
+    pub fn and_not_assign(&mut self, other: &BitSet) {
         debug_assert_eq!(self.nbits, other.nbits);
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a &= !*b;
         }
+    }
+
+    /// `self &= !other` (alias of [`BitSet::and_not_assign`], kept for the
+    /// set-algebra naming used elsewhere).
+    pub fn difference_with(&mut self, other: &BitSet) {
+        self.and_not_assign(other);
+    }
+
+    /// Multi-row intersection: `self &= r` for every row in `rows`, one
+    /// word-parallel pass per row. Returns the number of `u64` words scanned
+    /// (for the searcher's `tighten_words` counter).
+    pub fn intersect_rows<'r>(&mut self, rows: impl IntoIterator<Item = &'r BitSet>) -> usize {
+        let mut scanned = 0;
+        for r in rows {
+            self.intersect_with(r);
+            scanned += self.words.len();
+        }
+        scanned
     }
 
     /// Copies `other` into `self` (capacities must match).
@@ -196,7 +232,7 @@ impl BitSet {
     /// Iterates over set bit indices in increasing order.
     pub fn iter(&self) -> BitIter<'_> {
         BitIter {
-            words: &self.words,
+            words: IterWords::Single(&self.words),
             word_idx: 0,
             current: self.words.first().copied().unwrap_or(0),
         }
@@ -205,6 +241,35 @@ impl BitSet {
     /// Collects set bits as `u32` indices (graph-local vertex ids).
     pub fn to_vec(&self) -> Vec<u32> {
         self.iter().map(|i| i as u32).collect()
+    }
+
+    /// Word-masked retain: appends every set bit (ascending, as `u32`) to
+    /// `out` without intermediate allocation. This is how the searcher
+    /// rebuilds its compact candidate array from an indicator after the
+    /// word-parallel tighten pass.
+    pub fn collect_into(&self, out: &mut Vec<u32>) {
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                out.push((wi * WORD_BITS + bit) as u32);
+            }
+        }
+    }
+
+    /// Iterates the set bits of `self & other` in increasing order without
+    /// materialising the intersection.
+    pub fn intersection_iter<'a>(&'a self, other: &'a BitSet) -> impl Iterator<Item = usize> + 'a {
+        debug_assert_eq!(self.nbits, other.nbits);
+        BitIter {
+            words: IterWords::Zipped(&self.words, &other.words),
+            word_idx: 0,
+            current: match (self.words.first(), other.words.first()) {
+                (Some(a), Some(b)) => a & b,
+                _ => 0,
+            },
+        }
     }
 
     /// Clears any bits beyond `nbits` in the last word so that counting stays
@@ -232,9 +297,34 @@ impl FromIterator<usize> for BitSet {
     }
 }
 
+/// Word source of a [`BitIter`]: one raw word slice, or two slices combined
+/// with `&` on the fly (for [`BitSet::intersection_iter`]).
+enum IterWords<'a> {
+    Single(&'a [u64]),
+    Zipped(&'a [u64], &'a [u64]),
+}
+
+impl IterWords<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            IterWords::Single(w) => w.len(),
+            IterWords::Zipped(a, _) => a.len(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> u64 {
+        match self {
+            IterWords::Single(w) => w[i],
+            IterWords::Zipped(a, b) => a[i] & b[i],
+        }
+    }
+}
+
 /// Iterator over set bits of a [`BitSet`].
 pub struct BitIter<'a> {
-    words: &'a [u64],
+    words: IterWords<'a>,
     word_idx: usize,
     current: u64,
 }
@@ -249,7 +339,7 @@ impl Iterator for BitIter<'_> {
             if self.word_idx >= self.words.len() {
                 return None;
             }
-            self.current = self.words[self.word_idx];
+            self.current = self.words.get(self.word_idx);
         }
         let bit = self.current.trailing_zeros() as usize;
         self.current &= self.current - 1;
@@ -376,6 +466,98 @@ mod tests {
         let collected: Vec<usize> = s.iter().collect();
         assert_eq!(collected, bits);
         assert_eq!(s.first(), Some(0));
+    }
+
+    #[test]
+    fn reset_redimensions_and_clears() {
+        let mut s = BitSet::full(200);
+        s.reset(70);
+        assert_eq!(s.capacity(), 70);
+        assert!(s.is_empty());
+        s.insert(69);
+        s.set_all();
+        assert_eq!(s.count(), 70);
+        s.reset(300);
+        assert_eq!(s.capacity(), 300);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn assign_from_adopts_size_and_content() {
+        let mut src = BitSet::new(130);
+        src.insert(0);
+        src.insert(129);
+        let mut dst = BitSet::full(17);
+        dst.assign_from(&src);
+        assert_eq!(dst.capacity(), 130);
+        assert_eq!(dst.to_vec(), vec![0, 129]);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn and_not_assign_equals_difference() {
+        let mut a = BitSet::new(130);
+        let mut b = BitSet::new(130);
+        for i in (0..130).step_by(3) {
+            a.insert(i);
+        }
+        for i in (0..130).step_by(4) {
+            b.insert(i);
+        }
+        let mut x = a.clone();
+        x.and_not_assign(&b);
+        assert_eq!(
+            x.to_vec(),
+            (0..130)
+                .filter(|i| i % 3 == 0 && i % 4 != 0)
+                .map(|i| i as u32)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn intersect_rows_folds_and_counts_words() {
+        let mut base = BitSet::full(128);
+        let mut r1 = BitSet::new(128);
+        let mut r2 = BitSet::new(128);
+        for i in (0..128).step_by(2) {
+            r1.insert(i);
+        }
+        for i in (0..128).step_by(3) {
+            r2.insert(i);
+        }
+        let scanned = base.intersect_rows([&r1, &r2]);
+        assert_eq!(scanned, 2 * 2); // two rows × two words each
+        assert_eq!(base.count(), (0..128).filter(|i| i % 6 == 0).count());
+    }
+
+    #[test]
+    fn collect_into_appends_ascending() {
+        let mut s = BitSet::new(300);
+        for &b in &[1usize, 64, 65, 299] {
+            s.insert(b);
+        }
+        let mut out = vec![7u32];
+        s.collect_into(&mut out);
+        assert_eq!(out, vec![7, 1, 64, 65, 299]);
+    }
+
+    #[test]
+    fn intersection_iter_matches_materialised() {
+        let mut a = BitSet::new(200);
+        let mut b = BitSet::new(200);
+        for i in (0..200).step_by(3) {
+            a.insert(i);
+        }
+        for i in (0..200).step_by(7) {
+            b.insert(i);
+        }
+        let got: Vec<usize> = a.intersection_iter(&b).collect();
+        let mut inter = a.clone();
+        inter.intersect_with(&b);
+        assert_eq!(got, inter.iter().collect::<Vec<_>>());
+        let empty = BitSet::new(0);
+        assert_eq!(empty.intersection_iter(&empty).count(), 0);
     }
 
     #[test]

@@ -24,6 +24,20 @@ impl AdjMatrix {
         }
     }
 
+    /// Re-dimensions the matrix to an edgeless one on `n` vertices,
+    /// recycling the row bitsets (and keeping surplus rows pooled for later
+    /// reuse). This is what lets one scratch matrix serve thousands of
+    /// seed-subgraph builds without a `malloc` per row.
+    pub fn reset(&mut self, n: usize) {
+        for row in self.rows.iter_mut().take(n) {
+            row.reset(n);
+        }
+        while self.rows.len() < n {
+            self.rows.push(BitSet::new(n));
+        }
+        self.n = n;
+    }
+
     /// Builds the matrix of a (small) CSR graph.
     pub fn from_graph(g: &CsrGraph) -> Self {
         let n = g.num_vertices();
@@ -98,17 +112,28 @@ impl AdjMatrix {
         self.rows[v].intersection_count(set)
     }
 
-    /// Removes a vertex by clearing its row and column.
+    /// Removes a vertex by clearing its row and column. Allocation-free:
+    /// walks the row a word at a time instead of replacing it.
     pub fn isolate(&mut self, v: usize) {
-        let row = std::mem::replace(&mut self.rows[v], BitSet::new(self.n));
-        for w in row.iter() {
-            self.rows[w].remove(v);
+        for wi in 0..self.rows[v].words().len() {
+            let mut w = self.rows[v].words()[wi];
+            while w != 0 {
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                self.rows[wi * 64 + b].remove(v);
+            }
         }
+        self.rows[v].clear();
     }
 
     /// Total number of undirected edges.
     pub fn num_edges(&self) -> usize {
-        self.rows.iter().map(BitSet::count).sum::<usize>() / 2
+        self.rows
+            .iter()
+            .take(self.n)
+            .map(BitSet::count)
+            .sum::<usize>()
+            / 2
     }
 }
 
@@ -237,6 +262,28 @@ mod tests {
         assert!(m.has_edge(0, 1)); // 3-1
         assert!(m.has_edge(0, 2)); // 3-4
         assert!(!m.has_edge(1, 2)); // 1-4 absent
+    }
+
+    #[test]
+    fn reset_recycles_to_an_edgeless_matrix() {
+        let g = gen::complete(9);
+        let mut m = AdjMatrix::from_graph(&g);
+        assert_eq!(m.num_edges(), 36);
+        // Shrink: surplus rows stay pooled but must not leak into counts.
+        m.reset(4);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.num_edges(), 0);
+        m.add_edge(0, 3);
+        assert!(m.has_edge(3, 0));
+        assert_eq!(m.num_edges(), 1);
+        // Grow again: fresh rows appended, old ones re-zeroed.
+        m.reset(6);
+        assert_eq!(m.len(), 6);
+        assert_eq!(m.num_edges(), 0);
+        for v in 0..6 {
+            assert_eq!(m.degree(v), 0);
+            assert_eq!(m.row(v).capacity(), 6);
+        }
     }
 
     #[test]

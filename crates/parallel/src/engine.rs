@@ -1,15 +1,21 @@
 //! The stage-based parallel engine.
 
 use crossbeam::deque::{Steal, Stealer, Worker as Deque};
+use crossbeam::utils::Backoff;
 use kplex_core::enumerate::{prepare, MapSink};
 use kplex_core::{
-    collect_subtasks, AlgoConfig, CollectSink, CountSink, PairMatrix, Params, PlexSink,
+    collect_subtasks, AlgoConfig, CollectSink, CountSink, PairMatrix, Params, PlexSink, SavedTask,
     SearchStats, Searcher, SeedBuilder, SeedGraph, XOUT_FLAG,
 };
 use kplex_graph::{CsrGraph, VertexId};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Barrier, OnceLock};
 use std::time::Duration;
+
+/// How long an idle worker sleeps between termination checks once its
+/// exponential backoff is exhausted (all spins and yields spent). Bounds the
+/// stage-termination latency while keeping fully idle workers off the CPU.
+const IDLE_SLEEP: Duration = Duration::from_micros(50);
 
 /// Knobs of the parallel engine.
 #[derive(Clone, Debug)]
@@ -47,12 +53,12 @@ struct Slot {
     pairs: Option<PairMatrix>,
 }
 
-/// A unit of work: a branch ⟨P, C, X⟩ on a stage slot's seed subgraph.
+/// A unit of work: a branch ⟨P, C, X⟩ on a stage slot's seed subgraph. The
+/// snapshot is a single-buffer POD ([`SavedTask`]), so queueing, stealing
+/// and re-queueing a task moves one allocation, never three.
 struct Task {
     slot: usize,
-    p: Vec<u32>,
-    c: Vec<u32>,
-    x: Vec<u32>,
+    snap: SavedTask,
 }
 
 /// Counts maximal k-plexes in parallel. Returns the count and merged stats.
@@ -183,6 +189,19 @@ fn run_stage<S: PlexSink + Send>(
     let m = sinks.len();
     let deques: Vec<Deque<Task>> = (0..m).map(|_| Deque::new_lifo()).collect();
     let stealers: Vec<Stealer<Task>> = deques.iter().map(|d| d.stealer()).collect();
+    // `pending` counts tasks that exist anywhere (queued or running). Stage
+    // termination is `pending == 0`, which is sound on weak memory models
+    // because of two invariants, both on this single atomic:
+    //  * an increment always precedes the matching `deque.push` in program
+    //    order, so a task is counted before it can be observed;
+    //  * a task's child increments always precede the parent's decrement in
+    //    program order, and RMW coherence keeps every thread's operations on
+    //    one atomic in program order within the modification order — so the
+    //    counter can only reach 0 after every transitively spawned task has
+    //    been counted in and back out. The increments can therefore stay
+    //    `Relaxed`; the decrement is `Release` and the idle-side load
+    //    `Acquire` so that a worker leaving the stage also observes all
+    //    writes made by the tasks that ran elsewhere.
     let pending = AtomicUsize::new(0);
     let barrier = Barrier::new(m);
 
@@ -237,10 +256,14 @@ fn run_stage<S: PlexSink + Send>(
                     }
                     barrier.wait();
                 }
-                // Phase 2: drain own queue, then steal.
+                // Phase 2: drain own queue, then steal. Idle workers back
+                // off exponentially (spin → yield → capped sleep) instead of
+                // busy-spinning on yield_now, which burned a full core per
+                // idle worker at the end of every stage.
                 let mut sink = MapSink::new(sink, id_map);
                 // Cache the searcher across consecutive tasks on one slot.
                 let mut cur: Option<(usize, Searcher)> = None;
+                let mut backoff = Backoff::new();
                 loop {
                     let task = match deque.pop() {
                         Some(t) => Some(t),
@@ -250,9 +273,14 @@ fn run_stage<S: PlexSink + Send>(
                         if pending.load(Ordering::Acquire) == 0 {
                             break;
                         }
-                        std::thread::yield_now();
+                        if backoff.is_completed() {
+                            std::thread::sleep(IDLE_SLEEP);
+                        } else {
+                            backoff.snooze();
+                        }
                         continue;
                     };
+                    backoff = Backoff::new();
                     let slot_ref = slots[task.slot].get().expect("slot set before tasks");
                     let searcher = match &mut cur {
                         Some((sid, s)) if *sid == task.slot => s,
@@ -267,14 +295,14 @@ fn run_stage<S: PlexSink + Send>(
                             &mut cur.as_mut().expect("just set").1
                         }
                     };
-                    searcher.run_task(&task.p, task.c, task.x, &mut sink);
+                    searcher.run_task(task.snap.p(), task.snap.c(), task.snap.x(), &mut sink);
+                    // Children must be counted in (Relaxed suffices, see the
+                    // `pending` invariants) before this task counts out.
                     for saved in searcher.take_saved() {
                         pending.fetch_add(1, Ordering::Relaxed);
                         deque.push(Task {
                             slot: task.slot,
-                            p: saved.p,
-                            c: saved.c,
-                            x: saved.x,
+                            snap: saved,
                         });
                     }
                     pending.fetch_sub(1, Ordering::Release);
@@ -314,19 +342,12 @@ fn make_tasks(
             .collect();
         return vec![Task {
             slot,
-            p: vec![0],
-            c,
-            x,
+            snap: SavedTask::new(&[0], &c, &x),
         }];
     }
     collect_subtasks(&s.seed, params, cfg, s.pairs.as_ref(), stats)
         .into_iter()
-        .map(|t| Task {
-            slot,
-            p: t.p,
-            c: t.c,
-            x: t.x,
-        })
+        .map(|snap| Task { slot, snap })
         .collect()
 }
 
@@ -385,6 +406,46 @@ mod tests {
         let (par, stats) = par_enumerate_collect(&g, params, &cfg, &opts);
         assert_eq!(par, serial);
         assert!(stats.timeout_splits > 0, "expected task splitting");
+    }
+
+    #[test]
+    fn tiny_timeout_still_correct_on_deep_planted_plexes() {
+        // Large planted plexes make the search tree deep, so a 0ns timeout
+        // produces long defer → re-queue → defer chains: every branch of the
+        // plex-sized subtree goes through a SavedTask at least once. This is
+        // the worst case for the save path (the legacy kernel re-cloned the
+        // O(depth) plex vector per save, O(depth²) per chain; the arena
+        // kernel snapshots it into one buffer per save).
+        // A dense background keeps the (q−k)-core alive around the plexes,
+        // so the searcher genuinely branches instead of terminating on the
+        // whole-set shortcut.
+        let bg = gen::gnm(150, 1100, 17);
+        let plant = gen::PlantedPlexConfig {
+            count: 3,
+            size_lo: 12,
+            size_hi: 14,
+            missing: 1,
+            overlap: true,
+        };
+        let (g, _) = gen::planted_plexes(&bg, &plant, 23);
+        let params = Params::new(2, 8).unwrap();
+        let cfg = AlgoConfig::ours();
+        let (serial, serial_stats) = enumerate_collect(&g, params, &cfg);
+        assert!(!serial.is_empty(), "planted instance must have results");
+        assert!(
+            serial_stats.branch_calls > serial_stats.subtasks,
+            "instance must actually recurse (got {} branches over {} tasks)",
+            serial_stats.branch_calls,
+            serial_stats.subtasks
+        );
+        let mut opts = EngineOptions::with_threads(4);
+        opts.timeout = Some(Duration::from_nanos(0));
+        let (par, stats) = par_enumerate_collect(&g, params, &cfg, &opts);
+        assert_eq!(par, serial);
+        assert!(stats.timeout_splits > 0, "expected task splitting");
+        // Deferral is transparent: the re-run branches re-tighten, so the
+        // total outputs stay exactly the serial ones.
+        assert_eq!(stats.outputs, serial_stats.outputs);
     }
 
     #[test]
