@@ -1,8 +1,8 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
-//! Usage: `repro <experiment>` where experiment is one of
+//! Usage: `repro [--threads N] <experiment>` where experiment is one of
 //! `table2 table3 table4 table5 table6 table7 fig7 fig8 fig9 fig13 all`,
-//! or `bench-smoke` for the CI perf-snapshot job (writes `BENCH_2.json`).
+//! or `bench-smoke` for the CI perf-snapshot job (writes `BENCH_3.json`).
 //!
 //! Each experiment prints a markdown artifact and stores it under
 //! `results/<id>.md`. Absolute numbers are from the synthetic stand-in
@@ -22,7 +22,21 @@ use std::time::{Duration, Instant};
 static ALLOC: PeakAlloc = PeakAlloc;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--threads N` caps the worker count of every parallel experiment
+    // (default: all hardware threads); accepted anywhere on the line.
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let n: usize = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                eprintln!("error: --threads requires a positive integer");
+                std::process::exit(2);
+            });
+        THREAD_OVERRIDE.set(n).expect("parsed once");
+        args.drain(i..=i + 1);
+    }
     let what = args.first().map(String::as_str).unwrap_or("help");
     let t0 = Instant::now();
     match what {
@@ -55,7 +69,8 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: repro <table2|table3|table4|table5|table6|table7|fig7|fig8|fig9|fig13|pivot|ctcp|bench-smoke|all>"
+                "usage: repro [--threads N] \
+                 <table2|table3|table4|table5|table6|table7|fig7|fig8|fig9|fig13|pivot|ctcp|bench-smoke|all>"
             );
             std::process::exit(2);
         }
@@ -66,10 +81,11 @@ fn main() {
 // --- bench-smoke: the CI perf snapshot --------------------------------------
 
 /// Runs the two representative `t3_sequential` cells a handful of times and
-/// writes the medians to `BENCH_2.json` (or to `path` when given). CI uploads
+/// writes the medians to `BENCH_3.json` (or to `path` when given). CI uploads
 /// the file as an artifact so the perf trajectory has one data point per
-/// merge; the committed copy records the pre/post medians of PR 2's branch
-/// kernel swap.
+/// merge; the committed copy records the pre/post medians of the seed
+/// builder's pre-matrix common-neighbour gate (see also `BENCH_2.json` for
+/// the PR 2 branch-kernel swap).
 fn bench_smoke(path: Option<&str>) {
     const RUNS: usize = 5;
     let cells = [("lastfm", 4usize, 9usize), ("wiki-vote", 3, 9)];
@@ -98,16 +114,20 @@ fn bench_smoke(path: Option<&str>) {
         "{{\n  \"bench\": \"t3_sequential/bench-smoke\",\n  \"cells\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
-    let out = path.unwrap_or("BENCH_2.json");
+    let out = path.unwrap_or("BENCH_3.json");
     std::fs::write(out, &json).expect("write bench snapshot");
     println!("{json}");
     eprintln!("[bench-smoke] wrote {out}");
 }
 
+static THREAD_OVERRIDE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+
 fn threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(2)
+    *THREAD_OVERRIDE.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+    })
 }
 
 // --- Table 2: dataset statistics -------------------------------------------

@@ -6,6 +6,7 @@ use kplex_core::{CountSink, FnSink, Params, SinkFlow};
 use kplex_datasets::all_datasets;
 use kplex_graph::{io, CsrGraph, GraphStats};
 use kplex_parallel::{par_enumerate_count, EngineOptions};
+use kplex_service::{Client, ServerConfig, SubmitArgs};
 use std::io::Write;
 use std::time::Instant;
 
@@ -20,6 +21,11 @@ USAGE:
   kplex verify    --k K --q Q --results FILE (--input FILE | --dataset NAME)
   kplex stats     (--input FILE | --dataset NAME)
   kplex generate  --dataset NAME --output FILE
+  kplex serve     [--addr HOST:PORT] [--runners N] [--queue-cap N]
+                  [--cache-cap N] [--threads N]
+  kplex submit    --addr HOST:PORT --k K --q Q
+                  (--dataset NAME | --input FILE) [--threads N] [--algo ALGO]
+                  [--limit N] [--timeout-ms N] [--count-only]
   kplex datasets
   kplex help
 
@@ -35,10 +41,54 @@ OPTIONS:
   --timeout-us U   straggler timeout in microseconds (default: 100)
   --count-only     print only the number of k-plexes
   --limit N        stop after N results
+
+`serve` runs the kplexd job server in-process; `submit` sends a job to a
+running server and streams its results (see crates/service/PROTOCOL.md).
+
+EXIT CODES: 0 success, 1 runtime failure, 2 usage error (bad arguments).
 ";
 
+/// A dispatch failure, split by exit code: bad arguments (2) vs failures of
+/// a well-formed invocation (1).
+#[derive(Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// The invocation itself is wrong (unknown flag/command, bad value).
+    Usage(String),
+    /// The invocation was valid but the work failed (I/O, server error, …).
+    Runtime(String),
+}
+
+impl CliError {
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Runtime(_) => 1,
+        }
+    }
+
+    /// The message to print on stderr.
+    pub fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Runtime(m) => m,
+        }
+    }
+}
+
+// Bare-string errors from helpers default to runtime failures; argument
+// parsing wraps explicitly with `usage`.
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Runtime(msg)
+    }
+}
+
+fn usage(e: impl std::fmt::Display) -> CliError {
+    CliError::Usage(e.to_string())
+}
+
 /// Entry point shared with the binary's `main`.
-pub fn dispatch(argv: &[String]) -> Result<(), String> {
+pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(argv);
     let cmd = args
         .positional()
@@ -51,55 +101,71 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "verify" => cmd_verify(&args),
         "stats" => cmd_stats(&args),
         "generate" => cmd_generate(&args),
+        "serve" => cmd_serve(&args),
+        "submit" => cmd_submit(&args),
         "datasets" => cmd_datasets(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+        other => Err(usage(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
 }
 
-fn load_graph(args: &Args) -> Result<(CsrGraph, String), String> {
+fn load_graph(args: &Args) -> Result<(CsrGraph, String), CliError> {
     let format = args.get("format").unwrap_or("edges").to_string();
     match (args.get("input"), args.get("dataset")) {
         (Some(path), None) => {
             let g = match format.as_str() {
-                "edges" => io::read_edge_list(path).map_err(|e| e.to_string())?.0,
+                "edges" => {
+                    io::read_edge_list(path)
+                        .map_err(|e| CliError::Runtime(e.to_string()))?
+                        .0
+                }
                 "dimacs" => {
-                    let f = std::fs::File::open(path).map_err(|e| e.to_string())?;
-                    kplex_graph::io_formats::parse_dimacs(f).map_err(|e| e.to_string())?
+                    let f =
+                        std::fs::File::open(path).map_err(|e| CliError::Runtime(e.to_string()))?;
+                    kplex_graph::io_formats::parse_dimacs(f)
+                        .map_err(|e| CliError::Runtime(e.to_string()))?
                 }
                 "metis" => {
-                    let f = std::fs::File::open(path).map_err(|e| e.to_string())?;
-                    kplex_graph::io_formats::parse_metis(f).map_err(|e| e.to_string())?
+                    let f =
+                        std::fs::File::open(path).map_err(|e| CliError::Runtime(e.to_string()))?;
+                    kplex_graph::io_formats::parse_metis(f)
+                        .map_err(|e| CliError::Runtime(e.to_string()))?
                 }
-                other => return Err(format!("unknown --format {other:?} (edges|dimacs|metis)")),
+                other => {
+                    return Err(usage(format!(
+                        "unknown --format {other:?} (edges|dimacs|metis)"
+                    )))
+                }
             };
             Ok((g, path.to_string()))
         }
         (None, Some(name)) => {
             let ds = kplex_datasets::by_name(name)
-                .ok_or_else(|| format!("unknown dataset {name:?} (try `kplex datasets`)"))?;
+                .ok_or_else(|| usage(format!("unknown dataset {name:?} (try `kplex datasets`)")))?;
             Ok((ds.load(), name.to_string()))
         }
-        _ => Err("provide exactly one of --input FILE or --dataset NAME".into()),
+        _ => Err(usage(
+            "provide exactly one of --input FILE or --dataset NAME",
+        )),
     }
 }
 
-fn cmd_enumerate(args: &Args) -> Result<(), String> {
-    let k: usize = args.require("k")?;
-    let q: usize = args.require("q")?;
-    let params = Params::new(k, q).map_err(|e| e.to_string())?;
+fn cmd_enumerate(args: &Args) -> Result<(), CliError> {
+    let k: usize = args.require("k").map_err(usage)?;
+    let q: usize = args.require("q").map_err(usage)?;
+    let params = Params::new(k, q).map_err(usage)?;
     let algo_name = args.get("algo").unwrap_or("ours").to_string();
-    let algo =
-        Algorithm::parse(&algo_name).ok_or_else(|| format!("unknown algorithm {algo_name:?}"))?;
-    let threads: usize = args.get_parse("threads", 0)?;
-    let timeout_us: u64 = args.get_parse("timeout-us", 100)?;
+    let algo = Algorithm::parse(&algo_name)
+        .ok_or_else(|| usage(format!("unknown algorithm {algo_name:?}")))?;
+    let threads: usize = args.get_parse("threads", 0).map_err(usage)?;
+    let timeout_us: u64 = args.get_parse("timeout-us", 100).map_err(usage)?;
     let count_only = args.flag("count-only");
-    let limit: u64 = args.get_parse("limit", u64::MAX)?;
+    let limit: u64 = args.get_parse("limit", u64::MAX).map_err(usage)?;
     let (g, source) = load_graph(args)?;
-    args.reject_unknown()?;
+    args.reject_unknown().map_err(usage)?;
 
     eprintln!(
         "# {source}: n={} m={} | algo={} k={k} q={q}{}",
@@ -115,7 +181,9 @@ fn cmd_enumerate(args: &Args) -> Result<(), String> {
     let start = Instant::now();
     if threads > 0 {
         if !count_only {
-            return Err("parallel mode currently supports --count-only output".into());
+            return Err(usage(
+                "parallel mode currently supports --count-only output",
+            ));
         }
         let mut opts = EngineOptions::with_threads(threads);
         opts.timeout = (timeout_us > 0).then(|| std::time::Duration::from_micros(timeout_us));
@@ -174,19 +242,19 @@ fn cmd_enumerate(args: &Args) -> Result<(), String> {
                 start.elapsed().as_secs_f64()
             );
         }
-        out.flush().map_err(|e| e.to_string())?;
+        out.flush().map_err(|e| CliError::Runtime(e.to_string()))?;
         if failed {
-            return Err("failed writing results to stdout".into());
+            return Err(CliError::Runtime("failed writing results to stdout".into()));
         }
     }
     Ok(())
 }
 
-fn cmd_maximum(args: &Args) -> Result<(), String> {
-    let k: usize = args.require("k")?;
-    let q_floor: usize = args.get_parse("q-floor", 2 * k.max(1) - 1)?;
+fn cmd_maximum(args: &Args) -> Result<(), CliError> {
+    let k: usize = args.require("k").map_err(usage)?;
+    let q_floor: usize = args.get_parse("q-floor", 2 * k.max(1) - 1).map_err(usage)?;
     let (g, source) = load_graph(args)?;
-    args.reject_unknown()?;
+    args.reject_unknown().map_err(usage)?;
     let start = Instant::now();
     let result = kplex_core::maximum_kplex(&g, k, q_floor, &kplex_core::AlgoConfig::ours());
     match &result.plex {
@@ -214,14 +282,15 @@ fn cmd_maximum(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_verify(args: &Args) -> Result<(), String> {
-    let k: usize = args.require("k")?;
-    let q: usize = args.require("q")?;
-    let results_path: String = args.require("results")?;
+fn cmd_verify(args: &Args) -> Result<(), CliError> {
+    let k: usize = args.require("k").map_err(usage)?;
+    let q: usize = args.require("q").map_err(usage)?;
+    let results_path: String = args.require("results").map_err(usage)?;
     let (g, source) = load_graph(args)?;
-    args.reject_unknown()?;
+    args.reject_unknown().map_err(usage)?;
     // One plex per line, whitespace-separated vertex ids.
-    let text = std::fs::read_to_string(&results_path).map_err(|e| e.to_string())?;
+    let text =
+        std::fs::read_to_string(&results_path).map_err(|e| CliError::Runtime(e.to_string()))?;
     let mut results: Vec<Vec<u32>> = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -230,9 +299,9 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
         }
         let mut set = Vec::new();
         for tok in line.split_whitespace() {
-            let v: u32 = tok
-                .parse()
-                .map_err(|e| format!("{results_path}:{}: bad vertex id: {e}", lineno + 1))?;
+            let v: u32 = tok.parse().map_err(|e| {
+                CliError::Runtime(format!("{results_path}:{}: bad vertex id: {e}", lineno + 1))
+            })?;
             set.push(v);
         }
         results.push(set);
@@ -252,32 +321,36 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
         for v in violations.iter().take(20) {
             eprintln!("violation: {v}");
         }
-        Err(format!("{} violation(s) found", violations.len()))
+        Err(CliError::Runtime(format!(
+            "{} violation(s) found",
+            violations.len()
+        )))
     }
 }
 
-fn cmd_stats(args: &Args) -> Result<(), String> {
+fn cmd_stats(args: &Args) -> Result<(), CliError> {
     let (g, source) = load_graph(args)?;
-    args.reject_unknown()?;
+    args.reject_unknown().map_err(usage)?;
     let s = GraphStats::compute(&g);
     println!("{source}: {s}");
     Ok(())
 }
 
-fn cmd_generate(args: &Args) -> Result<(), String> {
+fn cmd_generate(args: &Args) -> Result<(), CliError> {
     let name = args
         .get("dataset")
-        .ok_or("generate requires --dataset NAME")?
+        .ok_or_else(|| usage("generate requires --dataset NAME"))?
         .to_string();
     let output = args
         .get("output")
-        .ok_or("generate requires --output FILE")?
+        .ok_or_else(|| usage("generate requires --output FILE"))?
         .to_string();
-    args.reject_unknown()?;
-    let ds = kplex_datasets::by_name(&name).ok_or_else(|| format!("unknown dataset {name:?}"))?;
+    args.reject_unknown().map_err(usage)?;
+    let ds =
+        kplex_datasets::by_name(&name).ok_or_else(|| usage(format!("unknown dataset {name:?}")))?;
     let g = ds.load();
-    let f = std::fs::File::create(&output).map_err(|e| e.to_string())?;
-    io::write_edge_list(&g, f).map_err(|e| e.to_string())?;
+    let f = std::fs::File::create(&output).map_err(|e| CliError::Runtime(e.to_string()))?;
+    io::write_edge_list(&g, f).map_err(|e| CliError::Runtime(e.to_string()))?;
     eprintln!(
         "# wrote {} ({} vertices, {} edges)",
         output,
@@ -287,8 +360,122 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_datasets(args: &Args) -> Result<(), String> {
-    args.reject_unknown()?;
+/// Runs the kplexd job server in-process (same engine, same protocol as the
+/// standalone `kplexd` binary).
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    let mut cfg = ServerConfig::default();
+    if let Some(addr) = args.get("addr") {
+        cfg.addr = addr.to_string();
+    }
+    cfg.runners = args.get_parse("runners", cfg.runners).map_err(usage)?;
+    cfg.queue_cap = args.get_parse("queue-cap", cfg.queue_cap).map_err(usage)?;
+    cfg.cache_cap = args.get_parse("cache-cap", cfg.cache_cap).map_err(usage)?;
+    cfg.default_threads = args
+        .get_parse("threads", cfg.default_threads)
+        .map_err(usage)?;
+    args.reject_unknown().map_err(usage)?;
+    let server = kplex_service::Server::bind(&cfg)
+        .map_err(|e| CliError::Runtime(format!("cannot bind {}: {e}", cfg.addr)))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    eprintln!(
+        "# kplexd listening on {addr} ({} runners, queue {}, cache {})",
+        cfg.runners, cfg.queue_cap, cfg.cache_cap
+    );
+    server.run().map_err(|e| CliError::Runtime(e.to_string()))
+}
+
+/// Submits a job to a running kplexd and streams its results to stdout.
+fn cmd_submit(args: &Args) -> Result<(), CliError> {
+    let addr: String = args.require("addr").map_err(usage)?;
+    let k: usize = args.require("k").map_err(usage)?;
+    let q: usize = args.require("q").map_err(usage)?;
+    Params::new(k, q).map_err(usage)?;
+    let mut submit = SubmitArgs {
+        k,
+        q,
+        ..SubmitArgs::default()
+    };
+    match (args.get("dataset"), args.get("input")) {
+        (Some(name), None) => submit.dataset = Some(name.to_string()),
+        (None, Some(path)) => submit.path = Some(path.to_string()),
+        _ => {
+            return Err(usage(
+                "provide exactly one of --dataset NAME or --input FILE",
+            ))
+        }
+    }
+    // The wire format is whitespace-delimited key=value tokens, so a value
+    // with spaces would be malformed at best and inject extra protocol
+    // keys at worst. Reject it here as a clean usage error.
+    for value in [&submit.dataset, &submit.path].into_iter().flatten() {
+        if value.chars().any(char::is_whitespace) {
+            return Err(usage(format!(
+                "{value:?} contains whitespace, which the wire protocol cannot carry"
+            )));
+        }
+    }
+    let threads: usize = args.get_parse("threads", 0).map_err(usage)?;
+    if threads > 0 {
+        submit.threads = Some(threads);
+    }
+    if let Some(algo) = args.get("algo") {
+        submit.algo = Some(algo.to_string());
+    }
+    let limit: u64 = args.get_parse("limit", 0).map_err(usage)?;
+    if limit > 0 {
+        submit.limit = Some(limit);
+    }
+    let timeout_ms: u64 = args.get_parse("timeout-ms", 0).map_err(usage)?;
+    if timeout_ms > 0 {
+        submit.timeout_ms = Some(timeout_ms);
+    }
+    let count_only = args.flag("count-only");
+    args.reject_unknown().map_err(usage)?;
+
+    let rt = |e: kplex_service::ClientError| CliError::Runtime(e.to_string());
+    let mut client = Client::connect(addr.as_str()).map_err(rt)?;
+    let id = client.submit(&submit).map_err(rt)?;
+    eprintln!("# submitted job {id} to {addr}");
+    let start = Instant::now();
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut streamed = 0u64;
+    let mut write_failed = false;
+    let end = client
+        .stream(id, |_seq, plex| {
+            streamed += 1;
+            if !count_only && !write_failed {
+                let line = plex
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                write_failed = writeln!(out, "{line}").is_err();
+            }
+        })
+        .map_err(rt)?;
+    out.flush().map_err(|e| CliError::Runtime(e.to_string()))?;
+    if write_failed {
+        return Err(CliError::Runtime("failed writing results to stdout".into()));
+    }
+    if count_only {
+        println!("{streamed}");
+    }
+    let state = end.get("state").map(String::as_str).unwrap_or("?");
+    eprintln!(
+        "# job {id} {state}: {streamed} plexes in {:.3}s",
+        start.elapsed().as_secs_f64()
+    );
+    match state {
+        "done" => Ok(()),
+        other => Err(CliError::Runtime(format!("job {id} ended {other}"))),
+    }
+}
+
+fn cmd_datasets(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown().map_err(usage)?;
     println!(
         "{:<14} {:<7} {:>22} {:>14}  family",
         "name", "class", "paper (n, m)", "stand-in n"
@@ -312,8 +499,12 @@ fn cmd_datasets(args: &Args) -> Result<(), String> {
 mod tests {
     use super::*;
 
-    fn run(argv: &[&str]) -> Result<(), String> {
+    fn run(argv: &[&str]) -> Result<(), CliError> {
         dispatch(&argv.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    fn is_usage(r: Result<(), CliError>) -> bool {
+        matches!(r, Err(CliError::Usage(_)))
     }
 
     #[test]
@@ -322,20 +513,36 @@ mod tests {
     }
 
     #[test]
-    fn unknown_command_fails() {
-        assert!(run(&["frobnicate"]).is_err());
+    fn unknown_command_is_a_usage_error() {
+        assert!(is_usage(run(&["frobnicate"])));
     }
 
     #[test]
     fn enumerate_requires_k_and_q() {
-        assert!(run(&["enumerate", "--dataset", "jazz"]).is_err());
+        assert!(is_usage(run(&["enumerate", "--dataset", "jazz"])));
     }
 
     #[test]
     fn enumerate_rejects_bad_params() {
-        assert!(run(&["enumerate", "--dataset", "jazz", "--k", "3", "--q", "2"]).is_err());
-        assert!(run(&["enumerate", "--dataset", "nope", "--k", "2", "--q", "4"]).is_err());
-        assert!(run(&[
+        assert!(is_usage(run(&[
+            "enumerate",
+            "--dataset",
+            "jazz",
+            "--k",
+            "3",
+            "--q",
+            "2"
+        ])));
+        assert!(is_usage(run(&[
+            "enumerate",
+            "--dataset",
+            "nope",
+            "--k",
+            "2",
+            "--q",
+            "4"
+        ])));
+        assert!(is_usage(run(&[
             "enumerate",
             "--dataset",
             "jazz",
@@ -345,8 +552,102 @@ mod tests {
             "4",
             "--algo",
             "bogus"
+        ])));
+    }
+
+    #[test]
+    fn exit_codes_distinguish_usage_from_runtime() {
+        // Usage error: malformed invocation → exit code 2.
+        let e = run(&["enumerate", "--dataset", "jazz"]).unwrap_err();
+        assert_eq!(e.exit_code(), 2);
+        // Runtime error: well-formed invocation, missing file → exit code 1.
+        let e = run(&[
+            "enumerate",
+            "--k",
+            "2",
+            "--q",
+            "4",
+            "--input",
+            "/no/such/file.txt",
         ])
-        .is_err());
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 1);
+        // Submitting to a server that is not there is a runtime failure too.
+        let e = run(&[
+            "submit",
+            "--addr",
+            "127.0.0.1:1",
+            "--dataset",
+            "jazz",
+            "--k",
+            "2",
+            "--q",
+            "9",
+        ])
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 1);
+    }
+
+    #[test]
+    fn submit_validates_arguments_before_connecting() {
+        // No --addr, no source, bad params: all usage errors (exit 2),
+        // detected without any server running.
+        assert!(is_usage(run(&[
+            "submit",
+            "--dataset",
+            "jazz",
+            "--k",
+            "2",
+            "--q",
+            "9"
+        ])));
+        assert!(is_usage(run(&[
+            "submit", "--addr", "x:1", "--k", "2", "--q", "9"
+        ])));
+        assert!(is_usage(run(&[
+            "submit",
+            "--addr",
+            "x:1",
+            "--dataset",
+            "jazz",
+            "--k",
+            "3",
+            "--q",
+            "2"
+        ])));
+    }
+
+    #[test]
+    fn submit_streams_from_a_live_server() {
+        // End-to-end over loopback: in-process server, submit with
+        // --threads, count-only output.
+        let handle = kplex_service::Server::bind(&kplex_service::ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            runners: 1,
+            queue_cap: 4,
+            cache_cap: 2,
+            default_threads: 1,
+        })
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+        let addr = handle.addr().to_string();
+        run(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--dataset",
+            "jazz",
+            "--k",
+            "2",
+            "--q",
+            "9",
+            "--threads",
+            "2",
+            "--count-only",
+        ])
+        .expect("submit against live server");
+        handle.shutdown();
     }
 
     #[test]

@@ -51,12 +51,20 @@ use crate::seed::{SeedGraph, XOUT_FLAG};
 use crate::sink::{PlexSink, SinkFlow};
 use crate::stats::SearchStats;
 use kplex_graph::{BitSet, VertexId};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The deadline clock is polled on the first and every `DEADLINE_STRIDE`-th
 /// recursion; once it fires, the hit is latched and every further recursion
 /// defers without touching the clock again.
 const DEADLINE_STRIDE: u32 = 64;
+
+/// An external stop flag ([`Searcher::set_stop_flag`]) is polled on every
+/// `STOP_STRIDE`-th recursion, in addition to the always-on check in the
+/// report path. Keeps cancellation latency bounded inside result-free
+/// subtrees without paying an atomic load per branch.
+const STOP_STRIDE: u32 = 64;
 
 /// A branch packaged for deferred execution (timeout splitting, Section 6)
 /// or initial sub-task dispatch.
@@ -154,6 +162,9 @@ pub struct Searcher<'a> {
     /// Counters for this searcher (merge into run totals when done).
     pub stats: SearchStats,
     stop: bool,
+    // Cooperative external cancellation (service jobs, global result caps).
+    stop_flag: Option<Arc<AtomicBool>>,
+    stop_tick: u32,
     // Timeout splitting.
     budget: Option<Duration>,
     deadline: Option<Instant>,
@@ -196,6 +207,8 @@ impl<'a> Searcher<'a> {
             tight_pair: BitSet::new(n),
             stats: SearchStats::default(),
             stop: false,
+            stop_flag: None,
+            stop_tick: 0,
             budget: None,
             deadline: None,
             deadline_tick: 0,
@@ -208,6 +221,16 @@ impl<'a> Searcher<'a> {
     /// longer than `budget` (`None` disables splitting).
     pub fn set_time_budget(&mut self, budget: Option<Duration>) {
         self.budget = budget;
+    }
+
+    /// Arms an external stop flag: when raised (by another thread — a
+    /// cancelled job, a globally capped sink), the search aborts
+    /// cooperatively. The flag is checked on every report (so no result is
+    /// delivered after cancellation) and polled every [`STOP_STRIDE`]-th
+    /// recursion (so result-free subtrees also stop promptly, not only at
+    /// task boundaries).
+    pub fn set_stop_flag(&mut self, flag: Option<Arc<AtomicBool>>) {
+        self.stop_flag = flag;
     }
 
     /// Raises the size threshold q mid-search (used by maximum-k-plex
@@ -520,6 +543,14 @@ impl<'a> Searcher<'a> {
             out_buf.extend(c_bits.iter().map(|i| seed.verts[i]));
         }
         out_buf.sort_unstable();
+        // Report-path cancellation check: once the external flag is raised,
+        // no further result leaves the kernel.
+        if let Some(flag) = &self.stop_flag {
+            if flag.load(Ordering::Relaxed) {
+                self.stop = true;
+                return;
+            }
+        }
         self.stats.outputs += 1;
         if sink.report(&self.out_buf) == SinkFlow::Stop {
             self.stop = true;
@@ -532,7 +563,7 @@ impl<'a> Searcher<'a> {
     /// grew P), run the kernel, then unwind the arenas and P. `added_start`
     /// indexes the segment of `added_arena` the caller pushed.
     fn branch(&mut self, added_start: usize, sink: &mut dyn PlexSink) {
-        if self.stop {
+        if self.stop || self.external_stop_due() {
             return;
         }
         self.stats.branch_calls += 1;
@@ -901,6 +932,21 @@ impl<'a> Searcher<'a> {
         self.branch(added_start, sink);
     }
 
+    /// Amortized external-cancellation poll: load the shared flag on every
+    /// [`STOP_STRIDE`]-th recursion and latch it into `self.stop`.
+    #[inline]
+    fn external_stop_due(&mut self) -> bool {
+        let Some(flag) = &self.stop_flag else {
+            return false;
+        };
+        self.stop_tick = self.stop_tick.wrapping_add(1);
+        if self.stop_tick & (STOP_STRIDE - 1) == 0 && flag.load(Ordering::Relaxed) {
+            self.stop = true;
+            return true;
+        }
+        false
+    }
+
     /// Amortized deadline test: poll the clock on the first and every
     /// [`DEADLINE_STRIDE`]-th recursion, and latch once hit.
     #[inline]
@@ -1003,6 +1049,25 @@ mod tests {
                 "buffer fully covered"
             );
         }
+    }
+
+    #[test]
+    fn raised_stop_flag_suppresses_all_reports() {
+        let g = gen::complete(6);
+        let params = Params::new(2, 4).unwrap();
+        let cfg = AlgoConfig::ours();
+        let decomp = core_decomposition(&g);
+        let mut b = SeedBuilder::new(6);
+        let sg = b.build(&g, &decomp, decomp.order[0], params, &cfg).unwrap();
+        let pm = PairMatrix::build(&sg, params);
+        let mut searcher = Searcher::new(&sg, params, &cfg, Some(&pm));
+        let flag = Arc::new(AtomicBool::new(true));
+        searcher.set_stop_flag(Some(flag));
+        let mut sink = CollectSink::default();
+        let flow = searcher.run_task(&[0], &sg.hop1, &[], &mut sink);
+        assert_eq!(flow, SinkFlow::Stop);
+        assert!(sink.plexes.is_empty(), "no result may pass a raised flag");
+        assert_eq!(searcher.stats.outputs, 0);
     }
 
     #[test]

@@ -79,6 +79,9 @@ pub struct SeedBuilder {
     seed_row: BitSet,
     check: Vec<u32>,
     old_to_new: Vec<u32>,
+    /// Input-graph-sized indicator of the seed's later neighbours, used by
+    /// the pre-matrix common-neighbour gate. Cleared after every build.
+    gate_mark: BitSet,
 }
 
 impl SeedBuilder {
@@ -95,6 +98,7 @@ impl SeedBuilder {
             seed_row: BitSet::new(0),
             check: Vec::new(),
             old_to_new: Vec::new(),
+            gate_mark: BitSet::new(n),
         }
     }
 
@@ -170,6 +174,63 @@ impl SeedBuilder {
         self.later.sort_unstable();
         self.earlier.sort_unstable();
 
+        // --- cheap common-neighbour gate (round 0 of Corollary 5.2) --------
+        // Run against the raw CSR neighbourhoods *before* the local matrix
+        // exists, so on hub seeds most of the ball dies before the
+        // O(|ball|²) matrix build is paid. This reproduces the fixpoint's
+        // first pass exactly — same thresholds, same ascending scan order,
+        // and the same in-round cascade the matrix loop got from
+        // `isolate`: a pruned seed neighbour stops counting as a common
+        // neighbour for every vertex tested after it (`gate_mark` removal
+        // below). Round-limited presets (FP, D2K use one threshold round)
+        // therefore prune identically. Because the gate *is* round 0, the
+        // matrix fixpoint starts at round 1 — outputs and pruning stats
+        // are unchanged.
+        let thr_adj = q as i64 - 2 * k as i64;
+        let thr_two = q as i64 - 2 * k as i64 + 2;
+        let mut pruned_vertices = 0u64;
+        {
+            let Self {
+                gate_mark, later, ..
+            } = self;
+            for &w in g.neighbors(seed) {
+                if decomp.before(seed, w) {
+                    gate_mark.insert(w as usize);
+                }
+            }
+            let threshold_round = cfg.seed_prune_rounds > 0;
+            let mut kept = 0;
+            for i in 0..later.len() {
+                let u = later[i];
+                let adjacent = gate_mark.contains(u as usize);
+                let common = g
+                    .neighbors(u)
+                    .iter()
+                    .filter(|&&w| gate_mark.contains(w as usize))
+                    .count() as i64;
+                let prune = if adjacent {
+                    threshold_round && common < thr_adj
+                } else {
+                    k == 1 || common < 1 || (threshold_round && common < thr_two)
+                };
+                if prune {
+                    pruned_vertices += 1;
+                    gate_mark.remove(u as usize); // cascade within the round
+                } else {
+                    later[kept] = u;
+                    kept += 1;
+                }
+            }
+            later.truncate(kept);
+            for &w in g.neighbors(seed) {
+                gate_mark.remove(w as usize);
+            }
+        }
+        if 1 + self.later.len() < q {
+            self.reset();
+            return None;
+        }
+
         // --- local matrix over {seed} ∪ later ------------------------------
         // Clear the provisional ball markers first so that earlier-ordered
         // vertices read as "absent" (u32::MAX) during the adjacency build.
@@ -195,12 +256,10 @@ impl SeedBuilder {
 
         // --- Corollary 5.2 pruning to fixpoint -----------------------------
         // thresholds: adjacent to seed -> q - 2k; two hops -> q - 2k + 2.
-        let thr_adj = q as i64 - 2 * k as i64;
-        let thr_two = q as i64 - 2 * k as i64 + 2;
+        // Round 0 already ran as the pre-matrix gate above.
         self.alive.reset(n_local);
         self.alive.set_all();
-        let mut pruned_vertices = 0u64;
-        let mut round = 0usize;
+        let mut round = 1usize;
         loop {
             let mut changed = false;
             // Current seed row restricted to alive.

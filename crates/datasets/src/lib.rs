@@ -24,4 +24,4 @@
 
 pub mod registry;
 
-pub use registry::{all_datasets, by_name, Dataset, DatasetClass, PaperStats};
+pub use registry::{all_datasets, by_name, Dataset, DatasetClass, PaperStats, REGISTRY_REV};

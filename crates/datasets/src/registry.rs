@@ -4,6 +4,12 @@ use kplex_graph::gen::{self, PlantedPlexConfig, RmatConfig};
 use kplex_graph::{io, CsrGraph, GraphStats};
 use std::path::PathBuf;
 
+/// Revision of the stand-in generator configurations. Bump whenever any
+/// `build` closure below changes, so every cache keyed by
+/// [`Dataset::cache_key`] (the service's in-memory graph cache, external
+/// materialisations) is invalidated together with the graphs themselves.
+pub const REGISTRY_REV: u32 = 1;
+
 /// Size class used by the paper (Section 7): small < 10^4 vertices,
 /// medium < 5·10^6, large beyond. Our stand-ins keep the same relative
 /// ordering at reduced absolute scale.
@@ -79,6 +85,15 @@ impl Dataset {
     /// Table 2 reproduction).
     pub fn stats(&self) -> GraphStats {
         GraphStats::compute(&self.load())
+    }
+
+    /// Stable identity of this dataset's *content*: the name plus the
+    /// generator-registry revision. Two `load()` calls return equal graphs
+    /// iff their cache keys are equal, which is what keyed caches (e.g. the
+    /// service's LRU of prepared graphs) need to stay correct across
+    /// generator changes.
+    pub fn cache_key(&self) -> String {
+        format!("{}@r{}", self.name, REGISTRY_REV)
     }
 }
 
@@ -412,6 +427,16 @@ mod tests {
                 "webbase-2001"
             ]
         );
+    }
+
+    #[test]
+    fn cache_keys_are_unique_and_versioned() {
+        let ds = all_datasets();
+        let mut keys: Vec<String> = ds.iter().map(|d| d.cache_key()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), ds.len(), "duplicate cache keys");
+        assert!(keys[0].contains(&format!("@r{REGISTRY_REV}")));
     }
 
     #[test]

@@ -4,12 +4,12 @@ use crossbeam::deque::{Steal, Stealer, Worker as Deque};
 use crossbeam::utils::Backoff;
 use kplex_core::enumerate::{prepare, MapSink};
 use kplex_core::{
-    collect_subtasks, AlgoConfig, CollectSink, CountSink, PairMatrix, Params, PlexSink, SavedTask,
-    SearchStats, Searcher, SeedBuilder, SeedGraph, XOUT_FLAG,
+    collect_subtasks, AlgoConfig, CollectSink, CountSink, PairMatrix, Params, PlexSink, Prepared,
+    SavedTask, SearchStats, Searcher, SeedBuilder, SeedGraph, SinkFlow, XOUT_FLAG,
 };
 use kplex_graph::{CsrGraph, VertexId};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Barrier, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, OnceLock};
 use std::time::Duration;
 
 /// How long an idle worker sleeps between termination checks once its
@@ -32,6 +32,15 @@ pub struct EngineOptions {
     /// One task per seed with the full two-hop candidate set (FP's layout)
     /// instead of S-sub-tasks.
     pub single_task_per_seed: bool,
+    /// Shared cooperative-cancellation flag. When raised (by any thread —
+    /// a service cancelling a job, a deadline, a result cap), workers stop
+    /// mid-task: the flag is plumbed into every [`Searcher`] (polled inside
+    /// the branch recursion and checked on every report) and consulted
+    /// before construction and before each dequeued task. The engine also
+    /// raises it itself whenever any worker's sink returns
+    /// [`SinkFlow::Stop`], so an early-stopping sink halts *all* workers
+    /// promptly rather than one.
+    pub stop_flag: Option<Arc<AtomicBool>>,
 }
 
 impl EngineOptions {
@@ -43,6 +52,7 @@ impl EngineOptions {
             timeout: Some(Duration::from_micros(100)),
             serial_construction: false,
             single_task_per_seed: false,
+            stop_flag: None,
         }
     }
 }
@@ -97,8 +107,30 @@ where
     S: PlexSink + Send,
     F: Fn() -> S + Sync,
 {
-    let m = opts.threads.max(1);
     let prep = prepare(g, params);
+    run_parallel_prepared(&prep, params, cfg, opts, make_sink)
+}
+
+/// The engine over an already [`prepare`]d problem. Long-lived callers (the
+/// service front-end) cache the `Prepared` value — the expensive load +
+/// (q−k)-core reduction + degeneracy ordering — and re-enter the engine once
+/// per job; `prep` must have been built with the same `q − k` as `params`.
+pub fn run_parallel_prepared<S, F>(
+    prep: &Prepared,
+    params: Params,
+    cfg: &AlgoConfig,
+    opts: &EngineOptions,
+    make_sink: F,
+) -> (Vec<S>, SearchStats)
+where
+    S: PlexSink + Send,
+    F: Fn() -> S + Sync,
+{
+    let m = opts.threads.max(1);
+    let stop = opts
+        .stop_flag
+        .clone()
+        .unwrap_or_else(|| Arc::new(AtomicBool::new(false)));
     let n = prep.graph.num_vertices();
     let mut total = SearchStats::default();
     let mut sinks: Vec<S> = (0..m).map(|_| make_sink()).collect();
@@ -111,6 +143,9 @@ where
         let mut builder = SeedBuilder::new(n);
         let mut slots = Vec::new();
         for &sv in &prep.decomp.order {
+            if stop.load(Ordering::Acquire) {
+                break;
+            }
             if let Some(seed) = builder.build(&prep.graph, &prep.decomp, sv, params, cfg) {
                 total.seed_graphs += 1;
                 total.seed_pruned_vertices += seed.pruned_vertices;
@@ -126,7 +161,9 @@ where
                 cell
             })
             .collect();
-        let stage_stats = run_stage(&prep.map, params, cfg, opts, &filled, None, &mut sinks);
+        let stage_stats = run_stage(
+            &prep.map, params, cfg, opts, &filled, None, &stop, &mut sinks,
+        );
         total.merge(&stage_stats);
         return (sinks, total);
     }
@@ -160,7 +197,8 @@ where
         cfg,
         opts,
         &slots,
-        Some((&prep, &eligible)),
+        Some((prep, &eligible)),
+        &stop,
         &mut sinks,
     );
     total.merge(&stage_stats);
@@ -183,7 +221,8 @@ fn run_stage<S: PlexSink + Send>(
     cfg: &AlgoConfig,
     opts: &EngineOptions,
     slots: &[OnceLock<Slot>],
-    construct: Option<(&kplex_core::Prepared, &[VertexId])>,
+    construct: Option<(&Prepared, &[VertexId])>,
+    stop: &Arc<AtomicBool>,
     sinks: &mut [S],
 ) -> SearchStats {
     let m = sinks.len();
@@ -238,6 +277,9 @@ fn run_stage<S: PlexSink + Send>(
                     let mut builder = SeedBuilder::new(prep.graph.num_vertices());
                     let mut idx = wid;
                     while idx < seeds.len() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
                         if let Some(seed) =
                             builder.build(&prep.graph, &prep.decomp, seeds[idx], params, cfg)
                         {
@@ -281,6 +323,13 @@ fn run_stage<S: PlexSink + Send>(
                         continue;
                     };
                     backoff = Backoff::new();
+                    // A raised stop flag (external cancel or a sibling's
+                    // early-stopping sink) drains the queues without running:
+                    // tasks still count out so stage termination stays exact.
+                    if stop.load(Ordering::Acquire) {
+                        pending.fetch_sub(1, Ordering::Release);
+                        continue;
+                    }
                     let slot_ref = slots[task.slot].get().expect("slot set before tasks");
                     let searcher = match &mut cur {
                         Some((sid, s)) if *sid == task.slot => s,
@@ -291,11 +340,21 @@ fn run_stage<S: PlexSink + Send>(
                             let mut s =
                                 Searcher::new(&slot_ref.seed, params, cfg, slot_ref.pairs.as_ref());
                             s.set_time_budget(opts.timeout);
+                            s.set_stop_flag(Some(stop.clone()));
                             cur = Some((task.slot, s));
                             &mut cur.as_mut().expect("just set").1
                         }
                     };
-                    searcher.run_task(task.snap.p(), task.snap.c(), task.snap.x(), &mut sink);
+                    let flow =
+                        searcher.run_task(task.snap.p(), task.snap.c(), task.snap.x(), &mut sink);
+                    if flow == SinkFlow::Stop {
+                        // Propagate an early-stopping sink to every worker,
+                        // not just this one: siblings observe the flag inside
+                        // their own branch recursion (via the searcher's
+                        // polled check), before their next task, and in the
+                        // construction phase.
+                        stop.store(true, Ordering::Release);
+                    }
                     // Children must be counted in (Relaxed suffices, see the
                     // `pending` invariants) before this task counts out.
                     for saved in searcher.take_saved() {
@@ -474,6 +533,7 @@ mod tests {
             timeout: None,
             serial_construction: true,
             single_task_per_seed: true,
+            stop_flag: None,
         };
         let (par, _) = par_enumerate_collect(&g, params, &fp_cfg, &opts);
         assert_eq!(par, serial);
@@ -491,6 +551,158 @@ mod tests {
         assert_eq!(par, serial);
         assert_eq!(s1.outputs, s2.outputs);
         assert_eq!(s1.subtasks, s2.subtasks);
+    }
+
+    /// Sink enforcing a *global* result cap across all workers.
+    struct CapSink {
+        seen: Arc<std::sync::atomic::AtomicU64>,
+        cap: u64,
+        mine: u64,
+    }
+
+    impl PlexSink for CapSink {
+        fn report(&mut self, _vertices: &[VertexId]) -> SinkFlow {
+            self.mine += 1;
+            if self.seen.fetch_add(1, Ordering::Relaxed) + 1 >= self.cap {
+                SinkFlow::Stop
+            } else {
+                SinkFlow::Continue
+            }
+        }
+    }
+
+    /// A deep planted instance whose serial search does real branching work.
+    fn deep_instance() -> (CsrGraph, Params) {
+        let bg = gen::gnm(150, 1100, 17);
+        let plant = gen::PlantedPlexConfig {
+            count: 3,
+            size_lo: 12,
+            size_hi: 14,
+            missing: 1,
+            overlap: true,
+        };
+        let (g, _) = gen::planted_plexes(&bg, &plant, 23);
+        (g, Params::new(2, 8).unwrap())
+    }
+
+    #[test]
+    fn result_cap_stops_all_workers_promptly() {
+        let (g, params) = deep_instance();
+        let cfg = AlgoConfig::ours();
+        let (_, serial_stats) = enumerate_collect(&g, params, &cfg);
+        assert!(serial_stats.outputs > 4, "instance must have results");
+        let m = 4;
+        let mut opts = EngineOptions::with_threads(m);
+        opts.timeout = None; // tasks are whole subtrees: stop must land *inside* them
+        let seen = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let cap = 1u64;
+        let (sinks, stats) = run_parallel(&g, params, &cfg, &opts, || CapSink {
+            seen: seen.clone(),
+            cap,
+            mine: 0,
+        });
+        let total: u64 = sinks.iter().map(|s| s.mine).sum();
+        // The cap plus at most one in-flight report per worker.
+        assert!(total >= cap, "the cap itself must be reached");
+        assert!(
+            total <= cap + m as u64,
+            "stop did not propagate across workers: {total} results for cap {cap}"
+        );
+        // Promptness: the polled in-kernel stop check must abort result-free
+        // subtrees too, so the capped run does a fraction of the full work.
+        assert!(
+            stats.branch_calls < serial_stats.branch_calls / 2,
+            "workers kept searching after the cap: {} vs serial {}",
+            stats.branch_calls,
+            serial_stats.branch_calls
+        );
+    }
+
+    #[test]
+    fn pre_raised_stop_flag_yields_nothing() {
+        let (g, params) = deep_instance();
+        let cfg = AlgoConfig::ours();
+        let mut opts = EngineOptions::with_threads(3);
+        opts.stop_flag = Some(Arc::new(AtomicBool::new(true)));
+        let (count, stats) = par_enumerate_count(&g, params, &cfg, &opts);
+        assert_eq!(count, 0);
+        assert_eq!(stats.seed_graphs, 0, "construction must be skipped");
+    }
+
+    /// A [`kplex_core::ChannelSink`] that sleeps briefly per report, so a
+    /// cross-thread cancel reliably lands while the engine is mid-run.
+    struct SlowChannelSink(kplex_core::ChannelSink);
+
+    impl PlexSink for SlowChannelSink {
+        fn report(&mut self, vertices: &[VertexId]) -> SinkFlow {
+            std::thread::sleep(Duration::from_micros(200));
+            self.0.report(vertices)
+        }
+    }
+
+    #[test]
+    fn channel_sink_cancel_mid_run_stops_early() {
+        // Many results (low q) plus a paced sink: the full run would take
+        // >> the drainer's reaction time, so the cancel cannot lose the
+        // race even on a loaded machine.
+        let g = gen::gnp(60, 0.5, 21);
+        let params = Params::new(2, 4).unwrap();
+        let cfg = AlgoConfig::ours();
+        let (serial, _) = enumerate_collect(&g, params, &cfg);
+        assert!(serial.len() > 1000, "need a large result set");
+        let flag = Arc::new(AtomicBool::new(false));
+        let mut opts = EngineOptions::with_threads(4);
+        opts.stop_flag = Some(flag.clone());
+        let (tx, rx) = std::sync::mpsc::channel::<Vec<VertexId>>();
+        let drainer = {
+            let flag = flag.clone();
+            std::thread::spawn(move || {
+                let mut received = 0u64;
+                while rx.recv().is_ok() {
+                    received += 1;
+                    flag.store(true, Ordering::Release);
+                }
+                received
+            })
+        };
+        let tx = std::sync::Mutex::new(tx);
+        let (_, stats) = run_parallel(&g, params, &cfg, &opts, || {
+            SlowChannelSink(kplex_core::ChannelSink::new(
+                tx.lock().expect("poisoned").clone(),
+                flag.clone(),
+            ))
+        });
+        drop(tx);
+        let received = drainer.join().expect("drainer panicked");
+        assert!(
+            received >= 1,
+            "cancellation raced ahead of the first result"
+        );
+        assert!(
+            (received as usize) < serial.len(),
+            "cancel mid-run did not stop the engine early"
+        );
+        // The sink re-checks the flag after the kernel counted the output, so
+        // a report can be counted but dropped — never the other way round.
+        assert!(stats.outputs >= received, "streamed more than was reported");
+    }
+
+    #[test]
+    fn prepared_reuse_matches_fresh_runs() {
+        let g = gen::powerlaw_cluster(150, 4, 0.6, 7);
+        let params = Params::new(2, 5).unwrap();
+        let cfg = AlgoConfig::ours();
+        let opts = EngineOptions::with_threads(3);
+        let (reference, _) = par_enumerate_count(&g, params, &cfg, &opts);
+        let prep = kplex_core::prepare(&g, params);
+        for _ in 0..3 {
+            let (sinks, _) = run_parallel_prepared(&prep, params, &cfg, &opts, CountSink::default);
+            let count: u64 = sinks.iter().map(|s| s.count).sum();
+            assert_eq!(
+                count, reference,
+                "re-entering on a cached Prepared diverged"
+            );
+        }
     }
 
     #[test]

@@ -34,4 +34,6 @@
 
 pub mod engine;
 
-pub use engine::{par_enumerate_collect, par_enumerate_count, EngineOptions};
+pub use engine::{
+    par_enumerate_collect, par_enumerate_count, run_parallel, run_parallel_prepared, EngineOptions,
+};

@@ -1,0 +1,207 @@
+//! `kplexd` — the k-plex enumeration server.
+//!
+//! ```text
+//! kplexd [--addr HOST:PORT] [--runners N] [--queue-cap N] [--cache-cap N]
+//!        [--threads N]
+//! kplexd smoke    # self-test: submit jazz, stream, cancel, verify
+//! kplexd help
+//! ```
+
+use kplex_service::{Client, Server, ServerConfig, SubmitArgs};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+kplexd — k-plex enumeration server (see crates/service/PROTOCOL.md)
+
+USAGE:
+  kplexd [OPTIONS]        run the server (Ctrl-C to stop)
+  kplexd smoke            end-to-end self-test on an ephemeral port
+  kplexd help
+
+OPTIONS:
+  --addr HOST:PORT   listen address           (default 127.0.0.1:7711)
+  --runners N        concurrent jobs          (default 2)
+  --queue-cap N      bounded job queue size   (default 64)
+  --cache-cap N      prepared-graph LRU size  (default 4)
+  --threads N        default per-job engine threads
+";
+
+fn parse_config(args: &[String]) -> Result<ServerConfig, String> {
+    let mut cfg = ServerConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("{} requires a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--addr" => cfg.addr = value(i)?.clone(),
+            "--runners" => {
+                cfg.runners = value(i)?
+                    .parse()
+                    .map_err(|_| "invalid --runners".to_string())?
+            }
+            "--queue-cap" => {
+                cfg.queue_cap = value(i)?
+                    .parse()
+                    .map_err(|_| "invalid --queue-cap".to_string())?
+            }
+            "--cache-cap" => {
+                cfg.cache_cap = value(i)?
+                    .parse()
+                    .map_err(|_| "invalid --cache-cap".to_string())?
+            }
+            "--threads" => {
+                cfg.default_threads = value(i)?
+                    .parse()
+                    .map_err(|_| "invalid --threads".to_string())?
+            }
+            other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
+        }
+        i += 2;
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("help") | Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some("smoke") => match smoke() {
+            Ok(()) => {
+                println!("kplexd smoke: PASS");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("kplexd smoke: FAIL: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            let cfg = match parse_config(&args) {
+                Ok(cfg) => cfg,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match Server::bind(&cfg) {
+                Ok(server) => {
+                    let addr = server.local_addr().expect("bound listener has an address");
+                    eprintln!(
+                        "kplexd listening on {addr} ({} runners, queue {}, cache {})",
+                        cfg.runners, cfg.queue_cap, cfg.cache_cap
+                    );
+                    match server.run() {
+                        Ok(()) => ExitCode::SUCCESS,
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            ExitCode::FAILURE
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: cannot bind {}: {e}", cfg.addr);
+                    ExitCode::FAILURE
+                }
+            }
+        }
+    }
+}
+
+/// End-to-end self-test against a real server on an ephemeral port:
+/// submit jazz, stream and cross-check the count, then cancel a throttled
+/// job mid-stream. This is what CI's bench-smoke job runs.
+fn smoke() -> Result<(), String> {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        runners: 2,
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind(&cfg)
+        .and_then(|s| s.spawn())
+        .map_err(|e| format!("bind: {e}"))?;
+    let addr = handle.addr();
+    let result = smoke_scenarios(addr);
+    handle.shutdown();
+    result
+}
+
+fn smoke_scenarios(addr: std::net::SocketAddr) -> Result<(), String> {
+    let err = |e: kplex_service::ClientError| e.to_string();
+    // Ground truth, computed in-process.
+    let params = kplex_core::Params::new(2, 9).map_err(|e| e.to_string())?;
+    let jazz = kplex_datasets::by_name("jazz")
+        .ok_or("jazz missing")?
+        .load();
+    let (expected, _) = kplex_core::enumerate_count(&jazz, params, &kplex_core::AlgoConfig::ours());
+
+    // 1. Submit and stream a full job; the streamed count must match.
+    let mut c = Client::connect(addr).map_err(err)?;
+    c.ping().map_err(err)?;
+    let mut args = SubmitArgs::dataset("jazz", 2, 9);
+    args.threads = Some(2);
+    let id = c.submit(&args).map_err(err)?;
+    let mut streamed = 0u64;
+    let end = c.stream(id, |_, _| streamed += 1).map_err(err)?;
+    if end.get("state").map(String::as_str) != Some("done") {
+        return Err(format!("job {id} ended {:?}, want done", end.get("state")));
+    }
+    if streamed != expected {
+        return Err(format!("streamed {streamed} plexes, expected {expected}"));
+    }
+    println!("kplexd smoke: streamed {streamed} plexes of jazz (2, 9)");
+
+    // 2. Cancel a throttled job mid-stream from a second connection.
+    let mut args = SubmitArgs::dataset("jazz", 2, 7);
+    args.threads = Some(2);
+    args.throttle_us = Some(3000);
+    let id = c.submit(&args).map_err(err)?;
+    let mut canceller = Client::connect(addr).map_err(err)?;
+    let mut seen = 0u64;
+    let mut cancel_err = None;
+    let end = c
+        .stream(id, |_, _| {
+            seen += 1;
+            if seen == 2 {
+                if let Err(e) = canceller.cancel(id) {
+                    cancel_err = Some(e.to_string());
+                }
+            }
+        })
+        .map_err(err)?;
+    if let Some(e) = cancel_err {
+        return Err(format!("cancel failed: {e}"));
+    }
+    if end.get("state").map(String::as_str) != Some("cancelled") {
+        return Err(format!(
+            "job {id} ended {:?}, want cancelled",
+            end.get("state")
+        ));
+    }
+    let status = canceller.status(id).map_err(err)?;
+    println!(
+        "kplexd smoke: cancelled job after {} results (status: state={} results={})",
+        seen,
+        status.get("state").cloned().unwrap_or_default(),
+        status.get("results").cloned().unwrap_or_default(),
+    );
+
+    // 3. Warm-cache resubmit of scenario 1 must report a cache hit.
+    let id = c.submit(&SubmitArgs::dataset("jazz", 2, 9)).map_err(err)?;
+    let end = c.stream(id, |_, _| ()).map_err(err)?;
+    if end.get("state").map(String::as_str) != Some("done") {
+        return Err(format!("resubmit ended {:?}", end.get("state")));
+    }
+    let status = c.status(id).map_err(err)?;
+    if status.get("cache").map(String::as_str) != Some("hit") {
+        return Err(format!(
+            "resubmit was not served from the cache: {status:?}"
+        ));
+    }
+    println!("kplexd smoke: warm resubmit served from the prepared-graph cache");
+    Ok(())
+}

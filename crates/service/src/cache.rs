@@ -1,0 +1,149 @@
+//! LRU cache of prepared graphs.
+//!
+//! Loading a graph and running the (q−k)-core reduction + degeneracy
+//! ordering ([`kplex_core::prepare`]) dominates short jobs, and interactive
+//! clients tend to re-query the same graph with varying (k, q). The cache
+//! keys on (graph content, shrink threshold `q − k`) — the only inputs
+//! `prepare` depends on — so a warm resubmission skips the whole load/reduce
+//! phase and goes straight to enumeration.
+
+use kplex_core::Prepared;
+use std::sync::{Arc, Mutex};
+
+struct Entry {
+    graph_key: String,
+    shrink: usize,
+    prep: Arc<Prepared>,
+}
+
+struct Inner {
+    /// LRU order: most recently used at the back.
+    entries: Vec<Entry>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Point-in-time cache counters (`STATS`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build.
+    pub misses: u64,
+    /// Entries currently held.
+    pub entries: usize,
+}
+
+/// A small LRU of `Arc<Prepared>` keyed by (graph key, `q − k`).
+pub struct GraphCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl GraphCache {
+    /// A cache holding at most `capacity` prepared graphs (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                entries: Vec::new(),
+                hits: 0,
+                misses: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Returns the cached `Prepared` for `(graph_key, shrink)` or builds it
+    /// with `build`. The boolean is true on a hit. The lock is held across
+    /// `build`, trading load parallelism for single-flight semantics (two
+    /// jobs racing on a cold graph load it once, not twice).
+    pub fn get_or_insert(
+        &self,
+        graph_key: &str,
+        shrink: usize,
+        build: impl FnOnce() -> Result<Prepared, String>,
+    ) -> Result<(Arc<Prepared>, bool), String> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        if let Some(pos) = inner
+            .entries
+            .iter()
+            .position(|e| e.graph_key == graph_key && e.shrink == shrink)
+        {
+            inner.hits += 1;
+            let entry = inner.entries.remove(pos);
+            let prep = entry.prep.clone();
+            inner.entries.push(entry); // back = most recent
+            return Ok((prep, true));
+        }
+        inner.misses += 1;
+        let prep = Arc::new(build()?);
+        if inner.entries.len() >= self.capacity {
+            inner.entries.remove(0); // front = least recent
+        }
+        inner.entries.push(Entry {
+            graph_key: graph_key.to_string(),
+            shrink,
+            prep: prep.clone(),
+        });
+        Ok((prep, false))
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.entries.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kplex_core::{prepare, Params};
+    use kplex_graph::gen;
+
+    fn build(seed: u64) -> Result<Prepared, String> {
+        Ok(prepare(
+            &gen::gnp(30, 0.3, seed),
+            Params::new(2, 4).unwrap(),
+        ))
+    }
+
+    #[test]
+    fn hit_miss_and_lru_eviction() {
+        let cache = GraphCache::new(2);
+        let (a1, hit) = cache.get_or_insert("a", 2, || build(1)).unwrap();
+        assert!(!hit);
+        let (a2, hit) = cache.get_or_insert("a", 2, || panic!("must hit")).unwrap();
+        assert!(hit);
+        assert!(Arc::ptr_eq(&a1, &a2));
+        // Same graph, different shrink: a distinct entry.
+        let (_, hit) = cache.get_or_insert("a", 3, || build(1)).unwrap();
+        assert!(!hit);
+        // A hit refreshes ("a", 2), so the third distinct key evicts the
+        // now-least-recent ("a", 3).
+        let (_, hit) = cache.get_or_insert("a", 2, || panic!("must hit")).unwrap();
+        assert!(hit);
+        let (_, _) = cache.get_or_insert("b", 2, || build(2)).unwrap();
+        let (_, hit) = cache.get_or_insert("a", 3, || build(1)).unwrap();
+        assert!(!hit, "(a, 3) should have been evicted");
+        let (_, hit) = cache.get_or_insert("b", 2, || panic!("must hit")).unwrap();
+        assert!(hit, "(b, 2) must have survived");
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().hits, 3);
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn build_errors_are_not_cached() {
+        let cache = GraphCache::new(1);
+        assert!(cache
+            .get_or_insert("x", 2, || Err("boom".to_string()))
+            .is_err());
+        let (_, hit) = cache.get_or_insert("x", 2, || build(3)).unwrap();
+        assert!(!hit, "a failed build must not leave an entry");
+    }
+}

@@ -1,0 +1,175 @@
+//! A small blocking client for the `kplexd` wire protocol.
+//!
+//! Used by `kplex submit`, the `kplexd smoke` self-test and the integration
+//! tests. One connection handles one request at a time (the protocol is
+//! strictly request → response); cancelling a job that is being streamed on
+//! this connection therefore needs a second connection.
+
+use crate::protocol::{self, JobId, SubmitArgs};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server answered `ERR …`.
+    Remote(String),
+    /// The server answered something the client cannot parse.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Remote(msg) => write!(f, "server error: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running `kplexd`.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        Ok(())
+    }
+
+    fn read_line(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    /// One simple request: sends `line`, expects a single `OK …` line and
+    /// returns its fields.
+    fn request(&mut self, line: &str) -> Result<BTreeMap<String, String>, ClientError> {
+        self.send(line)?;
+        let resp = self.read_line()?;
+        if let Some(msg) = resp.strip_prefix("ERR ") {
+            return Err(ClientError::Remote(msg.to_string()));
+        }
+        if !resp.starts_with("OK") {
+            return Err(ClientError::Protocol(format!("unexpected reply {resp:?}")));
+        }
+        protocol::parse_response_fields(&resp).map_err(ClientError::Protocol)
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send("PING")?;
+        match self.read_line()?.as_str() {
+            "OK pong" => Ok(()),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Submits a job, returning its id.
+    pub fn submit(&mut self, args: &SubmitArgs) -> Result<JobId, ClientError> {
+        // The wire format is whitespace-delimited tokens: a value with
+        // spaces would be malformed, or silently inject extra keys.
+        for value in [&args.dataset, &args.path, &args.algo]
+            .into_iter()
+            .flatten()
+        {
+            if value.chars().any(char::is_whitespace) {
+                return Err(ClientError::Protocol(format!(
+                    "{value:?} contains whitespace, which the wire protocol cannot carry"
+                )));
+            }
+        }
+        let fields = self.request(&args.to_line())?;
+        fields
+            .get("id")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ClientError::Protocol("SUBMIT reply without id".into()))
+    }
+
+    /// One `STATUS` line as a field map.
+    pub fn status(&mut self, id: JobId) -> Result<BTreeMap<String, String>, ClientError> {
+        self.request(&format!("STATUS {id}"))
+    }
+
+    /// Requests cancellation; returns the state after the request.
+    pub fn cancel(&mut self, id: JobId) -> Result<String, ClientError> {
+        let fields = self.request(&format!("CANCEL {id}"))?;
+        fields
+            .get("state")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("CANCEL reply without state".into()))
+    }
+
+    /// Server counters.
+    pub fn stats(&mut self) -> Result<BTreeMap<String, String>, ClientError> {
+        self.request("STATS")
+    }
+
+    /// All jobs, one field map per `JOB` line.
+    pub fn list(&mut self) -> Result<Vec<BTreeMap<String, String>>, ClientError> {
+        self.send("LIST")?;
+        let mut jobs = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if let Some(msg) = line.strip_prefix("ERR ") {
+                return Err(ClientError::Remote(msg.to_string()));
+            }
+            if line.starts_with("END") {
+                return Ok(jobs);
+            }
+            jobs.push(protocol::parse_response_fields(&line).map_err(ClientError::Protocol)?);
+        }
+    }
+
+    /// Streams a job from the beginning: `on_plex(seq, plex)` per result,
+    /// then returns the `END` line's fields (`state=`, `results=`).
+    pub fn stream(
+        &mut self,
+        id: JobId,
+        mut on_plex: impl FnMut(u64, Vec<u32>),
+    ) -> Result<BTreeMap<String, String>, ClientError> {
+        self.send(&format!("STREAM {id}"))?;
+        loop {
+            let line = self.read_line()?;
+            if let Some(msg) = line.strip_prefix("ERR ") {
+                return Err(ClientError::Remote(msg.to_string()));
+            }
+            if line.starts_with("END") {
+                return protocol::parse_response_fields(&line).map_err(ClientError::Protocol);
+            }
+            let (_, seq, plex) = protocol::parse_plex_line(&line).map_err(ClientError::Protocol)?;
+            on_plex(seq, plex);
+        }
+    }
+}

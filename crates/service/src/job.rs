@@ -1,0 +1,432 @@
+//! Job lifecycle: specification, state machine, result buffer.
+//!
+//! A job moves `queued → running → done | cancelled | failed`. Results are
+//! buffered (bounded by the job's result cap) under a mutex + condvar so any
+//! number of `STREAM` readers can follow a running job from the beginning
+//! and late subscribers replay everything. Cancellation is cooperative: the
+//! shared [`Job::cancel`] flag is the same `Arc` the engine's workers and
+//! sinks poll, so raising it stops the enumeration mid-task.
+
+use crate::protocol::JobId;
+use kplex_core::{AlgoConfig, Params, SearchStats};
+use kplex_graph::VertexId;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Where a job's graph comes from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphSource {
+    /// A built-in stand-in dataset (`kplex_datasets`).
+    Dataset(String),
+    /// A server-local edge-list file.
+    Path(String),
+}
+
+impl GraphSource {
+    /// Cache key of the *loaded graph content* (preprocessing is keyed
+    /// separately by the core shrink threshold).
+    pub fn cache_key(&self) -> String {
+        match self {
+            // Versioned via the dataset registry so generator changes
+            // invalidate cached graphs.
+            GraphSource::Dataset(name) => kplex_datasets::by_name(name)
+                .map(|d| d.cache_key())
+                .unwrap_or_else(|| format!("dataset:{name}")),
+            // File size + mtime in the key: editing the file between
+            // submissions must not serve the stale cached graph. When the
+            // metadata is unreadable the load will fail anyway.
+            GraphSource::Path(p) => {
+                let stamp = std::fs::metadata(p)
+                    .map(|m| {
+                        let mtime = m
+                            .modified()
+                            .ok()
+                            .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+                            .map(|d| d.as_nanos())
+                            .unwrap_or(0);
+                        format!("{}:{mtime}", m.len())
+                    })
+                    .unwrap_or_else(|_| "unreadable".to_string());
+                format!("path:{p}@{stamp}")
+            }
+        }
+    }
+
+    /// Display name for `STATUS`/`LIST` lines.
+    pub fn label(&self) -> &str {
+        match self {
+            GraphSource::Dataset(name) => name,
+            GraphSource::Path(p) => p,
+        }
+    }
+}
+
+/// A validated job configuration.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Input graph.
+    pub source: GraphSource,
+    /// (k, q), already validated.
+    pub params: Params,
+    /// Engine worker threads.
+    pub threads: usize,
+    /// Algorithm preset name (resolved per run via [`AlgoConfig::by_name`]).
+    pub algo: String,
+    /// Stop after this many buffered results.
+    pub limit: u64,
+    /// Wall-clock deadline for the running phase.
+    pub timeout: Option<Duration>,
+    /// Sleep per reported result (pacing knob; also makes cancellation
+    /// deterministic to test).
+    pub throttle: Duration,
+    /// Straggler-splitting timeout τ_time for the engine.
+    pub tau: Option<Duration>,
+}
+
+impl JobSpec {
+    /// Resolves the algorithm preset.
+    pub fn config(&self) -> Option<AlgoConfig> {
+        AlgoConfig::by_name(&self.algo)
+    }
+}
+
+/// Lifecycle states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the bounded queue.
+    Queued,
+    /// Executing on a runner.
+    Running,
+    /// Finished normally (possibly truncated by the result cap).
+    Done,
+    /// Stopped by a client `CANCEL`.
+    Cancelled,
+    /// Aborted: load error, invalid config, or deadline exceeded.
+    Failed,
+}
+
+impl JobState {
+    /// Wire label (also used by `STATUS`).
+    pub fn label(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// True once the job can no longer change state.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Cancelled | JobState::Failed
+        )
+    }
+}
+
+/// Why the stop flag was raised (distinguishes the terminal state).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum StopCause {
+    /// Client cancel — terminal state `cancelled`.
+    Cancel,
+    /// Result cap reached — still `done`.
+    Cap,
+    /// Deadline exceeded — terminal state `failed`.
+    Deadline,
+}
+
+struct Progress {
+    state: JobState,
+    results: Vec<Vec<VertexId>>,
+    stats: Option<SearchStats>,
+    cache_hit: Option<bool>,
+    error: Option<String>,
+    stop_cause: Option<StopCause>,
+    started: Option<Instant>,
+    elapsed: Option<Duration>,
+}
+
+/// One submitted job. Shared between connection handlers (status, stream,
+/// cancel), the runner executing it, and its drainer thread.
+pub struct Job {
+    /// Server-assigned id.
+    pub id: JobId,
+    /// The validated configuration.
+    pub spec: JobSpec,
+    /// Cooperative stop flag, plumbed into the engine and its sinks.
+    pub cancel: Arc<AtomicBool>,
+    inner: Mutex<Progress>,
+    cond: Condvar,
+}
+
+/// A point-in-time copy of a job's observable state (one `STATUS` line).
+#[derive(Clone, Debug)]
+pub struct JobSnapshot {
+    /// Job id.
+    pub id: JobId,
+    /// Current state.
+    pub state: JobState,
+    /// Graph label.
+    pub source: String,
+    /// (k, q).
+    pub params: Params,
+    /// Results buffered so far.
+    pub results: u64,
+    /// Whether the prepared graph came from the cache (`None` until known).
+    pub cache_hit: Option<bool>,
+    /// Milliseconds spent running (live for running jobs, final otherwise).
+    pub elapsed_ms: u64,
+    /// Merged engine stats, once finished.
+    pub stats: Option<SearchStats>,
+    /// Failure reason, if failed.
+    pub error: Option<String>,
+}
+
+/// One step of a streaming read.
+pub enum StreamStep {
+    /// New results were appended to the caller's buffer.
+    Items,
+    /// The job is terminal and everything has been delivered.
+    Ended(JobState, u64),
+    /// The wait timed out with nothing new (caller re-checks shutdown).
+    Idle,
+}
+
+impl Job {
+    /// A freshly queued job.
+    pub fn new(id: JobId, spec: JobSpec) -> Self {
+        Self {
+            id,
+            spec,
+            cancel: Arc::new(AtomicBool::new(false)),
+            inner: Mutex::new(Progress {
+                state: JobState::Queued,
+                results: Vec::new(),
+                stats: None,
+                cache_hit: None,
+                error: None,
+                stop_cause: None,
+                started: None,
+                elapsed: None,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Progress> {
+        self.inner.lock().expect("job lock poisoned")
+    }
+
+    /// Queued → Running. Returns false when the job was cancelled while
+    /// queued (the runner skips it).
+    pub fn mark_running(&self) -> bool {
+        let mut p = self.lock();
+        if p.state != JobState::Queued {
+            return false;
+        }
+        p.state = JobState::Running;
+        p.started = Some(Instant::now());
+        true
+    }
+
+    /// Records whether the prepared graph was served from the cache.
+    pub fn set_cache_hit(&self, hit: bool) {
+        self.lock().cache_hit = Some(hit);
+    }
+
+    /// Current state alone — no string/stats clones. For hot scans (job
+    /// eviction, shutdown) where a full [`Job::snapshot`] would allocate.
+    pub fn state(&self) -> JobState {
+        self.lock().state
+    }
+
+    /// Appends one streamed result unless the cap is reached; returns the
+    /// buffered count. The caller raises the stop flag at the cap.
+    pub fn append_result(&self, plex: Vec<VertexId>) -> u64 {
+        let mut p = self.lock();
+        if (p.results.len() as u64) < self.spec.limit {
+            p.results.push(plex);
+            self.cond.notify_all();
+        }
+        p.results.len() as u64
+    }
+
+    /// Notes why the stop flag is being raised. The first cause wins: a cap
+    /// racing a client cancel must not flip the terminal state.
+    pub(crate) fn note_stop_cause(&self, cause: StopCause) {
+        let mut p = self.lock();
+        if p.stop_cause.is_none() {
+            p.stop_cause = Some(cause);
+        }
+    }
+
+    /// Client-facing cancel: raises the flag; a queued job dies immediately,
+    /// a running one stops cooperatively.
+    pub fn request_cancel(&self) {
+        self.note_stop_cause(StopCause::Cancel);
+        self.cancel.store(true, Ordering::Release);
+        let mut p = self.lock();
+        if p.state == JobState::Queued {
+            p.state = JobState::Cancelled;
+            p.elapsed = Some(Duration::ZERO);
+            self.cond.notify_all();
+        }
+    }
+
+    /// Running → terminal, with the engine's merged stats.
+    pub fn finish(&self, stats: SearchStats) {
+        let mut p = self.lock();
+        let (state, error) = match p.stop_cause {
+            None | Some(StopCause::Cap) => (JobState::Done, None),
+            Some(StopCause::Cancel) => (JobState::Cancelled, None),
+            Some(StopCause::Deadline) => (JobState::Failed, Some("deadline exceeded".to_string())),
+        };
+        p.state = state;
+        p.error = error;
+        p.stats = Some(stats);
+        p.elapsed = p.started.map(|s| s.elapsed());
+        self.cond.notify_all();
+    }
+
+    /// Any state → Failed with a reason (load error, bad preset, …).
+    pub fn fail(&self, reason: String) {
+        let mut p = self.lock();
+        p.state = JobState::Failed;
+        p.error = Some(reason);
+        p.elapsed = p.started.map(|s| s.elapsed());
+        self.cond.notify_all();
+    }
+
+    /// Observable state for `STATUS` / `LIST`.
+    pub fn snapshot(&self) -> JobSnapshot {
+        let p = self.lock();
+        let elapsed = p
+            .elapsed
+            .or_else(|| p.started.map(|s| s.elapsed()))
+            .unwrap_or(Duration::ZERO);
+        JobSnapshot {
+            id: self.id,
+            state: p.state,
+            source: self.spec.source.label().to_string(),
+            params: self.spec.params,
+            results: p.results.len() as u64,
+            cache_hit: p.cache_hit,
+            elapsed_ms: elapsed.as_millis() as u64,
+            stats: p.stats.clone(),
+            error: p.error.clone(),
+        }
+    }
+
+    /// Copies results `[from, from + CHUNK)` into `buf`, waiting up to
+    /// `wait` for something to happen first. Drives the `STREAM` loop. The
+    /// copy is chunked so a late subscriber catching up on a large backlog
+    /// holds the job lock for O(chunk), never O(backlog) — the drainer's
+    /// `append_result` and `STATUS` snapshots stay responsive.
+    pub fn next_results(
+        &self,
+        from: usize,
+        buf: &mut Vec<Vec<VertexId>>,
+        wait: Duration,
+    ) -> StreamStep {
+        /// Results copied out per lock acquisition.
+        const CHUNK: usize = 1024;
+        let copy = |p: &Progress, buf: &mut Vec<Vec<VertexId>>| {
+            let to = p.results.len().min(from + CHUNK);
+            buf.extend_from_slice(&p.results[from..to]);
+        };
+        let mut p = self.lock();
+        if p.results.len() > from {
+            copy(&p, buf);
+            return StreamStep::Items;
+        }
+        if p.state.is_terminal() {
+            return StreamStep::Ended(p.state, p.results.len() as u64);
+        }
+        let (p2, _timeout) = self.cond.wait_timeout(p, wait).expect("job lock poisoned");
+        p = p2;
+        if p.results.len() > from {
+            copy(&p, buf);
+            StreamStep::Items
+        } else if p.state.is_terminal() {
+            StreamStep::Ended(p.state, p.results.len() as u64)
+        } else {
+            StreamStep::Idle
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            source: GraphSource::Dataset("jazz".into()),
+            params: Params::new(2, 9).unwrap(),
+            threads: 1,
+            algo: "ours".into(),
+            limit: 2,
+            timeout: None,
+            throttle: Duration::ZERO,
+            tau: None,
+        }
+    }
+
+    #[test]
+    fn lifecycle_and_result_cap() {
+        let job = Job::new(1, spec());
+        assert_eq!(job.snapshot().state, JobState::Queued);
+        assert!(job.mark_running());
+        assert_eq!(job.append_result(vec![1, 2]), 1);
+        assert_eq!(job.append_result(vec![3, 4]), 2);
+        // Beyond the cap nothing is buffered.
+        assert_eq!(job.append_result(vec![5, 6]), 2);
+        job.note_stop_cause(StopCause::Cap);
+        job.finish(SearchStats::default());
+        let snap = job.snapshot();
+        assert_eq!(snap.state, JobState::Done);
+        assert_eq!(snap.results, 2);
+    }
+
+    #[test]
+    fn queued_cancel_is_immediate_and_cause_is_sticky() {
+        let job = Job::new(2, spec());
+        job.request_cancel();
+        assert_eq!(job.snapshot().state, JobState::Cancelled);
+        assert!(job.cancel.load(Ordering::Acquire));
+        assert!(!job.mark_running(), "cancelled jobs must not run");
+        // A later cap cannot overwrite the cancel cause.
+        job.note_stop_cause(StopCause::Cap);
+        let p = job.lock();
+        assert_eq!(p.stop_cause, Some(StopCause::Cancel));
+    }
+
+    #[test]
+    fn streaming_replays_and_ends() {
+        let job = Job::new(3, spec());
+        job.mark_running();
+        job.append_result(vec![1]);
+        job.append_result(vec![2]);
+        let mut buf = Vec::new();
+        assert!(matches!(
+            job.next_results(0, &mut buf, Duration::from_millis(1)),
+            StreamStep::Items
+        ));
+        assert_eq!(buf.len(), 2);
+        assert!(matches!(
+            job.next_results(2, &mut buf, Duration::from_millis(1)),
+            StreamStep::Idle
+        ));
+        job.finish(SearchStats::default());
+        match job.next_results(2, &mut buf, Duration::from_millis(1)) {
+            StreamStep::Ended(state, total) => {
+                assert_eq!(state, JobState::Done);
+                assert_eq!(total, 2);
+            }
+            _ => panic!("expected end of stream"),
+        }
+    }
+}

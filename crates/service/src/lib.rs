@@ -1,0 +1,38 @@
+//! # kplex-service
+//!
+//! A multi-client enumeration server (`kplexd`) over the k-plex engine:
+//! clients submit jobs over TCP, the server queues them onto a runner pool,
+//! streams results back as NDJSON lines, and supports cooperative
+//! cancellation, per-job result caps and deadlines, and an LRU cache of
+//! prepared (loaded + core-reduced) graphs so repeat jobs on the same graph
+//! skip the load/reduce phase.
+//!
+//! The paper's result sets can exceed 10^9 plexes, so nothing here
+//! materialises results beyond the per-job cap: enumeration feeds a channel
+//! [`kplex_core::ChannelSink`] and the buffer is bounded.
+//!
+//! Wire protocol reference: `crates/service/PROTOCOL.md`. Line-delimited
+//! requests (`SUBMIT`, `STATUS`, `STREAM`, `CANCEL`, `LIST`, `STATS`,
+//! `PING`, `QUIT`), single-line `OK`/`ERR` responses, multi-line responses
+//! terminated by `END`.
+//!
+//! ```
+//! use kplex_service::protocol::{parse_request, Request, SubmitArgs};
+//!
+//! let line = SubmitArgs::dataset("jazz", 2, 9).to_line();
+//! assert!(matches!(parse_request(&line), Ok(Request::Submit(_))));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod job;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheStats, GraphCache};
+pub use client::{Client, ClientError};
+pub use job::{GraphSource, Job, JobSnapshot, JobSpec, JobState};
+pub use protocol::{JobId, Request, SubmitArgs};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,312 @@
+//! The wire protocol: line-delimited requests and responses.
+//!
+//! Every request is one UTF-8 line; simple verbs get one response line
+//! (`OK …` / `ERR …`), `LIST` and `STREAM` produce multiple lines terminated
+//! by an `END …` line. Streamed results are NDJSON objects, one per line.
+//! The full reference lives in `crates/service/PROTOCOL.md`.
+//!
+//! Parsing and rendering are pure functions here so both the server and the
+//! [`crate::client::Client`] (and their tests) share one implementation.
+
+use std::collections::BTreeMap;
+
+/// A job identifier, assigned by the server at submission (starting at 1).
+pub type JobId = u64;
+
+/// Parameters of a `SUBMIT` request, before server-side validation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SubmitArgs {
+    /// Built-in dataset name (`dataset=`); exclusive with `path`.
+    pub dataset: Option<String>,
+    /// Server-local edge-list file (`path=`); exclusive with `dataset`.
+    pub path: Option<String>,
+    /// Plex slack k.
+    pub k: usize,
+    /// Minimum plex size q.
+    pub q: usize,
+    /// Engine worker threads for this job (server default when absent).
+    pub threads: Option<usize>,
+    /// Algorithm preset name (default `ours`).
+    pub algo: Option<String>,
+    /// Result cap: enumeration stops once this many plexes are buffered.
+    pub limit: Option<u64>,
+    /// Job wall-clock timeout in milliseconds (0/absent = none).
+    pub timeout_ms: Option<u64>,
+    /// Pacing: sleep this long before each reported result (testing/ops).
+    pub throttle_us: Option<u64>,
+    /// Straggler-splitting timeout τ_time in microseconds.
+    pub tau_us: Option<u64>,
+}
+
+impl SubmitArgs {
+    /// A submission for a built-in dataset.
+    pub fn dataset(name: &str, k: usize, q: usize) -> Self {
+        Self {
+            dataset: Some(name.to_string()),
+            k,
+            q,
+            ..Self::default()
+        }
+    }
+
+    /// Renders the `SUBMIT` request line.
+    pub fn to_line(&self) -> String {
+        let mut line = String::from("SUBMIT");
+        let mut push = |key: &str, val: String| {
+            line.push(' ');
+            line.push_str(key);
+            line.push('=');
+            line.push_str(&val);
+        };
+        if let Some(d) = &self.dataset {
+            push("dataset", d.clone());
+        }
+        if let Some(p) = &self.path {
+            push("path", p.clone());
+        }
+        push("k", self.k.to_string());
+        push("q", self.q.to_string());
+        if let Some(t) = self.threads {
+            push("threads", t.to_string());
+        }
+        if let Some(a) = &self.algo {
+            push("algo", a.clone());
+        }
+        if let Some(l) = self.limit {
+            push("limit", l.to_string());
+        }
+        if let Some(t) = self.timeout_ms {
+            push("timeout-ms", t.to_string());
+        }
+        if let Some(t) = self.throttle_us {
+            push("throttle-us", t.to_string());
+        }
+        if let Some(t) = self.tau_us {
+            push("tau-us", t.to_string());
+        }
+        line
+    }
+}
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Submit a new enumeration job.
+    Submit(Box<SubmitArgs>),
+    /// One-line state of a job.
+    Status(JobId),
+    /// Stream a job's results from the beginning, then its terminal state.
+    Stream(JobId),
+    /// Cooperatively cancel a job.
+    Cancel(JobId),
+    /// One line per job.
+    List,
+    /// Server counters (jobs, cache hits/misses, queue depth).
+    Stats,
+    /// Close the connection.
+    Quit,
+}
+
+/// Splits `key=value` tokens into a map; returns an error for a bare token.
+fn parse_kv<'a>(tokens: impl Iterator<Item = &'a str>) -> Result<BTreeMap<String, String>, String> {
+    let mut map = BTreeMap::new();
+    for tok in tokens {
+        let (k, v) = tok
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got {tok:?}"))?;
+        if v.is_empty() {
+            return Err(format!("empty value for {k:?}"));
+        }
+        map.insert(k.to_string(), v.to_string());
+    }
+    Ok(map)
+}
+
+fn take_parse<T: std::str::FromStr>(
+    map: &mut BTreeMap<String, String>,
+    key: &str,
+) -> Result<Option<T>, String> {
+    match map.remove(key) {
+        None => Ok(None),
+        Some(s) => s
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("invalid value for {key}: {s:?}")),
+    }
+}
+
+fn parse_id(rest: &[&str], verb: &str) -> Result<JobId, String> {
+    match rest {
+        [id] => id.parse().map_err(|_| format!("invalid job id {id:?}")),
+        _ => Err(format!("usage: {verb} <job-id>")),
+    }
+}
+
+/// Parses one request line. Verbs are case-insensitive; arguments are not.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut tokens = line.split_whitespace();
+    let verb = tokens.next().ok_or("empty request")?;
+    let rest: Vec<&str> = tokens.collect();
+    match verb.to_ascii_uppercase().as_str() {
+        "PING" => Ok(Request::Ping),
+        "LIST" => Ok(Request::List),
+        "STATS" => Ok(Request::Stats),
+        "QUIT" => Ok(Request::Quit),
+        "STATUS" => Ok(Request::Status(parse_id(&rest, "STATUS")?)),
+        "STREAM" => Ok(Request::Stream(parse_id(&rest, "STREAM")?)),
+        "CANCEL" => Ok(Request::Cancel(parse_id(&rest, "CANCEL")?)),
+        "SUBMIT" => {
+            let mut kv = parse_kv(rest.into_iter())?;
+            let args = SubmitArgs {
+                dataset: kv.remove("dataset"),
+                path: kv.remove("path"),
+                k: take_parse(&mut kv, "k")?.ok_or("SUBMIT requires k=")?,
+                q: take_parse(&mut kv, "q")?.ok_or("SUBMIT requires q=")?,
+                threads: take_parse(&mut kv, "threads")?,
+                algo: kv.remove("algo"),
+                limit: take_parse(&mut kv, "limit")?,
+                timeout_ms: take_parse(&mut kv, "timeout-ms")?,
+                throttle_us: take_parse(&mut kv, "throttle-us")?,
+                tau_us: take_parse(&mut kv, "tau-us")?,
+            };
+            if let Some(unknown) = kv.keys().next() {
+                return Err(format!("unknown SUBMIT key {unknown:?}"));
+            }
+            match (&args.dataset, &args.path) {
+                (Some(_), None) | (None, Some(_)) => {}
+                _ => return Err("SUBMIT requires exactly one of dataset= or path=".into()),
+            }
+            Ok(Request::Submit(Box::new(args)))
+        }
+        other => Err(format!("unknown verb {other:?}")),
+    }
+}
+
+/// Parses the `key=value` fields of a response line after its leading word
+/// (`OK`, `JOB`, `END`). Used by the client and the tests.
+pub fn parse_response_fields(line: &str) -> Result<BTreeMap<String, String>, String> {
+    parse_kv(line.split_whitespace().skip(1))
+}
+
+/// Renders one streamed result as an NDJSON line:
+/// `{"id":3,"seq":0,"plex":[1,2,3]}`.
+pub fn render_plex_line(id: JobId, seq: u64, plex: &[u32]) -> String {
+    let mut s = format!("{{\"id\":{id},\"seq\":{seq},\"plex\":[");
+    for (i, v) in plex.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&v.to_string());
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Parses a streamed NDJSON result line back into `(id, seq, plex)`.
+/// Accepts exactly the shape [`render_plex_line`] produces.
+pub fn parse_plex_line(line: &str) -> Result<(JobId, u64, Vec<u32>), String> {
+    let inner = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or("not a JSON object")?;
+    let mut id = None;
+    let mut seq = None;
+    let mut plex = None;
+    // Split on the three known keys; the only nested structure is the array.
+    let mut rest = inner;
+    while !rest.is_empty() {
+        let rest2 = rest.strip_prefix(',').unwrap_or(rest);
+        let (key, after) = rest2
+            .strip_prefix('"')
+            .and_then(|s| s.split_once("\":"))
+            .ok_or("malformed key")?;
+        let (value, tail) = if let Some(arr) = after.strip_prefix('[') {
+            let (body, t) = arr.split_once(']').ok_or("unterminated array")?;
+            (body, t)
+        } else {
+            match after.find(',') {
+                Some(i) => (&after[..i], &after[i..]),
+                None => (after, ""),
+            }
+        };
+        match key {
+            "id" => id = Some(value.parse().map_err(|_| "bad id")?),
+            "seq" => seq = Some(value.parse().map_err(|_| "bad seq")?),
+            "plex" => {
+                let vs: Result<Vec<u32>, _> = if value.is_empty() {
+                    Ok(Vec::new())
+                } else {
+                    value.split(',').map(|t| t.trim().parse()).collect()
+                };
+                plex = Some(vs.map_err(|_| "bad plex element")?);
+            }
+            other => return Err(format!("unknown key {other:?}")),
+        }
+        rest = tail;
+    }
+    Ok((
+        id.ok_or("missing id")?,
+        seq.ok_or("missing seq")?,
+        plex.ok_or("missing plex")?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_roundtrip() {
+        let mut args = SubmitArgs::dataset("jazz", 2, 9);
+        args.threads = Some(4);
+        args.limit = Some(1000);
+        args.throttle_us = Some(250);
+        let line = args.to_line();
+        match parse_request(&line).unwrap() {
+            Request::Submit(parsed) => assert_eq!(*parsed, args),
+            other => panic!("expected submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_validation_errors() {
+        assert!(parse_request("SUBMIT k=2 q=9").is_err()); // no source
+        assert!(parse_request("SUBMIT dataset=jazz path=x k=2 q=9").is_err()); // both
+        assert!(parse_request("SUBMIT dataset=jazz q=9").is_err()); // no k
+        assert!(parse_request("SUBMIT dataset=jazz k=abc q=9").is_err());
+        assert!(parse_request("SUBMIT dataset=jazz k=2 q=9 wat=1").is_err());
+    }
+
+    #[test]
+    fn simple_verbs_parse() {
+        assert_eq!(parse_request("PING").unwrap(), Request::Ping);
+        assert_eq!(parse_request("quit").unwrap(), Request::Quit);
+        assert_eq!(parse_request("STATUS 7").unwrap(), Request::Status(7));
+        assert_eq!(parse_request("CANCEL 3").unwrap(), Request::Cancel(3));
+        assert_eq!(parse_request("STREAM 1").unwrap(), Request::Stream(1));
+        assert!(parse_request("STATUS").is_err());
+        assert!(parse_request("STATUS x").is_err());
+        assert!(parse_request("FROBNICATE").is_err());
+        assert!(parse_request("").is_err());
+    }
+
+    #[test]
+    fn plex_line_roundtrip() {
+        let line = render_plex_line(3, 17, &[4, 8, 15]);
+        assert_eq!(line, "{\"id\":3,\"seq\":17,\"plex\":[4,8,15]}");
+        assert_eq!(parse_plex_line(&line).unwrap(), (3, 17, vec![4, 8, 15]));
+        let empty = render_plex_line(1, 0, &[]);
+        assert_eq!(parse_plex_line(&empty).unwrap(), (1, 0, vec![]));
+        assert!(parse_plex_line("not json").is_err());
+    }
+
+    #[test]
+    fn response_fields_parse() {
+        let kv = parse_response_fields("OK id=3 state=queued").unwrap();
+        assert_eq!(kv["id"], "3");
+        assert_eq!(kv["state"], "queued");
+    }
+}

@@ -1,0 +1,607 @@
+//! The `kplexd` server: accept loop, bounded job queue, runner pool.
+//!
+//! Thread layout (no async runtime — the offline build has std only):
+//!
+//! * the **accept loop** spawns one handler thread per client connection;
+//! * handlers parse line requests; `SUBMIT` pushes onto a **bounded queue**
+//!   (full queue → immediate `ERR`, the back-pressure signal);
+//! * a fixed pool of **runner** threads pops jobs and executes them on the
+//!   parallel engine ([`kplex_parallel::run_parallel_prepared`]), each with
+//!   its own per-job thread count;
+//! * per running job, one **drainer** thread pumps the engine's channel
+//!   sink into the job's result buffer, enforcing the result cap and the
+//!   wall-clock deadline by raising the job's stop flag.
+//!
+//! Cancellation (`CANCEL`, cap, deadline) is cooperative end to end: one
+//! `Arc<AtomicBool>` per job is observed by the engine's workers inside the
+//! branch recursion, so a cancelled job's workers stop mid-task while other
+//! jobs keep running undisturbed.
+
+use crate::cache::{CacheStats, GraphCache};
+use crate::job::{GraphSource, Job, JobSpec, StopCause, StreamStep};
+use crate::protocol::{self, JobId, Request, SubmitArgs};
+use kplex_core::{prepare, ChannelSink, Params, PlexSink, SinkFlow};
+use kplex_graph::io;
+use kplex_parallel::{run_parallel_prepared, EngineOptions};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::RecvTimeoutError;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long blocking waits (queue pop, stream follow) sleep between
+/// shutdown-flag checks.
+const WAIT_TICK: Duration = Duration::from_millis(100);
+
+/// Terminal (done/cancelled/failed) jobs retained for `STATUS`/`STREAM`
+/// replay. Beyond this, the oldest finished jobs — and their result
+/// buffers — are evicted at submission time, so a long-lived server's
+/// memory is bounded by live jobs + this backlog, not by its lifetime.
+const RETAIN_TERMINAL_JOBS: usize = 64;
+
+/// Server construction knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7711` (port 0 for ephemeral).
+    pub addr: String,
+    /// Concurrent jobs (runner threads).
+    pub runners: usize,
+    /// Bounded queue capacity; a full queue rejects `SUBMIT`.
+    pub queue_cap: usize,
+    /// Prepared-graph LRU capacity.
+    pub cache_cap: usize,
+    /// Default per-job engine threads when `SUBMIT` omits `threads=`.
+    pub default_threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2);
+        Self {
+            addr: "127.0.0.1:7711".to_string(),
+            runners: 2,
+            queue_cap: 64,
+            cache_cap: 4,
+            default_threads: hw.clamp(1, 8),
+        }
+    }
+}
+
+struct SharedState {
+    jobs: Mutex<BTreeMap<JobId, Arc<Job>>>,
+    next_id: AtomicU64,
+    queue: Mutex<VecDeque<JobId>>,
+    queue_cond: Condvar,
+    queue_cap: usize,
+    cache: GraphCache,
+    shutdown: AtomicBool,
+    default_threads: usize,
+}
+
+impl SharedState {
+    fn job(&self, id: JobId) -> Option<Arc<Job>> {
+        self.jobs
+            .lock()
+            .expect("jobs lock poisoned")
+            .get(&id)
+            .cloned()
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<SharedState>,
+    runners: usize,
+}
+
+/// Handle to a server whose accept loop runs in a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<SharedState>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    runners: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and prepares the shared state.
+    pub fn bind(cfg: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        Ok(Server {
+            listener,
+            runners: cfg.runners.max(1),
+            state: Arc::new(SharedState {
+                jobs: Mutex::new(BTreeMap::new()),
+                next_id: AtomicU64::new(1),
+                queue: Mutex::new(VecDeque::new()),
+                queue_cond: Condvar::new(),
+                queue_cap: cfg.queue_cap.max(1),
+                cache: GraphCache::new(cfg.cache_cap),
+                shutdown: AtomicBool::new(false),
+                default_threads: cfg.default_threads.max(1),
+            }),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    fn spawn_runners(&self) -> Vec<std::thread::JoinHandle<()>> {
+        (0..self.runners)
+            .map(|_| {
+                let state = self.state.clone();
+                std::thread::spawn(move || runner_loop(&state))
+            })
+            .collect()
+    }
+
+    /// Runs the accept loop on the current thread (the `kplexd` entry),
+    /// with the runner pool sized by [`ServerConfig::runners`].
+    pub fn run(self) -> std::io::Result<()> {
+        let _runners = self.spawn_runners();
+        accept_loop(&self.listener, &self.state);
+        Ok(())
+    }
+
+    /// Runs the accept loop in a background thread and returns a handle
+    /// (used by tests and the CLI smoke).
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let runner_handles = self.spawn_runners();
+        let state = self.state.clone();
+        let listener = self.listener;
+        let accept_state = state.clone();
+        let accept = std::thread::spawn(move || accept_loop(&listener, &accept_state));
+        Ok(ServerHandle {
+            addr,
+            state,
+            accept: Some(accept),
+            runners: runner_handles,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// Where clients connect.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, cancels every live job, and joins the accept loop
+    /// and runner pool. Connection handler threads are detached; they exit
+    /// as their clients disconnect or their streams observe the shutdown.
+    pub fn shutdown(mut self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        // Cancel live jobs so runners and streamers unblock quickly.
+        let jobs: Vec<Arc<Job>> = self
+            .state
+            .jobs
+            .lock()
+            .expect("jobs lock poisoned")
+            .values()
+            .cloned()
+            .collect();
+        for job in jobs {
+            if !job.state().is_terminal() {
+                job.request_cancel();
+            }
+        }
+        self.state.queue_cond.notify_all();
+        // Poke the accept loop out of `accept()`.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.runners.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<SharedState>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if state.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                let state = state.clone();
+                std::thread::spawn(move || {
+                    let _ = handle_connection(stream, &state);
+                });
+            }
+            Err(_) if state.shutdown.load(Ordering::Acquire) => return,
+            Err(_) => continue,
+        }
+    }
+}
+
+// --- connection handling ----------------------------------------------------
+
+fn write_line<W: Write>(stream: &mut W, line: &str) -> std::io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")
+}
+
+fn handle_connection(stream: TcpStream, state: &Arc<SharedState>) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match protocol::parse_request(&line) {
+            Err(e) => write_line(&mut writer, &format!("ERR {e}"))?,
+            Ok(Request::Quit) => {
+                write_line(&mut writer, "OK bye")?;
+                return Ok(());
+            }
+            Ok(Request::Ping) => write_line(&mut writer, "OK pong")?,
+            Ok(Request::Submit(args)) => {
+                let resp = match submit(state, &args) {
+                    Ok(id) => format!("OK id={id} state=queued"),
+                    Err(e) => format!("ERR {e}"),
+                };
+                write_line(&mut writer, &resp)?;
+            }
+            Ok(Request::Status(id)) => {
+                let resp = match state.job(id) {
+                    Some(job) => status_line(&job),
+                    None => format!("ERR no such job {id}"),
+                };
+                write_line(&mut writer, &resp)?;
+            }
+            Ok(Request::Cancel(id)) => {
+                let resp = match state.job(id) {
+                    Some(job) => {
+                        job.request_cancel();
+                        // A job cancelled while queued must also free its
+                        // bounded-queue slot, or dead jobs hold capacity
+                        // against new submissions until a runner pops them.
+                        state
+                            .queue
+                            .lock()
+                            .expect("queue lock poisoned")
+                            .retain(|&qid| qid != id);
+                        let snap = job.snapshot();
+                        format!("OK id={id} state={}", snap.state.label())
+                    }
+                    None => format!("ERR no such job {id}"),
+                };
+                write_line(&mut writer, &resp)?;
+            }
+            Ok(Request::List) => {
+                let jobs: Vec<Arc<Job>> = state
+                    .jobs
+                    .lock()
+                    .expect("jobs lock poisoned")
+                    .values()
+                    .cloned()
+                    .collect();
+                for job in &jobs {
+                    let s = job.snapshot();
+                    write_line(
+                        &mut writer,
+                        &format!(
+                            "JOB id={} state={} source={} k={} q={} results={}",
+                            s.id,
+                            s.state.label(),
+                            s.source,
+                            s.params.k,
+                            s.params.q,
+                            s.results
+                        ),
+                    )?;
+                }
+                write_line(&mut writer, &format!("END count={}", jobs.len()))?;
+            }
+            Ok(Request::Stats) => {
+                let CacheStats {
+                    hits,
+                    misses,
+                    entries,
+                } = state.cache.stats();
+                let jobs = state.jobs.lock().expect("jobs lock poisoned").len();
+                let depth = state.queue.lock().expect("queue lock poisoned").len();
+                write_line(
+                    &mut writer,
+                    &format!(
+                        "OK jobs={jobs} queue-depth={depth} cache-hits={hits} \
+                         cache-misses={misses} cache-entries={entries}"
+                    ),
+                )?;
+            }
+            Ok(Request::Stream(id)) => match state.job(id) {
+                Some(job) => stream_job(&mut writer, state, &job)?,
+                None => write_line(&mut writer, &format!("ERR no such job {id}"))?,
+            },
+        }
+    }
+    Ok(())
+}
+
+fn status_line(job: &Job) -> String {
+    let s = job.snapshot();
+    let mut line = format!(
+        "OK id={} state={} source={} k={} q={} results={} elapsed-ms={}",
+        s.id,
+        s.state.label(),
+        s.source,
+        s.params.k,
+        s.params.q,
+        s.results,
+        s.elapsed_ms
+    );
+    match s.cache_hit {
+        Some(true) => line.push_str(" cache=hit"),
+        Some(false) => line.push_str(" cache=miss"),
+        None => line.push_str(" cache=-"),
+    }
+    if let Some(stats) = &s.stats {
+        line.push_str(&format!(
+            " branches={} outputs={}",
+            stats.branch_calls, stats.outputs
+        ));
+    }
+    if let Some(err) = &s.error {
+        line.push_str(&format!(" error={}", err.replace(' ', "_")));
+    }
+    line
+}
+
+/// Streams every buffered result (NDJSON) and follows the job until it is
+/// terminal, then writes the `END` line.
+fn stream_job(writer: &mut TcpStream, state: &SharedState, job: &Arc<Job>) -> std::io::Result<()> {
+    // Result lines go through a buffer (one syscall per ~8 KiB instead of
+    // two per plex — this is the 10^6-results path). The buffer is flushed
+    // whenever the job has nothing new (Idle) and at the end, so a live
+    // follower still sees results promptly.
+    let mut out = std::io::BufWriter::new(writer);
+    let mut sent = 0usize;
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        match job.next_results(sent, &mut buf, WAIT_TICK) {
+            StreamStep::Items => {
+                for plex in &buf {
+                    write_line(
+                        &mut out,
+                        &protocol::render_plex_line(job.id, sent as u64, plex),
+                    )?;
+                    sent += 1;
+                }
+            }
+            StreamStep::Ended(job_state, total) => {
+                debug_assert_eq!(sent as u64, total, "stream must be complete");
+                write_line(
+                    &mut out,
+                    &format!(
+                        "END id={} state={} results={total}",
+                        job.id,
+                        job_state.label()
+                    ),
+                )?;
+                return out.flush();
+            }
+            StreamStep::Idle => {
+                out.flush()?;
+                if state.shutdown.load(Ordering::Acquire) {
+                    return write_line(&mut out, "ERR server shutting down")
+                        .and_then(|()| out.flush());
+                }
+            }
+        }
+    }
+}
+
+// --- submission -------------------------------------------------------------
+
+fn submit(state: &Arc<SharedState>, args: &SubmitArgs) -> Result<JobId, String> {
+    if state.shutdown.load(Ordering::Acquire) {
+        // The runner pool is gone; accepting would queue the job forever.
+        return Err("server shutting down".into());
+    }
+    let spec = validate(state, args)?;
+    let id = state.next_id.fetch_add(1, Ordering::Relaxed);
+    let job = Arc::new(Job::new(id, spec));
+    {
+        let mut queue = state.queue.lock().expect("queue lock poisoned");
+        if queue.len() >= state.queue_cap {
+            return Err(format!(
+                "queue full ({} jobs waiting), retry later",
+                queue.len()
+            ));
+        }
+        let mut jobs = state.jobs.lock().expect("jobs lock poisoned");
+        jobs.insert(id, job);
+        // Evict the oldest terminal jobs beyond the retention backlog
+        // (BTreeMap iterates in id = submission order).
+        let stale: Vec<JobId> = jobs
+            .iter()
+            .filter(|(_, j)| j.state().is_terminal())
+            .map(|(&jid, _)| jid)
+            .collect();
+        if stale.len() > RETAIN_TERMINAL_JOBS {
+            for jid in &stale[..stale.len() - RETAIN_TERMINAL_JOBS] {
+                jobs.remove(jid);
+            }
+        }
+        queue.push_back(id);
+    }
+    state.queue_cond.notify_one();
+    Ok(id)
+}
+
+fn validate(state: &SharedState, args: &SubmitArgs) -> Result<JobSpec, String> {
+    let params = Params::new(args.k, args.q).map_err(|e| e.to_string())?;
+    let source = match (&args.dataset, &args.path) {
+        (Some(name), None) => {
+            kplex_datasets::by_name(name).ok_or_else(|| format!("unknown dataset {name:?}"))?;
+            GraphSource::Dataset(name.clone())
+        }
+        (None, Some(path)) => GraphSource::Path(path.clone()),
+        _ => return Err("exactly one of dataset= or path= required".into()),
+    };
+    let algo = args.algo.clone().unwrap_or_else(|| "ours".to_string());
+    kplex_core::AlgoConfig::by_name(&algo).ok_or_else(|| format!("unknown algo {algo:?}"))?;
+    Ok(JobSpec {
+        source,
+        params,
+        threads: args.threads.unwrap_or(state.default_threads).clamp(1, 128),
+        algo,
+        limit: args.limit.unwrap_or(1_000_000).max(1),
+        timeout: args
+            .timeout_ms
+            .filter(|&t| t > 0)
+            .map(Duration::from_millis),
+        throttle: Duration::from_micros(args.throttle_us.unwrap_or(0)),
+        tau: Some(Duration::from_micros(args.tau_us.unwrap_or(100))),
+    })
+}
+
+// --- job execution ----------------------------------------------------------
+
+fn runner_loop(state: &Arc<SharedState>) {
+    loop {
+        let id = {
+            let mut queue = state.queue.lock().expect("queue lock poisoned");
+            loop {
+                if state.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(id) = queue.pop_front() {
+                    break id;
+                }
+                let (q, _) = state
+                    .queue_cond
+                    .wait_timeout(queue, WAIT_TICK)
+                    .expect("queue lock poisoned");
+                queue = q;
+            }
+        };
+        if let Some(job) = state.job(id) {
+            execute(state, &job);
+        }
+    }
+}
+
+/// Per-worker engine sink: paces reports (the ops throttle knob) and feeds
+/// the job's streaming channel.
+struct JobSink {
+    inner: ChannelSink,
+    throttle: Duration,
+}
+
+impl PlexSink for JobSink {
+    fn report(&mut self, vertices: &[u32]) -> SinkFlow {
+        if !self.throttle.is_zero() {
+            std::thread::sleep(self.throttle);
+        }
+        self.inner.report(vertices)
+    }
+}
+
+fn load_graph(source: &GraphSource) -> Result<kplex_graph::CsrGraph, String> {
+    match source {
+        GraphSource::Dataset(name) => kplex_datasets::by_name(name)
+            .map(|d| d.load())
+            .ok_or_else(|| format!("unknown dataset {name:?}")),
+        GraphSource::Path(path) => io::read_edge_list(path)
+            .map(|(g, _)| g)
+            .map_err(|e| format!("loading {path:?}: {e}")),
+    }
+}
+
+fn execute(state: &Arc<SharedState>, job: &Arc<Job>) {
+    if !job.mark_running() {
+        return; // cancelled while queued
+    }
+    let spec = job.spec.clone();
+    // The wall-clock deadline covers the whole running phase, including a
+    // cold graph load/prepare (which may also wait on the cache's
+    // single-flight lock) — not just the enumeration.
+    let deadline = spec.timeout.map(|t| Instant::now() + t);
+    let Some(cfg) = spec.config() else {
+        job.fail(format!("unknown algo {:?}", spec.algo));
+        return;
+    };
+    // Load + (q−k)-core reduce through the LRU, keyed by graph content and
+    // the shrink threshold — a warm resubmit skips this phase entirely.
+    let shrink = spec.params.q - spec.params.k;
+    let prep = state
+        .cache
+        .get_or_insert(&spec.source.cache_key(), shrink, || {
+            let g = load_graph(&spec.source)?;
+            Ok(prepare(&g, spec.params))
+        });
+    let prep = match prep {
+        Ok((prep, hit)) => {
+            job.set_cache_hit(hit);
+            prep
+        }
+        Err(e) => {
+            job.fail(e);
+            return;
+        }
+    };
+
+    let stop = job.cancel.clone();
+    // A deadline that expired during load/prepare pre-raises the flag: the
+    // engine then skips construction and the job finishes `failed`.
+    if deadline.is_some_and(|dl| Instant::now() > dl) {
+        job.note_stop_cause(StopCause::Deadline);
+        stop.store(true, Ordering::Release);
+    }
+    let (tx, rx) = std::sync::mpsc::channel::<Vec<u32>>();
+    // The drainer pumps the channel into the job buffer and enforces the
+    // result cap and the wall-clock deadline by raising the stop flag.
+    let drainer = {
+        let job = job.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || loop {
+            if let Some(dl) = deadline {
+                if Instant::now() > dl && !stop.load(Ordering::Acquire) {
+                    job.note_stop_cause(StopCause::Deadline);
+                    stop.store(true, Ordering::Release);
+                }
+            }
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(plex) => {
+                    if job.append_result(plex) >= job.spec.limit && !stop.load(Ordering::Acquire) {
+                        job.note_stop_cause(StopCause::Cap);
+                        stop.store(true, Ordering::Release);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        })
+    };
+
+    let mut opts = EngineOptions::with_threads(spec.threads);
+    opts.timeout = spec.tau;
+    opts.stop_flag = Some(stop.clone());
+    // `mpsc::Sender` is not guaranteed `Sync` on older toolchains, so the
+    // per-worker sink factory clones it from under a mutex.
+    let tx = Mutex::new(tx);
+    let (sinks, stats) = run_parallel_prepared(&prep, spec.params, &cfg, &opts, || JobSink {
+        inner: ChannelSink::new(
+            tx.lock().expect("sender lock poisoned").clone(),
+            stop.clone(),
+        ),
+        throttle: spec.throttle,
+    });
+    // Every sender must die — the factory's and each worker sink's clone —
+    // before the channel disconnects and the drainer exits.
+    drop(sinks);
+    drop(tx);
+    let _ = drainer.join();
+    job.finish(stats);
+}

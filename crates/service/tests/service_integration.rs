@@ -1,0 +1,217 @@
+//! End-to-end tests over real TCP connections: concurrent jobs, mid-stream
+//! cancellation, the prepared-graph cache, queue back-pressure, and error
+//! paths. Counts are cross-checked against in-process `CountSink` runs.
+
+use kplex_core::{enumerate_count, AlgoConfig, Params};
+use kplex_service::{Client, ClientError, Server, ServerConfig, ServerHandle, SubmitArgs};
+
+fn start_server(runners: usize, queue_cap: usize) -> ServerHandle {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        runners,
+        queue_cap,
+        cache_cap: 4,
+        default_threads: 2,
+    };
+    Server::bind(&cfg)
+        .expect("bind ephemeral")
+        .spawn()
+        .expect("spawn server")
+}
+
+fn ground_truth(dataset: &str, k: usize, q: usize) -> u64 {
+    let g = kplex_datasets::by_name(dataset).expect("dataset").load();
+    let params = Params::new(k, q).expect("valid params");
+    enumerate_count(&g, params, &AlgoConfig::ours()).0
+}
+
+/// The acceptance scenario: two clients stream different jobs concurrently;
+/// one is cancelled mid-stream without affecting the other; counts match
+/// `CountSink`; a warm resubmit is served from the cache.
+#[test]
+fn concurrent_jobs_cancel_and_warm_cache() {
+    let expected_jazz = ground_truth("jazz", 2, 9);
+    assert!(expected_jazz > 0, "jazz (2, 9) must have results");
+    let total_lastfm = ground_truth("lastfm", 2, 9);
+    assert!(
+        total_lastfm > 10,
+        "lastfm (2, 9) needs enough results to cancel mid-stream"
+    );
+
+    let handle = start_server(2, 16);
+    let addr = handle.addr();
+
+    // Client A: full streaming job on jazz.
+    let full = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("connect A");
+        let mut args = SubmitArgs::dataset("jazz", 2, 9);
+        args.threads = Some(2);
+        let id = c.submit(&args).expect("submit jazz");
+        let mut seqs = Vec::new();
+        let mut sizes_ok = true;
+        let end = c
+            .stream(id, |seq, plex| {
+                seqs.push(seq);
+                sizes_ok &= plex.len() >= 9;
+            })
+            .expect("stream jazz");
+        assert_eq!(end.get("state").map(String::as_str), Some("done"));
+        assert!(sizes_ok, "every streamed plex must have >= q vertices");
+        // seq is a contiguous replay from 0.
+        assert_eq!(seqs, (0..seqs.len() as u64).collect::<Vec<_>>());
+        (id, seqs.len() as u64)
+    });
+
+    // Client B: throttled job on lastfm, cancelled after a few results.
+    let cancelled = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("connect B");
+        let mut args = SubmitArgs::dataset("lastfm", 2, 9);
+        args.threads = Some(2);
+        args.throttle_us = Some(3000); // ~3ms per result: plenty of time to cancel
+        let id = c.submit(&args).expect("submit lastfm");
+        let mut canceller = Client::connect(addr).expect("connect canceller");
+        let mut seen = 0u64;
+        let end = c
+            .stream(id, |_, _| {
+                seen += 1;
+                if seen == 3 {
+                    canceller.cancel(id).expect("cancel");
+                }
+            })
+            .expect("stream lastfm");
+        assert_eq!(
+            end.get("state").map(String::as_str),
+            Some("cancelled"),
+            "mid-stream cancel must end the stream with state=cancelled"
+        );
+        let streamed: u64 = end
+            .get("results")
+            .and_then(|s| s.parse().ok())
+            .expect("results=");
+        (id, streamed)
+    });
+
+    let (jazz_id, jazz_streamed) = full.join().expect("jazz thread");
+    let (lastfm_id, lastfm_streamed) = cancelled.join().expect("lastfm thread");
+
+    // The full job is unaffected by the sibling cancellation and matches
+    // the in-process count exactly.
+    assert_eq!(jazz_streamed, expected_jazz);
+
+    // The cancelled job stopped early; its engine stats show partial work.
+    assert!(
+        lastfm_streamed < total_lastfm,
+        "cancelled job delivered all {total_lastfm} results"
+    );
+    let mut c = Client::connect(addr).expect("connect check");
+    let status = c.status(lastfm_id).expect("status");
+    assert_eq!(status.get("state").map(String::as_str), Some("cancelled"));
+    let outputs: u64 = status
+        .get("outputs")
+        .and_then(|s| s.parse().ok())
+        .expect("finished jobs report outputs=");
+    assert!(
+        outputs < total_lastfm,
+        "cancelled workers kept enumerating: {outputs} outputs of {total_lastfm}"
+    );
+
+    // Warm cache: resubmitting the jazz cell skips load/reduce.
+    let first = c.status(jazz_id).expect("status jazz");
+    assert_eq!(first.get("cache").map(String::as_str), Some("miss"));
+    let hits_before: u64 = c.stats().expect("stats")["cache-hits"].parse().unwrap();
+    let id = c
+        .submit(&SubmitArgs::dataset("jazz", 2, 9))
+        .expect("resubmit");
+    let end = c.stream(id, |_, _| ()).expect("stream resubmit");
+    assert_eq!(end.get("state").map(String::as_str), Some("done"));
+    let status = c.status(id).expect("status resubmit");
+    assert_eq!(
+        status.get("cache").map(String::as_str),
+        Some("hit"),
+        "warm resubmit must be served from the prepared-graph cache"
+    );
+    let hits_after: u64 = c.stats().expect("stats")["cache-hits"].parse().unwrap();
+    assert!(hits_after > hits_before);
+
+    handle.shutdown();
+}
+
+#[test]
+fn result_cap_truncates_the_stream() {
+    let total = ground_truth("jazz", 2, 8);
+    assert!(total > 5);
+    let handle = start_server(1, 8);
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    let mut args = SubmitArgs::dataset("jazz", 2, 8);
+    args.limit = Some(5);
+    let id = c.submit(&args).expect("submit");
+    let mut streamed = 0u64;
+    let end = c.stream(id, |_, _| streamed += 1).expect("stream");
+    // A capped job still finishes as done — truncated, not failed.
+    assert_eq!(end.get("state").map(String::as_str), Some("done"));
+    assert_eq!(streamed, 5, "the cap bounds the buffered results exactly");
+    handle.shutdown();
+}
+
+#[test]
+fn queue_backpressure_rejects_when_full() {
+    let handle = start_server(1, 1);
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    // Occupy the single runner with a slow job...
+    let mut slow = SubmitArgs::dataset("jazz", 2, 7);
+    slow.throttle_us = Some(5000);
+    let slow_id = c.submit(&slow).expect("submit slow");
+    // Wait until it actually left the queue for the runner.
+    loop {
+        let st = c.status(slow_id).expect("status");
+        if st.get("state").map(String::as_str) != Some("queued") {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    // ... fill the queue (capacity 1) ...
+    c.submit(&SubmitArgs::dataset("jazz", 2, 9))
+        .expect("fills queue");
+    // ... and the next submission bounces.
+    match c.submit(&SubmitArgs::dataset("jazz", 2, 9)) {
+        Err(ClientError::Remote(msg)) => assert!(msg.contains("queue full"), "{msg}"),
+        other => panic!("expected queue-full rejection, got {other:?}"),
+    }
+    c.cancel(slow_id).expect("cancel slow");
+    handle.shutdown();
+}
+
+#[test]
+fn invalid_requests_are_rejected() {
+    let handle = start_server(1, 4);
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    c.ping().expect("ping");
+    // Unknown dataset, bad params, unknown algo — all rejected at submit.
+    for args in [
+        SubmitArgs::dataset("no-such-graph", 2, 9),
+        SubmitArgs::dataset("jazz", 3, 2), // q < 2k - 1
+        {
+            let mut a = SubmitArgs::dataset("jazz", 2, 9);
+            a.algo = Some("bogus".into());
+            a
+        },
+    ] {
+        assert!(
+            matches!(c.submit(&args), Err(ClientError::Remote(_))),
+            "{args:?} must be rejected"
+        );
+    }
+    // Unknown job ids.
+    assert!(matches!(c.status(999), Err(ClientError::Remote(_))));
+    assert!(matches!(c.cancel(999), Err(ClientError::Remote(_))));
+    // Jobs survive across connections: submit here, observe elsewhere.
+    let id = c
+        .submit(&SubmitArgs::dataset("jazz", 2, 9))
+        .expect("submit");
+    let mut c2 = Client::connect(handle.addr()).expect("second connection");
+    let end = c2.stream(id, |_, _| ()).expect("stream from second conn");
+    assert_eq!(end.get("state").map(String::as_str), Some("done"));
+    let jobs = c2.list().expect("list");
+    assert!(jobs.iter().any(|j| j["id"] == id.to_string()));
+    handle.shutdown();
+}

@@ -32,6 +32,7 @@ pub use kplex_core as core;
 pub use kplex_datasets as datasets;
 pub use kplex_graph as graph;
 pub use kplex_parallel as parallel;
+pub use kplex_service as service;
 
 /// The most common imports for library users.
 pub mod prelude {

@@ -72,6 +72,7 @@ fn parallel_fp_matches_serial_fp() {
         timeout: None,
         serial_construction: true,
         single_task_per_seed: true,
+        stop_flag: None,
     };
     let (par, _) = par_enumerate_collect(&g, params, &fp_config(), &opts);
     assert_eq!(par, serial);
