@@ -43,6 +43,22 @@ impl Args {
         &self.positional
     }
 
+    /// Every occurrence of a repeatable option, in order (empty when the
+    /// option is absent; bare-flag occurrences contribute empty strings and
+    /// are filtered out).
+    pub fn get_all(&self, key: &str) -> Vec<&str> {
+        self.consumed.borrow_mut().push(key.to_string());
+        self.options
+            .get(key)
+            .map(|v| {
+                v.iter()
+                    .map(String::as_str)
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
     /// String option (last occurrence wins).
     pub fn get(&self, key: &str) -> Option<&str> {
         self.consumed.borrow_mut().push(key.to_string());
@@ -114,6 +130,15 @@ mod tests {
         let a = args(&[]);
         assert_eq!(a.get_parse::<usize>("threads", 4).unwrap(), 4);
         assert!(a.require::<usize>("k").is_err());
+    }
+
+    #[test]
+    fn repeatable_options_collect_in_order() {
+        let a = args(&["route", "--backend", "h1:1", "--backend", "h2:2"]);
+        assert_eq!(a.get_all("backend"), vec!["h1:1", "h2:2"]);
+        assert!(a.reject_unknown().is_ok());
+        let a = args(&[]);
+        assert!(a.get_all("backend").is_empty());
     }
 
     #[test]

@@ -6,7 +6,7 @@ use kplex_core::{CountSink, FnSink, Params, SinkFlow};
 use kplex_datasets::all_datasets;
 use kplex_graph::{io, CsrGraph, GraphStats};
 use kplex_parallel::{par_enumerate_count, EngineOptions};
-use kplex_service::{Client, ServerConfig, SubmitArgs};
+use kplex_service::{Client, RouterConfig, ServerConfig, SubmitArgs};
 use std::io::Write;
 use std::time::Instant;
 
@@ -22,10 +22,12 @@ USAGE:
   kplex stats     (--input FILE | --dataset NAME)
   kplex generate  --dataset NAME --output FILE
   kplex serve     [--addr HOST:PORT] [--runners N] [--queue-cap N]
-                  [--cache-cap N] [--threads N]
+                  [--cache-cap N] [--threads N] [--retain N]
+  kplex route     [--addr HOST:PORT] --backend HOST:PORT [--backend ...]
   kplex submit    --addr HOST:PORT --k K --q Q
                   (--dataset NAME | --input FILE) [--threads N] [--algo ALGO]
-                  [--limit N] [--timeout-ms N] [--count-only]
+                  [--limit N] [--timeout-ms N] [--throttle-us N] [--tau-us N]
+                  [--count-only]
   kplex datasets
   kplex help
 
@@ -42,8 +44,10 @@ OPTIONS:
   --count-only     print only the number of k-plexes
   --limit N        stop after N results
 
-`serve` runs the kplexd job server in-process; `submit` sends a job to a
-running server and streams its results (see crates/service/PROTOCOL.md).
+`serve` runs the kplexd job server in-process; `route` runs the kplexr
+shard router over one or more kplexd backends; `submit` sends a job to a
+running server or router and streams its results (see
+crates/service/PROTOCOL.md).
 
 EXIT CODES: 0 success, 1 runtime failure, 2 usage error (bad arguments).
 ";
@@ -102,6 +106,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
         "stats" => cmd_stats(&args),
         "generate" => cmd_generate(&args),
         "serve" => cmd_serve(&args),
+        "route" => cmd_route(&args),
         "submit" => cmd_submit(&args),
         "datasets" => cmd_datasets(&args),
         "help" | "--help" | "-h" => {
@@ -373,6 +378,9 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     cfg.default_threads = args
         .get_parse("threads", cfg.default_threads)
         .map_err(usage)?;
+    cfg.retain_terminal = args
+        .get_parse("retain", cfg.retain_terminal)
+        .map_err(usage)?;
     args.reject_unknown().map_err(usage)?;
     let server = kplex_service::Server::bind(&cfg)
         .map_err(|e| CliError::Runtime(format!("cannot bind {}: {e}", cfg.addr)))?;
@@ -384,6 +392,36 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         cfg.runners, cfg.queue_cap, cfg.cache_cap
     );
     server.run().map_err(|e| CliError::Runtime(e.to_string()))
+}
+
+/// Runs the kplexr shard router in-process: same engine-facing protocol as
+/// `kplexd`, but submissions are rendezvous-routed across the given
+/// backends (see PROTOCOL.md, "The shard router").
+fn cmd_route(args: &Args) -> Result<(), CliError> {
+    let mut cfg = RouterConfig::default();
+    if let Some(addr) = args.get("addr") {
+        cfg.addr = addr.to_string();
+    }
+    cfg.backends = args
+        .get_all("backend")
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    args.reject_unknown().map_err(usage)?;
+    if cfg.backends.is_empty() {
+        return Err(usage("route requires at least one --backend HOST:PORT"));
+    }
+    let router = kplex_service::Router::bind(&cfg)
+        .map_err(|e| CliError::Runtime(format!("cannot bind {}: {e}", cfg.addr)))?;
+    let addr = router
+        .local_addr()
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    eprintln!(
+        "# kplexr listening on {addr}, routing over {} backend(s): {}",
+        cfg.backends.len(),
+        cfg.backends.join(", ")
+    );
+    router.run().map_err(|e| CliError::Runtime(e.to_string()))
 }
 
 /// Submits a job to a running kplexd and streams its results to stdout.
@@ -430,6 +468,14 @@ fn cmd_submit(args: &Args) -> Result<(), CliError> {
     let timeout_ms: u64 = args.get_parse("timeout-ms", 0).map_err(usage)?;
     if timeout_ms > 0 {
         submit.timeout_ms = Some(timeout_ms);
+    }
+    let throttle_us: u64 = args.get_parse("throttle-us", 0).map_err(usage)?;
+    if throttle_us > 0 {
+        submit.throttle_us = Some(throttle_us);
+    }
+    let tau_us: u64 = args.get_parse("tau-us", 0).map_err(usage)?;
+    if tau_us > 0 {
+        submit.tau_us = Some(tau_us);
     }
     let count_only = args.flag("count-only");
     args.reject_unknown().map_err(usage)?;
@@ -627,6 +673,7 @@ mod tests {
             queue_cap: 4,
             cache_cap: 2,
             default_threads: 1,
+            ..kplex_service::ServerConfig::default()
         })
         .expect("bind")
         .spawn()
@@ -648,6 +695,54 @@ mod tests {
         ])
         .expect("submit against live server");
         handle.shutdown();
+    }
+
+    #[test]
+    fn route_requires_backends() {
+        assert!(is_usage(run(&["route"])));
+        assert!(is_usage(run(&["route", "--addr", "127.0.0.1:0"])));
+    }
+
+    #[test]
+    fn submit_streams_through_a_router() {
+        // Full path: kplexd backend behind a kplexr router, submitted to via
+        // the CLI — all on ephemeral ports.
+        let backend = kplex_service::Server::bind(&kplex_service::ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            runners: 1,
+            queue_cap: 4,
+            cache_cap: 2,
+            default_threads: 1,
+            ..kplex_service::ServerConfig::default()
+        })
+        .expect("bind backend")
+        .spawn()
+        .expect("spawn backend");
+        let router = kplex_service::Router::bind(&kplex_service::RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            backends: vec![backend.addr().to_string()],
+        })
+        .expect("bind router")
+        .spawn()
+        .expect("spawn router");
+        let addr = router.addr().to_string();
+        run(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--dataset",
+            "jazz",
+            "--k",
+            "2",
+            "--q",
+            "9",
+            "--tau-us",
+            "50",
+            "--count-only",
+        ])
+        .expect("submit through router");
+        router.shutdown();
+        backend.shutdown();
     }
 
     #[test]

@@ -24,6 +24,7 @@ OPTIONS:
   --queue-cap N      bounded job queue size   (default 64)
   --cache-cap N      prepared-graph LRU size  (default 4)
   --threads N        default per-job engine threads
+  --retain N         terminal jobs kept for STATUS/STREAM replay (default 64)
 ";
 
 fn parse_config(args: &[String]) -> Result<ServerConfig, String> {
@@ -55,6 +56,11 @@ fn parse_config(args: &[String]) -> Result<ServerConfig, String> {
                 cfg.default_threads = value(i)?
                     .parse()
                     .map_err(|_| "invalid --threads".to_string())?
+            }
+            "--retain" => {
+                cfg.retain_terminal = value(i)?
+                    .parse()
+                    .map_err(|_| "invalid --retain".to_string())?
             }
             other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
         }

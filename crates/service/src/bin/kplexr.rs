@@ -1,0 +1,276 @@
+//! `kplexr` — the k-plex shard router.
+//!
+//! ```text
+//! kplexr [--addr HOST:PORT] --backend HOST:PORT [--backend HOST:PORT ...]
+//! kplexr smoke    # self-test: 2 in-process backends, routing + failover
+//! kplexr help
+//! ```
+
+use kplex_service::{Client, Router, RouterConfig, Server, ServerConfig, SubmitArgs};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+kplexr — shard router for kplexd backends (see crates/service/PROTOCOL.md)
+
+USAGE:
+  kplexr [OPTIONS]        run the router (Ctrl-C to stop)
+  kplexr smoke            end-to-end self-test with 2 in-process backends
+  kplexr help
+
+OPTIONS:
+  --addr HOST:PORT      listen address                (default 127.0.0.1:7710)
+  --backend HOST:PORT   a kplexd backend (repeatable; ADDNODE/DROPNODE at runtime)
+";
+
+fn parse_config(args: &[String]) -> Result<RouterConfig, String> {
+    let mut cfg = RouterConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("{} requires a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--addr" => cfg.addr = value(i)?.clone(),
+            "--backend" => cfg.backends.push(value(i)?.clone()),
+            other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
+        }
+        i += 2;
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("help") | Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some("smoke") => match smoke() {
+            Ok(()) => {
+                println!("kplexr smoke: PASS");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("kplexr smoke: FAIL: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            let cfg = match parse_config(&args) {
+                Ok(cfg) if !cfg.backends.is_empty() => cfg,
+                Ok(_) => {
+                    eprintln!("error: at least one --backend is required\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match Router::bind(&cfg) {
+                Ok(router) => {
+                    let addr = router.local_addr().expect("bound listener has an address");
+                    eprintln!(
+                        "kplexr listening on {addr}, routing over {} backend(s): {}",
+                        cfg.backends.len(),
+                        cfg.backends.join(", ")
+                    );
+                    match router.run() {
+                        Ok(()) => ExitCode::SUCCESS,
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            ExitCode::FAILURE
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: cannot bind {}: {e}", cfg.addr);
+                    ExitCode::FAILURE
+                }
+            }
+        }
+    }
+}
+
+fn ground_truth(dataset: &str, k: usize, q: usize) -> Result<u64, String> {
+    let g = kplex_datasets::by_name(dataset)
+        .ok_or_else(|| format!("{dataset} missing"))?
+        .load();
+    let params = kplex_core::Params::new(k, q).map_err(|e| e.to_string())?;
+    Ok(kplex_core::enumerate_count(&g, params, &kplex_core::AlgoConfig::ours()).0)
+}
+
+fn start_backend() -> Result<kplex_service::ServerHandle, String> {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(), // port 0: parallel runs cannot collide
+        runners: 1,
+        ..ServerConfig::default()
+    };
+    Server::bind(&cfg)
+        .and_then(|s| s.spawn())
+        .map_err(|e| format!("bind backend: {e}"))
+}
+
+/// End-to-end self-test (what CI's bench-smoke job runs): two in-process
+/// backends behind a router on ephemeral ports. Verifies ADDNODE, routed
+/// streaming with count cross-check, rendezvous-stable warm resubmission
+/// (via STATS of the owning backend), and queued-job failover when a
+/// backend dies.
+fn smoke() -> Result<(), String> {
+    let backend_a = start_backend()?;
+    let backend_b = start_backend()?;
+    let addr_a = backend_a.addr().to_string();
+    let addr_b = backend_b.addr().to_string();
+
+    // Start with one registered backend and ADDNODE the second.
+    let router = Router::bind(&RouterConfig {
+        addr: "127.0.0.1:0".to_string(),
+        backends: vec![addr_a.clone()],
+    })
+    .and_then(|r| r.spawn())
+    .map_err(|e| format!("bind router: {e}"))?;
+    let mut backends = [
+        (addr_a.clone(), Some(backend_a)),
+        (addr_b.clone(), Some(backend_b)),
+    ];
+    let result = smoke_scenarios(router.addr(), &addr_b, &mut backends);
+    router.shutdown();
+    for (_, handle) in backends.iter_mut() {
+        if let Some(h) = handle.take() {
+            h.shutdown();
+        }
+    }
+    result
+}
+
+type BackendSlots = [(String, Option<kplex_service::ServerHandle>); 2];
+
+fn smoke_scenarios(
+    router: std::net::SocketAddr,
+    addr_b: &str,
+    backends: &mut BackendSlots,
+) -> Result<(), String> {
+    let err = |e: kplex_service::ClientError| e.to_string();
+    let mut c = Client::connect(router).map_err(err)?;
+    c.ping().map_err(err)?;
+
+    // 1. Grow the registry at runtime.
+    c.add_node(addr_b).map_err(err)?;
+    let nodes = c.nodes().map_err(err)?;
+    if nodes.len() != 2 {
+        return Err(format!("expected 2 nodes after ADDNODE, got {nodes:?}"));
+    }
+    println!("kplexr smoke: registry has {} backends", nodes.len());
+
+    // 2. Routed streaming: counts must match the in-process ground truth.
+    let expected = ground_truth("jazz", 2, 9)?;
+    let mut args = SubmitArgs::dataset("jazz", 2, 9);
+    args.threads = Some(2);
+    let fields = c.submit_fields(&args).map_err(err)?;
+    let id: u64 = fields
+        .get("id")
+        .and_then(|s| s.parse().ok())
+        .ok_or("submit reply without id")?;
+    let owner = fields.get("backend").cloned().ok_or("no backend= field")?;
+    let mut streamed = 0u64;
+    let end = c.stream(id, |_, _| streamed += 1).map_err(err)?;
+    if end.get("state").map(String::as_str) != Some("done") || streamed != expected {
+        return Err(format!(
+            "routed job: state={:?} streamed={streamed}, want done/{expected}",
+            end.get("state")
+        ));
+    }
+    println!("kplexr smoke: routed {streamed} plexes of jazz (2, 9) via {owner}");
+
+    // 3. Rendezvous stability: the resubmit must land on the same backend
+    //    and be served from its warm prepared-graph cache, observable both
+    //    per-job (cache=hit) and in the owning backend's STATS counters.
+    let fields = c.submit_fields(&args).map_err(err)?;
+    let id2: u64 = fields.get("id").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let owner2 = fields.get("backend").cloned().unwrap_or_default();
+    if owner2 != owner {
+        return Err(format!(
+            "resubmit routed to {owner2}, expected the warm backend {owner}"
+        ));
+    }
+    let end = c.stream(id2, |_, _| ()).map_err(err)?;
+    if end.get("state").map(String::as_str) != Some("done") {
+        return Err(format!("resubmit ended {:?}", end.get("state")));
+    }
+    let status = c.status(id2).map_err(err)?;
+    if status.get("cache").map(String::as_str) != Some("hit") {
+        return Err(format!("resubmit missed the warm cache: {status:?}"));
+    }
+    let stats = c.stats().map_err(err)?;
+    let hits = (0..2)
+        .find(|i| stats.get(&format!("node{i}-addr")) == Some(&owner))
+        .and_then(|i| stats.get(&format!("node{i}-cache-hits")))
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or_else(|| format!("no cache-hits for {owner} in STATS: {stats:?}"))?;
+    if hits == 0 {
+        return Err("warm backend shows 0 cache hits after resubmit".to_string());
+    }
+    println!("kplexr smoke: resubmit hit {owner}'s warm cache ({hits} hits via STATS)");
+
+    // 4. Queued-job failover: occupy one backend's single runner with a
+    //    throttled job, queue a second job behind it (same routing key, so
+    //    same backend), kill that backend, and check the queued job is
+    //    transparently resubmitted to the survivor and completes.
+    let expected27 = ground_truth("jazz", 2, 7)?;
+    let mut slow = SubmitArgs::dataset("jazz", 2, 7);
+    slow.throttle_us = Some(3000);
+    let fields = c.submit_fields(&slow).map_err(err)?;
+    let slow_id: u64 = fields.get("id").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let target = fields.get("backend").cloned().ok_or("no backend= field")?;
+    // Wait until it occupies the runner (leaves the backend's queue).
+    loop {
+        let st = c.status(slow_id).map_err(err)?;
+        match st.get("state").map(String::as_str) {
+            Some("queued") => std::thread::sleep(std::time::Duration::from_millis(5)),
+            Some("running") => break,
+            other => return Err(format!("slow job in state {other:?} before kill")),
+        }
+    }
+    let fields = c
+        .submit_fields(&SubmitArgs::dataset("jazz", 2, 7))
+        .map_err(err)?;
+    let queued_id: u64 = fields.get("id").and_then(|s| s.parse().ok()).unwrap_or(0);
+    if fields.get("backend") != Some(&target) {
+        return Err("same routing key landed on a different backend".to_string());
+    }
+    // Kill the owning backend (the other one survives).
+    let victim = backends
+        .iter_mut()
+        .find(|(addr, _)| *addr == target)
+        .and_then(|(_, handle)| handle.take())
+        .ok_or("victim backend handle missing")?;
+    victim.shutdown();
+    // STATUS forces the router to notice the outage and fail over.
+    let status = c.status(queued_id).map_err(err)?;
+    let new_backend = status.get("backend").cloned().unwrap_or_default();
+    if new_backend == target {
+        return Err(format!("queued job still on the dead backend: {status:?}"));
+    }
+    let mut streamed = 0u64;
+    let end = c.stream(queued_id, |_, _| streamed += 1).map_err(err)?;
+    if end.get("state").map(String::as_str) != Some("done") || streamed != expected27 {
+        return Err(format!(
+            "failover job: state={:?} streamed={streamed}, want done/{expected27}",
+            end.get("state")
+        ));
+    }
+    // The job that was RUNNING on the dead backend is failed, not retried.
+    let status = c.status(slow_id).map_err(err)?;
+    if status.get("state").map(String::as_str) != Some("failed") {
+        return Err(format!(
+            "running job on dead backend: {status:?}, want failed"
+        ));
+    }
+    println!(
+        "kplexr smoke: queued job failed over {target} -> {new_backend} \
+         and streamed {streamed} plexes"
+    );
+    Ok(())
+}

@@ -1,4 +1,4 @@
-//! LRU cache of prepared graphs.
+//! LRU cache of prepared graphs with per-entry single-flight loading.
 //!
 //! Loading a graph and running the (q−k)-core reduction + degeneracy
 //! ordering ([`kplex_core::prepare`]) dominates short jobs, and interactive
@@ -6,37 +6,100 @@
 //! keys on (graph content, shrink threshold `q − k`) — the only inputs
 //! `prepare` depends on — so a warm resubmission skips the whole load/reduce
 //! phase and goes straight to enumeration.
+//!
+//! Concurrency contract: the map lock is only ever held for map surgery,
+//! never across a build. A cold load inserts a [`Slot::Pending`] marker,
+//! releases the lock, and builds outside it; concurrent requesters for the
+//! *same* key block on the cache condvar until the flight lands (exactly one
+//! build per key — single-flight), while requests for *other* keys, warm
+//! hits, and [`GraphCache::stats`] all proceed undisturbed. A failed build
+//! removes the marker and wakes the waiters, which then race to become the
+//! next builder (a transient failure must not poison the key).
 
 use kplex_core::Prepared;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How a lookup was served, for per-job reporting and counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fetched {
+    /// Served from an existing entry without waiting.
+    Hit,
+    /// Waited for another requester's in-flight build of the same key.
+    Coalesced,
+    /// This requester ran the build itself.
+    Miss,
+}
+
+impl Fetched {
+    /// True when the caller did not pay for the load/prepare phase itself.
+    /// (A coalesced request waited, but did no CPU work and no I/O.)
+    pub fn is_warm(self) -> bool {
+        !matches!(self, Fetched::Miss)
+    }
+}
+
+enum Slot {
+    /// A build for this key is in flight on some other thread.
+    Pending,
+    /// The prepared graph, ready to share.
+    Ready(Arc<Prepared>),
+}
 
 struct Entry {
     graph_key: String,
     shrink: usize,
-    prep: Arc<Prepared>,
+    slot: Slot,
+}
+
+impl Entry {
+    fn is_ready(&self) -> bool {
+        matches!(self.slot, Slot::Ready(_))
+    }
 }
 
 struct Inner {
-    /// LRU order: most recently used at the back.
+    /// LRU order among `Ready` entries: most recently used at the back.
+    /// `Pending` entries are pinned (never evicted) until their flight lands.
     entries: Vec<Entry>,
     hits: u64,
+    coalesced: u64,
     misses: u64,
+    /// Requesters currently blocked on someone else's in-flight build.
+    waiting: usize,
+}
+
+impl Inner {
+    fn position(&self, graph_key: &str, shrink: usize) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.graph_key == graph_key && e.shrink == shrink)
+    }
 }
 
 /// Point-in-time cache counters (`STATS`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups served from the cache.
+    /// Lookups served from a ready entry without waiting.
     pub hits: u64,
-    /// Lookups that had to build.
+    /// Lookups that waited on another requester's in-flight build.
+    pub coalesced: u64,
+    /// Lookups that ran a build.
     pub misses: u64,
-    /// Entries currently held.
+    /// Ready entries currently held.
     pub entries: usize,
+    /// Builds currently in flight.
+    pub pending: usize,
+    /// Requesters currently blocked waiting on an in-flight build (a
+    /// liveness gauge: everything else proceeds during a cold load).
+    pub waiting: usize,
 }
 
-/// A small LRU of `Arc<Prepared>` keyed by (graph key, `q − k`).
+/// A small LRU of `Arc<Prepared>` keyed by (graph key, `q − k`), with
+/// per-entry single-flight cold loads (see the module docs).
 pub struct GraphCache {
     inner: Mutex<Inner>,
+    /// Signalled whenever a flight lands (successfully or not).
+    landed: Condvar,
     capacity: usize,
 }
 
@@ -47,55 +110,152 @@ impl GraphCache {
             inner: Mutex::new(Inner {
                 entries: Vec::new(),
                 hits: 0,
+                coalesced: 0,
                 misses: 0,
+                waiting: 0,
             }),
+            landed: Condvar::new(),
             capacity: capacity.max(1),
         }
     }
 
     /// Returns the cached `Prepared` for `(graph_key, shrink)` or builds it
-    /// with `build`. The boolean is true on a hit. The lock is held across
-    /// `build`, trading load parallelism for single-flight semantics (two
-    /// jobs racing on a cold graph load it once, not twice).
-    pub fn get_or_insert(
+    /// with `build`, running at most one build per key at a time and never
+    /// holding the map lock across `build`. Concurrent requesters of the
+    /// same cold key block until the first one's build lands; everyone else
+    /// proceeds.
+    pub fn get_or_build(
         &self,
         graph_key: &str,
         shrink: usize,
         build: impl FnOnce() -> Result<Prepared, String>,
-    ) -> Result<(Arc<Prepared>, bool), String> {
+    ) -> Result<(Arc<Prepared>, Fetched), String> {
+        let mut waited = false;
         let mut inner = self.inner.lock().expect("cache lock poisoned");
-        if let Some(pos) = inner
-            .entries
-            .iter()
-            .position(|e| e.graph_key == graph_key && e.shrink == shrink)
-        {
-            inner.hits += 1;
-            let entry = inner.entries.remove(pos);
-            let prep = entry.prep.clone();
-            inner.entries.push(entry); // back = most recent
-            return Ok((prep, true));
+        loop {
+            match inner.position(graph_key, shrink) {
+                Some(pos) if inner.entries[pos].is_ready() => {
+                    let entry = inner.entries.remove(pos);
+                    let Slot::Ready(prep) = &entry.slot else {
+                        unreachable!()
+                    };
+                    let prep = prep.clone();
+                    inner.entries.push(entry); // back = most recent
+                    let how = if waited {
+                        inner.coalesced += 1;
+                        Fetched::Coalesced
+                    } else {
+                        inner.hits += 1;
+                        Fetched::Hit
+                    };
+                    return Ok((prep, how));
+                }
+                Some(_) => {
+                    // Another thread's build is in flight: wait for it to
+                    // land, then re-check (it may have failed and vanished,
+                    // in which case the loop falls through to build below).
+                    waited = true;
+                    inner.waiting += 1;
+                    inner = self.landed.wait(inner).expect("cache lock poisoned");
+                    inner.waiting -= 1;
+                }
+                None => break,
+            }
         }
+        // Cold: become the builder. Insert the Pending marker, then build
+        // with the lock RELEASED so unrelated lookups and stats proceed.
         inner.misses += 1;
-        let prep = Arc::new(build()?);
-        if inner.entries.len() >= self.capacity {
-            inner.entries.remove(0); // front = least recent
-        }
         inner.entries.push(Entry {
             graph_key: graph_key.to_string(),
             shrink,
-            prep: prep.clone(),
+            slot: Slot::Pending,
         });
-        Ok((prep, false))
+        drop(inner);
+
+        // If `build` panics, the guard removes the Pending marker and wakes
+        // the waiters on unwind — otherwise they would block forever on a
+        // flight that can never land.
+        let guard = FlightGuard {
+            cache: self,
+            graph_key,
+            shrink,
+        };
+        let built = build();
+        std::mem::forget(guard);
+
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let pos = inner
+            .position(graph_key, shrink)
+            .expect("pending entry removed by someone else");
+        match built {
+            Ok(prep) => {
+                let prep = Arc::new(prep);
+                // Land the flight at the LRU back (most recent).
+                let mut entry = inner.entries.remove(pos);
+                entry.slot = Slot::Ready(prep.clone());
+                inner.entries.push(entry);
+                // Evict least-recent READY entries beyond capacity; pending
+                // flights are pinned and do not count against it.
+                while inner.entries.iter().filter(|e| e.is_ready()).count() > self.capacity {
+                    let lru = inner
+                        .entries
+                        .iter()
+                        .position(Entry::is_ready)
+                        .expect("counted above");
+                    inner.entries.remove(lru);
+                }
+                self.landed.notify_all();
+                Ok((prep, Fetched::Miss))
+            }
+            Err(e) => {
+                // A failed build must not poison the key: remove the marker
+                // and let any waiter retry as the next builder.
+                inner.entries.remove(pos);
+                self.landed.notify_all();
+                Err(e)
+            }
+        }
     }
 
-    /// Current counters.
+    /// Removes a still-Pending marker (used by [`FlightGuard`] when a build
+    /// panics instead of returning).
+    fn abort_flight(&self, graph_key: &str, shrink: usize) {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        if let Some(pos) = inner.position(graph_key, shrink) {
+            if !inner.entries[pos].is_ready() {
+                inner.entries.remove(pos);
+            }
+        }
+        self.landed.notify_all();
+    }
+
+    /// Current counters. Never blocks on in-flight builds.
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock().expect("cache lock poisoned");
         CacheStats {
             hits: inner.hits,
+            coalesced: inner.coalesced,
             misses: inner.misses,
-            entries: inner.entries.len(),
+            entries: inner.entries.iter().filter(|e| e.is_ready()).count(),
+            pending: inner.entries.iter().filter(|e| !e.is_ready()).count(),
+            waiting: inner.waiting,
         }
+    }
+}
+
+/// Unwind insurance for an in-flight build: dropped (only during a panic —
+/// the happy paths `forget` it) it removes the Pending marker and wakes
+/// waiters, so one panicking load cannot wedge every later request for its
+/// key.
+struct FlightGuard<'a> {
+    cache: &'a GraphCache,
+    graph_key: &'a str,
+    shrink: usize,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        self.cache.abort_flight(self.graph_key, self.shrink);
     }
 }
 
@@ -104,6 +264,8 @@ mod tests {
     use super::*;
     use kplex_core::{prepare, Params};
     use kplex_graph::gen;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
 
     fn build(seed: u64) -> Result<Prepared, String> {
         Ok(prepare(
@@ -115,35 +277,161 @@ mod tests {
     #[test]
     fn hit_miss_and_lru_eviction() {
         let cache = GraphCache::new(2);
-        let (a1, hit) = cache.get_or_insert("a", 2, || build(1)).unwrap();
-        assert!(!hit);
-        let (a2, hit) = cache.get_or_insert("a", 2, || panic!("must hit")).unwrap();
-        assert!(hit);
+        let (a1, how) = cache.get_or_build("a", 2, || build(1)).unwrap();
+        assert_eq!(how, Fetched::Miss);
+        let (a2, how) = cache.get_or_build("a", 2, || panic!("must hit")).unwrap();
+        assert_eq!(how, Fetched::Hit);
         assert!(Arc::ptr_eq(&a1, &a2));
         // Same graph, different shrink: a distinct entry.
-        let (_, hit) = cache.get_or_insert("a", 3, || build(1)).unwrap();
-        assert!(!hit);
+        let (_, how) = cache.get_or_build("a", 3, || build(1)).unwrap();
+        assert_eq!(how, Fetched::Miss);
         // A hit refreshes ("a", 2), so the third distinct key evicts the
         // now-least-recent ("a", 3).
-        let (_, hit) = cache.get_or_insert("a", 2, || panic!("must hit")).unwrap();
-        assert!(hit);
-        let (_, _) = cache.get_or_insert("b", 2, || build(2)).unwrap();
-        let (_, hit) = cache.get_or_insert("a", 3, || build(1)).unwrap();
-        assert!(!hit, "(a, 3) should have been evicted");
-        let (_, hit) = cache.get_or_insert("b", 2, || panic!("must hit")).unwrap();
-        assert!(hit, "(b, 2) must have survived");
-        assert_eq!(cache.stats().entries, 2);
-        assert_eq!(cache.stats().hits, 3);
-        assert_eq!(cache.stats().misses, 4);
+        let (_, how) = cache.get_or_build("a", 2, || panic!("must hit")).unwrap();
+        assert_eq!(how, Fetched::Hit);
+        let (_, _) = cache.get_or_build("b", 2, || build(2)).unwrap();
+        let (_, how) = cache.get_or_build("a", 3, || build(1)).unwrap();
+        assert_eq!(how, Fetched::Miss, "(a, 3) should have been evicted");
+        let (_, how) = cache.get_or_build("b", 2, || panic!("must hit")).unwrap();
+        assert_eq!(how, Fetched::Hit, "(b, 2) must have survived");
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.coalesced, 0);
+        assert_eq!(stats.pending, 0);
     }
 
     #[test]
     fn build_errors_are_not_cached() {
         let cache = GraphCache::new(1);
         assert!(cache
-            .get_or_insert("x", 2, || Err("boom".to_string()))
+            .get_or_build("x", 2, || Err("boom".to_string()))
             .is_err());
-        let (_, hit) = cache.get_or_insert("x", 2, || build(3)).unwrap();
-        assert!(!hit, "a failed build must not leave an entry");
+        let (_, how) = cache.get_or_build("x", 2, || build(3)).unwrap();
+        assert_eq!(how, Fetched::Miss, "a failed build must not leave an entry");
+    }
+
+    /// Two concurrent cold requests for one key run exactly one build; the
+    /// second requester blocks and is served the first one's result.
+    #[test]
+    fn single_flight_dedups_concurrent_cold_loads() {
+        let cache = Arc::new(GraphCache::new(2));
+        let builds = Arc::new(AtomicUsize::new(0));
+        // The first builder signals `started` and then blocks on `release`,
+        // holding its flight open deterministically (no sleeps).
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+
+        let leader = {
+            let (cache, builds) = (cache.clone(), builds.clone());
+            std::thread::spawn(move || {
+                cache
+                    .get_or_build("slow", 2, move || {
+                        builds.fetch_add(1, Ordering::SeqCst);
+                        started_tx.send(()).unwrap();
+                        release_rx.recv().unwrap();
+                        build(1)
+                    })
+                    .unwrap()
+            })
+        };
+        started_rx.recv().expect("leader build started");
+
+        // The flight is now open. A second requester for the same key must
+        // coalesce onto it (its own build closure must never run).
+        let waiter = {
+            let cache = cache.clone();
+            std::thread::spawn(move || {
+                cache
+                    .get_or_build("slow", 2, || panic!("waiter must not build"))
+                    .unwrap()
+            })
+        };
+        // Deterministic rendezvous: wait until the waiter is observably
+        // blocked on the flight before poking at the cache further.
+        while cache.stats().waiting != 1 {
+            std::thread::yield_now();
+        }
+
+        // While the cold load is in flight, unrelated requests and stats
+        // proceed: this is the per-entry (not global) single-flight claim.
+        let (_, how) = cache.get_or_build("other", 2, || build(2)).unwrap();
+        assert_eq!(how, Fetched::Miss);
+        let stats = cache.stats();
+        assert_eq!(stats.pending, 1, "the slow flight is still open");
+        assert_eq!(stats.entries, 1, "the unrelated entry landed");
+        assert_eq!(stats.waiting, 1, "the twin requester is parked");
+
+        release_tx.send(()).unwrap();
+        let (leader_prep, leader_how) = leader.join().expect("leader thread");
+        let (waiter_prep, waiter_how) = waiter.join().expect("waiter thread");
+        assert_eq!(leader_how, Fetched::Miss);
+        assert_eq!(waiter_how, Fetched::Coalesced);
+        assert!(Arc::ptr_eq(&leader_prep, &waiter_prep));
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "exactly one build ran");
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.coalesced), (2, 1));
+        assert_eq!(stats.pending, 0);
+    }
+
+    /// A build that panics (rather than erroring) must not wedge the key:
+    /// the unwind guard removes the Pending marker so the next requester
+    /// becomes a fresh builder.
+    #[test]
+    fn panicking_build_does_not_wedge_the_key() {
+        let cache = Arc::new(GraphCache::new(2));
+        let panicker = {
+            let cache = cache.clone();
+            std::thread::spawn(move || {
+                let _ = cache.get_or_build("k", 2, || panic!("load exploded"));
+            })
+        };
+        assert!(panicker.join().is_err(), "the build must have panicked");
+        assert_eq!(cache.stats().pending, 0, "the dead flight was cleaned up");
+        let (_, how) = cache.get_or_build("k", 2, || build(9)).unwrap();
+        assert_eq!(how, Fetched::Miss, "the key must be buildable again");
+    }
+
+    /// A failed flight wakes its waiters, and one of them becomes the next
+    /// builder instead of inheriting the error.
+    #[test]
+    fn waiter_retries_after_failed_flight() {
+        let cache = Arc::new(GraphCache::new(2));
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+
+        let failing = {
+            let cache = cache.clone();
+            std::thread::spawn(move || {
+                cache.get_or_build("k", 2, move || {
+                    started_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                    Err("disk on fire".to_string())
+                })
+            })
+        };
+        started_rx.recv().expect("failing build started");
+        let retried = Arc::new(AtomicUsize::new(0));
+        let waiter = {
+            let (cache, retried) = (cache.clone(), retried.clone());
+            std::thread::spawn(move || {
+                cache
+                    .get_or_build("k", 2, move || {
+                        retried.fetch_add(1, Ordering::SeqCst);
+                        build(5)
+                    })
+                    .unwrap()
+            })
+        };
+        // Ensure the waiter is parked on the doomed flight, then fail it.
+        while cache.stats().waiting != 1 {
+            std::thread::yield_now();
+        }
+        release_tx.send(()).unwrap();
+        assert!(failing.join().expect("failing thread").is_err());
+        let (_, how) = waiter.join().expect("waiter thread");
+        assert_eq!(how, Fetched::Miss, "the waiter became the next builder");
+        assert_eq!(retried.load(Ordering::SeqCst), 1);
     }
 }

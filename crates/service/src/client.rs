@@ -50,7 +50,36 @@ impl Client {
     /// Connects to a running `kplexd`.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
+        Client::from_stream(stream, None)
+    }
+
+    /// Connects with a bounded connect timeout and, optionally, a read
+    /// timeout on every reply. The router uses this for backend calls so a
+    /// wedged (not crashed) backend cannot stall proxied requests forever:
+    /// a timeout surfaces as an I/O error, which the caller treats as a
+    /// transport failure. Leave `read` as `None` for `STREAM` — a live
+    /// stream is legitimately silent while the job computes.
+    pub fn connect_timeout<A: ToSocketAddrs>(
+        addr: A,
+        connect: std::time::Duration,
+        read: Option<std::time::Duration>,
+    ) -> Result<Client, ClientError> {
+        let sockaddr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ClientError::Protocol("address resolved to nothing".into()))?;
+        let stream = TcpStream::connect_timeout(&sockaddr, connect)?;
+        Client::from_stream(stream, read)
+    }
+
+    fn from_stream(
+        stream: TcpStream,
+        read: Option<std::time::Duration>,
+    ) -> Result<Client, ClientError> {
         stream.set_nodelay(true).ok();
+        if read.is_some() {
+            stream.set_read_timeout(read)?;
+        }
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),
@@ -96,8 +125,13 @@ impl Client {
         }
     }
 
-    /// Submits a job, returning its id.
-    pub fn submit(&mut self, args: &SubmitArgs) -> Result<JobId, ClientError> {
+    /// Submits a job, returning the full `OK` reply fields. Against a
+    /// `kplexr` router the reply carries a `backend=` field naming the
+    /// rendezvous-chosen backend alongside `id=` and `state=`.
+    pub fn submit_fields(
+        &mut self,
+        args: &SubmitArgs,
+    ) -> Result<BTreeMap<String, String>, ClientError> {
         // The wire format is whitespace-delimited tokens: a value with
         // spaces would be malformed, or silently inject extra keys.
         for value in [&args.dataset, &args.path, &args.algo]
@@ -110,7 +144,12 @@ impl Client {
                 )));
             }
         }
-        let fields = self.request(&args.to_line())?;
+        self.request(&args.to_line())
+    }
+
+    /// Submits a job, returning its id.
+    pub fn submit(&mut self, args: &SubmitArgs) -> Result<JobId, ClientError> {
+        let fields = self.submit_fields(args)?;
         fields
             .get("id")
             .and_then(|s| s.parse().ok())
@@ -136,20 +175,41 @@ impl Client {
         self.request("STATS")
     }
 
-    /// All jobs, one field map per `JOB` line.
-    pub fn list(&mut self) -> Result<Vec<BTreeMap<String, String>>, ClientError> {
-        self.send("LIST")?;
-        let mut jobs = Vec::new();
+    /// Router admin: registers (or revives) a backend.
+    pub fn add_node(&mut self, addr: &str) -> Result<(), ClientError> {
+        self.request(&format!("ADDNODE {addr}")).map(|_| ())
+    }
+
+    /// Router admin: removes a backend from the routing set.
+    pub fn drop_node(&mut self, addr: &str) -> Result<(), ClientError> {
+        self.request(&format!("DROPNODE {addr}")).map(|_| ())
+    }
+
+    /// Router backend registry, one field map per `NODE` line.
+    pub fn nodes(&mut self) -> Result<Vec<BTreeMap<String, String>>, ClientError> {
+        self.multiline("NODES")
+    }
+
+    /// One multi-line request: sends `verb`, collects the fields of each
+    /// line until the terminating `END` (shared by `LIST` and `NODES`).
+    fn multiline(&mut self, verb: &str) -> Result<Vec<BTreeMap<String, String>>, ClientError> {
+        self.send(verb)?;
+        let mut rows = Vec::new();
         loop {
             let line = self.read_line()?;
             if let Some(msg) = line.strip_prefix("ERR ") {
                 return Err(ClientError::Remote(msg.to_string()));
             }
             if line.starts_with("END") {
-                return Ok(jobs);
+                return Ok(rows);
             }
-            jobs.push(protocol::parse_response_fields(&line).map_err(ClientError::Protocol)?);
+            rows.push(protocol::parse_response_fields(&line).map_err(ClientError::Protocol)?);
         }
+    }
+
+    /// All jobs, one field map per `JOB` line.
+    pub fn list(&mut self) -> Result<Vec<BTreeMap<String, String>>, ClientError> {
+        self.multiline("LIST")
     }
 
     /// Streams a job from the beginning: `on_plex(seq, plex)` per result,
@@ -159,6 +219,23 @@ impl Client {
         id: JobId,
         mut on_plex: impl FnMut(u64, Vec<u32>),
     ) -> Result<BTreeMap<String, String>, ClientError> {
+        self.stream_while(id, |seq, plex| {
+            on_plex(seq, plex);
+            true
+        })
+        .map(|end| end.expect("an unaborted stream always ends with END"))
+    }
+
+    /// Like [`Client::stream`], but `on_plex` returning `false` abandons the
+    /// stream immediately with `Ok(None)` — the caller should then drop this
+    /// client, which closes the connection and lets the server stop
+    /// producing. Used by the router to stop draining a backend once its own
+    /// downstream client has gone away.
+    pub fn stream_while(
+        &mut self,
+        id: JobId,
+        mut on_plex: impl FnMut(u64, Vec<u32>) -> bool,
+    ) -> Result<Option<BTreeMap<String, String>>, ClientError> {
         self.send(&format!("STREAM {id}"))?;
         loop {
             let line = self.read_line()?;
@@ -166,10 +243,14 @@ impl Client {
                 return Err(ClientError::Remote(msg.to_string()));
             }
             if line.starts_with("END") {
-                return protocol::parse_response_fields(&line).map_err(ClientError::Protocol);
+                return protocol::parse_response_fields(&line)
+                    .map(Some)
+                    .map_err(ClientError::Protocol);
             }
             let (_, seq, plex) = protocol::parse_plex_line(&line).map_err(ClientError::Protocol)?;
-            on_plex(seq, plex);
+            if !on_plex(seq, plex) {
+                return Ok(None);
+            }
         }
     }
 }

@@ -16,6 +16,11 @@
 //! `PING`, `QUIT`), single-line `OK`/`ERR` responses, multi-line responses
 //! terminated by `END`.
 //!
+//! Scale-out: [`router::Router`] (the `kplexr` binary) fronts N `kplexd`
+//! backends behind the same wire protocol, rendezvous-hashing submissions
+//! by (graph cache key, `q − k`) so each graph's prepared cache stays hot
+//! on its owning backend, and failing queued jobs over when a backend dies.
+//!
 //! ```
 //! use kplex_service::protocol::{parse_request, Request, SubmitArgs};
 //!
@@ -29,10 +34,25 @@ pub mod cache;
 pub mod client;
 pub mod job;
 pub mod protocol;
+pub mod router;
 pub mod server;
 
-pub use cache::{CacheStats, GraphCache};
+pub use cache::{CacheStats, Fetched, GraphCache};
 pub use client::{Client, ClientError};
 pub use job::{GraphSource, Job, JobSnapshot, JobSpec, JobState};
 pub use protocol::{JobId, Request, SubmitArgs};
+pub use router::{Router, RouterConfig, RouterHandle};
 pub use server::{Server, ServerConfig, ServerHandle};
+
+/// A shared callback invoked with the cache key at the start of every cold
+/// graph load (see [`ServerConfig::cold_load_hook`]). Wrapped in a newtype
+/// so `ServerConfig` stays `Clone` and the hook stays nameable in tests.
+#[derive(Clone)]
+pub struct LoadHook(pub std::sync::Arc<dyn Fn(&str) + Send + Sync>);
+
+impl LoadHook {
+    /// Wraps a closure as a load hook.
+    pub fn new(f: impl Fn(&str) + Send + Sync + 'static) -> Self {
+        LoadHook(std::sync::Arc::new(f))
+    }
+}

@@ -89,6 +89,11 @@ impl SubmitArgs {
 }
 
 /// A parsed client request.
+///
+/// The `AddNode`/`DropNode`/`Nodes` verbs administer the `kplexr` shard
+/// router's backend registry; a plain `kplexd` rejects them with an error
+/// (it has no registry), but they parse everywhere so one grammar serves
+/// both binaries.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
     /// Liveness check.
@@ -105,8 +110,33 @@ pub enum Request {
     List,
     /// Server counters (jobs, cache hits/misses, queue depth).
     Stats,
+    /// Router admin: register a backend `host:port` (or revive a dropped one).
+    AddNode(String),
+    /// Router admin: remove a backend from the routing set.
+    DropNode(String),
+    /// Router: one line per registered backend.
+    Nodes,
     /// Close the connection.
     Quit,
+}
+
+/// Renders any request back to its one-line wire form; the inverse of
+/// [`parse_request`] (`parse_request(&render_request(r)) == Ok(r)` for every
+/// representable request — the property the protocol tests pin down).
+pub fn render_request(req: &Request) -> String {
+    match req {
+        Request::Ping => "PING".to_string(),
+        Request::Submit(args) => args.to_line(),
+        Request::Status(id) => format!("STATUS {id}"),
+        Request::Stream(id) => format!("STREAM {id}"),
+        Request::Cancel(id) => format!("CANCEL {id}"),
+        Request::List => "LIST".to_string(),
+        Request::Stats => "STATS".to_string(),
+        Request::AddNode(addr) => format!("ADDNODE {addr}"),
+        Request::DropNode(addr) => format!("DROPNODE {addr}"),
+        Request::Nodes => "NODES".to_string(),
+        Request::Quit => "QUIT".to_string(),
+    }
 }
 
 /// Splits `key=value` tokens into a map; returns an error for a bare token.
@@ -144,6 +174,13 @@ fn parse_id(rest: &[&str], verb: &str) -> Result<JobId, String> {
     }
 }
 
+fn parse_addr(rest: &[&str], verb: &str) -> Result<String, String> {
+    match rest {
+        [addr] => Ok(addr.to_string()),
+        _ => Err(format!("usage: {verb} <host:port>")),
+    }
+}
+
 /// Parses one request line. Verbs are case-insensitive; arguments are not.
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let mut tokens = line.split_whitespace();
@@ -154,9 +191,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "LIST" => Ok(Request::List),
         "STATS" => Ok(Request::Stats),
         "QUIT" => Ok(Request::Quit),
+        "NODES" => Ok(Request::Nodes),
         "STATUS" => Ok(Request::Status(parse_id(&rest, "STATUS")?)),
         "STREAM" => Ok(Request::Stream(parse_id(&rest, "STREAM")?)),
         "CANCEL" => Ok(Request::Cancel(parse_id(&rest, "CANCEL")?)),
+        "ADDNODE" => Ok(Request::AddNode(parse_addr(&rest, "ADDNODE")?)),
+        "DROPNODE" => Ok(Request::DropNode(parse_addr(&rest, "DROPNODE")?)),
         "SUBMIT" => {
             let mut kv = parse_kv(rest.into_iter())?;
             let args = SubmitArgs {
@@ -291,6 +331,29 @@ mod tests {
         assert!(parse_request("STATUS x").is_err());
         assert!(parse_request("FROBNICATE").is_err());
         assert!(parse_request("").is_err());
+    }
+
+    #[test]
+    fn router_verbs_parse_and_render() {
+        assert_eq!(parse_request("NODES").unwrap(), Request::Nodes);
+        assert_eq!(
+            parse_request("ADDNODE 127.0.0.1:7712").unwrap(),
+            Request::AddNode("127.0.0.1:7712".into())
+        );
+        assert_eq!(
+            parse_request("dropnode 127.0.0.1:7712").unwrap(),
+            Request::DropNode("127.0.0.1:7712".into())
+        );
+        assert!(parse_request("ADDNODE").is_err());
+        assert!(parse_request("ADDNODE a b").is_err());
+        for req in [
+            Request::Nodes,
+            Request::AddNode("h:1".into()),
+            Request::DropNode("h:2".into()),
+            Request::Stats,
+        ] {
+            assert_eq!(parse_request(&render_request(&req)).unwrap(), req);
+        }
     }
 
     #[test]

@@ -1,0 +1,968 @@
+//! `kplexr` — a shard router fronting N `kplexd` backends.
+//!
+//! The router speaks the same line protocol as `kplexd` to its clients and
+//! owns a registry of backends (a static list at startup plus the
+//! `ADDNODE`/`DROPNODE` admin verbs). It places every `SUBMIT` by
+//! **rendezvous hashing** the job's (graph cache key, `q − k`) over the
+//! live backends, so all jobs touching one prepared graph land on the same
+//! backend and its prepared-graph LRU stays hot — the k-plex workloads of
+//! the paper are dominated by a few heavy graphs, exactly the shape where
+//! cache affinity pays.
+//!
+//! Job ids are **router-assigned**: clients see one dense id namespace and
+//! never learn backend-local ids. `STATUS`/`STREAM`/`CANCEL`/`LIST` are
+//! proxied to the owning backend with ids rewritten in both directions;
+//! replies gain a `backend=` field naming the owner.
+//!
+//! Failover: any transport failure towards a backend marks it dead. Its
+//! **queued** (never observed running) jobs are transparently resubmitted
+//! to the surviving backends under their original router ids; jobs that
+//! were already running are marked `failed` with `error=backend_lost` —
+//! their partial results are gone with the backend, and silently re-running
+//! them could double-deliver plexes to a client that already consumed a
+//! prefix. `DROPNODE` drains a healthy backend the same way (its queued
+//! jobs are cancelled remotely and rerouted; running jobs finish in place
+//! and remain reachable through the router).
+
+use crate::client::{Client, ClientError};
+use crate::protocol::{self, JobId, Request, SubmitArgs};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Upper bound on proxy retries for one request: each retry follows a
+/// failover (which kills at least one backend), so this never spins.
+const MAX_PROXY_ATTEMPTS: usize = 8;
+
+/// Pause between proxy retries after a transport failure, long enough for
+/// a concurrent recovery claim ([`REQUEUEING`]) to publish its outcome.
+const RETRY_PAUSE: std::time::Duration = std::time::Duration::from_millis(5);
+
+/// Bound on establishing a backend connection. A wedged (not crashed)
+/// backend must surface as a transport failure, not a stalled router.
+const CONNECT_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(2);
+
+/// Bound on each reply to a unary backend call (`SUBMIT`/`STATUS`/
+/// `CANCEL`/`STATS`) — these are trivial for a healthy `kplexd`, so an
+/// overrun means the backend is wedged and drives failover. Streams are
+/// deliberately unbounded: a live `STREAM` is legitimately silent while
+/// the job computes.
+const UNARY_READ_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
+
+/// A backend connection for one-shot request/response calls (bounded).
+fn unary(addr: &str) -> Result<Client, ClientError> {
+    Client::connect_timeout(addr, CONNECT_TIMEOUT, Some(UNARY_READ_TIMEOUT))
+}
+
+/// A backend connection for `STREAM` proxying (bounded connect only).
+fn streaming(addr: &str) -> Result<Client, ClientError> {
+    Client::connect_timeout(addr, CONNECT_TIMEOUT, None)
+}
+
+/// Router construction knobs.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Listen address, e.g. `127.0.0.1:7710` (port 0 for ephemeral).
+    pub addr: String,
+    /// Initial backend registry (`host:port` of running `kplexd` servers).
+    pub backends: Vec<String>,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7710".to_string(),
+            backends: Vec::new(),
+        }
+    }
+}
+
+struct Node {
+    addr: String,
+    /// Live nodes receive new submissions and failover traffic. A node goes
+    /// dead on any transport failure towards it; `ADDNODE` revives it.
+    alive: bool,
+}
+
+/// Router-side record of one routed job.
+#[derive(Clone)]
+struct Routed {
+    backend: String,
+    remote_id: JobId,
+    /// Kept for failover resubmission of queued jobs.
+    args: SubmitArgs,
+    /// Last state observed from the backend (`queued` until seen otherwise).
+    last_state: String,
+    /// Set when the router itself terminated the job (backend lost).
+    error: Option<String>,
+    /// Placement attempts (1 = original submission).
+    attempts: u32,
+}
+
+struct RouterState {
+    nodes: Mutex<Vec<Node>>,
+    jobs: Mutex<BTreeMap<JobId, Routed>>,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+// --- rendezvous hashing -----------------------------------------------------
+
+/// FNV-1a over (backend, separator, key): the per-(backend, key) score for
+/// highest-random-weight (rendezvous) hashing.
+fn score(backend: &str, key: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in backend.as_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    h = (h ^ 0xff).wrapping_mul(PRIME); // separator: "ab"+"c" != "a"+"bc"
+    for &b in key.as_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The routing key a submission is rendezvous-hashed by: the graph's cache
+/// key plus the core-reduction threshold `q − k` — the same pair the
+/// backend's prepared-graph LRU keys on, so equal keys reuse one backend's
+/// warm cache. Dataset sources share [`crate::job::GraphSource`]'s cache
+/// key verbatim (placement must never diverge from the backends' LRU key);
+/// `path=` sources hash the path string alone — the file lives on the
+/// backends and its metadata (which `GraphSource::cache_key` folds in) is
+/// not visible from the router.
+pub fn routing_key(args: &SubmitArgs) -> String {
+    let source = match (&args.dataset, &args.path) {
+        (Some(name), _) => crate::job::GraphSource::Dataset(name.clone()).cache_key(),
+        (None, Some(p)) => format!("path:{p}"),
+        (None, None) => "invalid".to_string(),
+    };
+    format!("{source}|{}", args.q.saturating_sub(args.k))
+}
+
+/// The backend rendezvous hashing assigns `key` among `backends` (highest
+/// score wins; ties break towards the lexicographically larger address, so
+/// the choice is deterministic). Exposed so tests — and capacity tooling —
+/// can predict placements.
+pub fn pick_backend<'a>(backends: &'a [String], key: &str) -> Option<&'a str> {
+    backends
+        .iter()
+        .max_by_key(|b| (score(b, key), (*b).clone()))
+        .map(String::as_str)
+}
+
+/// All of `backends` ranked by descending preference for `key`: the head is
+/// [`pick_backend`]'s choice, the rest are the failover order.
+fn ranked_backends(backends: &[String], key: &str) -> Vec<String> {
+    let mut ranked: Vec<String> = backends.to_vec();
+    ranked.sort_by_key(|b| std::cmp::Reverse((score(b, key), b.clone())));
+    ranked
+}
+
+// --- construction -----------------------------------------------------------
+
+/// A bound, not-yet-running router.
+pub struct Router {
+    listener: TcpListener,
+    state: Arc<RouterState>,
+}
+
+/// Handle to a router whose accept loop runs in a background thread.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    state: Arc<RouterState>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Router {
+    /// Binds the listener and seeds the backend registry.
+    pub fn bind(cfg: &RouterConfig) -> std::io::Result<Router> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let mut nodes = Vec::new();
+        for addr in &cfg.backends {
+            if !nodes.iter().any(|n: &Node| n.addr == *addr) {
+                nodes.push(Node {
+                    addr: addr.clone(),
+                    alive: true,
+                });
+            }
+        }
+        Ok(Router {
+            listener,
+            state: Arc::new(RouterState {
+                nodes: Mutex::new(nodes),
+                jobs: Mutex::new(BTreeMap::new()),
+                next_id: AtomicU64::new(1),
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop on the current thread (the `kplexr` entry).
+    pub fn run(self) -> std::io::Result<()> {
+        accept_loop(&self.listener, &self.state);
+        Ok(())
+    }
+
+    /// Runs the accept loop in a background thread and returns a handle
+    /// (used by tests and the `kplexr smoke`).
+    pub fn spawn(self) -> std::io::Result<RouterHandle> {
+        let addr = self.local_addr()?;
+        let state = self.state.clone();
+        let listener = self.listener;
+        let accept_state = state.clone();
+        let accept = std::thread::spawn(move || accept_loop(&listener, &accept_state));
+        Ok(RouterHandle {
+            addr,
+            state,
+            accept: Some(accept),
+        })
+    }
+}
+
+impl RouterHandle {
+    /// Where clients connect.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept loop. Connection handler
+    /// threads are detached; they exit as their clients disconnect.
+    /// Backends are not touched — they keep running their jobs.
+    pub fn shutdown(mut self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<RouterState>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if state.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                let state = state.clone();
+                std::thread::spawn(move || {
+                    let _ = handle_connection(stream, &state);
+                });
+            }
+            Err(_) if state.shutdown.load(Ordering::Acquire) => return,
+            Err(_) => continue,
+        }
+    }
+}
+
+// --- failover ---------------------------------------------------------------
+
+/// Transient `last_state` of a job claimed for resubmission. The claim is
+/// what makes recovery idempotent: only the thread that flips a job from
+/// `queued` to this state resubmits it, so a fleet-wide reroute pass racing
+/// a per-job recovery can never place two copies.
+const REQUEUEING: &str = "requeueing";
+
+/// What to do with a backend's routed jobs when it leaves the routing set.
+struct Reroute {
+    /// Mark its running jobs failed (the backend is gone) instead of
+    /// leaving them to finish in place (graceful drain).
+    fail_running: bool,
+    /// Best-effort `CANCEL` of the old copy before resubmitting (only
+    /// meaningful while the backend is still alive, i.e. `DROPNODE`).
+    cancel_remote: bool,
+}
+
+/// Marks `addr` dead (idempotent) and fails over its jobs: queued jobs are
+/// resubmitted to the surviving backends under their original router ids,
+/// running jobs are failed with `error=backend_lost`. Only acts on the
+/// alive → dead transition; [`recover_job`] covers jobs stranded on
+/// backends that are already dead or no longer registered.
+fn mark_backend_dead(state: &Arc<RouterState>, addr: &str) {
+    {
+        let mut nodes = state.nodes.lock().expect("nodes lock poisoned");
+        match nodes.iter_mut().find(|n| n.addr == addr) {
+            Some(node) if node.alive => node.alive = false,
+            _ => return, // unknown or already handled
+        }
+    }
+    reroute_jobs_of(
+        state,
+        addr,
+        &Reroute {
+            fail_running: true,
+            cancel_remote: false,
+        },
+    );
+}
+
+/// Recovers one routed job after a transport failure towards `observed`,
+/// the backend it was recorded on: a queued job is claimed and resubmitted
+/// to the survivors, a running one is failed. This is the per-job
+/// complement to [`mark_backend_dead`]'s fleet-wide transition pass — it
+/// also rescues jobs recorded against a backend that was *already* dead or
+/// had left the registry when the record was written (a submit racing a
+/// failover pass, or a `DROPNODE`d backend crashing later), which the
+/// transition pass can never see again.
+fn recover_job(state: &Arc<RouterState>, rid: JobId, observed: &str) {
+    let claimed = {
+        let mut jobs = state.jobs.lock().expect("jobs lock poisoned");
+        match jobs.get_mut(&rid) {
+            Some(job) if job.backend == observed && job.error.is_none() => {
+                match job.last_state.as_str() {
+                    "queued" => {
+                        job.last_state = REQUEUEING.to_string();
+                        Some(job.args.clone())
+                    }
+                    "running" => {
+                        job.last_state = "failed".to_string();
+                        job.error = Some(format!("backend_lost:{observed}"));
+                        None
+                    }
+                    _ => None,
+                }
+            }
+            _ => None, // moved, terminal, or claimed by someone else
+        }
+    };
+    if let Some(args) = claimed {
+        finish_requeue(state, rid, &args);
+    }
+}
+
+fn live_backends(state: &RouterState) -> Vec<String> {
+    state
+        .nodes
+        .lock()
+        .expect("nodes lock poisoned")
+        .iter()
+        .filter(|n| n.alive)
+        .map(|n| n.addr.clone())
+        .collect()
+}
+
+/// Moves `addr`'s queued jobs to the surviving backends (keeping their
+/// router ids) and, per `opts`, fails or leaves its running jobs. Jobs are
+/// claimed ([`REQUEUEING`]) under the lock before resubmission, so a
+/// concurrent [`recover_job`] cannot place a second copy.
+fn reroute_jobs_of(state: &Arc<RouterState>, addr: &str, opts: &Reroute) {
+    let mut to_requeue: Vec<(JobId, JobId, SubmitArgs)> = Vec::new();
+    {
+        let mut jobs = state.jobs.lock().expect("jobs lock poisoned");
+        for (&rid, job) in jobs.iter_mut() {
+            if job.backend != addr || job.error.is_some() {
+                continue;
+            }
+            match job.last_state.as_str() {
+                "queued" => {
+                    job.last_state = REQUEUEING.to_string();
+                    to_requeue.push((rid, job.remote_id, job.args.clone()));
+                }
+                "running" if opts.fail_running => {
+                    job.last_state = "failed".to_string();
+                    job.error = Some(format!("backend_lost:{addr}"));
+                }
+                _ => {}
+            }
+        }
+    }
+    for (rid, old_remote, args) in to_requeue {
+        if opts.cancel_remote {
+            // Drain: stop the old copy so the job cannot run twice.
+            if let Ok(mut c) = unary(addr) {
+                let _ = c.cancel(old_remote);
+            }
+        }
+        finish_requeue(state, rid, &args);
+    }
+}
+
+/// Places a claimed job on a surviving backend and publishes the outcome —
+/// but only if the claim is still intact: a state written during the
+/// requeue window (e.g. a client `CANCEL` acknowledged by the old, still
+/// reachable copy) wins, and the freshly placed copy is cancelled instead
+/// of silently superseding it.
+fn finish_requeue(state: &Arc<RouterState>, rid: JobId, args: &SubmitArgs) {
+    let placed = place(state, args);
+    let mut orphan: Option<(String, JobId)> = None;
+    {
+        let mut jobs = state.jobs.lock().expect("jobs lock poisoned");
+        match (jobs.get_mut(&rid), placed) {
+            (Some(job), Ok((backend, remote_id))) => {
+                if job.last_state == REQUEUEING {
+                    job.backend = backend;
+                    job.remote_id = remote_id;
+                    job.last_state = "queued".to_string();
+                    job.attempts += 1;
+                } else {
+                    orphan = Some((backend, remote_id));
+                }
+            }
+            (Some(job), Err(e)) => {
+                if job.last_state == REQUEUEING {
+                    job.last_state = "failed".to_string();
+                    job.error = Some(format!("failover: {}", e.replace(' ', "_")));
+                }
+            }
+            (None, Ok(fresh)) => orphan = Some(fresh),
+            (None, Err(_)) => {}
+        }
+    }
+    if let Some((backend, remote_id)) = orphan {
+        // Best-effort: stop the superfluous copy.
+        if let Ok(mut c) = unary(&backend) {
+            let _ = c.cancel(remote_id);
+        }
+    }
+}
+
+/// Rendezvous-places `args` on a live backend, failing over down the
+/// preference order on transport errors (each one marks that backend dead).
+/// Remote `ERR` replies (validation, queue full) are returned to the caller
+/// verbatim — they are answers, not outages.
+fn place(state: &Arc<RouterState>, args: &SubmitArgs) -> Result<(String, JobId), String> {
+    let key = routing_key(args);
+    for backend in ranked_backends(&live_backends(state), &key) {
+        let submitted = unary(&backend).and_then(|mut c| c.submit(args));
+        match submitted {
+            Ok(remote_id) => return Ok((backend, remote_id)),
+            Err(ClientError::Remote(msg)) => return Err(msg),
+            Err(_) => mark_backend_dead(state, &backend),
+        }
+    }
+    Err("no live backends".to_string())
+}
+
+// --- connection handling ----------------------------------------------------
+
+/// One `write_all` per line (no buffering): streamed results must reach a
+/// live follower promptly even when the backend trickles them out.
+fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    let mut framed = String::with_capacity(line.len() + 1);
+    framed.push_str(line);
+    framed.push('\n');
+    stream.write_all(framed.as_bytes())
+}
+
+fn handle_connection(stream: TcpStream, state: &Arc<RouterState>) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match protocol::parse_request(&line) {
+            Err(e) => write_line(&mut writer, &format!("ERR {e}"))?,
+            Ok(Request::Quit) => {
+                write_line(&mut writer, "OK bye")?;
+                return Ok(());
+            }
+            Ok(Request::Ping) => write_line(&mut writer, "OK pong")?,
+            Ok(Request::Submit(args)) => {
+                let resp = match submit(state, &args) {
+                    Ok((rid, backend)) => {
+                        format!("OK id={rid} state=queued backend={backend}")
+                    }
+                    Err(e) => format!("ERR {e}"),
+                };
+                write_line(&mut writer, &resp)?;
+            }
+            Ok(Request::Status(rid)) => {
+                let resp = proxy_status(state, rid);
+                write_line(&mut writer, &resp)?;
+            }
+            Ok(Request::Cancel(rid)) => {
+                let resp = proxy_cancel(state, rid);
+                write_line(&mut writer, &resp)?;
+            }
+            Ok(Request::Stream(rid)) => proxy_stream(&mut writer, state, rid)?,
+            Ok(Request::List) => list(&mut writer, state)?,
+            Ok(Request::Stats) => {
+                let resp = stats(state);
+                write_line(&mut writer, &resp)?;
+            }
+            Ok(Request::AddNode(addr)) => {
+                let resp = add_node(state, &addr);
+                write_line(&mut writer, &resp)?;
+            }
+            Ok(Request::DropNode(addr)) => {
+                let resp = drop_node(state, &addr);
+                write_line(&mut writer, &resp)?;
+            }
+            Ok(Request::Nodes) => nodes(&mut writer, state)?,
+        }
+    }
+    Ok(())
+}
+
+// --- request implementations ------------------------------------------------
+
+fn submit(state: &Arc<RouterState>, args: &SubmitArgs) -> Result<(JobId, String), String> {
+    if state.shutdown.load(Ordering::Acquire) {
+        return Err("router shutting down".into());
+    }
+    let (backend, remote_id) = place(state, args)?;
+    let rid = state.next_id.fetch_add(1, Ordering::Relaxed);
+    state.jobs.lock().expect("jobs lock poisoned").insert(
+        rid,
+        Routed {
+            backend: backend.clone(),
+            remote_id,
+            args: args.clone(),
+            last_state: "queued".to_string(),
+            error: None,
+            attempts: 1,
+        },
+    );
+    Ok((rid, backend))
+}
+
+fn lookup(state: &RouterState, rid: JobId) -> Option<Routed> {
+    state
+        .jobs
+        .lock()
+        .expect("jobs lock poisoned")
+        .get(&rid)
+        .cloned()
+}
+
+/// Records the backend-observed state of a routed job. `via` is the
+/// snapshot the reply was obtained through: the write only lands if the
+/// job is still placed there — a reply from a superseded placement (e.g. a
+/// `cancelled` from the drained copy of a job that was just requeued
+/// elsewhere) must not clobber the live record, or the job would be
+/// reported terminal while it runs, and failover would skip it for good.
+fn note_state(state: &RouterState, rid: JobId, observed: &str, via: &Routed) {
+    let mut jobs = state.jobs.lock().expect("jobs lock poisoned");
+    if let Some(job) = jobs.get_mut(&rid) {
+        if job.error.is_none() && job.backend == via.backend && job.remote_id == via.remote_id {
+            job.last_state = observed.to_string();
+        }
+    }
+}
+
+/// A `STATUS`-shaped line rendered from the router's own record (the
+/// backend is unreachable or the router terminated the job locally). The
+/// `error=` field appears only when the router actually failed the job.
+fn local_status_line(rid: JobId, job: &Routed) -> String {
+    let source = job
+        .args
+        .dataset
+        .as_deref()
+        .or(job.args.path.as_deref())
+        .unwrap_or("?");
+    let mut line = format!(
+        "OK id={rid} state={} source={source} k={} q={} results=0 backend={}",
+        job.last_state, job.args.k, job.args.q, job.backend
+    );
+    if let Some(error) = &job.error {
+        line.push_str(&format!(" error={error}"));
+    }
+    line
+}
+
+/// Re-renders a backend `STATUS`/`END` field map under the router job id,
+/// tagging the owning backend. Known fields keep the canonical order;
+/// unknown ones follow alphabetically (forward compatibility).
+fn rewrite_fields(
+    prefix: &str,
+    rid: JobId,
+    fields: &BTreeMap<String, String>,
+    backend: &str,
+) -> String {
+    const ORDER: [&str; 11] = [
+        "state",
+        "source",
+        "k",
+        "q",
+        "results",
+        "elapsed-ms",
+        "cache",
+        "branches",
+        "outputs",
+        "error",
+        "count",
+    ];
+    let mut line = format!("{prefix} id={rid}");
+    for key in ORDER {
+        if let Some(v) = fields.get(key) {
+            line.push_str(&format!(" {key}={v}"));
+        }
+    }
+    for (k, v) in fields {
+        if k != "id" && !ORDER.contains(&k.as_str()) {
+            line.push_str(&format!(" {k}={v}"));
+        }
+    }
+    line.push_str(&format!(" backend={backend}"));
+    line
+}
+
+fn proxy_status(state: &Arc<RouterState>, rid: JobId) -> String {
+    for _ in 0..MAX_PROXY_ATTEMPTS {
+        let Some(job) = lookup(state, rid) else {
+            return format!("ERR no such job {rid}");
+        };
+        if job.error.is_some() {
+            return local_status_line(rid, &job);
+        }
+        match unary(&job.backend).and_then(|mut c| c.status(job.remote_id)) {
+            Ok(fields) => {
+                if let Some(observed) = fields.get("state") {
+                    note_state(state, rid, observed, &job);
+                }
+                return rewrite_fields("OK", rid, &fields, &job.backend);
+            }
+            // The backend evicted its copy past its retention backlog:
+            // answer from the router's own record instead of leaking the
+            // backend-local id embedded in the remote message.
+            Err(ClientError::Remote(msg)) if msg.starts_with("no such job") => {
+                return local_status_line(rid, &job);
+            }
+            Err(ClientError::Remote(msg)) => return format!("ERR {msg}"),
+            // Transport failure: fail the backend over and retry — the job
+            // either moved to a new backend or was terminated locally.
+            Err(_) => {
+                mark_backend_dead(state, &job.backend);
+                recover_job(state, rid, &job.backend);
+                std::thread::sleep(RETRY_PAUSE);
+            }
+        }
+    }
+    format!("ERR job {rid} unreachable (backends flapping)")
+}
+
+fn proxy_cancel(state: &Arc<RouterState>, rid: JobId) -> String {
+    for _ in 0..MAX_PROXY_ATTEMPTS {
+        let Some(job) = lookup(state, rid) else {
+            return format!("ERR no such job {rid}");
+        };
+        if job.error.is_some() {
+            return format!(
+                "OK id={rid} state={} backend={}",
+                job.last_state, job.backend
+            );
+        }
+        match unary(&job.backend).and_then(|mut c| c.cancel(job.remote_id)) {
+            Ok(observed) => {
+                note_state(state, rid, &observed, &job);
+                return format!("OK id={rid} state={observed} backend={}", job.backend);
+            }
+            // Evicted on the backend ⇒ long terminal; cancel is idempotent.
+            Err(ClientError::Remote(msg)) if msg.starts_with("no such job") => {
+                return format!(
+                    "OK id={rid} state={} backend={}",
+                    job.last_state, job.backend
+                );
+            }
+            Err(ClientError::Remote(msg)) => return format!("ERR {msg}"),
+            Err(_) => {
+                mark_backend_dead(state, &job.backend);
+                recover_job(state, rid, &job.backend);
+                std::thread::sleep(RETRY_PAUSE);
+            }
+        }
+    }
+    format!("ERR job {rid} unreachable (backends flapping)")
+}
+
+fn proxy_stream(
+    writer: &mut TcpStream,
+    state: &Arc<RouterState>,
+    rid: JobId,
+) -> std::io::Result<()> {
+    for _ in 0..MAX_PROXY_ATTEMPTS {
+        let Some(job) = lookup(state, rid) else {
+            return write_line(writer, &format!("ERR no such job {rid}"));
+        };
+        if job.error.is_some() {
+            // Locally terminated: an empty, well-formed stream.
+            let error = job.error.as_deref().unwrap_or("backend_lost");
+            return write_line(
+                writer,
+                &format!(
+                    "END id={rid} state={} results=0 error={error}",
+                    job.last_state
+                ),
+            );
+        }
+        let mut forwarded = 0u64;
+        let mut write_err: Option<std::io::Error> = None;
+        // `stream_while` aborts (and the connection drops, stopping the
+        // backend's producer) as soon as a downstream write fails — the
+        // router must not drain a 10^9-result stream nobody is reading.
+        let streamed = streaming(&job.backend).and_then(|mut c| {
+            c.stream_while(job.remote_id, |seq, plex| {
+                // Rewrite the NDJSON id field to the router namespace.
+                let line = protocol::render_plex_line(rid, seq, &plex);
+                match write_line(writer, &line) {
+                    Ok(()) => {
+                        forwarded += 1;
+                        if forwarded == 1 {
+                            // A streamed result proves the job left the
+                            // queue: record it, or a mid-stream backend
+                            // death would requeue the job and replay the
+                            // prefix this client already consumed.
+                            note_state(state, rid, "running", &job);
+                        }
+                        true
+                    }
+                    Err(e) => {
+                        write_err = Some(e);
+                        false
+                    }
+                }
+            })
+        });
+        if let Some(e) = write_err {
+            return Err(e); // downstream client went away
+        }
+        match streamed {
+            Ok(None) => unreachable!("an aborted stream sets write_err"),
+            Ok(Some(end)) => {
+                if let Some(observed) = end.get("state") {
+                    note_state(state, rid, observed, &job);
+                }
+                return write_line(writer, &rewrite_fields("END", rid, &end, &job.backend));
+            }
+            Err(ClientError::Remote(msg)) if msg.starts_with("no such job") => {
+                return write_line(
+                    writer,
+                    &format!("ERR results for job {rid} were evicted on {}", job.backend),
+                );
+            }
+            Err(ClientError::Remote(msg)) => return write_line(writer, &format!("ERR {msg}")),
+            Err(_) => {
+                mark_backend_dead(state, &job.backend);
+                recover_job(state, rid, &job.backend);
+                if forwarded > 0 {
+                    // The client already consumed a prefix under this id;
+                    // restarting from seq 0 on another backend would
+                    // double-deliver. Surface the loss instead.
+                    return write_line(
+                        writer,
+                        &format!("ERR backend {} lost mid-stream", job.backend),
+                    );
+                }
+                // Nothing delivered yet: the job may have been requeued —
+                // retry against its (possibly new) backend.
+                std::thread::sleep(RETRY_PAUSE);
+            }
+        }
+    }
+    write_line(writer, &format!("ERR job {rid} unreachable"))
+}
+
+fn list(writer: &mut TcpStream, state: &Arc<RouterState>) -> std::io::Result<()> {
+    let snapshot: Vec<(JobId, Routed)> = {
+        let jobs = state.jobs.lock().expect("jobs lock poisoned");
+        jobs.iter().map(|(&rid, j)| (rid, j.clone())).collect()
+    };
+    // One backend connection per group, not per job.
+    let mut groups: BTreeMap<String, Vec<(JobId, Routed)>> = BTreeMap::new();
+    for (rid, job) in snapshot {
+        groups
+            .entry(job.backend.clone())
+            .or_default()
+            .push((rid, job));
+    }
+    let mut count = 0usize;
+    for (backend, group) in groups {
+        let mut client = unary(&backend).ok();
+        if client.is_none() {
+            mark_backend_dead(state, &backend);
+            for (rid, _) in &group {
+                recover_job(state, *rid, &backend);
+            }
+        }
+        for (rid, job) in group {
+            count += 1;
+            let proxied = client.as_mut().and_then(|c| c.status(job.remote_id).ok());
+            let line = match proxied {
+                Some(fields) => {
+                    if let Some(observed) = fields.get("state") {
+                        note_state(state, rid, observed, &job);
+                    }
+                    rewrite_fields("JOB", rid, &fields, &backend)
+                }
+                None => {
+                    // Point-in-time fallback from the router's own record.
+                    let job = lookup(state, rid).unwrap_or(job);
+                    local_status_line(rid, &job).replacen("OK", "JOB", 1)
+                }
+            };
+            write_line(writer, &line)?;
+        }
+    }
+    write_line(writer, &format!("END count={count}"))
+}
+
+fn stats(state: &Arc<RouterState>) -> String {
+    let nodes: Vec<(String, bool)> = {
+        let nodes = state.nodes.lock().expect("nodes lock poisoned");
+        nodes.iter().map(|n| (n.addr.clone(), n.alive)).collect()
+    };
+    let jobs = state.jobs.lock().expect("jobs lock poisoned").len();
+    let alive = nodes.iter().filter(|(_, a)| *a).count();
+    let mut line = format!("OK backends={alive}/{} jobs={jobs}", nodes.len());
+    for (i, (addr, alive)) in nodes.iter().enumerate() {
+        line.push_str(&format!(" node{i}-addr={addr} node{i}-alive={alive}"));
+        if !alive {
+            continue;
+        }
+        match unary(addr).and_then(|mut c| c.stats()) {
+            Ok(fields) => {
+                for key in [
+                    "jobs",
+                    "queue-depth",
+                    "cache-hits",
+                    "cache-coalesced",
+                    "cache-misses",
+                    "cache-entries",
+                    "cache-pending",
+                    "cache-waiting",
+                ] {
+                    if let Some(v) = fields.get(key) {
+                        line.push_str(&format!(" node{i}-{key}={v}"));
+                    }
+                }
+            }
+            Err(ClientError::Remote(_)) => {}
+            Err(_) => mark_backend_dead(state, addr),
+        }
+    }
+    line
+}
+
+fn add_node(state: &Arc<RouterState>, addr: &str) -> String {
+    let mut nodes = state.nodes.lock().expect("nodes lock poisoned");
+    match nodes.iter_mut().find(|n| n.addr == addr) {
+        Some(node) => node.alive = true, // revive
+        None => nodes.push(Node {
+            addr: addr.to_string(),
+            alive: true,
+        }),
+    }
+    let alive = nodes.iter().filter(|n| n.alive).count();
+    format!("OK backends={alive}/{}", nodes.len())
+}
+
+fn drop_node(state: &Arc<RouterState>, addr: &str) -> String {
+    let removed = {
+        let mut nodes = state.nodes.lock().expect("nodes lock poisoned");
+        let before = nodes.len();
+        nodes.retain(|n| n.addr != addr);
+        before != nodes.len()
+    };
+    if !removed {
+        return format!("ERR unknown backend {addr}");
+    }
+    // Graceful drain: queued jobs are cancelled on the (healthy) node and
+    // rerouted; running jobs finish in place and stay reachable by address.
+    reroute_jobs_of(
+        state,
+        addr,
+        &Reroute {
+            fail_running: false,
+            cancel_remote: true,
+        },
+    );
+    let nodes = state.nodes.lock().expect("nodes lock poisoned");
+    let alive = nodes.iter().filter(|n| n.alive).count();
+    format!("OK backends={alive}/{}", nodes.len())
+}
+
+fn nodes(writer: &mut TcpStream, state: &Arc<RouterState>) -> std::io::Result<()> {
+    let snapshot: Vec<(String, bool)> = {
+        let nodes = state.nodes.lock().expect("nodes lock poisoned");
+        nodes.iter().map(|n| (n.addr.clone(), n.alive)).collect()
+    };
+    let per_backend: BTreeMap<String, usize> = {
+        let jobs = state.jobs.lock().expect("jobs lock poisoned");
+        let mut m = BTreeMap::new();
+        for job in jobs.values() {
+            *m.entry(job.backend.clone()).or_insert(0) += 1;
+        }
+        m
+    };
+    for (addr, alive) in &snapshot {
+        let jobs = per_backend.get(addr).copied().unwrap_or(0);
+        write_line(
+            writer,
+            &format!("NODE addr={addr} alive={alive} jobs={jobs}"),
+        )?;
+    }
+    write_line(writer, &format!("END count={}", snapshot.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn rendezvous_is_stable_and_minimally_disruptive() {
+        let three = addrs(&["h1:1", "h2:2", "h3:3"]);
+        let keys: Vec<String> = (0..50).map(|i| format!("graph-{i}|2")).collect();
+        let placed: Vec<&str> = keys
+            .iter()
+            .map(|k| pick_backend(&three, k).unwrap())
+            .collect();
+        // Deterministic: same inputs, same placement.
+        for (k, &p) in keys.iter().zip(&placed) {
+            assert_eq!(pick_backend(&three, k), Some(p));
+        }
+        // Every backend owns some keys (rendezvous spreads load).
+        for b in &three {
+            assert!(placed.iter().any(|&p| p == b), "{b} owns no keys");
+        }
+        // Removing one backend only moves the keys it owned (the rendezvous
+        // property that matters for cache warmth: survivors keep theirs).
+        let two = addrs(&["h1:1", "h3:3"]);
+        for (k, &p) in keys.iter().zip(&placed) {
+            if p != "h2:2" {
+                assert_eq!(pick_backend(&two, k), Some(p), "key {k} moved needlessly");
+            }
+        }
+    }
+
+    #[test]
+    fn ranked_backends_head_is_the_pick() {
+        let three = addrs(&["h1:1", "h2:2", "h3:3"]);
+        for i in 0..20 {
+            let key = format!("g{i}|3");
+            let ranked = ranked_backends(&three, &key);
+            assert_eq!(ranked.len(), 3);
+            assert_eq!(ranked[0].as_str(), pick_backend(&three, &key).unwrap());
+        }
+    }
+
+    #[test]
+    fn routing_key_separates_shrink_and_source() {
+        let a = SubmitArgs::dataset("jazz", 2, 9); // q-k = 7
+        let b = SubmitArgs::dataset("jazz", 3, 10); // q-k = 7 → same key
+        let c = SubmitArgs::dataset("jazz", 2, 10); // q-k = 8 → different
+        assert_eq!(routing_key(&a), routing_key(&b));
+        assert_ne!(routing_key(&a), routing_key(&c));
+        let p = SubmitArgs {
+            path: Some("/data/x.txt".into()),
+            k: 2,
+            q: 9,
+            ..SubmitArgs::default()
+        };
+        assert_ne!(routing_key(&a), routing_key(&p));
+    }
+}

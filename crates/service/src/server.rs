@@ -20,6 +20,7 @@
 use crate::cache::{CacheStats, GraphCache};
 use crate::job::{GraphSource, Job, JobSpec, StopCause, StreamStep};
 use crate::protocol::{self, JobId, Request, SubmitArgs};
+use crate::LoadHook;
 use kplex_core::{prepare, ChannelSink, Params, PlexSink, SinkFlow};
 use kplex_graph::io;
 use kplex_parallel::{run_parallel_prepared, EngineOptions};
@@ -35,14 +36,15 @@ use std::time::{Duration, Instant};
 /// shutdown-flag checks.
 const WAIT_TICK: Duration = Duration::from_millis(100);
 
-/// Terminal (done/cancelled/failed) jobs retained for `STATUS`/`STREAM`
-/// replay. Beyond this, the oldest finished jobs — and their result
-/// buffers — are evicted at submission time, so a long-lived server's
-/// memory is bounded by live jobs + this backlog, not by its lifetime.
+/// Default for [`ServerConfig::retain_terminal`]: terminal jobs retained
+/// for `STATUS`/`STREAM` replay. Beyond this, the oldest finished jobs —
+/// and their result buffers — are evicted at submission time, so a
+/// long-lived server's memory is bounded by live jobs + this backlog, not
+/// by its lifetime.
 const RETAIN_TERMINAL_JOBS: usize = 64;
 
 /// Server construction knobs.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Listen address, e.g. `127.0.0.1:7711` (port 0 for ephemeral).
     pub addr: String,
@@ -54,6 +56,27 @@ pub struct ServerConfig {
     pub cache_cap: usize,
     /// Default per-job engine threads when `SUBMIT` omits `threads=`.
     pub default_threads: usize,
+    /// Terminal jobs retained for `STATUS`/`STREAM` replay before eviction.
+    pub retain_terminal: usize,
+    /// Test-only: called with the cache key at the start of every cold
+    /// load, *outside* the cache's map lock. Tests install a hook that
+    /// blocks on a channel to hold a cold load open deterministically (no
+    /// sleeps) while asserting warm jobs and `STATS` still complete.
+    pub cold_load_hook: Option<LoadHook>,
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("addr", &self.addr)
+            .field("runners", &self.runners)
+            .field("queue_cap", &self.queue_cap)
+            .field("cache_cap", &self.cache_cap)
+            .field("default_threads", &self.default_threads)
+            .field("retain_terminal", &self.retain_terminal)
+            .field("cold_load_hook", &self.cold_load_hook.is_some())
+            .finish()
+    }
 }
 
 impl Default for ServerConfig {
@@ -67,6 +90,8 @@ impl Default for ServerConfig {
             queue_cap: 64,
             cache_cap: 4,
             default_threads: hw.clamp(1, 8),
+            retain_terminal: RETAIN_TERMINAL_JOBS,
+            cold_load_hook: None,
         }
     }
 }
@@ -80,6 +105,8 @@ struct SharedState {
     cache: GraphCache,
     shutdown: AtomicBool,
     default_threads: usize,
+    retain_terminal: usize,
+    cold_load_hook: Option<LoadHook>,
 }
 
 impl SharedState {
@@ -123,6 +150,8 @@ impl Server {
                 cache: GraphCache::new(cfg.cache_cap),
                 shutdown: AtomicBool::new(false),
                 default_threads: cfg.default_threads.max(1),
+                retain_terminal: cfg.retain_terminal,
+                cold_load_hook: cfg.cold_load_hook.clone(),
             }),
         })
     }
@@ -305,8 +334,11 @@ fn handle_connection(stream: TcpStream, state: &Arc<SharedState>) -> std::io::Re
             Ok(Request::Stats) => {
                 let CacheStats {
                     hits,
+                    coalesced,
                     misses,
                     entries,
+                    pending,
+                    waiting,
                 } = state.cache.stats();
                 let jobs = state.jobs.lock().expect("jobs lock poisoned").len();
                 let depth = state.queue.lock().expect("queue lock poisoned").len();
@@ -314,8 +346,16 @@ fn handle_connection(stream: TcpStream, state: &Arc<SharedState>) -> std::io::Re
                     &mut writer,
                     &format!(
                         "OK jobs={jobs} queue-depth={depth} cache-hits={hits} \
-                         cache-misses={misses} cache-entries={entries}"
+                         cache-coalesced={coalesced} cache-misses={misses} \
+                         cache-entries={entries} cache-pending={pending} \
+                         cache-waiting={waiting}"
                     ),
+                )?;
+            }
+            Ok(Request::AddNode(_) | Request::DropNode(_) | Request::Nodes) => {
+                write_line(
+                    &mut writer,
+                    "ERR router-only verb (this is a kplexd backend, not a kplexr router)",
                 )?;
             }
             Ok(Request::Stream(id)) => match state.job(id) {
@@ -428,8 +468,8 @@ fn submit(state: &Arc<SharedState>, args: &SubmitArgs) -> Result<JobId, String> 
             .filter(|(_, j)| j.state().is_terminal())
             .map(|(&jid, _)| jid)
             .collect();
-        if stale.len() > RETAIN_TERMINAL_JOBS {
-            for jid in &stale[..stale.len() - RETAIN_TERMINAL_JOBS] {
+        if stale.len() > state.retain_terminal {
+            for jid in &stale[..stale.len() - state.retain_terminal] {
                 jobs.remove(jid);
             }
         }
@@ -534,16 +574,22 @@ fn execute(state: &Arc<SharedState>, job: &Arc<Job>) {
     };
     // Load + (q−k)-core reduce through the LRU, keyed by graph content and
     // the shrink threshold — a warm resubmit skips this phase entirely.
+    // The build runs outside the cache's map lock (per-entry single-flight):
+    // a slow cold load here blocks only jobs for the *same* key, while warm
+    // jobs and `STATS` proceed.
     let shrink = spec.params.q - spec.params.k;
-    let prep = state
-        .cache
-        .get_or_insert(&spec.source.cache_key(), shrink, || {
-            let g = load_graph(&spec.source)?;
-            Ok(prepare(&g, spec.params))
-        });
+    let key = spec.source.cache_key();
+    let hook = state.cold_load_hook.clone();
+    let prep = state.cache.get_or_build(&key, shrink, || {
+        if let Some(hook) = &hook {
+            hook.0(&key);
+        }
+        let g = load_graph(&spec.source)?;
+        Ok(prepare(&g, spec.params))
+    });
     let prep = match prep {
-        Ok((prep, hit)) => {
-            job.set_cache_hit(hit);
+        Ok((prep, fetched)) => {
+            job.set_cache_hit(fetched.is_warm());
             prep
         }
         Err(e) => {

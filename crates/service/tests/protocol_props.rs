@@ -1,0 +1,174 @@
+//! Property-based round-trip tests for the wire protocol: every request
+//! frame survives `parse(render(x)) == x`, NDJSON result lines survive
+//! their own round trip, and arbitrary malformed input produces protocol
+//! errors — never panics.
+
+use kplex_service::protocol::{
+    parse_plex_line, parse_request, parse_response_fields, render_plex_line, render_request,
+    Request, SubmitArgs,
+};
+use proptest::prelude::*;
+
+// --- generators --------------------------------------------------------------
+
+/// Wire-safe identifier: non-empty, no whitespace, no `=` (a value token).
+fn arb_ident() -> impl Strategy<Value = String> {
+    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_-./:";
+    proptest::collection::vec(0..CHARS.len(), 1..12)
+        .prop_map(|ixs| ixs.into_iter().map(|i| CHARS[i] as char).collect())
+}
+
+fn arb_opt_u64() -> impl Strategy<Value = Option<u64>> {
+    prop_oneof![Just(None), (1u64..1_000_000).prop_map(Some),]
+}
+
+fn arb_submit() -> impl Strategy<Value = SubmitArgs> {
+    (
+        (any::<bool>(), arb_ident(), 1usize..6, 1usize..40),
+        (
+            arb_opt_u64(),
+            arb_opt_u64(),
+            arb_opt_u64(),
+            arb_opt_u64(),
+            prop_oneof![Just(None), (1usize..64).prop_map(Some)],
+            prop_oneof![Just(None), arb_ident().prop_map(Some)],
+        ),
+    )
+        .prop_map(
+            |(
+                (use_dataset, source, k, q),
+                (limit, timeout_ms, throttle_us, tau_us, threads, algo),
+            )| {
+                SubmitArgs {
+                    dataset: use_dataset.then(|| source.clone()),
+                    path: (!use_dataset).then(|| source.clone()),
+                    k,
+                    q,
+                    threads,
+                    algo,
+                    limit,
+                    timeout_ms,
+                    throttle_us,
+                    tau_us,
+                }
+            },
+        )
+}
+
+/// Every request variant the protocol can express.
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        Just(Request::Ping),
+        Just(Request::List),
+        Just(Request::Stats),
+        Just(Request::Nodes),
+        Just(Request::Quit),
+        any::<u64>().prop_map(Request::Status),
+        any::<u64>().prop_map(Request::Stream),
+        any::<u64>().prop_map(Request::Cancel),
+        arb_ident().prop_map(Request::AddNode),
+        arb_ident().prop_map(Request::DropNode),
+        arb_submit().prop_map(|a| Request::Submit(Box::new(a))),
+    ]
+}
+
+// --- round trips -------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_render_parse_roundtrip(req in arb_request()) {
+        let line = render_request(&req);
+        let reparsed = parse_request(&line);
+        prop_assert_eq!(reparsed, Ok(req), "line was {:?}", line);
+    }
+
+    #[test]
+    fn plex_line_roundtrip(id in any::<u64>(), seq in any::<u64>(),
+                           plex in proptest::collection::vec(any::<u32>(), 0..24)) {
+        let line = render_plex_line(id, seq, &plex);
+        prop_assert_eq!(parse_plex_line(&line), Ok((id, seq, plex)));
+    }
+
+    #[test]
+    fn response_fields_roundtrip(kv in proptest::collection::vec((arb_key(), arb_ident()), 0..8)) {
+        // Last occurrence wins for duplicate keys, like a BTreeMap insert.
+        let mut line = String::from("OK");
+        for (k, v) in &kv {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        let parsed = parse_response_fields(&line).expect("well-formed fields");
+        for (k, v) in &kv {
+            let last = kv.iter().rev().find(|(k2, _)| k2 == k).map(|(_, v2)| v2);
+            prop_assert_eq!(parsed.get(k.as_str()), last, "key {:?} value {:?}", k, v);
+        }
+    }
+
+    /// Arbitrary junk must never panic the parser — only `Err` (or, by
+    /// coincidence, parse as a valid frame).
+    #[test]
+    fn malformed_requests_never_panic(tokens in proptest::collection::vec(arb_token(), 0..6)) {
+        let line = tokens.join(" ");
+        let _ = parse_request(&line);
+        let _ = parse_plex_line(&line);
+        let _ = parse_response_fields(&line);
+    }
+}
+
+/// Keys must not contain `=` (values may not either in this grammar).
+fn arb_key() -> impl Strategy<Value = String> {
+    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz-";
+    proptest::collection::vec(0..CHARS.len(), 1..10)
+        .prop_map(|ixs| ixs.into_iter().map(|i| CHARS[i] as char).collect())
+}
+
+/// Unconstrained token soup for the never-panic property: includes `=`,
+/// quotes, braces, digits, and empty-ish separators.
+fn arb_token() -> impl Strategy<Value = String> {
+    const CHARS: &[u8] = b"abczABCZ0189=\"{}[]:,.-_/\\";
+    proptest::collection::vec(0..CHARS.len(), 0..10)
+        .prop_map(|ixs| ixs.into_iter().map(|i| CHARS[i] as char).collect())
+}
+
+// --- targeted malformed frames ----------------------------------------------
+
+#[test]
+fn malformed_frames_error_cleanly() {
+    for line in [
+        "",
+        "   ",
+        "SUBMIT",
+        "SUBMIT k=2 q=9",                      // no source
+        "SUBMIT dataset=jazz path=x k=2 q=9",  // both sources
+        "SUBMIT dataset=jazz k=2",             // no q
+        "SUBMIT dataset=jazz k=two q=9",       // bad number
+        "SUBMIT dataset=jazz k=2 q=9 bogus=1", // unknown key
+        "SUBMIT dataset= k=2 q=9",             // empty value
+        "SUBMIT dataset",                      // bare token
+        "STATUS",
+        "STATUS 1 2",
+        "STATUS -3",
+        "STREAM eleven",
+        "CANCEL 18446744073709551616", // u64 overflow
+        "ADDNODE",
+        "ADDNODE a b",
+        "DROPNODE",
+        "NOPE 1",
+        "\u{0} SUBMIT",
+    ] {
+        let parsed = parse_request(line);
+        assert!(parsed.is_err(), "{line:?} parsed as {parsed:?}");
+    }
+    for line in [
+        "not json",
+        "{}",
+        "{\"id\":1}",
+        "{\"id\":1,\"seq\":2}",
+        "{\"id\":x,\"seq\":0,\"plex\":[]}",
+        "{\"id\":1,\"seq\":0,\"plex\":[1,}",
+        "{\"id\":1,\"seq\":0,\"plex\":[1],\"extra\":2}",
+    ] {
+        assert!(parse_plex_line(line).is_err(), "{line:?} must not parse");
+    }
+}

@@ -1,0 +1,291 @@
+//! End-to-end router tests over real TCP: rendezvous-stable placement
+//! (asserted against the exported placement function), warm-cache affinity
+//! across resubmissions, queued-job failover when a backend dies, and the
+//! ADDNODE/DROPNODE admin surface. All listeners bind port 0.
+
+use kplex_core::{enumerate_count, AlgoConfig, Params};
+use kplex_service::router::{pick_backend, routing_key};
+use kplex_service::{
+    Client, ClientError, Router, RouterConfig, Server, ServerConfig, ServerHandle, SubmitArgs,
+};
+
+fn start_backend(runners: usize) -> ServerHandle {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        runners,
+        queue_cap: 16,
+        cache_cap: 4,
+        default_threads: 2,
+        ..ServerConfig::default()
+    };
+    Server::bind(&cfg)
+        .expect("bind backend")
+        .spawn()
+        .expect("spawn backend")
+}
+
+fn start_router(backends: &[String]) -> kplex_service::RouterHandle {
+    Router::bind(&RouterConfig {
+        addr: "127.0.0.1:0".to_string(),
+        backends: backends.to_vec(),
+    })
+    .expect("bind router")
+    .spawn()
+    .expect("spawn router")
+}
+
+fn ground_truth(dataset: &str, k: usize, q: usize) -> u64 {
+    let g = kplex_datasets::by_name(dataset).expect("dataset").load();
+    let params = Params::new(k, q).expect("valid params");
+    enumerate_count(&g, params, &AlgoConfig::ours()).0
+}
+
+fn submit_owner(c: &mut Client, args: &SubmitArgs) -> (u64, String) {
+    let fields = c.submit_fields(args).expect("submit");
+    let id = fields
+        .get("id")
+        .and_then(|s| s.parse().ok())
+        .expect("id= in submit reply");
+    let backend = fields
+        .get("backend")
+        .cloned()
+        .expect("backend= in submit reply");
+    (id, backend)
+}
+
+/// Placement is exactly what rendezvous hashing predicts, stable across
+/// resubmission, and the resubmit of a cell is served from the owning
+/// backend's warm prepared-graph cache.
+#[test]
+fn routing_is_rendezvous_stable_and_cache_affine() {
+    let a = start_backend(2);
+    let b = start_backend(2);
+    let backends = vec![a.addr().to_string(), b.addr().to_string()];
+    let router = start_router(&backends);
+    let mut c = Client::connect(router.addr()).expect("connect");
+
+    // Distinct (dataset, q−k) cells may land anywhere — but exactly where
+    // the exported placement function says, twice in a row.
+    for (k, q) in [(2, 9), (2, 8), (2, 7), (3, 9)] {
+        let args = SubmitArgs::dataset("jazz", k, q);
+        let predicted = pick_backend(&backends, &routing_key(&args))
+            .expect("non-empty backend set")
+            .to_string();
+        let (id1, owner1) = submit_owner(&mut c, &args);
+        let (id2, owner2) = submit_owner(&mut c, &args);
+        assert_eq!(owner1, predicted, "({k},{q}) placed off-prediction");
+        assert_eq!(owner2, predicted, "({k},{q}) resubmit moved backends");
+        // Drain both so the cache assertions below are deterministic.
+        for id in [id1, id2] {
+            let end = c.stream(id, |_, _| ()).expect("stream");
+            assert_eq!(end.get("state").map(String::as_str), Some("done"));
+        }
+        // The second job of the pair must be warm: same graph, same q−k,
+        // same backend (either a cache hit or coalesced onto job 1's load).
+        let status = c.status(id2).expect("status");
+        assert_eq!(
+            status.get("cache").map(String::as_str),
+            Some("hit"),
+            "resubmit of ({k},{q}) was not served warm: {status:?}"
+        );
+        assert_eq!(status.get("backend"), Some(&predicted));
+    }
+
+    // Router-wide id namespace: LIST shows every routed job exactly once,
+    // with router ids and backend attribution.
+    let jobs = c.list().expect("list");
+    assert_eq!(jobs.len(), 8, "8 jobs routed: {jobs:?}");
+    let mut ids: Vec<u64> = jobs
+        .iter()
+        .map(|j| j["id"].parse().expect("numeric id"))
+        .collect();
+    ids.sort_unstable();
+    assert_eq!(ids, (1..=8).collect::<Vec<_>>(), "dense router id space");
+    for job in &jobs {
+        assert!(
+            backends.contains(&job["backend"]),
+            "job attributed to unknown backend: {job:?}"
+        );
+    }
+
+    router.shutdown();
+    a.shutdown();
+    b.shutdown();
+}
+
+/// The acceptance scenario: a job queued behind a busy runner fails over to
+/// the surviving backend when its owner dies, completes there with the full
+/// result set, while the job that was *running* on the dead backend is
+/// failed (results lost, never silently re-run).
+#[test]
+fn queued_jobs_fail_over_when_a_backend_dies() {
+    let expected = ground_truth("jazz", 2, 7);
+    let a = start_backend(1); // single runner: one job occupies the backend
+    let b = start_backend(1);
+    let backends = vec![a.addr().to_string(), b.addr().to_string()];
+    let router = start_router(&backends);
+    let mut c = Client::connect(router.addr()).expect("connect");
+
+    // Occupy the owner of jazz(2,7)'s routing key with a throttled job...
+    let mut slow = SubmitArgs::dataset("jazz", 2, 7);
+    slow.throttle_us = Some(3000);
+    let (slow_id, owner) = submit_owner(&mut c, &slow);
+    loop {
+        let st = c.status(slow_id).expect("status slow");
+        match st.get("state").map(String::as_str) {
+            Some("queued") => std::thread::sleep(std::time::Duration::from_millis(5)),
+            Some("running") => break,
+            other => panic!("slow job in unexpected state {other:?}"),
+        }
+    }
+    // ... queue a second job with the same key (same backend, by design) ...
+    let (queued_id, owner2) = submit_owner(&mut c, &SubmitArgs::dataset("jazz", 2, 7));
+    assert_eq!(owner2, owner, "equal keys must share a backend");
+
+    // ... and kill that backend. The other one survives.
+    let (victim, survivor) = if owner == a.addr().to_string() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    victim.shutdown();
+
+    // The next proxied request notices the outage: the queued job must be
+    // resubmitted to the survivor under its original router id.
+    let status = c.status(queued_id).expect("status after kill");
+    let new_owner = status.get("backend").cloned().expect("backend=");
+    assert_ne!(new_owner, owner, "queued job still on the dead backend");
+    assert_eq!(new_owner, survivor.addr().to_string());
+
+    // It completes there with the full, correct result set.
+    let mut streamed = 0u64;
+    let end = c.stream(queued_id, |_, _| streamed += 1).expect("stream");
+    assert_eq!(end.get("state").map(String::as_str), Some("done"));
+    assert_eq!(streamed, expected, "failover lost or duplicated results");
+
+    // The running job on the dead backend is failed, not silently re-run.
+    let status = c.status(slow_id).expect("status slow after kill");
+    assert_eq!(
+        status.get("state").map(String::as_str),
+        Some("failed"),
+        "running job on a dead backend must fail: {status:?}"
+    );
+    assert!(
+        status
+            .get("error")
+            .is_some_and(|e| e.contains("backend_lost")),
+        "failure must name the cause: {status:?}"
+    );
+
+    router.shutdown();
+    survivor.shutdown();
+}
+
+/// A backend that was `DROPNODE`d (graceful drain) and *then* crashes must
+/// not strand the jobs still attributed to it: the registry can no longer
+/// observe an alive → dead transition for it, so recovery has to happen
+/// per-job on the next proxied request that sees the transport failure.
+#[test]
+fn jobs_on_a_dropped_backend_recover_after_it_dies() {
+    let expected = ground_truth("jazz", 2, 7);
+    let a = start_backend(1);
+    let b = start_backend(1);
+    let backends = vec![a.addr().to_string(), b.addr().to_string()];
+    let router = start_router(&backends);
+    let mut c = Client::connect(router.addr()).expect("connect");
+
+    // A running job and a queued job on the same owner.
+    let mut slow = SubmitArgs::dataset("jazz", 2, 7);
+    slow.throttle_us = Some(3000);
+    let (slow_id, owner) = submit_owner(&mut c, &slow);
+    loop {
+        let st = c.status(slow_id).expect("status slow");
+        if st.get("state").map(String::as_str) == Some("running") {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let (queued_id, owner2) = submit_owner(&mut c, &SubmitArgs::dataset("jazz", 2, 7));
+    assert_eq!(owner2, owner);
+    let (victim, survivor) = if owner == a.addr().to_string() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+
+    // Graceful drain: the queued job is rerouted to the survivor right
+    // away; the running job finishes in place (still reachable by addr).
+    c.drop_node(&owner).expect("dropnode");
+    let status = c.status(queued_id).expect("status after drain");
+    assert_eq!(
+        status.get("backend"),
+        Some(&survivor.addr().to_string()),
+        "drain must move the queued job: {status:?}"
+    );
+    let mut streamed = 0u64;
+    let end = c.stream(queued_id, |_, _| streamed += 1).expect("stream");
+    assert_eq!(end.get("state").map(String::as_str), Some("done"));
+    assert_eq!(streamed, expected);
+    let status = c.status(slow_id).expect("status slow after drain");
+    assert_eq!(
+        status.get("state").map(String::as_str),
+        Some("running"),
+        "drain must leave the running job in place: {status:?}"
+    );
+
+    // Now the dropped (unregistered) backend crashes. The running job must
+    // still be recovered — failed with backend_lost — by the next STATUS.
+    victim.shutdown();
+    let status = c.status(slow_id).expect("status after crash");
+    assert_eq!(
+        status.get("state").map(String::as_str),
+        Some("failed"),
+        "job stranded on a dropped+dead backend: {status:?}"
+    );
+    assert!(
+        status
+            .get("error")
+            .is_some_and(|e| e.contains("backend_lost")),
+        "failure must name the cause: {status:?}"
+    );
+
+    router.shutdown();
+    survivor.shutdown();
+}
+
+/// ADDNODE grows the registry at runtime, DROPNODE drains a backend
+/// (new submissions avoid it), and unknown nodes are rejected.
+#[test]
+fn addnode_and_dropnode_administer_the_registry() {
+    let a = start_backend(2);
+    let b = start_backend(2);
+    let addr_a = a.addr().to_string();
+    let addr_b = b.addr().to_string();
+    let router = start_router(std::slice::from_ref(&addr_a));
+    let mut c = Client::connect(router.addr()).expect("connect");
+
+    // One node at first; ADDNODE brings in the second.
+    assert_eq!(c.nodes().expect("nodes").len(), 1);
+    c.add_node(&addr_b).expect("addnode");
+    let nodes = c.nodes().expect("nodes");
+    assert_eq!(nodes.len(), 2);
+    assert!(nodes.iter().all(|n| n["alive"] == "true"));
+
+    // DROPNODE removes a backend from the routing set entirely: every new
+    // submission lands on the remaining one, whatever the key prefers.
+    c.drop_node(&addr_a).expect("dropnode");
+    assert_eq!(c.nodes().expect("nodes").len(), 1);
+    for (k, q) in [(2, 9), (2, 8), (1, 5)] {
+        let (_, owner) = submit_owner(&mut c, &SubmitArgs::dataset("jazz", k, q));
+        assert_eq!(owner, addr_b, "dropped node still receiving jobs");
+    }
+    // Dropping an unknown backend is an error.
+    match c.drop_node("203.0.113.9:1") {
+        Err(ClientError::Remote(msg)) => assert!(msg.contains("unknown backend"), "{msg}"),
+        other => panic!("expected remote error, got {other:?}"),
+    }
+
+    router.shutdown();
+    a.shutdown();
+    b.shutdown();
+}

@@ -1,17 +1,30 @@
 //! End-to-end tests over real TCP connections: concurrent jobs, mid-stream
-//! cancellation, the prepared-graph cache, queue back-pressure, and error
-//! paths. Counts are cross-checked against in-process `CountSink` runs.
+//! cancellation, the prepared-graph cache (including per-entry
+//! single-flight under a deterministically blocked cold load), deadlines,
+//! throttling, queue back-pressure, and error paths. Counts are
+//! cross-checked against in-process `CountSink` runs.
+//!
+//! Every server binds port 0 and the tests read the resolved address back,
+//! so parallel test runs can never collide on a port.
 
 use kplex_core::{enumerate_count, AlgoConfig, Params};
-use kplex_service::{Client, ClientError, Server, ServerConfig, ServerHandle, SubmitArgs};
+use kplex_service::{
+    Client, ClientError, LoadHook, Server, ServerConfig, ServerHandle, SubmitArgs,
+};
 
 fn start_server(runners: usize, queue_cap: usize) -> ServerHandle {
+    start_server_with(runners, queue_cap, None)
+}
+
+fn start_server_with(runners: usize, queue_cap: usize, hook: Option<LoadHook>) -> ServerHandle {
     let cfg = ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         runners,
         queue_cap,
         cache_cap: 4,
         default_threads: 2,
+        cold_load_hook: hook,
+        ..ServerConfig::default()
     };
     Server::bind(&cfg)
         .expect("bind ephemeral")
@@ -178,6 +191,208 @@ fn queue_backpressure_rejects_when_full() {
         other => panic!("expected queue-full rejection, got {other:?}"),
     }
     c.cancel(slow_id).expect("cancel slow");
+    handle.shutdown();
+}
+
+/// The deadline path: a throttled job with a short `timeout-ms` must end
+/// `failed` with `error=deadline_exceeded`, and its stream must terminate
+/// with that state rather than hanging.
+#[test]
+fn deadline_fails_a_slow_job() {
+    let total = ground_truth("jazz", 2, 7);
+    assert!(total > 50, "jazz (2, 7) must be big enough to outlive 30ms");
+    let handle = start_server(1, 8);
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    let mut args = SubmitArgs::dataset("jazz", 2, 7);
+    args.threads = Some(1);
+    args.throttle_us = Some(2000); // ~2ms per result: total >> deadline
+    args.timeout_ms = Some(30);
+    let id = c.submit(&args).expect("submit");
+    let mut streamed = 0u64;
+    let end = c.stream(id, |_, _| streamed += 1).expect("stream");
+    assert_eq!(
+        end.get("state").map(String::as_str),
+        Some("failed"),
+        "deadline must fail the job"
+    );
+    assert!(
+        streamed < total,
+        "the deadline stopped nothing: {streamed} of {total} results"
+    );
+    let status = c.status(id).expect("status");
+    assert_eq!(status.get("state").map(String::as_str), Some("failed"));
+    assert_eq!(
+        status.get("error").map(String::as_str),
+        Some("deadline_exceeded"),
+        "STATUS must carry the deadline error: {status:?}"
+    );
+    handle.shutdown();
+}
+
+/// The throttle path: with one engine thread, every reported result sleeps
+/// `throttle-us` first, so elapsed wall-clock is bounded below by
+/// `results × throttle` — a deterministic floor, no sleeps in the test.
+#[test]
+fn throttle_paces_the_stream() {
+    let handle = start_server(1, 8);
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    let mut args = SubmitArgs::dataset("jazz", 2, 9);
+    args.threads = Some(1);
+    args.limit = Some(5);
+    args.throttle_us = Some(4000);
+    let id = c.submit(&args).expect("submit");
+    let end = c.stream(id, |_, _| ()).expect("stream");
+    assert_eq!(end.get("state").map(String::as_str), Some("done"));
+    let status = c.status(id).expect("status");
+    let elapsed_ms: u64 = status
+        .get("elapsed-ms")
+        .and_then(|s| s.parse().ok())
+        .expect("elapsed-ms=");
+    assert!(
+        elapsed_ms >= 5 * 4,
+        "5 results at 4ms throttle ran in {elapsed_ms}ms (< 20ms floor)"
+    );
+    handle.shutdown();
+}
+
+/// The straggler-splitting (`tau-us`) path: an explicit τ must not change
+/// the result count.
+#[test]
+fn tau_override_preserves_counts() {
+    let expected = ground_truth("jazz", 2, 9);
+    let handle = start_server(1, 8);
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    let mut args = SubmitArgs::dataset("jazz", 2, 9);
+    args.threads = Some(2);
+    args.tau_us = Some(50);
+    let id = c.submit(&args).expect("submit");
+    let mut streamed = 0u64;
+    let end = c.stream(id, |_, _| streamed += 1).expect("stream");
+    assert_eq!(end.get("state").map(String::as_str), Some("done"));
+    assert_eq!(streamed, expected, "tau-us must not change the result set");
+    handle.shutdown();
+}
+
+/// The regression the per-entry single-flight cache fixes: while one job's
+/// cold graph load is deterministically blocked (via the test-only load
+/// hook — no sleeps), a warm job for a *different* key and `STATS` both
+/// complete, and a second submit for the *same* cold key coalesces onto
+/// the in-flight load instead of loading again.
+#[test]
+fn warm_jobs_and_stats_proceed_while_a_cold_load_is_blocked() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    let lastfm_loads = Arc::new(AtomicUsize::new(0));
+    let (started_tx, started_rx) = mpsc::channel::<()>();
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    let hook = {
+        let lastfm_loads = lastfm_loads.clone();
+        let started_tx = Mutex::new(started_tx);
+        let release_rx = Mutex::new(release_rx);
+        LoadHook::new(move |key: &str| {
+            if key.contains("lastfm") {
+                lastfm_loads.fetch_add(1, Ordering::SeqCst);
+                started_tx.lock().unwrap().send(()).unwrap();
+                // Hold the cold load open until the test releases it.
+                release_rx.lock().unwrap().recv().unwrap();
+            }
+        })
+    };
+    // Runners: 2 for the coldly-blocked lastfm jobs + 1 free for the warm
+    // jazz job that must overtake them.
+    let handle = start_server_with(3, 16, Some(hook));
+    let addr = handle.addr();
+    let mut c = Client::connect(addr).expect("connect");
+
+    // Warm up jazz so its later resubmit is a pure cache hit.
+    let id = c
+        .submit(&SubmitArgs::dataset("jazz", 2, 9))
+        .expect("warm-up submit");
+    let end = c.stream(id, |_, _| ()).expect("warm-up stream");
+    assert_eq!(end.get("state").map(String::as_str), Some("done"));
+
+    // Open the blocked cold load, plus a second submit for the same key
+    // that must coalesce (not load again).
+    let cold_a = c
+        .submit(&SubmitArgs::dataset("lastfm", 2, 9))
+        .expect("cold");
+    let cold_b = c
+        .submit(&SubmitArgs::dataset("lastfm", 2, 9))
+        .expect("cold twin");
+    started_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("the cold load never started");
+    // Deterministic rendezvous: wait until the twin is observably parked on
+    // the in-flight load (it would otherwise race the release below and be
+    // served as a plain hit).
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = c.stats().expect("stats while blocked");
+        if stats["cache-waiting"].parse::<u64>().unwrap() == 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "twin submit never parked on the in-flight load: {stats:?}"
+        );
+        std::thread::yield_now();
+    }
+
+    // With the load still blocked, a warm job and STATS must complete.
+    // Run them in a thread so a regression shows up as a clean panic (via
+    // the timeout below), not a hung test suite.
+    let (done_tx, done_rx) = mpsc::channel::<(u64, u64)>();
+    let prober = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("prober connect");
+        let stats = c.stats().expect("STATS while cold load blocked");
+        let pending: u64 = stats["cache-pending"].parse().unwrap();
+        let id = c
+            .submit(&SubmitArgs::dataset("jazz", 2, 9))
+            .expect("warm submit");
+        let end = c.stream(id, |_, _| ()).expect("warm stream");
+        assert_eq!(end.get("state").map(String::as_str), Some("done"));
+        let status = c.status(id).expect("warm status");
+        assert_eq!(
+            status.get("cache").map(String::as_str),
+            Some("hit"),
+            "the overtaking job must be the warm one"
+        );
+        let results: u64 = status["results"].parse().unwrap();
+        done_tx.send((pending, results)).unwrap();
+    });
+    let (pending, warm_results) = done_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("warm job or STATS blocked behind the cold load");
+    prober.join().expect("prober thread");
+    assert_eq!(pending, 1, "STATS must see the in-flight cold load");
+    assert_eq!(warm_results, ground_truth("jazz", 2, 9));
+
+    // Release the cold load; both lastfm jobs finish off one single load.
+    release_tx.send(()).unwrap();
+    let expected_lastfm = ground_truth("lastfm", 2, 9);
+    for id in [cold_a, cold_b] {
+        let mut streamed = 0u64;
+        let end = c.stream(id, |_, _| streamed += 1).expect("cold stream");
+        assert_eq!(end.get("state").map(String::as_str), Some("done"));
+        assert_eq!(streamed, expected_lastfm);
+    }
+    assert_eq!(
+        lastfm_loads.load(Ordering::SeqCst),
+        1,
+        "two concurrent cold submits must run exactly one load (single-flight)"
+    );
+    let stats = Client::connect(addr)
+        .expect("connect")
+        .stats()
+        .expect("stats");
+    let coalesced: u64 = stats["cache-coalesced"].parse().unwrap();
+    assert!(
+        coalesced >= 1,
+        "the twin submit must have coalesced onto the in-flight load: {stats:?}"
+    );
     handle.shutdown();
 }
 
