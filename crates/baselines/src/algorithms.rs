@@ -24,11 +24,11 @@ pub enum Algorithm {
     BasicR1,
     /// `Basic` plus Theorems 5.13–5.15 (Table 6).
     BasicR2,
-    /// The ListPlex baseline [39].
+    /// The ListPlex baseline \[39].
     ListPlex,
-    /// The FP baseline [16].
+    /// The FP baseline \[16].
     Fp,
-    /// The D2K baseline [15].
+    /// The D2K baseline \[15].
     D2k,
     /// Pivot ablation: minimum-degree pivot without the saturation
     /// tie-break (extension; not a paper table).

@@ -1,4 +1,4 @@
-//! D2K baseline [15] (Conte et al., KDD 2018), reimplemented from its
+//! D2K baseline \[15] (Conte et al., KDD 2018), reimplemented from its
 //! published description.
 //!
 //! D2K introduced the decomposition this whole line of work builds on:

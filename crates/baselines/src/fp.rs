@@ -1,4 +1,4 @@
-//! FP baseline [16] (Dai et al., CIKM 2022), reimplemented from its
+//! FP baseline \[16] (Dai et al., CIKM 2022), reimplemented from its
 //! published description.
 //!
 //! FP enumerates over seed subgraphs like the other algorithms but does

@@ -1,7 +1,7 @@
 //! # kplex-baselines
 //!
 //! From-scratch reimplementations of the two state-of-the-art baselines the
-//! paper compares against — ListPlex [39] and FP [16] — plus a uniform
+//! paper compares against — ListPlex \[39] and FP \[16] — plus a uniform
 //! [`Algorithm`] handle over every variant used by the evaluation harness.
 //!
 //! ```

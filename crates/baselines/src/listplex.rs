@@ -1,4 +1,4 @@
-//! ListPlex baseline [39] (Wang et al., WWW 2022), reimplemented from its
+//! ListPlex baseline \[39] (Wang et al., WWW 2022), reimplemented from its
 //! published description.
 //!
 //! ListPlex introduced the sub-task partitioning scheme that the paper

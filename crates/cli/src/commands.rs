@@ -22,8 +22,10 @@ USAGE:
   kplex stats     (--input FILE | --dataset NAME)
   kplex generate  --dataset NAME --output FILE
   kplex serve     [--addr HOST:PORT] [--runners N] [--queue-cap N]
-                  [--cache-cap N] [--threads N] [--retain N]
+                  [--cache-cap N] [--threads N] [--retain N] [--journal PATH]
   kplex route     [--addr HOST:PORT] --backend HOST:PORT [--backend ...]
+                  [--probe-ms N] [--probe-timeout-ms N]
+                  [--probe-fails N] [--probe-rises N]
   kplex submit    --addr HOST:PORT --k K --q Q
                   (--dataset NAME | --input FILE) [--threads N] [--algo ALGO]
                   [--limit N] [--timeout-ms N] [--throttle-us N] [--tau-us N]
@@ -44,9 +46,10 @@ OPTIONS:
   --count-only     print only the number of k-plexes
   --limit N        stop after N results
 
-`serve` runs the kplexd job server in-process; `route` runs the kplexr
-shard router over one or more kplexd backends; `submit` sends a job to a
-running server or router and streams its results (see
+`serve` runs the kplexd job server in-process (`--journal` makes accepted
+jobs survive a restart); `route` runs the kplexr shard router over one or
+more kplexd backends (`--probe-ms 0` disables its health prober); `submit`
+sends a job to a running server or router and streams its results (see
 crates/service/PROTOCOL.md).
 
 EXIT CODES: 0 success, 1 runtime failure, 2 usage error (bad arguments).
@@ -381,6 +384,7 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     cfg.retain_terminal = args
         .get_parse("retain", cfg.retain_terminal)
         .map_err(usage)?;
+    cfg.journal = args.get("journal").map(std::path::PathBuf::from);
     args.reject_unknown().map_err(usage)?;
     let server = kplex_service::Server::bind(&cfg)
         .map_err(|e| CliError::Runtime(format!("cannot bind {}: {e}", cfg.addr)))?;
@@ -388,8 +392,13 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         .local_addr()
         .map_err(|e| CliError::Runtime(e.to_string()))?;
     eprintln!(
-        "# kplexd listening on {addr} ({} runners, queue {}, cache {})",
-        cfg.runners, cfg.queue_cap, cfg.cache_cap
+        "# kplexd listening on {addr} ({} runners, queue {}, cache {}, journal {})",
+        cfg.runners,
+        cfg.queue_cap,
+        cfg.cache_cap,
+        cfg.journal
+            .as_ref()
+            .map_or("off".to_string(), |p| p.display().to_string())
     );
     server.run().map_err(|e| CliError::Runtime(e.to_string()))
 }
@@ -407,6 +416,26 @@ fn cmd_route(args: &Args) -> Result<(), CliError> {
         .into_iter()
         .map(str::to_string)
         .collect();
+    let mut probe = kplex_service::ProbeConfig::default();
+    let probe_ms: u64 = args
+        .get_parse("probe-ms", probe.interval.as_millis() as u64)
+        .map_err(usage)?;
+    let timeout_ms: u64 = args
+        .get_parse("probe-timeout-ms", probe.timeout.as_millis() as u64)
+        .map_err(usage)?;
+    probe.timeout = std::time::Duration::from_millis(timeout_ms.max(1));
+    probe.fall = args
+        .get_parse("probe-fails", probe.fall)
+        .map_err(usage)?
+        .max(1);
+    probe.rise = args
+        .get_parse("probe-rises", probe.rise)
+        .map_err(usage)?
+        .max(1);
+    if probe_ms > 0 {
+        probe.interval = std::time::Duration::from_millis(probe_ms);
+        cfg.probe = Some(probe);
+    }
     args.reject_unknown().map_err(usage)?;
     if cfg.backends.is_empty() {
         return Err(usage("route requires at least one --backend HOST:PORT"));
@@ -417,9 +446,13 @@ fn cmd_route(args: &Args) -> Result<(), CliError> {
         .local_addr()
         .map_err(|e| CliError::Runtime(e.to_string()))?;
     eprintln!(
-        "# kplexr listening on {addr}, routing over {} backend(s): {}",
+        "# kplexr listening on {addr}, routing over {} backend(s): {} (probe {})",
         cfg.backends.len(),
-        cfg.backends.join(", ")
+        cfg.backends.join(", "),
+        cfg.probe.as_ref().map_or("off".to_string(), |p| format!(
+            "every {}ms",
+            p.interval.as_millis()
+        ))
     );
     router.run().map_err(|e| CliError::Runtime(e.to_string()))
 }
@@ -721,6 +754,7 @@ mod tests {
         let router = kplex_service::Router::bind(&kplex_service::RouterConfig {
             addr: "127.0.0.1:0".into(),
             backends: vec![backend.addr().to_string()],
+            ..kplex_service::RouterConfig::default()
         })
         .expect("bind router")
         .spawn()

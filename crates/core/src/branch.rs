@@ -226,7 +226,7 @@ impl<'a> Searcher<'a> {
     /// Arms an external stop flag: when raised (by another thread — a
     /// cancelled job, a globally capped sink), the search aborts
     /// cooperatively. The flag is checked on every report (so no result is
-    /// delivered after cancellation) and polled every [`STOP_STRIDE`]-th
+    /// delivered after cancellation) and polled every `STOP_STRIDE`-th
     /// recursion (so result-free subtrees also stop promptly, not only at
     /// task boundaries).
     pub fn set_stop_flag(&mut self, flag: Option<Arc<AtomicBool>>) {

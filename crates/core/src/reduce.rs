@@ -1,5 +1,5 @@
 //! CTCP-style global graph reduction (an extension; the technique is due to
-//! kPlexS [12], reviewed in Section 2 of the paper).
+//! kPlexS \[12], reviewed in Section 2 of the paper).
 //!
 //! Theorem 3.5 already shrinks the input to its (q−k)-core. The second-order
 //! property (Theorem 5.1, case ii) allows more: an edge can only appear

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! kplexd [--addr HOST:PORT] [--runners N] [--queue-cap N] [--cache-cap N]
-//!        [--threads N]
+//!        [--threads N] [--journal PATH]
 //! kplexd smoke    # self-test: submit jazz, stream, cancel, verify
 //! kplexd help
 //! ```
@@ -25,6 +25,10 @@ OPTIONS:
   --cache-cap N      prepared-graph LRU size  (default 4)
   --threads N        default per-job engine threads
   --retain N         terminal jobs kept for STATUS/STREAM replay (default 64)
+  --journal PATH     append-only job journal: accepted jobs are fsync'd
+                     before the SUBMIT is acknowledged, and a restart with
+                     the same path replays queued + interrupted jobs
+                     (at-least-once; see PROTOCOL.md \"Job persistence\")
 ";
 
 fn parse_config(args: &[String]) -> Result<ServerConfig, String> {
@@ -62,6 +66,7 @@ fn parse_config(args: &[String]) -> Result<ServerConfig, String> {
                     .parse()
                     .map_err(|_| "invalid --retain".to_string())?
             }
+            "--journal" => cfg.journal = Some(std::path::PathBuf::from(value(i)?)),
             other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
         }
         i += 2;
@@ -98,8 +103,13 @@ fn main() -> ExitCode {
                 Ok(server) => {
                     let addr = server.local_addr().expect("bound listener has an address");
                     eprintln!(
-                        "kplexd listening on {addr} ({} runners, queue {}, cache {})",
-                        cfg.runners, cfg.queue_cap, cfg.cache_cap
+                        "kplexd listening on {addr} ({} runners, queue {}, cache {}, journal {})",
+                        cfg.runners,
+                        cfg.queue_cap,
+                        cfg.cache_cap,
+                        cfg.journal
+                            .as_ref()
+                            .map_or("off".to_string(), |p| p.display().to_string())
                     );
                     match server.run() {
                         Ok(()) => ExitCode::SUCCESS,

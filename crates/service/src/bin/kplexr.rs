@@ -2,40 +2,63 @@
 //!
 //! ```text
 //! kplexr [--addr HOST:PORT] --backend HOST:PORT [--backend HOST:PORT ...]
-//! kplexr smoke    # self-test: 2 in-process backends, routing + failover
+//!        [--probe-ms N] [--probe-timeout-ms N] [--probe-fails N] [--probe-rises N]
+//! kplexr smoke    # self-test: routing, failover, probe, journal replay
 //! kplexr help
 //! ```
 
-use kplex_service::{Client, Router, RouterConfig, Server, ServerConfig, SubmitArgs};
+use kplex_service::{Client, ProbeConfig, Router, RouterConfig, Server, ServerConfig, SubmitArgs};
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 kplexr — shard router for kplexd backends (see crates/service/PROTOCOL.md)
 
 USAGE:
   kplexr [OPTIONS]        run the router (Ctrl-C to stop)
-  kplexr smoke            end-to-end self-test with 2 in-process backends
+  kplexr smoke            end-to-end self-test with in-process backends
   kplexr help
 
 OPTIONS:
   --addr HOST:PORT      listen address                (default 127.0.0.1:7710)
   --backend HOST:PORT   a kplexd backend (repeatable; ADDNODE/DROPNODE at runtime)
+  --probe-ms N          health-probe interval in ms; 0 disables (default 1000)
+  --probe-timeout-ms N  per-probe connect+reply budget (default 500)
+  --probe-fails N       consecutive failures before a backend is marked dead
+                        (default 3)
+  --probe-rises N       consecutive successes before a dead backend rejoins
+                        (default 2)
 ";
 
 fn parse_config(args: &[String]) -> Result<RouterConfig, String> {
     let mut cfg = RouterConfig::default();
+    let mut probe = ProbeConfig::default();
+    let mut probe_ms: u64 = probe.interval.as_millis() as u64;
     let mut i = 0;
     while i < args.len() {
         let value = |i: usize| -> Result<&String, String> {
             args.get(i + 1)
                 .ok_or_else(|| format!("{} requires a value", args[i]))
         };
+        let parse_u64 = |i: usize| -> Result<u64, String> {
+            value(i)?
+                .parse()
+                .map_err(|_| format!("invalid value for {}", args[i]))
+        };
         match args[i].as_str() {
             "--addr" => cfg.addr = value(i)?.clone(),
             "--backend" => cfg.backends.push(value(i)?.clone()),
+            "--probe-ms" => probe_ms = parse_u64(i)?,
+            "--probe-timeout-ms" => probe.timeout = Duration::from_millis(parse_u64(i)?.max(1)),
+            "--probe-fails" => probe.fall = parse_u64(i)?.max(1) as u32,
+            "--probe-rises" => probe.rise = parse_u64(i)?.max(1) as u32,
             other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
         }
         i += 2;
+    }
+    if probe_ms > 0 {
+        probe.interval = Duration::from_millis(probe_ms);
+        cfg.probe = Some(probe);
     }
     Ok(cfg)
 }
@@ -73,9 +96,13 @@ fn main() -> ExitCode {
                 Ok(router) => {
                     let addr = router.local_addr().expect("bound listener has an address");
                     eprintln!(
-                        "kplexr listening on {addr}, routing over {} backend(s): {}",
+                        "kplexr listening on {addr}, routing over {} backend(s): {} (probe {})",
                         cfg.backends.len(),
-                        cfg.backends.join(", ")
+                        cfg.backends.join(", "),
+                        cfg.probe.as_ref().map_or("off".to_string(), |p| format!(
+                            "every {}ms",
+                            p.interval.as_millis()
+                        ))
                     );
                     match router.run() {
                         Ok(()) => ExitCode::SUCCESS,
@@ -102,10 +129,11 @@ fn ground_truth(dataset: &str, k: usize, q: usize) -> Result<u64, String> {
     Ok(kplex_core::enumerate_count(&g, params, &kplex_core::AlgoConfig::ours()).0)
 }
 
-fn start_backend() -> Result<kplex_service::ServerHandle, String> {
+fn start_backend(journal: &std::path::Path) -> Result<kplex_service::ServerHandle, String> {
     let cfg = ServerConfig {
         addr: "127.0.0.1:0".to_string(), // port 0: parallel runs cannot collide
         runners: 1,
+        journal: Some(journal.to_path_buf()),
         ..ServerConfig::default()
     };
     Server::bind(&cfg)
@@ -113,14 +141,33 @@ fn start_backend() -> Result<kplex_service::ServerHandle, String> {
         .map_err(|e| format!("bind backend: {e}"))
 }
 
+/// One in-process backend of the smoke fleet: its router-visible address,
+/// its journal path (reused when the smoke restarts it), and its handle
+/// (`None` once the failover scenario has killed it).
+struct BackendSlot {
+    addr: String,
+    journal: std::path::PathBuf,
+    handle: Option<kplex_service::ServerHandle>,
+}
+
+type BackendSlots = [BackendSlot; 2];
+
 /// End-to-end self-test (what CI's bench-smoke job runs): two in-process
-/// backends behind a router on ephemeral ports. Verifies ADDNODE, routed
-/// streaming with count cross-check, rendezvous-stable warm resubmission
-/// (via STATS of the owning backend), and queued-job failover when a
-/// backend dies.
+/// journal-backed backends behind a router on ephemeral ports. Verifies
+/// ADDNODE, routed streaming with count cross-check, rendezvous-stable
+/// warm resubmission (via STATS of the owning backend), queued-job
+/// failover when a backend dies, and — the self-healing half — a restart
+/// of the killed backend with the same journal replaying its interrupted
+/// jobs to completion.
 fn smoke() -> Result<(), String> {
-    let backend_a = start_backend()?;
-    let backend_b = start_backend()?;
+    let tmp = std::env::temp_dir();
+    let journal_a = tmp.join(format!("kplexr-smoke-{}-a.journal", std::process::id()));
+    let journal_b = tmp.join(format!("kplexr-smoke-{}-b.journal", std::process::id()));
+    for p in [&journal_a, &journal_b] {
+        let _ = std::fs::remove_file(p);
+    }
+    let backend_a = start_backend(&journal_a)?;
+    let backend_b = start_backend(&journal_b)?;
     let addr_a = backend_a.addr().to_string();
     let addr_b = backend_b.addr().to_string();
 
@@ -128,24 +175,95 @@ fn smoke() -> Result<(), String> {
     let router = Router::bind(&RouterConfig {
         addr: "127.0.0.1:0".to_string(),
         backends: vec![addr_a.clone()],
+        probe: None, // failover is exercised reactively here; probes have their own tests
     })
     .and_then(|r| r.spawn())
     .map_err(|e| format!("bind router: {e}"))?;
     let mut backends = [
-        (addr_a.clone(), Some(backend_a)),
-        (addr_b.clone(), Some(backend_b)),
+        BackendSlot {
+            addr: addr_a,
+            journal: journal_a.clone(),
+            handle: Some(backend_a),
+        },
+        BackendSlot {
+            addr: addr_b.clone(),
+            journal: journal_b.clone(),
+            handle: Some(backend_b),
+        },
     ];
-    let result = smoke_scenarios(router.addr(), &addr_b, &mut backends);
+    let result = smoke_scenarios(router.addr(), &addr_b, &mut backends)
+        .and_then(|()| smoke_restart(router.addr(), &mut backends));
     router.shutdown();
-    for (_, handle) in backends.iter_mut() {
-        if let Some(h) = handle.take() {
+    for slot in backends.iter_mut() {
+        if let Some(h) = slot.handle.take() {
             h.shutdown();
         }
+    }
+    for p in [&journal_a, &journal_b] {
+        let _ = std::fs::remove_file(p);
     }
     result
 }
 
-type BackendSlots = [(String, Option<kplex_service::ServerHandle>); 2];
+/// Scenario 5: the backend killed by the failover scenario restarts with
+/// the **same journal** (on a fresh port — the old one may linger in
+/// TIME_WAIT). Its interrupted jobs — one orphaned mid-run, one queued —
+/// must replay into the queue under their original ids and complete with
+/// the correct counts, and the healed node rejoins the fleet via ADDNODE.
+fn smoke_restart(router: std::net::SocketAddr, backends: &mut BackendSlots) -> Result<(), String> {
+    let err = |e: kplex_service::ClientError| e.to_string();
+    let victim = backends
+        .iter_mut()
+        .find(|s| s.handle.is_none())
+        .ok_or("no backend was killed by the failover scenario")?;
+    let restarted = start_backend(&victim.journal)?;
+    let new_addr = restarted.addr().to_string();
+
+    let mut direct = Client::connect(restarted.addr()).map_err(err)?;
+    let stats = direct.stats().map_err(err)?;
+    if stats.get("recovered").map(String::as_str) != Some("2") {
+        return Err(format!(
+            "restart must replay the orphaned-running and the queued job, STATS: {stats:?}"
+        ));
+    }
+    // Both replayed jobs are jazz(2,7); the lower id is the throttled one
+    // (submitted first). Cancel it — an operator pruning stale replays —
+    // and check the other completes with the full result set.
+    let jobs = direct.list().map_err(err)?;
+    let mut ids: Vec<u64> = jobs
+        .iter()
+        .map(|j| j["id"].parse().map_err(|_| "non-numeric id in LIST"))
+        .collect::<Result<_, _>>()?;
+    ids.sort_unstable();
+    let [throttled, plain] = ids[..] else {
+        return Err(format!("expected exactly 2 replayed jobs, got {jobs:?}"));
+    };
+    direct.cancel(throttled).map_err(err)?;
+    let status = direct.status(plain).map_err(err)?;
+    if status.get("recovered").map(String::as_str) != Some("true") {
+        return Err(format!(
+            "replayed job must carry recovered=true: {status:?}"
+        ));
+    }
+    let expected = ground_truth("jazz", 2, 7)?;
+    let mut streamed = 0u64;
+    let end = direct.stream(plain, |_, _| streamed += 1).map_err(err)?;
+    if end.get("state").map(String::as_str) != Some("done") || streamed != expected {
+        return Err(format!(
+            "replayed job: state={:?} streamed={streamed}, want done/{expected}",
+            end.get("state")
+        ));
+    }
+    // The healed backend rejoins the routing set.
+    let mut c = Client::connect(router).map_err(err)?;
+    c.add_node(&new_addr).map_err(err)?;
+    victim.handle = Some(restarted);
+    println!(
+        "kplexr smoke: restarted backend replayed 2 journaled jobs \
+         ({streamed} plexes re-streamed) and rejoined as {new_addr}"
+    );
+    Ok(())
+}
 
 fn smoke_scenarios(
     router: std::net::SocketAddr,
@@ -243,8 +361,8 @@ fn smoke_scenarios(
     // Kill the owning backend (the other one survives).
     let victim = backends
         .iter_mut()
-        .find(|(addr, _)| *addr == target)
-        .and_then(|(_, handle)| handle.take())
+        .find(|slot| slot.addr == target)
+        .and_then(|slot| slot.handle.take())
         .ok_or("victim backend handle missing")?;
     victim.shutdown();
     // STATUS forces the router to notice the outage and fail over.

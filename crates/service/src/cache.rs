@@ -8,7 +8,7 @@
 //! phase and goes straight to enumeration.
 //!
 //! Concurrency contract: the map lock is only ever held for map surgery,
-//! never across a build. A cold load inserts a [`Slot::Pending`] marker,
+//! never across a build. A cold load inserts a pending marker,
 //! releases the lock, and builds outside it; concurrent requesters for the
 //! *same* key block on the cache condvar until the flight lands (exactly one
 //! build per key — single-flight), while requests for *other* keys, warm

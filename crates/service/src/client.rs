@@ -190,6 +190,16 @@ impl Client {
         self.multiline("NODES")
     }
 
+    /// Router admin: recompute rendezvous placement for queued jobs and
+    /// migrate the ones whose owner changed. Returns how many moved.
+    pub fn rebalance(&mut self) -> Result<u64, ClientError> {
+        let fields = self.request("REBALANCE")?;
+        fields
+            .get("rebalanced")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ClientError::Protocol("REBALANCE reply without rebalanced".into()))
+    }
+
     /// One multi-line request: sends `verb`, collects the fields of each
     /// line until the terminating `END` (shared by `LIST` and `NODES`).
     fn multiline(&mut self, verb: &str) -> Result<Vec<BTreeMap<String, String>>, ClientError> {

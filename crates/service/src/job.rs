@@ -158,6 +158,13 @@ pub struct Job {
     pub spec: JobSpec,
     /// Cooperative stop flag, plumbed into the engine and its sinks.
     pub cancel: Arc<AtomicBool>,
+    /// True when this job was replayed from the journal after a restart
+    /// rather than submitted on this server lifetime — surfaced in
+    /// `STATUS` (`recovered=true`) because a replayed job may re-run work
+    /// a previous lifetime already did (at-least-once delivery).
+    pub recovered: bool,
+    /// Invoked on the terminal transition (see [`TerminalHook`]).
+    on_terminal: Option<TerminalHook>,
     inner: Mutex<Progress>,
     cond: Condvar,
 }
@@ -175,6 +182,9 @@ pub struct JobSnapshot {
     pub params: Params,
     /// Results buffered so far.
     pub results: u64,
+    /// True when the job was replayed from the journal (see
+    /// [`Job::recovered`]).
+    pub recovered: bool,
     /// Whether the prepared graph came from the cache (`None` until known).
     pub cache_hit: Option<bool>,
     /// Milliseconds spent running (live for running jobs, final otherwise).
@@ -184,6 +194,13 @@ pub struct JobSnapshot {
     /// Failure reason, if failed.
     pub error: Option<String>,
 }
+
+/// Callback fired with `(id, terminal label)` at the exact moment a job
+/// transitions to a terminal state — under the job's lock, *before* the
+/// transition becomes observable to any `STATUS`/`STREAM` reader. The
+/// server installs one to write the journal's `END` record write-ahead:
+/// once a client has seen a job terminal, a restart will not resurrect it.
+pub type TerminalHook = Arc<dyn Fn(JobId, &str) + Send + Sync>;
 
 /// One step of a streaming read.
 pub enum StreamStep {
@@ -198,10 +215,39 @@ pub enum StreamStep {
 impl Job {
     /// A freshly queued job.
     pub fn new(id: JobId, spec: JobSpec) -> Self {
+        Self::with_provenance(id, spec, false)
+    }
+
+    /// A job replayed from the journal after a restart: queued like a new
+    /// one, but flagged `recovered` for `STATUS`.
+    pub fn new_recovered(id: JobId, spec: JobSpec) -> Self {
+        Self::with_provenance(id, spec, true)
+    }
+
+    /// Installs the terminal-transition hook (builder style, before the
+    /// job is shared). The hook fires exactly once per job.
+    pub fn with_terminal_hook(mut self, hook: TerminalHook) -> Self {
+        self.on_terminal = Some(hook);
+        self
+    }
+
+    /// Fires the terminal hook. Must be called with the state lock held,
+    /// right after the transition to `state` — before any observer can see
+    /// it — and only from the single place that performed the transition.
+    fn fire_terminal(&self, state: JobState) {
+        debug_assert!(state.is_terminal());
+        if let Some(hook) = &self.on_terminal {
+            hook(self.id, state.label());
+        }
+    }
+
+    fn with_provenance(id: JobId, spec: JobSpec, recovered: bool) -> Self {
         Self {
             id,
             spec,
             cancel: Arc::new(AtomicBool::new(false)),
+            recovered,
+            on_terminal: None,
             inner: Mutex::new(Progress {
                 state: JobState::Queued,
                 results: Vec::new(),
@@ -272,6 +318,7 @@ impl Job {
         if p.state == JobState::Queued {
             p.state = JobState::Cancelled;
             p.elapsed = Some(Duration::ZERO);
+            self.fire_terminal(p.state);
             self.cond.notify_all();
         }
     }
@@ -288,15 +335,22 @@ impl Job {
         p.error = error;
         p.stats = Some(stats);
         p.elapsed = p.started.map(|s| s.elapsed());
+        self.fire_terminal(state);
         self.cond.notify_all();
     }
 
-    /// Any state → Failed with a reason (load error, bad preset, …).
+    /// Any non-terminal state → Failed with a reason (load error, bad
+    /// preset, …). A no-op on an already-terminal job (the first terminal
+    /// transition wins, and the terminal hook fires exactly once).
     pub fn fail(&self, reason: String) {
         let mut p = self.lock();
+        if p.state.is_terminal() {
+            return;
+        }
         p.state = JobState::Failed;
         p.error = Some(reason);
         p.elapsed = p.started.map(|s| s.elapsed());
+        self.fire_terminal(p.state);
         self.cond.notify_all();
     }
 
@@ -313,6 +367,7 @@ impl Job {
             source: self.spec.source.label().to_string(),
             params: self.spec.params,
             results: p.results.len() as u64,
+            recovered: self.recovered,
             cache_hit: p.cache_hit,
             elapsed_ms: elapsed.as_millis() as u64,
             stats: p.stats.clone(),
@@ -402,6 +457,14 @@ mod tests {
         job.note_stop_cause(StopCause::Cap);
         let p = job.lock();
         assert_eq!(p.stop_cause, Some(StopCause::Cancel));
+    }
+
+    #[test]
+    fn recovered_jobs_are_flagged() {
+        let job = Job::new_recovered(9, spec());
+        assert!(job.recovered);
+        assert!(job.snapshot().recovered);
+        assert!(!Job::new(1, spec()).snapshot().recovered);
     }
 
     #[test]

@@ -1,0 +1,392 @@
+//! Append-only job journal: `kplexd`'s crash-recovery log.
+//!
+//! A server started with `--journal <path>` records every job's
+//! **accepted** (`SUBMIT`), **started** (`START`) and **terminal** (`END`)
+//! transitions as one fsync'd line each. On restart with the same journal,
+//! every job that was accepted but never reached a terminal state — queued
+//! jobs *and* jobs orphaned mid-run — is replayed back into the queue under
+//! its original id, and the id counter resumes past the largest id ever
+//! issued, so ids are never reused across restarts.
+//!
+//! Durability contract (**at-least-once**): a job is journaled *before* its
+//! `SUBMIT` is acknowledged, so an acknowledged job survives a crash. The
+//! terminal record is written when the job finishes *organically*; a
+//! shutdown (or crash) between acceptance and the terminal record replays
+//! the job on restart, re-running work whose results died with the process.
+//! Result buffers are **not** journaled — a replayed job re-enumerates from
+//! scratch. Exactly-once delivery would require journaling results, which
+//! the paper's 10⁹-plex result sets rule out.
+//!
+//! Torn writes: each record is appended and fsync'd as one line, so a crash
+//! mid-append leaves at most one truncated final line, which replay
+//! tolerates (the un-acknowledged record it belongs to is simply lost). A
+//! malformed record anywhere *before* the tail is real corruption and fails
+//! the replay loudly rather than silently dropping jobs.
+//!
+//! Growth: [`Journal::open`] compacts the file before reopening it for
+//! append — terminal jobs' records are dropped and only live jobs (plus a
+//! `NEXT` id floor) are rewritten, via a temp file + atomic
+//! rename. A journal therefore never grows across restarts, only within
+//! one server lifetime.
+//!
+//! ## Record grammar
+//!
+//! ```text
+//! NEXT <id>                    id floor (written by compaction)
+//! SUBMIT <id> <key=value ...>  job accepted; fields as in the wire SUBMIT
+//! START <id>                   job left the queue and began running
+//! END <id> <state>             job reached a terminal state
+//! ```
+
+use crate::protocol::{self, JobId, Request, SubmitArgs};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One non-terminal job reconstructed from a journal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveredJob {
+    /// The id the job was originally accepted under (reused on replay).
+    pub id: JobId,
+    /// The original submission, exactly as validated then.
+    pub args: SubmitArgs,
+    /// True when the job had already started when the server died — an
+    /// orphaned-running job, requeued like a queued one (at-least-once).
+    pub was_started: bool,
+}
+
+/// Everything [`replay`] reconstructs from a journal's text.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Replay {
+    /// Non-terminal jobs in id (= acceptance) order: these re-enter the
+    /// queue on restart.
+    pub jobs: Vec<RecoveredJob>,
+    /// First id the restarted server may issue (past every id ever seen).
+    pub next_id: JobId,
+    /// Terminal jobs seen (they are *not* resurrected; counted for logs).
+    pub terminal: usize,
+}
+
+/// One parsed journal line.
+enum Record {
+    /// Id floor written by compaction so ids survive a fully-drained log.
+    Next(JobId),
+    /// Job accepted with these submission arguments.
+    Submit(JobId, SubmitArgs),
+    /// Job began running.
+    Start(JobId),
+    /// Job reached a terminal state.
+    End(JobId),
+}
+
+fn parse_record(line: &str) -> Result<Record, String> {
+    let (verb, rest) = line.split_once(' ').unwrap_or((line, ""));
+    let id =
+        |s: &str| -> Result<JobId, String> { s.parse().map_err(|_| format!("bad job id {s:?}")) };
+    match verb {
+        "NEXT" => Ok(Record::Next(id(rest.trim())?)),
+        "START" => Ok(Record::Start(id(rest.trim())?)),
+        "END" => {
+            let (id_str, _state) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("END without state: {line:?}"))?;
+            Ok(Record::End(id(id_str)?))
+        }
+        "SUBMIT" => {
+            let (id_str, fields) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("SUBMIT without fields: {line:?}"))?;
+            // The fields are exactly a wire `SUBMIT` line's arguments, so
+            // the wire parser is the single source of validation.
+            match protocol::parse_request(&format!("SUBMIT {fields}")) {
+                Ok(Request::Submit(args)) => Ok(Record::Submit(id(id_str)?, *args)),
+                Ok(_) => unreachable!("a SUBMIT line parses as Request::Submit"),
+                Err(e) => Err(format!("bad SUBMIT record: {e}")),
+            }
+        }
+        other => Err(format!("unknown journal record {other:?}")),
+    }
+}
+
+/// Reconstructs the non-terminal job set from a journal's full text.
+///
+/// Pure and therefore **idempotent**: replaying the same text twice yields
+/// the same [`Replay`]. Record order between ids does not matter (an `END`
+/// may precede its `SUBMIT` in pathological interleavings); duplicate
+/// records are harmless. A truncated final line — no trailing newline, the
+/// signature of a torn append — is dropped unconditionally (even when its
+/// prefix parses as a shorter valid record: it was never acknowledged);
+/// a malformed complete record is corruption and errors.
+pub fn replay(text: &str) -> Result<Replay, String> {
+    let mut submits: BTreeMap<JobId, (SubmitArgs, bool)> = BTreeMap::new();
+    let mut ended: BTreeSet<JobId> = BTreeSet::new();
+    let mut max_id: JobId = 0;
+    let mut floor: JobId = 1;
+    let complete = text.is_empty() || text.ends_with('\n');
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        if !complete && i + 1 == lines.len() {
+            // Torn final append: dropped unconditionally, even when its
+            // prefix happens to parse ("END 12 done" torn to "END 1 d"
+            // must not terminate job 1). A record is only acknowledged
+            // after its full line — newline included — is fsync'd, so a
+            // tail without a newline was never relied upon by anyone.
+            break;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_record(line) {
+            Ok(Record::Next(id)) => floor = floor.max(id),
+            Ok(Record::Submit(id, args)) => {
+                max_id = max_id.max(id);
+                submits.entry(id).or_insert((args, false));
+            }
+            Ok(Record::Start(id)) => {
+                max_id = max_id.max(id);
+                if let Some(entry) = submits.get_mut(&id) {
+                    entry.1 = true;
+                }
+            }
+            Ok(Record::End(id)) => {
+                max_id = max_id.max(id);
+                ended.insert(id);
+            }
+            Err(e) => return Err(format!("record {}: {e}", i + 1)),
+        }
+    }
+    let terminal = submits.keys().filter(|id| ended.contains(id)).count();
+    let jobs = submits
+        .into_iter()
+        .filter(|(id, _)| !ended.contains(id))
+        .map(|(id, (args, was_started))| RecoveredJob {
+            id,
+            args,
+            was_started,
+        })
+        .collect();
+    Ok(Replay {
+        jobs,
+        next_id: max_id.saturating_add(1).max(floor),
+        terminal,
+    })
+}
+
+/// The open, append-only journal of a running server.
+///
+/// Every record is written and fsync'd under one mutex, so records are
+/// never interleaved and an acknowledged record is on disk. See the module
+/// docs for the recovery semantics.
+pub struct Journal {
+    file: Mutex<File>,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal").finish_non_exhaustive()
+    }
+}
+
+impl Journal {
+    /// Replays `path` (an absent file is an empty journal), **compacts** it
+    /// — only live jobs and the id floor survive, via temp file + atomic
+    /// rename — and reopens it for append. Returns the journal plus what
+    /// was recovered. Corruption (a malformed non-tail record) fails with
+    /// [`std::io::ErrorKind::InvalidData`] so the operator sees it at
+    /// startup instead of silently losing jobs.
+    pub fn open(path: &Path) -> std::io::Result<(Journal, Replay)> {
+        let text = match std::fs::read(path) {
+            Ok(bytes) => String::from_utf8_lossy(&bytes).into_owned(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let replay = replay(&text).map_err(|m| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("journal {}: {m}", path.display()),
+            )
+        })?;
+        // Compact into a sibling temp file, then atomically swap it in. A
+        // crash mid-compaction leaves the original journal untouched.
+        let tmp: PathBuf = {
+            let mut os = path.as_os_str().to_os_string();
+            os.push(".compact");
+            PathBuf::from(os)
+        };
+        {
+            let mut f = File::create(&tmp)?;
+            writeln!(f, "NEXT {}", replay.next_id)?;
+            for job in &replay.jobs {
+                writeln!(f, "{}", submit_record(job.id, &job.args))?;
+                if job.was_started {
+                    writeln!(f, "START {}", job.id)?;
+                }
+            }
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok((
+            Journal {
+                file: Mutex::new(file),
+            },
+            replay,
+        ))
+    }
+
+    /// Appends one line and fsyncs it before returning.
+    fn append(&self, line: &str) -> std::io::Result<()> {
+        let mut file = self.file.lock().expect("journal lock poisoned");
+        file.write_all(line.as_bytes())?;
+        file.write_all(b"\n")?;
+        file.sync_data()
+    }
+
+    /// Records an accepted job. Called *before* the `SUBMIT` is
+    /// acknowledged; an error here must fail the submission (the job would
+    /// not survive a crash).
+    pub fn record_submit(&self, id: JobId, args: &SubmitArgs) -> std::io::Result<()> {
+        self.append(&submit_record(id, args))
+    }
+
+    /// Records that a job left the queue and began running.
+    pub fn record_start(&self, id: JobId) -> std::io::Result<()> {
+        self.append(&format!("START {id}"))
+    }
+
+    /// Records a terminal transition (`done` / `cancelled` / `failed`).
+    /// Jobs with this record are never resurrected by replay.
+    pub fn record_end(&self, id: JobId, state: &str) -> std::io::Result<()> {
+        self.append(&format!("END {id} {state}"))
+    }
+}
+
+/// `SUBMIT <id> <fields>` — the fields are [`SubmitArgs::to_line`] minus
+/// its leading verb, so the wire grammar is reused verbatim.
+fn submit_record(id: JobId, args: &SubmitArgs) -> String {
+    let line = args.to_line();
+    let fields = line.strip_prefix("SUBMIT ").unwrap_or(&line);
+    format!("SUBMIT {id} {fields}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(k: usize, q: usize) -> SubmitArgs {
+        SubmitArgs::dataset("jazz", k, q)
+    }
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("kplex-journal-{}-{tag}.log", std::process::id()))
+    }
+
+    #[test]
+    fn replay_reconstructs_non_terminal_jobs_only() {
+        let text = "SUBMIT 1 dataset=jazz k=2 q=9\n\
+                    SUBMIT 2 dataset=jazz k=2 q=7 throttle-us=50\n\
+                    START 1\n\
+                    END 1 done\n\
+                    SUBMIT 3 dataset=jazz k=2 q=8\n\
+                    START 3\n";
+        let r = replay(text).unwrap();
+        // Job 1 is terminal: not resurrected. Job 2 was queued, job 3 was
+        // orphaned mid-run; both replay, in id order.
+        assert_eq!(r.jobs.len(), 2);
+        assert_eq!(
+            (r.jobs[0].id, r.jobs[0].was_started, &r.jobs[0].args),
+            (2, false, &{
+                let mut a = args(2, 7);
+                a.throttle_us = Some(50);
+                a
+            })
+        );
+        assert_eq!((r.jobs[1].id, r.jobs[1].was_started), (3, true));
+        assert_eq!(r.next_id, 4);
+        assert_eq!(r.terminal, 1);
+    }
+
+    #[test]
+    fn replay_is_idempotent() {
+        let text = "NEXT 5\nSUBMIT 7 dataset=jazz k=2 q=9\nSTART 7\nEND 8 failed\n";
+        let once = replay(text).unwrap();
+        let twice = replay(text).unwrap();
+        assert_eq!(once, twice);
+        assert_eq!(once.next_id, 9, "max id wins over the NEXT floor");
+    }
+
+    #[test]
+    fn truncated_trailing_record_is_tolerated() {
+        let text = "SUBMIT 1 dataset=jazz k=2 q=9\nSUBMIT 2 dataset=ja";
+        let r = replay(text).unwrap();
+        assert_eq!(r.jobs.len(), 1, "the torn tail record is dropped");
+        assert_eq!(r.jobs[0].id, 1);
+        // Even a torn line that happens to start like a valid verb.
+        let r = replay("SUBMIT 1 dataset=jazz k=2 q=9\nEND 1").unwrap();
+        assert_eq!(r.jobs.len(), 1, "torn END must not terminate job 1");
+        // And even a torn line whose prefix parses as a complete, *wrong*
+        // record: "END 12 done" torn to "END 1 d" names job 1.
+        let r = replay("SUBMIT 1 dataset=jazz k=2 q=9\nEND 1 d").unwrap();
+        assert_eq!(r.jobs.len(), 1, "parsable torn tail must still be dropped");
+        assert_eq!(r.terminal, 0);
+    }
+
+    #[test]
+    fn corruption_before_the_tail_errors() {
+        let text = "SUBMIT 1 dataset=jazz k=2 q=9\nGARBAGE\nSTART 1\n";
+        assert!(replay(text).unwrap_err().contains("record 2"));
+        // A malformed *complete* final line is corruption too: a torn
+        // append can never include the newline without the full record.
+        assert!(replay("SUBMIT 1 dataset=jazz\n").is_err());
+    }
+
+    #[test]
+    fn next_floor_survives_a_fully_drained_log() {
+        let r = replay("NEXT 42\n").unwrap();
+        assert!(r.jobs.is_empty());
+        assert_eq!(r.next_id, 42, "ids must not be reused after a drain");
+        assert_eq!(replay("").unwrap().next_id, 1);
+    }
+
+    #[test]
+    fn open_compacts_and_resumes() {
+        let path = tmp_path("compact");
+        std::fs::remove_file(&path).ok();
+        {
+            let (journal, r) = Journal::open(&path).unwrap();
+            assert!(r.jobs.is_empty());
+            journal.record_submit(1, &args(2, 9)).unwrap();
+            journal.record_start(1).unwrap();
+            journal.record_end(1, "done").unwrap();
+            journal.record_submit(2, &args(2, 7)).unwrap();
+        }
+        // Reopen: job 1 (terminal) is compacted away, job 2 replays.
+        let (journal, r) = Journal::open(&path).unwrap();
+        assert_eq!(r.jobs.len(), 1);
+        assert_eq!(r.jobs[0].id, 2);
+        assert_eq!(r.next_id, 3);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            !text.contains("END 1"),
+            "terminal records must be compacted away: {text:?}"
+        );
+        assert!(text.starts_with("NEXT 3\n"), "{text:?}");
+        // The appended file keeps working after compaction.
+        journal.record_end(2, "cancelled").unwrap();
+        let (_, r) = Journal::open(&path).unwrap();
+        assert!(r.jobs.is_empty(), "cancelled job resurrected: {r:?}");
+        assert_eq!(r.next_id, 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_corruption() {
+        let path = tmp_path("corrupt");
+        std::fs::write(&path, "SUBMIT 1 dataset=jazz k=2 q=9\nWAT\nSTART 1\n").unwrap();
+        let err = Journal::open(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+}

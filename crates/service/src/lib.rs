@@ -20,6 +20,16 @@
 //! backends behind the same wire protocol, rendezvous-hashing submissions
 //! by (graph cache key, `q − k`) so each graph's prepared cache stays hot
 //! on its owning backend, and failing queued jobs over when a backend dies.
+//! The cluster is self-healing: the router's background prober
+//! ([`router::ProbeConfig`]) marks backends dead/alive proactively with
+//! flap suppression, topology changes actively rebalance queued jobs back
+//! onto their rendezvous owners, and a `kplexd` started with a
+//! [`journal`] replays queued and orphaned-running jobs after a restart.
+//!
+//! The crate map and the end-to-end dataflow (client → `kplexr` → `kplexd`
+//! → engine) are described in `ARCHITECTURE.md` at the repository root;
+//! operational guidance (deployment, crash recovery, the at-least-once
+//! caveat) lives in the README's "Operations runbook".
 //!
 //! ```
 //! use kplex_service::protocol::{parse_request, Request, SubmitArgs};
@@ -28,11 +38,12 @@
 //! assert!(matches!(parse_request(&line), Ok(Request::Submit(_))));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cache;
 pub mod client;
 pub mod job;
+pub mod journal;
 pub mod protocol;
 pub mod router;
 pub mod server;
@@ -40,8 +51,9 @@ pub mod server;
 pub use cache::{CacheStats, Fetched, GraphCache};
 pub use client::{Client, ClientError};
 pub use job::{GraphSource, Job, JobSnapshot, JobSpec, JobState};
+pub use journal::{Journal, RecoveredJob, Replay};
 pub use protocol::{JobId, Request, SubmitArgs};
-pub use router::{Router, RouterConfig, RouterHandle};
+pub use router::{ProbeConfig, Router, RouterConfig, RouterHandle};
 pub use server::{Server, ServerConfig, ServerHandle};
 
 /// A shared callback invoked with the cache key at the start of every cold

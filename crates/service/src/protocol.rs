@@ -116,6 +116,10 @@ pub enum Request {
     DropNode(String),
     /// Router: one line per registered backend.
     Nodes,
+    /// Router admin: recompute rendezvous placement for every queued job
+    /// and migrate the ones whose owner changed (done automatically on
+    /// `ADDNODE` and probe-driven rejoin; this triggers it by hand).
+    Rebalance,
     /// Close the connection.
     Quit,
 }
@@ -135,6 +139,7 @@ pub fn render_request(req: &Request) -> String {
         Request::AddNode(addr) => format!("ADDNODE {addr}"),
         Request::DropNode(addr) => format!("DROPNODE {addr}"),
         Request::Nodes => "NODES".to_string(),
+        Request::Rebalance => "REBALANCE".to_string(),
         Request::Quit => "QUIT".to_string(),
     }
 }
@@ -192,6 +197,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "STATS" => Ok(Request::Stats),
         "QUIT" => Ok(Request::Quit),
         "NODES" => Ok(Request::Nodes),
+        "REBALANCE" => Ok(Request::Rebalance),
         "STATUS" => Ok(Request::Status(parse_id(&rest, "STATUS")?)),
         "STREAM" => Ok(Request::Stream(parse_id(&rest, "STREAM")?)),
         "CANCEL" => Ok(Request::Cancel(parse_id(&rest, "CANCEL")?)),
@@ -346,10 +352,12 @@ mod tests {
         );
         assert!(parse_request("ADDNODE").is_err());
         assert!(parse_request("ADDNODE a b").is_err());
+        assert_eq!(parse_request("REBALANCE").unwrap(), Request::Rebalance);
         for req in [
             Request::Nodes,
             Request::AddNode("h:1".into()),
             Request::DropNode("h:2".into()),
+            Request::Rebalance,
             Request::Stats,
         ] {
             assert_eq!(parse_request(&render_request(&req)).unwrap(), req);

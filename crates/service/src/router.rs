@@ -31,6 +31,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Upper bound on proxy retries for one request: each retry follows a
 /// failover (which kills at least one backend), so this never spins.
@@ -68,6 +69,9 @@ pub struct RouterConfig {
     pub addr: String,
     /// Initial backend registry (`host:port` of running `kplexd` servers).
     pub backends: Vec<String>,
+    /// Background health prober; `None` disables it (backends are then
+    /// only marked dead reactively, when a proxied request fails).
+    pub probe: Option<ProbeConfig>,
 }
 
 impl Default for RouterConfig {
@@ -75,6 +79,37 @@ impl Default for RouterConfig {
         Self {
             addr: "127.0.0.1:7710".to_string(),
             backends: Vec::new(),
+            probe: None,
+        }
+    }
+}
+
+/// Health-prober knobs: how often every registered backend is `PING`ed and
+/// the flap-suppression thresholds. Detection latency for a hard-down
+/// backend is at most `fall × interval + timeout`; with the defaults
+/// (3 × 1 s + 500 ms) a corpse leaves the routing set within ~3.5 s without
+/// any client traffic towards it.
+#[derive(Clone, Debug)]
+pub struct ProbeConfig {
+    /// Pause between probe rounds (each round pings every registered node).
+    pub interval: Duration,
+    /// Per-probe connect + reply budget; an overrun counts as a failure.
+    pub timeout: Duration,
+    /// Consecutive probe failures before a live node is marked dead (flap
+    /// suppression: one dropped probe must not trigger a failover storm).
+    pub fall: u32,
+    /// Consecutive probe successes before a dead node rejoins the routing
+    /// set (a flapping node must prove itself before taking jobs again).
+    pub rise: u32,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        Self {
+            interval: Duration::from_millis(1000),
+            timeout: Duration::from_millis(500),
+            fall: 3,
+            rise: 2,
         }
     }
 }
@@ -82,8 +117,25 @@ impl Default for RouterConfig {
 struct Node {
     addr: String,
     /// Live nodes receive new submissions and failover traffic. A node goes
-    /// dead on any transport failure towards it; `ADDNODE` revives it.
+    /// dead on any transport failure towards it (or `fall` consecutive
+    /// probe failures); `ADDNODE` or `rise` consecutive probe successes
+    /// revive it.
     alive: bool,
+    /// Consecutive probe failures (reset by a successful probe or revival).
+    probe_fails: u32,
+    /// Consecutive probe successes (reset by a failed probe or revival).
+    probe_oks: u32,
+}
+
+impl Node {
+    fn new(addr: String) -> Node {
+        Node {
+            addr,
+            alive: true,
+            probe_fails: 0,
+            probe_oks: 0,
+        }
+    }
 }
 
 /// Router-side record of one routed job.
@@ -106,12 +158,26 @@ struct RouterState {
     jobs: Mutex<BTreeMap<JobId, Routed>>,
     next_id: AtomicU64,
     shutdown: AtomicBool,
+    /// The prober's configuration (also surfaced in `STATS`); `None` when
+    /// probing is disabled.
+    probe: Option<ProbeConfig>,
 }
 
 // --- rendezvous hashing -----------------------------------------------------
 
-/// FNV-1a over (backend, separator, key): the per-(backend, key) score for
-/// highest-random-weight (rendezvous) hashing.
+/// FNV-1a over (backend, separator, key), finished with a 64-bit avalanche
+/// mix: the per-(backend, key) score for highest-random-weight (rendezvous)
+/// hashing.
+///
+/// The finalizer is load-bearing. Raw FNV-1a state barely avalanches its
+/// final input bytes: for two fixed backends the score difference is
+/// dominated by `(state_a − state_b) × PRIME` from the common key prefix,
+/// and a last-byte change perturbs it by at most `~2⁹ × PRIME ≈ 2⁴⁹` — so
+/// keys differing only in their trailing characters (exactly the shape of
+/// this router's keys: one graph under many `q − k` values) would almost
+/// always pick the same backend, defeating the load spreading. The
+/// MurmurHash3 `fmix64` finalizer avalanches every input bit into every
+/// output bit, making each key an independent draw.
 fn score(backend: &str, key: &str) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -123,6 +189,12 @@ fn score(backend: &str, key: &str) -> u64 {
     for &b in key.as_bytes() {
         h = (h ^ u64::from(b)).wrapping_mul(PRIME);
     }
+    // MurmurHash3 fmix64.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
     h
 }
 
@@ -175,19 +247,17 @@ pub struct RouterHandle {
     addr: SocketAddr,
     state: Arc<RouterState>,
     accept: Option<std::thread::JoinHandle<()>>,
+    prober: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Router {
     /// Binds the listener and seeds the backend registry.
     pub fn bind(cfg: &RouterConfig) -> std::io::Result<Router> {
         let listener = TcpListener::bind(&cfg.addr)?;
-        let mut nodes = Vec::new();
+        let mut nodes: Vec<Node> = Vec::new();
         for addr in &cfg.backends {
-            if !nodes.iter().any(|n: &Node| n.addr == *addr) {
-                nodes.push(Node {
-                    addr: addr.clone(),
-                    alive: true,
-                });
+            if !nodes.iter().any(|n| n.addr == *addr) {
+                nodes.push(Node::new(addr.clone()));
             }
         }
         Ok(Router {
@@ -197,6 +267,7 @@ impl Router {
                 jobs: Mutex::new(BTreeMap::new()),
                 next_id: AtomicU64::new(1),
                 shutdown: AtomicBool::new(false),
+                probe: cfg.probe.clone(),
             }),
         })
     }
@@ -206,8 +277,17 @@ impl Router {
         self.listener.local_addr()
     }
 
-    /// Runs the accept loop on the current thread (the `kplexr` entry).
+    /// Starts the background health prober, if configured.
+    fn spawn_prober(&self) -> Option<std::thread::JoinHandle<()>> {
+        let cfg = self.state.probe.clone()?;
+        let state = self.state.clone();
+        Some(std::thread::spawn(move || probe_loop(&state, &cfg)))
+    }
+
+    /// Runs the accept loop on the current thread (the `kplexr` entry),
+    /// with the health prober (if configured) in the background.
     pub fn run(self) -> std::io::Result<()> {
+        let _prober = self.spawn_prober();
         accept_loop(&self.listener, &self.state);
         Ok(())
     }
@@ -216,6 +296,7 @@ impl Router {
     /// (used by tests and the `kplexr smoke`).
     pub fn spawn(self) -> std::io::Result<RouterHandle> {
         let addr = self.local_addr()?;
+        let prober = self.spawn_prober();
         let state = self.state.clone();
         let listener = self.listener;
         let accept_state = state.clone();
@@ -224,6 +305,7 @@ impl Router {
             addr,
             state,
             accept: Some(accept),
+            prober,
         })
     }
 }
@@ -234,16 +316,147 @@ impl RouterHandle {
         self.addr
     }
 
-    /// Stops accepting and joins the accept loop. Connection handler
-    /// threads are detached; they exit as their clients disconnect.
-    /// Backends are not touched — they keep running their jobs.
+    /// Stops accepting and joins the accept loop and the prober.
+    /// Connection handler threads are detached; they exit as their clients
+    /// disconnect. Backends are not touched — they keep running their jobs.
     pub fn shutdown(mut self) {
         self.state.shutdown.store(true, Ordering::Release);
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.prober.take() {
+            let _ = h.join();
+        }
     }
+}
+
+// --- health probing ----------------------------------------------------------
+
+/// The prober: every [`ProbeConfig::interval`], `PING` every registered
+/// node (alive *and* dead — dead ones are probed so they can rejoin).
+/// Transitions apply the flap-suppression thresholds and reuse the exact
+/// failover/rebalance machinery of the reactive paths, so a probe-detected
+/// death requeues queued jobs before any client ever touches the corpse.
+fn probe_loop(state: &Arc<RouterState>, cfg: &ProbeConfig) {
+    /// Granularity of shutdown checks while sleeping out the interval.
+    const TICK: Duration = Duration::from_millis(10);
+    loop {
+        let mut slept = Duration::ZERO;
+        while slept < cfg.interval {
+            if state.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let step = TICK.min(cfg.interval - slept);
+            std::thread::sleep(step);
+            slept += step;
+        }
+        let targets: Vec<String> = {
+            let nodes = state.nodes.lock().expect("nodes lock poisoned");
+            nodes.iter().map(|n| n.addr.clone()).collect()
+        };
+        for addr in targets {
+            if state.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let ok = Client::connect_timeout(addr.as_str(), cfg.timeout, Some(cfg.timeout))
+                .and_then(|mut c| c.ping())
+                .is_ok();
+            match note_probe(state, &addr, ok, cfg) {
+                Some(ProbeTransition::Died) => reroute_jobs_of(
+                    state,
+                    &addr,
+                    &Reroute {
+                        fail_running: true,
+                        cancel_remote: false,
+                    },
+                ),
+                Some(ProbeTransition::Rejoined) => {
+                    rebalance_queued(state);
+                }
+                None => {}
+            }
+        }
+    }
+}
+
+/// A probe outcome that changed a node's liveness.
+enum ProbeTransition {
+    /// `fall` consecutive failures: the node left the routing set.
+    Died,
+    /// `rise` consecutive successes: the node rejoined the routing set.
+    Rejoined,
+}
+
+/// Folds one probe outcome into the node's consecutive-outcome counters
+/// and applies the flap-suppression thresholds. Returns the transition to
+/// act on, if any (acting happens outside the registry lock).
+fn note_probe(
+    state: &RouterState,
+    addr: &str,
+    ok: bool,
+    cfg: &ProbeConfig,
+) -> Option<ProbeTransition> {
+    let mut nodes = state.nodes.lock().expect("nodes lock poisoned");
+    let node = nodes.iter_mut().find(|n| n.addr == addr)?; // DROPNODEd mid-round
+    if ok {
+        node.probe_oks = node.probe_oks.saturating_add(1);
+        node.probe_fails = 0;
+        if !node.alive && node.probe_oks >= cfg.rise.max(1) {
+            node.alive = true;
+            Some(ProbeTransition::Rejoined)
+        } else {
+            None
+        }
+    } else {
+        node.probe_fails = node.probe_fails.saturating_add(1);
+        node.probe_oks = 0;
+        if node.alive && node.probe_fails >= cfg.fall.max(1) {
+            node.alive = false;
+            Some(ProbeTransition::Died)
+        } else {
+            None
+        }
+    }
+}
+
+/// Recomputes the rendezvous placement of every **queued** job over the
+/// current live set and migrates the ones whose owner changed: the old
+/// copy is cancelled remotely (best-effort — the old backend is usually
+/// alive, it just lost the key) and the job is resubmitted under its
+/// original router id. Running jobs are never moved — their partial result
+/// streams live on their backend. Called on `ADDNODE`, on a probe-driven
+/// rejoin, and by the `REBALANCE` admin verb; returns how many jobs moved.
+fn rebalance_queued(state: &Arc<RouterState>) -> usize {
+    let live = live_backends(state);
+    if live.is_empty() {
+        return 0;
+    }
+    let mut moves: Vec<(JobId, String, JobId, SubmitArgs)> = Vec::new();
+    {
+        let mut jobs = state.jobs.lock().expect("jobs lock poisoned");
+        for (&rid, job) in jobs.iter_mut() {
+            if job.error.is_some() || job.last_state != "queued" {
+                continue;
+            }
+            let owner = pick_backend(&live, &routing_key(&job.args));
+            if owner.is_some_and(|o| o != job.backend) {
+                // Claim under the lock (same protocol as failover): only
+                // this thread may resubmit the job.
+                job.last_state = REQUEUEING.to_string();
+                moves.push((rid, job.backend.clone(), job.remote_id, job.args.clone()));
+            }
+        }
+    }
+    let moved = moves.len();
+    for (rid, old_backend, old_remote, args) in moves {
+        // Stop the old queued copy so the job cannot run twice.
+        if let Ok(mut c) = unary(&old_backend) {
+            let _ = c.cancel(old_remote);
+        }
+        finish_requeue(state, rid, &args);
+    }
+    moved
 }
 
 fn accept_loop(listener: &TcpListener, state: &Arc<RouterState>) {
@@ -291,7 +504,13 @@ fn mark_backend_dead(state: &Arc<RouterState>, addr: &str) {
     {
         let mut nodes = state.nodes.lock().expect("nodes lock poisoned");
         match nodes.iter_mut().find(|n| n.addr == addr) {
-            Some(node) if node.alive => node.alive = false,
+            Some(node) if node.alive => {
+                node.alive = false;
+                // The prober's rejoin threshold starts from scratch: a
+                // node that just dropped a live connection must prove
+                // itself with `rise` clean probes before taking jobs.
+                node.probe_oks = 0;
+            }
             _ => return, // unknown or already handled
         }
     }
@@ -500,6 +719,10 @@ fn handle_connection(stream: TcpStream, state: &Arc<RouterState>) -> std::io::Re
                 write_line(&mut writer, &resp)?;
             }
             Ok(Request::Nodes) => nodes(&mut writer, state)?,
+            Ok(Request::Rebalance) => {
+                let moved = rebalance_queued(state);
+                write_line(&mut writer, &format!("OK rebalanced={moved}"))?;
+            }
         }
     }
     Ok(())
@@ -542,10 +765,20 @@ fn lookup(state: &RouterState, rid: JobId) -> Option<Routed> {
 /// `cancelled` from the drained copy of a job that was just requeued
 /// elsewhere) must not clobber the live record, or the job would be
 /// reported terminal while it runs, and failover would skip it for good.
+/// A job claimed for requeueing is also off-limits: the placement fields
+/// still name the *old* copy during the claim window, so a reply obtained
+/// through it (say the `cancelled` ack of a rebalance's remote-cancel)
+/// would break the claim and terminally cancel a job that is merely
+/// moving — only the claim owner ([`finish_requeue`]) publishes its
+/// outcome.
 fn note_state(state: &RouterState, rid: JobId, observed: &str, via: &Routed) {
     let mut jobs = state.jobs.lock().expect("jobs lock poisoned");
     if let Some(job) = jobs.get_mut(&rid) {
-        if job.error.is_none() && job.backend == via.backend && job.remote_id == via.remote_id {
+        if job.error.is_none()
+            && job.last_state != REQUEUEING
+            && job.backend == via.backend
+            && job.remote_id == via.remote_id
+        {
             job.last_state = observed.to_string();
         }
     }
@@ -808,15 +1041,28 @@ fn list(writer: &mut TcpStream, state: &Arc<RouterState>) -> std::io::Result<()>
 }
 
 fn stats(state: &Arc<RouterState>) -> String {
-    let nodes: Vec<(String, bool)> = {
+    let nodes: Vec<(String, bool, u32, u32)> = {
         let nodes = state.nodes.lock().expect("nodes lock poisoned");
-        nodes.iter().map(|n| (n.addr.clone(), n.alive)).collect()
+        nodes
+            .iter()
+            .map(|n| (n.addr.clone(), n.alive, n.probe_fails, n.probe_oks))
+            .collect()
     };
     let jobs = state.jobs.lock().expect("jobs lock poisoned").len();
-    let alive = nodes.iter().filter(|(_, a)| *a).count();
-    let mut line = format!("OK backends={alive}/{} jobs={jobs}", nodes.len());
-    for (i, (addr, alive)) in nodes.iter().enumerate() {
-        line.push_str(&format!(" node{i}-addr={addr} node{i}-alive={alive}"));
+    let alive = nodes.iter().filter(|(_, a, _, _)| *a).count();
+    let probe = state
+        .probe
+        .as_ref()
+        .map_or("off".to_string(), |p| p.interval.as_millis().to_string());
+    let mut line = format!(
+        "OK backends={alive}/{} jobs={jobs} probe-ms={probe}",
+        nodes.len()
+    );
+    for (i, (addr, alive, fails, oks)) in nodes.iter().enumerate() {
+        line.push_str(&format!(
+            " node{i}-addr={addr} node{i}-alive={alive} \
+             node{i}-probe-fails={fails} node{i}-probe-oks={oks}"
+        ));
         if !alive {
             continue;
         }
@@ -845,16 +1091,26 @@ fn stats(state: &Arc<RouterState>) -> String {
 }
 
 fn add_node(state: &Arc<RouterState>, addr: &str) -> String {
-    let mut nodes = state.nodes.lock().expect("nodes lock poisoned");
-    match nodes.iter_mut().find(|n| n.addr == addr) {
-        Some(node) => node.alive = true, // revive
-        None => nodes.push(Node {
-            addr: addr.to_string(),
-            alive: true,
-        }),
+    {
+        let mut nodes = state.nodes.lock().expect("nodes lock poisoned");
+        match nodes.iter_mut().find(|n| n.addr == addr) {
+            Some(node) => {
+                // Revive: the operator vouches for it, so the prober's
+                // consecutive-outcome counters restart clean.
+                node.alive = true;
+                node.probe_fails = 0;
+                node.probe_oks = 0;
+            }
+            None => nodes.push(Node::new(addr.to_string())),
+        }
     }
+    // The registry changed: queued jobs whose rendezvous owner is now the
+    // new node migrate to it immediately, instead of waiting for caches to
+    // cool behind skewed placement.
+    let moved = rebalance_queued(state);
+    let nodes = state.nodes.lock().expect("nodes lock poisoned");
     let alive = nodes.iter().filter(|n| n.alive).count();
-    format!("OK backends={alive}/{}", nodes.len())
+    format!("OK backends={alive}/{} rebalanced={moved}", nodes.len())
 }
 
 fn drop_node(state: &Arc<RouterState>, addr: &str) -> String {
@@ -883,9 +1139,12 @@ fn drop_node(state: &Arc<RouterState>, addr: &str) -> String {
 }
 
 fn nodes(writer: &mut TcpStream, state: &Arc<RouterState>) -> std::io::Result<()> {
-    let snapshot: Vec<(String, bool)> = {
+    let snapshot: Vec<(String, bool, u32, u32)> = {
         let nodes = state.nodes.lock().expect("nodes lock poisoned");
-        nodes.iter().map(|n| (n.addr.clone(), n.alive)).collect()
+        nodes
+            .iter()
+            .map(|n| (n.addr.clone(), n.alive, n.probe_fails, n.probe_oks))
+            .collect()
     };
     let per_backend: BTreeMap<String, usize> = {
         let jobs = state.jobs.lock().expect("jobs lock poisoned");
@@ -895,11 +1154,14 @@ fn nodes(writer: &mut TcpStream, state: &Arc<RouterState>) -> std::io::Result<()
         }
         m
     };
-    for (addr, alive) in &snapshot {
+    for (addr, alive, fails, oks) in &snapshot {
         let jobs = per_backend.get(addr).copied().unwrap_or(0);
         write_line(
             writer,
-            &format!("NODE addr={addr} alive={alive} jobs={jobs}"),
+            &format!(
+                "NODE addr={addr} alive={alive} jobs={jobs} \
+                 probe-fails={fails} probe-oks={oks}"
+            ),
         )?;
     }
     write_line(writer, &format!("END count={}", snapshot.len()))
@@ -937,6 +1199,24 @@ mod tests {
                 assert_eq!(pick_backend(&two, k), Some(p), "key {k} moved needlessly");
             }
         }
+    }
+
+    /// Real routing keys differ only in their trailing `q − k` digits; each
+    /// such key must be an independent placement draw. (Raw FNV-1a state
+    /// fails this badly — see the finalizer note on [`score`].)
+    #[test]
+    fn suffix_only_key_variation_spreads_load() {
+        let two = addrs(&["10.0.0.1:7711", "10.0.0.2:7711"]);
+        let mut winners = std::collections::BTreeSet::new();
+        for qk in 2..30 {
+            let key = format!("dataset:jazz@1|{qk}");
+            winners.insert(pick_backend(&two, &key).unwrap().to_string());
+        }
+        assert_eq!(
+            winners.len(),
+            2,
+            "28 suffix-only keys all landed on one backend"
+        );
     }
 
     #[test]

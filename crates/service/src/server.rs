@@ -19,6 +19,7 @@
 
 use crate::cache::{CacheStats, GraphCache};
 use crate::job::{GraphSource, Job, JobSpec, StopCause, StreamStep};
+use crate::journal::Journal;
 use crate::protocol::{self, JobId, Request, SubmitArgs};
 use crate::LoadHook;
 use kplex_core::{prepare, ChannelSink, Params, PlexSink, SinkFlow};
@@ -27,7 +28,7 @@ use kplex_parallel::{run_parallel_prepared, EngineOptions};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::RecvTimeoutError;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -58,6 +59,12 @@ pub struct ServerConfig {
     pub default_threads: usize,
     /// Terminal jobs retained for `STATUS`/`STREAM` replay before eviction.
     pub retain_terminal: usize,
+    /// Append-only job journal path (`kplexd --journal`). When set, every
+    /// accepted job is fsync'd to this file before its `SUBMIT` is
+    /// acknowledged, and a restarted server replays queued and
+    /// orphaned-running jobs back into the queue (see [`crate::journal`]
+    /// for the at-least-once semantics). `None` disables persistence.
+    pub journal: Option<std::path::PathBuf>,
     /// Test-only: called with the cache key at the start of every cold
     /// load, *outside* the cache's map lock. Tests install a hook that
     /// blocks on a channel to hold a cold load open deterministically (no
@@ -74,6 +81,7 @@ impl std::fmt::Debug for ServerConfig {
             .field("cache_cap", &self.cache_cap)
             .field("default_threads", &self.default_threads)
             .field("retain_terminal", &self.retain_terminal)
+            .field("journal", &self.journal)
             .field("cold_load_hook", &self.cold_load_hook.is_some())
             .finish()
     }
@@ -91,6 +99,7 @@ impl Default for ServerConfig {
             cache_cap: 4,
             default_threads: hw.clamp(1, 8),
             retain_terminal: RETAIN_TERMINAL_JOBS,
+            journal: None,
             cold_load_hook: None,
         }
     }
@@ -102,11 +111,39 @@ struct SharedState {
     queue: Mutex<VecDeque<JobId>>,
     queue_cond: Condvar,
     queue_cap: usize,
+    /// Queue slots reserved by submissions whose journal fsync is in
+    /// flight (the fsync runs outside the queue lock). Mutated only while
+    /// holding the queue lock, so `queue.len() + queue_reserved` is a
+    /// consistent capacity check.
+    queue_reserved: AtomicUsize,
     cache: GraphCache,
     shutdown: AtomicBool,
     default_threads: usize,
     retain_terminal: usize,
+    /// Crash-recovery journal; `None` when the server is ephemeral.
+    journal: Option<Journal>,
+    /// Jobs replayed from the journal at startup (`STATS recovered=`).
+    recovered: usize,
     cold_load_hook: Option<LoadHook>,
+}
+
+impl SharedState {
+    /// Appends a journal record unless the server is shutting down. A
+    /// shutdown is deliberately crash-equivalent for the journal: nothing
+    /// written after it begins, so jobs interrupted by it (queued or
+    /// running) replay on the next start instead of being recorded as
+    /// cancelled. Append failures on a live server are logged, not fatal —
+    /// the job still runs; only its restart durability degrades.
+    fn journal_record(&self, write: impl FnOnce(&Journal) -> std::io::Result<()>) {
+        if self.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(journal) = &self.journal {
+            if let Err(e) = write(journal) {
+                eprintln!("kplexd: journal append failed: {e}");
+            }
+        }
+    }
 }
 
 impl SharedState {
@@ -117,6 +154,20 @@ impl SharedState {
             .get(&id)
             .cloned()
     }
+}
+
+/// The terminal hook installed on every job of a journaled server: writes
+/// the `END` record the instant the job's terminal transition is performed
+/// — under the job's lock, *before* any `STATUS`/`STREAM` reader can
+/// observe it. Write-ahead matters: once a client has seen a job terminal
+/// (and consumed its results), a restart must not resurrect it. The state
+/// handle is weak so the jobs map and the state do not form an `Arc` cycle.
+fn terminal_journal_hook(state: std::sync::Weak<SharedState>) -> crate::job::TerminalHook {
+    Arc::new(move |id, label| {
+        if let Some(state) = state.upgrade() {
+            state.journal_record(|j| j.record_end(id, label));
+        }
+    })
 }
 
 /// A bound, not-yet-running server.
@@ -135,24 +186,73 @@ pub struct ServerHandle {
 }
 
 impl Server {
-    /// Binds the listener and prepares the shared state.
+    /// Binds the listener and prepares the shared state. With
+    /// [`ServerConfig::journal`] set, this replays the journal first:
+    /// queued and orphaned-running jobs from the previous lifetime re-enter
+    /// the queue under their original ids (flagged `recovered=true` in
+    /// `STATUS`), the id counter resumes past every id ever issued, and a
+    /// corrupt journal fails the bind loudly.
     pub fn bind(cfg: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
+        let default_threads = cfg.default_threads.max(1);
+        let (journal, replayed) = match &cfg.journal {
+            Some(path) => {
+                let (journal, replay) = Journal::open(path)?;
+                (Some(journal), Some(replay))
+            }
+            None => (None, None),
+        };
+        let next_id = replayed.as_ref().map_or(1, |r| r.next_id);
+        // `new_cyclic`: replayed jobs need the terminal hook, and the hook
+        // needs a (weak — jobs must not keep the state alive in a cycle)
+        // handle to the state being built.
+        let state = Arc::new_cyclic(|weak: &std::sync::Weak<SharedState>| {
+            let mut jobs = BTreeMap::new();
+            let mut queue = VecDeque::new();
+            for recovered in replayed.into_iter().flat_map(|r| r.jobs) {
+                // Re-validate against *this* lifetime's registry: a journal
+                // may outlive a dataset or an algorithm preset. An invalid
+                // replayed job is failed in the journal (not resurrected
+                // forever), not silently dropped.
+                match validate(default_threads, &recovered.args) {
+                    Ok(spec) => {
+                        let job = Job::new_recovered(recovered.id, spec)
+                            .with_terminal_hook(terminal_journal_hook(weak.clone()));
+                        jobs.insert(recovered.id, Arc::new(job));
+                        queue.push_back(recovered.id);
+                    }
+                    Err(reason) => {
+                        eprintln!(
+                            "kplexd: journal replay: job {} no longer valid ({reason}), failing it",
+                            recovered.id
+                        );
+                        if let Some(journal) = &journal {
+                            let _ = journal.record_end(recovered.id, "failed");
+                        }
+                    }
+                }
+            }
+            let recovered = queue.len();
+            SharedState {
+                jobs: Mutex::new(jobs),
+                next_id: AtomicU64::new(next_id),
+                queue: Mutex::new(queue),
+                queue_cond: Condvar::new(),
+                queue_cap: cfg.queue_cap.max(1),
+                queue_reserved: AtomicUsize::new(0),
+                cache: GraphCache::new(cfg.cache_cap),
+                shutdown: AtomicBool::new(false),
+                default_threads,
+                retain_terminal: cfg.retain_terminal,
+                journal,
+                recovered,
+                cold_load_hook: cfg.cold_load_hook.clone(),
+            }
+        });
         Ok(Server {
             listener,
             runners: cfg.runners.max(1),
-            state: Arc::new(SharedState {
-                jobs: Mutex::new(BTreeMap::new()),
-                next_id: AtomicU64::new(1),
-                queue: Mutex::new(VecDeque::new()),
-                queue_cond: Condvar::new(),
-                queue_cap: cfg.queue_cap.max(1),
-                cache: GraphCache::new(cfg.cache_cap),
-                shutdown: AtomicBool::new(false),
-                default_threads: cfg.default_threads.max(1),
-                retain_terminal: cfg.retain_terminal,
-                cold_load_hook: cfg.cold_load_hook.clone(),
-            }),
+            state,
         })
     }
 
@@ -299,6 +399,9 @@ fn handle_connection(stream: TcpStream, state: &Arc<SharedState>) -> std::io::Re
                             .lock()
                             .expect("queue lock poisoned")
                             .retain(|&qid| qid != id);
+                        // A queued job dies inside `request_cancel`, which
+                        // fires the terminal hook — the journal END record
+                        // is already written by the time we reply.
                         let snap = job.snapshot();
                         format!("OK id={id} state={}", snap.state.label())
                     }
@@ -342,17 +445,20 @@ fn handle_connection(stream: TcpStream, state: &Arc<SharedState>) -> std::io::Re
                 } = state.cache.stats();
                 let jobs = state.jobs.lock().expect("jobs lock poisoned").len();
                 let depth = state.queue.lock().expect("queue lock poisoned").len();
+                let recovered = state.recovered;
                 write_line(
                     &mut writer,
                     &format!(
-                        "OK jobs={jobs} queue-depth={depth} cache-hits={hits} \
-                         cache-coalesced={coalesced} cache-misses={misses} \
-                         cache-entries={entries} cache-pending={pending} \
-                         cache-waiting={waiting}"
+                        "OK jobs={jobs} queue-depth={depth} recovered={recovered} \
+                         cache-hits={hits} cache-coalesced={coalesced} \
+                         cache-misses={misses} cache-entries={entries} \
+                         cache-pending={pending} cache-waiting={waiting}"
                     ),
                 )?;
             }
-            Ok(Request::AddNode(_) | Request::DropNode(_) | Request::Nodes) => {
+            Ok(
+                Request::AddNode(_) | Request::DropNode(_) | Request::Nodes | Request::Rebalance,
+            ) => {
                 write_line(
                     &mut writer,
                     "ERR router-only verb (this is a kplexd backend, not a kplexr router)",
@@ -383,6 +489,9 @@ fn status_line(job: &Job) -> String {
         Some(true) => line.push_str(" cache=hit"),
         Some(false) => line.push_str(" cache=miss"),
         None => line.push_str(" cache=-"),
+    }
+    if s.recovered {
+        line.push_str(" recovered=true");
     }
     if let Some(stats) = &s.stats {
         line.push_str(&format!(
@@ -448,17 +557,42 @@ fn submit(state: &Arc<SharedState>, args: &SubmitArgs) -> Result<JobId, String> 
         // The runner pool is gone; accepting would queue the job forever.
         return Err("server shutting down".into());
     }
-    let spec = validate(state, args)?;
+    let spec = validate(state.default_threads, args)?;
     let id = state.next_id.fetch_add(1, Ordering::Relaxed);
-    let job = Arc::new(Job::new(id, spec));
+    let job = Arc::new(
+        Job::new(id, spec).with_terminal_hook(terminal_journal_hook(Arc::downgrade(state))),
+    );
+    // Phase 1: reserve a queue slot. The capacity check counts slots held
+    // by submissions whose journal fsync is still in flight, so the cap
+    // cannot be oversubscribed while the lock is released below.
     {
-        let mut queue = state.queue.lock().expect("queue lock poisoned");
-        if queue.len() >= state.queue_cap {
+        let queue = state.queue.lock().expect("queue lock poisoned");
+        let reserved = state.queue_reserved.load(Ordering::Relaxed);
+        if queue.len() + reserved >= state.queue_cap {
             return Err(format!(
                 "queue full ({} jobs waiting), retry later",
-                queue.len()
+                queue.len() + reserved
             ));
         }
+        state.queue_reserved.store(reserved + 1, Ordering::Relaxed);
+    }
+    // Journal-before-ack, with the fsync OUTSIDE the queue lock —
+    // submissions must not serialize runner pops behind disk latency. A
+    // journal failure rejects the submission (the job would not survive a
+    // restart); a crash right after the fsync replays a job no client was
+    // ever promised — the at-least-once side of the contract. Ordering per
+    // id still holds: the job is invisible to runners until phase 2.
+    let journaled = match &state.journal {
+        Some(journal) => journal
+            .record_submit(id, args)
+            .map_err(|e| format!("journal write failed: {e}")),
+        None => Ok(()),
+    };
+    // Phase 2: publish (always releasing the reservation first).
+    {
+        let mut queue = state.queue.lock().expect("queue lock poisoned");
+        state.queue_reserved.fetch_sub(1, Ordering::Relaxed);
+        journaled?;
         let mut jobs = state.jobs.lock().expect("jobs lock poisoned");
         jobs.insert(id, job);
         // Evict the oldest terminal jobs beyond the retention backlog
@@ -479,7 +613,7 @@ fn submit(state: &Arc<SharedState>, args: &SubmitArgs) -> Result<JobId, String> 
     Ok(id)
 }
 
-fn validate(state: &SharedState, args: &SubmitArgs) -> Result<JobSpec, String> {
+fn validate(default_threads: usize, args: &SubmitArgs) -> Result<JobSpec, String> {
     let params = Params::new(args.k, args.q).map_err(|e| e.to_string())?;
     let source = match (&args.dataset, &args.path) {
         (Some(name), None) => {
@@ -494,7 +628,7 @@ fn validate(state: &SharedState, args: &SubmitArgs) -> Result<JobSpec, String> {
     Ok(JobSpec {
         source,
         params,
-        threads: args.threads.unwrap_or(state.default_threads).clamp(1, 128),
+        threads: args.threads.unwrap_or(default_threads).clamp(1, 128),
         algo,
         limit: args.limit.unwrap_or(1_000_000).max(1),
         timeout: args
@@ -559,10 +693,21 @@ fn load_graph(source: &GraphSource) -> Result<kplex_graph::CsrGraph, String> {
     }
 }
 
+/// Runs one popped job end to end. The journal's `START` record is written
+/// here; the terminal `END` record is written by the job's terminal hook
+/// (inside the transition itself, so it is on disk before any client can
+/// observe the job terminal). Both are suppressed during shutdown (see
+/// [`SharedState::journal_record`]) so interrupted jobs replay on restart
+/// instead of being recorded as cancelled.
 fn execute(state: &Arc<SharedState>, job: &Arc<Job>) {
     if !job.mark_running() {
-        return; // cancelled while queued
+        return; // cancelled while queued; the terminal hook journaled it
     }
+    state.journal_record(|j| j.record_start(job.id));
+    run_job(state, job);
+}
+
+fn run_job(state: &Arc<SharedState>, job: &Arc<Job>) {
     let spec = job.spec.clone();
     // The wall-clock deadline covers the whole running phase, including a
     // cold graph load/prepare (which may also wait on the cache's

@@ -62,6 +62,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
         Just(Request::List),
         Just(Request::Stats),
         Just(Request::Nodes),
+        Just(Request::Rebalance),
         Just(Request::Quit),
         any::<u64>().prop_map(Request::Status),
         any::<u64>().prop_map(Request::Stream),

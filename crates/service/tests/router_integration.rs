@@ -1,13 +1,17 @@
 //! End-to-end router tests over real TCP: rendezvous-stable placement
 //! (asserted against the exported placement function), warm-cache affinity
-//! across resubmissions, queued-job failover when a backend dies, and the
-//! ADDNODE/DROPNODE admin surface. All listeners bind port 0.
+//! across resubmissions, queued-job failover when a backend dies, the
+//! ADDNODE/DROPNODE admin surface, proactive health probing with flap
+//! suppression, and active rebalancing of queued jobs on topology changes.
+//! All listeners bind port 0.
 
 use kplex_core::{enumerate_count, AlgoConfig, Params};
 use kplex_service::router::{pick_backend, routing_key};
 use kplex_service::{
-    Client, ClientError, Router, RouterConfig, Server, ServerConfig, ServerHandle, SubmitArgs,
+    Client, ClientError, ProbeConfig, Router, RouterConfig, Server, ServerConfig, ServerHandle,
+    SubmitArgs,
 };
+use std::time::{Duration, Instant};
 
 fn start_backend(runners: usize) -> ServerHandle {
     let cfg = ServerConfig {
@@ -25,13 +29,48 @@ fn start_backend(runners: usize) -> ServerHandle {
 }
 
 fn start_router(backends: &[String]) -> kplex_service::RouterHandle {
+    start_router_probed(backends, None)
+}
+
+fn start_router_probed(
+    backends: &[String],
+    probe: Option<ProbeConfig>,
+) -> kplex_service::RouterHandle {
     Router::bind(&RouterConfig {
         addr: "127.0.0.1:0".to_string(),
         backends: backends.to_vec(),
+        probe,
     })
     .expect("bind router")
     .spawn()
     .expect("spawn router")
+}
+
+/// Submits jobs until one is observably `running` (occupying the single
+/// runner of its backend); returns its (router id, backend).
+fn occupy_backend(c: &mut Client, args: &SubmitArgs) -> (u64, String) {
+    let (id, owner) = submit_owner(c, args);
+    loop {
+        let st = c.status(id).expect("status of occupying job");
+        match st.get("state").map(String::as_str) {
+            Some("queued") => std::thread::sleep(Duration::from_millis(5)),
+            Some("running") => return (id, owner),
+            other => panic!("occupying job in unexpected state {other:?}"),
+        }
+    }
+}
+
+/// A jazz submission whose routing key rendezvous-prefers `want` among
+/// `backends`. Scans `q` (distinct `q − k` = distinct keys) — with a dozen
+/// candidates the probability that none prefers `want` is ~2⁻¹².
+fn args_preferring(backends: &[String], want: &str) -> SubmitArgs {
+    for q in 7..24 {
+        let args = SubmitArgs::dataset("jazz", 2, q);
+        if pick_backend(backends, &routing_key(&args)) == Some(want) {
+            return args;
+        }
+    }
+    panic!("no jazz key prefers {want} among {backends:?}");
 }
 
 fn ground_truth(dataset: &str, k: usize, q: usize) -> u64 {
@@ -288,4 +327,256 @@ fn addnode_and_dropnode_administer_the_registry() {
     router.shutdown();
     a.shutdown();
     b.shutdown();
+}
+
+/// The probe acceptance scenario: with the prober on, a stopped backend is
+/// marked dead within ~2× the probe interval (`fall = 2`, and a connect to
+/// a closed port fails immediately) with **zero** job requests towards it —
+/// the only client traffic before detection is `NODES`, which is answered
+/// from the router's own registry. The queued job on the corpse is already
+/// failed over by the time the client asks, so it never sees a transport
+/// error.
+#[test]
+fn probe_marks_a_stopped_backend_dead_without_client_traffic() {
+    let interval = Duration::from_millis(200);
+    let expected = ground_truth("jazz", 2, 7);
+    let a = start_backend(1);
+    let b = start_backend(1);
+    let backends = vec![a.addr().to_string(), b.addr().to_string()];
+    let router = start_router_probed(
+        &backends,
+        Some(ProbeConfig {
+            interval,
+            timeout: Duration::from_secs(1),
+            fall: 2,
+            rise: 2,
+        }),
+    );
+    let mut c = Client::connect(router.addr()).expect("connect");
+
+    // A running job occupies the owner's single runner; a second job with
+    // the same key queues behind it.
+    let mut slow = SubmitArgs::dataset("jazz", 2, 7);
+    slow.throttle_us = Some(3000);
+    let (_, owner) = occupy_backend(&mut c, &slow);
+    let (queued_id, owner2) = submit_owner(&mut c, &SubmitArgs::dataset("jazz", 2, 7));
+    assert_eq!(owner2, owner);
+    let (victim, survivor) = if owner == a.addr().to_string() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+
+    // Kill the owner and watch the *registry* only — no STATUS, STREAM or
+    // SUBMIT touches the corpse, so detection is purely probe-driven.
+    victim.shutdown();
+    let killed_at = Instant::now();
+    let detected = loop {
+        let nodes = c.nodes().expect("nodes");
+        let dead = nodes
+            .iter()
+            .find(|n| n["addr"] == owner)
+            .is_some_and(|n| n["alive"] == "false");
+        if dead {
+            break killed_at.elapsed();
+        }
+        assert!(
+            killed_at.elapsed() < Duration::from_secs(10),
+            "probe never marked the stopped backend dead: {nodes:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    // fall = 2 ⇒ two probe rounds; generous scheduling slack for CI.
+    assert!(
+        detected <= 2 * interval + Duration::from_secs(1),
+        "probe detection took {detected:?}, want <= ~2x interval ({interval:?})"
+    );
+
+    // The queued job was failed over by the probe transition itself: the
+    // first client request about it already names the survivor, and the
+    // stream completes with the full result set — no transport errors.
+    let status = c.status(queued_id).expect("status after probe failover");
+    assert_eq!(
+        status.get("backend"),
+        Some(&survivor.addr().to_string()),
+        "queued job not failed over by the prober: {status:?}"
+    );
+    let mut streamed = 0u64;
+    let end = c.stream(queued_id, |_, _| streamed += 1).expect("stream");
+    assert_eq!(end.get("state").map(String::as_str), Some("done"));
+    assert_eq!(streamed, expected);
+
+    // Flap suppression is observable: the dead node keeps accumulating
+    // consecutive probe failures in NODES.
+    let nodes = c.nodes().expect("nodes");
+    let dead = nodes
+        .iter()
+        .find(|n| n["addr"] == owner)
+        .expect("registered");
+    assert!(
+        dead["probe-fails"].parse::<u32>().expect("numeric") >= 2,
+        "dead node must show its consecutive probe failures: {dead:?}"
+    );
+
+    router.shutdown();
+    survivor.shutdown();
+}
+
+/// `ADDNODE` actively rebalances: a queued job whose rendezvous owner is
+/// the newly added backend migrates to it (remote-cancel + resubmit under
+/// the original router id), while the running job stays where it runs. The
+/// manual `REBALANCE` verb then reports a steady state.
+#[test]
+fn addnode_actively_rebalances_queued_jobs() {
+    let a = start_backend(1);
+    let b = start_backend(1);
+    let addr_a = a.addr().to_string();
+    let addr_b = b.addr().to_string();
+    let both = vec![addr_a.clone(), addr_b.clone()];
+    // Router knows only `a` at first.
+    let router = start_router(std::slice::from_ref(&addr_a));
+    let mut c = Client::connect(router.addr()).expect("connect");
+
+    // Occupy a's runner, then queue a job whose key will prefer `b` once
+    // `b` joins. With only `a` registered, it must land on `a`.
+    let mut slow = SubmitArgs::dataset("jazz", 2, 7);
+    slow.throttle_us = Some(3000);
+    let (slow_id, _) = occupy_backend(&mut c, &slow);
+    let wants_b = args_preferring(&both, &addr_b);
+    let expected = ground_truth("jazz", wants_b.k, wants_b.q);
+    let (moving_id, owner) = submit_owner(&mut c, &wants_b);
+    assert_eq!(owner, addr_a, "with one backend every key lands on it");
+
+    // ADDNODE triggers the rebalance: the queued job moves to its owner.
+    c.add_node(&addr_b).expect("addnode");
+    let status = c.status(moving_id).expect("status after addnode");
+    assert_eq!(
+        status.get("backend"),
+        Some(&addr_b),
+        "queued job must migrate to its rendezvous owner: {status:?}"
+    );
+
+    // It completes on the new owner with the full result set, under its
+    // original router id.
+    let mut streamed = 0u64;
+    let end = c.stream(moving_id, |_, _| streamed += 1).expect("stream");
+    assert_eq!(end.get("state").map(String::as_str), Some("done"));
+    assert_eq!(streamed, expected, "migration lost or duplicated results");
+
+    // The running job never moved.
+    let status = c.status(slow_id).expect("status slow");
+    assert_eq!(status.get("backend"), Some(&addr_a));
+    assert_eq!(status.get("state").map(String::as_str), Some("running"));
+
+    // Placement now matches rendezvous for every queued job: a manual
+    // REBALANCE is a no-op.
+    assert_eq!(c.rebalance().expect("rebalance"), 0);
+
+    router.shutdown();
+    a.shutdown();
+    b.shutdown();
+}
+
+/// Probe-driven rejoin: a backend that was dead (its port closed) starts
+/// answering probes again, rejoins after `rise` consecutive successes, and
+/// the rejoin actively rebalances queued jobs onto it.
+#[test]
+fn probe_rejoin_revives_a_backend_and_rebalances() {
+    let interval = Duration::from_millis(50);
+    let a = start_backend(1);
+    let addr_a = a.addr().to_string();
+    // Reserve an address for the not-yet-started backend: bind, read the
+    // port, drop the listener (probes towards it then fail instantly).
+    let reserved = std::net::TcpListener::bind("127.0.0.1:0").expect("reserve port");
+    let addr_r = reserved.local_addr().expect("addr").to_string();
+    drop(reserved);
+
+    let both = vec![addr_a.clone(), addr_r.clone()];
+    let router = start_router_probed(
+        &both,
+        Some(ProbeConfig {
+            interval,
+            timeout: Duration::from_secs(1),
+            fall: 1,
+            rise: 2,
+        }),
+    );
+    let mut c = Client::connect(router.addr()).expect("connect");
+
+    // The reserved (closed) address dies on the first probe.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let nodes = c.nodes().expect("nodes");
+        if nodes
+            .iter()
+            .find(|n| n["addr"] == addr_r)
+            .is_some_and(|n| n["alive"] == "false")
+        {
+            break;
+        }
+        assert!(Instant::now() < deadline, "probe never killed {addr_r}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Occupy `a`, then queue a job that prefers the (currently dead) node.
+    let mut slow = SubmitArgs::dataset("jazz", 2, 7);
+    slow.throttle_us = Some(5000);
+    let (slow_id, slow_owner) = occupy_backend(&mut c, &slow);
+    assert_eq!(slow_owner, addr_a, "only one backend is alive");
+    let wants_r = args_preferring(&both, &addr_r);
+    let expected = ground_truth("jazz", wants_r.k, wants_r.q);
+    let (moving_id, owner) = submit_owner(&mut c, &wants_r);
+    assert_eq!(owner, addr_a, "dead nodes must not receive submissions");
+
+    // Bring the real backend up on the reserved address. The prober needs
+    // `rise = 2` clean rounds before it rejoins and rebalances.
+    let mut revived = None;
+    for _ in 0..50 {
+        match Server::bind(&ServerConfig {
+            addr: addr_r.clone(),
+            runners: 1,
+            ..ServerConfig::default()
+        }) {
+            Ok(server) => {
+                revived = Some(server.spawn().expect("spawn revived backend"));
+                break;
+            }
+            // The just-released port can be briefly contended; retry.
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    let revived = revived.expect("rebind the reserved address");
+
+    // The queued job migrates to the revived owner, without any admin verb.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let status = c.status(moving_id).expect("status while rejoining");
+        if status.get("backend") == Some(&addr_r) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "rejoin never rebalanced the queued job: {status:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let nodes = c.nodes().expect("nodes");
+    assert!(
+        nodes
+            .iter()
+            .find(|n| n["addr"] == addr_r)
+            .is_some_and(|n| n["alive"] == "true"),
+        "revived node must be alive in NODES: {nodes:?}"
+    );
+    let mut streamed = 0u64;
+    let end = c.stream(moving_id, |_, _| streamed += 1).expect("stream");
+    assert_eq!(end.get("state").map(String::as_str), Some("done"));
+    assert_eq!(streamed, expected);
+    // The running job stayed put through the whole dance.
+    let status = c.status(slow_id).expect("status slow");
+    assert_eq!(status.get("backend"), Some(&addr_a));
+
+    router.shutdown();
+    a.shutdown();
+    revived.shutdown();
 }

@@ -53,7 +53,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`](fn@vec).
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,

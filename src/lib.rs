@@ -6,7 +6,11 @@
 //! runtime, the ListPlex and FP baselines it is evaluated against, and the
 //! synthetic datasets + harness that regenerate the paper's experiments.
 //!
-//! This crate is a facade re-exporting the workspace's public API.
+//! This crate is a facade re-exporting the workspace's public API. The
+//! crate map, the enumeration dataflow (load → reduce → seed fixpoint →
+//! arena branch kernel → sinks) and the service topology (client →
+//! `kplexr` → `kplexd` → engine) are described in `ARCHITECTURE.md` at
+//! the repository root.
 //!
 //! ## Quick start
 //!
