@@ -24,9 +24,9 @@ pub enum Algorithm {
     BasicR1,
     /// `Basic` plus Theorems 5.13–5.15 (Table 6).
     BasicR2,
-    /// The ListPlex baseline \[39].
+    /// The ListPlex baseline [\[39\]](https://arxiv.org/abs/2202.08737).
     ListPlex,
-    /// The FP baseline \[16].
+    /// The FP baseline [\[16\]](https://arxiv.org/abs/2203.10760).
     Fp,
     /// The D2K baseline \[15].
     D2k,

@@ -1,12 +1,12 @@
-//! FP baseline \[16] (Dai et al., CIKM 2022), reimplemented from its
-//! published description.
+//! FP baseline [\[16\]](https://arxiv.org/abs/2203.10760) (Dai et al.,
+//! CIKM 2022), reimplemented from its published description.
 //!
 //! FP enumerates over seed subgraphs like the other algorithms but does
 //! **not** partition them into `S`-sub-tasks: each seed spawns a single
 //! branch-and-bound task whose candidate set contains the full later
 //! two-hop ball. Pruning relies on an upper bound computed with a sorting
-//! pass per recursion ([16, Lemma 5]; `UpperBoundKind::FpSorting` in the
-//! engine). FP performs weaker subgraph reduction, which is also why its
+//! pass per recursion ([\[16\], Lemma 5](https://arxiv.org/abs/2203.10760);
+//! `UpperBoundKind::FpSorting` in the engine). FP performs weaker subgraph reduction, which is also why its
 //! memory footprint is larger (Table 7 of the paper).
 
 use kplex_core::enumerate::{prepare, MapSink};

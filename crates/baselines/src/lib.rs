@@ -1,7 +1,8 @@
 //! # kplex-baselines
 //!
 //! From-scratch reimplementations of the two state-of-the-art baselines the
-//! paper compares against — ListPlex \[39] and FP \[16] — plus a uniform
+//! paper compares against — ListPlex [\[39\]](https://arxiv.org/abs/2202.08737)
+//! and FP [\[16\]](https://arxiv.org/abs/2203.10760) — plus a uniform
 //! [`Algorithm`] handle over every variant used by the evaluation harness.
 //!
 //! ```
@@ -18,7 +19,7 @@
 //! }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod algorithms;
 pub mod d2k;

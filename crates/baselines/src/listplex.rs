@@ -1,5 +1,5 @@
-//! ListPlex baseline \[39] (Wang et al., WWW 2022), reimplemented from its
-//! published description.
+//! ListPlex baseline [\[39\]](https://arxiv.org/abs/2202.08737) (Wang et
+//! al., WWW 2022), reimplemented from its published description.
 //!
 //! ListPlex introduced the sub-task partitioning scheme that the paper
 //! builds on (seed subgraphs over the degeneracy ordering, split by subsets

@@ -9,7 +9,7 @@
 //! the statistical benches use reduced cells so `cargo bench` stays bounded,
 //! while `repro` runs the full grids once (wall-clock, like the paper).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod experiments;
 pub mod peak_alloc;

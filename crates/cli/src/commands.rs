@@ -23,9 +23,10 @@ USAGE:
   kplex generate  --dataset NAME --output FILE
   kplex serve     [--addr HOST:PORT] [--runners N] [--queue-cap N]
                   [--cache-cap N] [--threads N] [--retain N] [--journal PATH]
+                  [--delivery-batch N]
   kplex route     [--addr HOST:PORT] --backend HOST:PORT [--backend ...]
                   [--probe-ms N] [--probe-timeout-ms N]
-                  [--probe-fails N] [--probe-rises N]
+                  [--probe-fails N] [--probe-rises N] [--replicas N]
   kplex submit    --addr HOST:PORT --k K --q Q
                   (--dataset NAME | --input FILE) [--threads N] [--algo ALGO]
                   [--limit N] [--timeout-ms N] [--throttle-us N] [--tau-us N]
@@ -385,6 +386,9 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         .get_parse("retain", cfg.retain_terminal)
         .map_err(usage)?;
     cfg.journal = args.get("journal").map(std::path::PathBuf::from);
+    cfg.delivery_batch = args
+        .get_parse("delivery-batch", cfg.delivery_batch)
+        .map_err(usage)?;
     args.reject_unknown().map_err(usage)?;
     let server = kplex_service::Server::bind(&cfg)
         .map_err(|e| CliError::Runtime(format!("cannot bind {}: {e}", cfg.addr)))?;
@@ -436,6 +440,10 @@ fn cmd_route(args: &Args) -> Result<(), CliError> {
         probe.interval = std::time::Duration::from_millis(probe_ms);
         cfg.probe = Some(probe);
     }
+    cfg.replicas = args
+        .get_parse("replicas", cfg.replicas)
+        .map_err(usage)?
+        .max(1);
     args.reject_unknown().map_err(usage)?;
     if cfg.backends.is_empty() {
         return Err(usage("route requires at least one --backend HOST:PORT"));

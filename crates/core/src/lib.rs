@@ -29,7 +29,7 @@
 //! assert_eq!(stats.outputs, 1);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bounds;
 pub mod branch;

@@ -20,7 +20,7 @@
 //! assert!(by_name("no-such-dataset").is_none());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod registry;
 

@@ -20,7 +20,7 @@
 //! assert_eq!(stats.degeneracy, 4); // K5 is 4-degenerate
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bitset;
 pub mod components;

@@ -411,11 +411,20 @@ fn make_tasks(
 }
 
 /// Round-robin steal starting after the worker's own index.
+///
+/// `Steal::Retry` (a CAS collision with the victim or another thief) is
+/// retried a bounded number of times per victim, then the thief moves on —
+/// a victim under heavy contention would otherwise pin this worker in an
+/// unbounded spin while every other deque sits full. The caller's drain
+/// loop backs off and sweeps again, so a task skipped this sweep is picked
+/// up on the next one.
 fn steal_task(stealers: &[Stealer<Task>], wid: usize) -> Option<Task> {
+    /// Consecutive `Steal::Retry`s tolerated on one victim per sweep.
+    const MAX_RETRIES_PER_VICTIM: usize = 8;
     let m = stealers.len();
     for off in 1..m {
         let victim = (wid + off) % m;
-        loop {
+        for _ in 0..MAX_RETRIES_PER_VICTIM {
             match stealers[victim].steal() {
                 Steal::Success(t) => return Some(t),
                 Steal::Retry => continue,

@@ -30,7 +30,7 @@
 //! assert_eq!(parallel, serial);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod engine;
 

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! kplexd [--addr HOST:PORT] [--runners N] [--queue-cap N] [--cache-cap N]
-//!        [--threads N] [--journal PATH]
+//!        [--threads N] [--journal PATH] [--delivery-batch N]
 //! kplexd smoke    # self-test: submit jazz, stream, cancel, verify
 //! kplexd help
 //! ```
@@ -27,8 +27,13 @@ OPTIONS:
   --retain N         terminal jobs kept for STATUS/STREAM replay (default 64)
   --journal PATH     append-only job journal: accepted jobs are fsync'd
                      before the SUBMIT is acknowledged, and a restart with
-                     the same path replays queued + interrupted jobs
-                     (at-least-once; see PROTOCOL.md \"Job persistence\")
+                     the same path replays queued + interrupted jobs and
+                     remembers delivered-stream offsets so a restart does
+                     not re-deliver consumed results (see PROTOCOL.md
+                     \"Job persistence\")
+  --delivery-batch N journal the delivery offset every N streamed results
+                     (default 4096; smaller = tighter exactly-once window
+                     across crashes, more fsyncs — never one per result)
 ";
 
 fn parse_config(args: &[String]) -> Result<ServerConfig, String> {
@@ -67,6 +72,11 @@ fn parse_config(args: &[String]) -> Result<ServerConfig, String> {
                     .map_err(|_| "invalid --retain".to_string())?
             }
             "--journal" => cfg.journal = Some(std::path::PathBuf::from(value(i)?)),
+            "--delivery-batch" => {
+                cfg.delivery_batch = value(i)?
+                    .parse()
+                    .map_err(|_| "invalid --delivery-batch".to_string())?
+            }
             other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
         }
         i += 2;

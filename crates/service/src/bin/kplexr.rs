@@ -3,7 +3,8 @@
 //! ```text
 //! kplexr [--addr HOST:PORT] --backend HOST:PORT [--backend HOST:PORT ...]
 //!        [--probe-ms N] [--probe-timeout-ms N] [--probe-fails N] [--probe-rises N]
-//! kplexr smoke    # self-test: routing, failover, probe, journal replay
+//!        [--replicas N]
+//! kplexr smoke    # self-test: routing, failover, journal replay, mid-stream resume
 //! kplexr help
 //! ```
 
@@ -28,6 +29,10 @@ OPTIONS:
                         (default 3)
   --probe-rises N       consecutive successes before a dead backend rejoins
                         (default 2)
+  --replicas N          copies of each job placed across distinct backends
+                        (rendezvous top-N per key); the extras serve STATUS/
+                        STREAM reads and stand by for mid-stream promotion
+                        when the primary dies (default 1 = off)
 ";
 
 fn parse_config(args: &[String]) -> Result<RouterConfig, String> {
@@ -52,6 +57,7 @@ fn parse_config(args: &[String]) -> Result<RouterConfig, String> {
             "--probe-timeout-ms" => probe.timeout = Duration::from_millis(parse_u64(i)?.max(1)),
             "--probe-fails" => probe.fall = parse_u64(i)?.max(1) as u32,
             "--probe-rises" => probe.rise = parse_u64(i)?.max(1) as u32,
+            "--replicas" => cfg.replicas = parse_u64(i)?.max(1) as usize,
             other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
         }
         i += 2;
@@ -155,10 +161,12 @@ type BackendSlots = [BackendSlot; 2];
 /// End-to-end self-test (what CI's bench-smoke job runs): two in-process
 /// journal-backed backends behind a router on ephemeral ports. Verifies
 /// ADDNODE, routed streaming with count cross-check, rendezvous-stable
-/// warm resubmission (via STATS of the owning backend), queued-job
-/// failover when a backend dies, and — the self-healing half — a restart
-/// of the killed backend with the same journal replaying its interrupted
-/// jobs to completion.
+/// warm resubmission (via STATS of the owning backend), queued- and
+/// running-job failover when a backend dies, the self-healing half — a
+/// restart of the killed backend with the same journal replaying its
+/// interrupted jobs to completion — and, on a separate `--replicas 2`
+/// fleet, exactly-once transparent resume of a stream whose primary
+/// backend is killed mid-delivery ([`smoke_resume`]).
 fn smoke() -> Result<(), String> {
     let tmp = std::env::temp_dir();
     let journal_a = tmp.join(format!("kplexr-smoke-{}-a.journal", std::process::id()));
@@ -176,6 +184,7 @@ fn smoke() -> Result<(), String> {
         addr: "127.0.0.1:0".to_string(),
         backends: vec![addr_a.clone()],
         probe: None, // failover is exercised reactively here; probes have their own tests
+        replicas: 1,
     })
     .and_then(|r| r.spawn())
     .map_err(|e| format!("bind router: {e}"))?;
@@ -192,7 +201,8 @@ fn smoke() -> Result<(), String> {
         },
     ];
     let result = smoke_scenarios(router.addr(), &addr_b, &mut backends)
-        .and_then(|()| smoke_restart(router.addr(), &mut backends));
+        .and_then(|()| smoke_restart(router.addr(), &mut backends))
+        .and_then(|()| smoke_resume());
     router.shutdown();
     for slot in backends.iter_mut() {
         if let Some(h) = slot.handle.take() {
@@ -371,6 +381,23 @@ fn smoke_scenarios(
     if new_backend == target {
         return Err(format!("queued job still on the dead backend: {status:?}"));
     }
+    // The job that was RUNNING on the dead backend is requeued to the
+    // survivor too — resumable streams make re-running safe — instead of
+    // being failed with backend_lost. Cancel it (it is throttled) so the
+    // survivor's single runner is free for the queued job below.
+    let status = c.status(slow_id).map_err(err)?;
+    let slow_state = status.get("state").cloned().unwrap_or_default();
+    if !matches!(slow_state.as_str(), "queued" | "running") {
+        return Err(format!(
+            "running job on dead backend: {status:?}, want requeued to the survivor"
+        ));
+    }
+    if status.get("backend") == Some(&target) {
+        return Err(format!(
+            "requeued running job still on the corpse: {status:?}"
+        ));
+    }
+    c.cancel(slow_id).map_err(err)?;
     let mut streamed = 0u64;
     let end = c.stream(queued_id, |_, _| streamed += 1).map_err(err)?;
     if end.get("state").map(String::as_str) != Some("done") || streamed != expected27 {
@@ -379,16 +406,108 @@ fn smoke_scenarios(
             end.get("state")
         ));
     }
-    // The job that was RUNNING on the dead backend is failed, not retried.
-    let status = c.status(slow_id).map_err(err)?;
-    if status.get("state").map(String::as_str) != Some("failed") {
-        return Err(format!(
-            "running job on dead backend: {status:?}, want failed"
-        ));
-    }
     println!(
-        "kplexr smoke: queued job failed over {target} -> {new_backend} \
-         and streamed {streamed} plexes"
+        "kplexr smoke: queued + running jobs failed over {target} -> {new_backend}, \
+         queued one streamed {streamed} plexes"
     );
     Ok(())
+}
+
+/// Scenario 6: exactly-once resumable streaming. A fresh two-backend fleet
+/// behind a `--replicas 2` router; a single-threaded throttled job
+/// (deterministic result order — the precondition for cross-backend
+/// resume, see PROTOCOL.md) is streamed through the router and its primary
+/// backend is **killed mid-stream** (sockets severed, no graceful
+/// goodbye). The router must promote the replica and transparently resume
+/// with `STREAM … FROM <first undelivered seq>`: the client sees every
+/// result exactly once and a terminal `END state=done`, never
+/// `ERR … lost mid-stream`.
+fn smoke_resume() -> Result<(), String> {
+    let err = |e: kplex_service::ClientError| e.to_string();
+    let expected = ground_truth("jazz", 2, 8)?;
+    let start = || {
+        let cfg = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            runners: 1,
+            ..ServerConfig::default()
+        };
+        Server::bind(&cfg)
+            .and_then(|s| s.spawn())
+            .map_err(|e| format!("bind backend: {e}"))
+    };
+    let backend_a = start()?;
+    let backend_b = start()?;
+    let mut handles = std::collections::BTreeMap::new();
+    handles.insert(backend_a.addr().to_string(), backend_a);
+    handles.insert(backend_b.addr().to_string(), backend_b);
+    let router = Router::bind(&RouterConfig {
+        addr: "127.0.0.1:0".to_string(),
+        backends: handles.keys().cloned().collect(),
+        probe: None,
+        replicas: 2,
+    })
+    .and_then(|r| r.spawn())
+    .map_err(|e| format!("bind router: {e}"))?;
+
+    let result = (|| {
+        let mut c = Client::connect(router.addr()).map_err(err)?;
+        let mut args = SubmitArgs::dataset("jazz", 2, 8);
+        args.threads = Some(1); // deterministic result order
+        args.throttle_us = Some(1000); // slow enough to kill mid-stream
+        let fields = c.submit_fields(&args).map_err(err)?;
+        if fields.get("replicas").map(String::as_str) != Some("1") {
+            return Err(format!("submit placed no replica: {fields:?}"));
+        }
+        let id: u64 = fields
+            .get("id")
+            .and_then(|s| s.parse().ok())
+            .ok_or("submit reply without id")?;
+        let owner = fields.get("backend").cloned().ok_or("no backend= field")?;
+        let mut victim = handles.remove(&owner);
+        let mut seqs: Vec<u64> = Vec::new();
+        let end = c
+            .stream(id, |seq, _| {
+                seqs.push(seq);
+                if seqs.len() == 3 {
+                    if let Some(h) = victim.take() {
+                        h.kill(); // sever mid-stream, crash-style
+                    }
+                }
+            })
+            .map_err(err)?;
+        if victim.is_some() {
+            return Err(format!(
+                "stream ended after {} results, before the kill could happen",
+                seqs.len()
+            ));
+        }
+        if end.get("state").map(String::as_str) != Some("done") {
+            return Err(format!(
+                "resumed stream ended {:?}, want done",
+                end.get("state")
+            ));
+        }
+        // Exactly once: every seq 0..expected, in order, no gap, no dupe.
+        if seqs.len() as u64 != expected || seqs.iter().enumerate().any(|(i, &s)| s != i as u64) {
+            return Err(format!(
+                "resumed stream delivered {} results (expected {expected}), \
+                 first disorder at {:?}",
+                seqs.len(),
+                seqs.iter()
+                    .enumerate()
+                    .find(|(i, &s)| s != *i as u64)
+                    .map(|(i, &s)| (i, s)),
+            ));
+        }
+        println!(
+            "kplexr smoke: killed primary {owner} mid-stream; replica resumed \
+             transparently, {expected} results delivered exactly once"
+        );
+        Ok(())
+    })();
+    router.shutdown();
+    for (_, h) in handles {
+        h.shutdown();
+    }
+    result
 }

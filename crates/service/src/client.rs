@@ -236,6 +236,23 @@ impl Client {
         .map(|end| end.expect("an unaborted stream always ends with END"))
     }
 
+    /// Resumes a stream at `from` (`STREAM <id> FROM <seq>`): delivers only
+    /// results with `seq >= from`, then the `END` fields. A client whose
+    /// connection died mid-stream passes the first seq it has not consumed
+    /// and receives exactly the missing suffix — nothing is re-delivered.
+    pub fn stream_from(
+        &mut self,
+        id: JobId,
+        from: u64,
+        mut on_plex: impl FnMut(u64, Vec<u32>),
+    ) -> Result<BTreeMap<String, String>, ClientError> {
+        self.stream_while_from(id, from, |seq, plex| {
+            on_plex(seq, plex);
+            true
+        })
+        .map(|end| end.expect("an unaborted stream always ends with END"))
+    }
+
     /// Like [`Client::stream`], but `on_plex` returning `false` abandons the
     /// stream immediately with `Ok(None)` — the caller should then drop this
     /// client, which closes the connection and lets the server stop
@@ -244,9 +261,23 @@ impl Client {
     pub fn stream_while(
         &mut self,
         id: JobId,
+        on_plex: impl FnMut(u64, Vec<u32>) -> bool,
+    ) -> Result<Option<BTreeMap<String, String>>, ClientError> {
+        self.stream_while_from(id, 0, on_plex)
+    }
+
+    /// [`Client::stream_while`] with a resume offset — the primitive under
+    /// all four streaming entry points (the router's transparent mid-stream
+    /// failover uses exactly this).
+    pub fn stream_while_from(
+        &mut self,
+        id: JobId,
+        from: u64,
         mut on_plex: impl FnMut(u64, Vec<u32>) -> bool,
     ) -> Result<Option<BTreeMap<String, String>>, ClientError> {
-        self.send(&format!("STREAM {id}"))?;
+        self.send(&protocol::render_request(&protocol::Request::Stream(
+            id, from,
+        )))?;
         loop {
             let line = self.read_line()?;
             if let Some(msg) = line.strip_prefix("ERR ") {

@@ -160,9 +160,16 @@ pub struct Job {
     pub cancel: Arc<AtomicBool>,
     /// True when this job was replayed from the journal after a restart
     /// rather than submitted on this server lifetime — surfaced in
-    /// `STATUS` (`recovered=true`) because a replayed job may re-run work
-    /// a previous lifetime already did (at-least-once delivery).
+    /// `STATUS` (`recovered=true`) because a replayed job re-runs work a
+    /// previous lifetime already did (its result buffer died with the
+    /// process; re-delivery below [`Job::delivered_floor`] is suppressed).
     pub recovered: bool,
+    /// Journaled delivery high-water mark: every result with
+    /// `seq < delivered_floor` was already consumed by a client in a
+    /// previous server lifetime. Streams of this job start at
+    /// `max(requested_from, delivered_floor)` so a replayed job never
+    /// re-delivers a consumed prefix. Always 0 for fresh jobs.
+    pub delivered_floor: u64,
     /// Invoked on the terminal transition (see [`TerminalHook`]).
     on_terminal: Option<TerminalHook>,
     inner: Mutex<Progress>,
@@ -231,6 +238,14 @@ impl Job {
         self
     }
 
+    /// Sets the journaled delivery floor (builder style, for replayed
+    /// jobs): streams skip every result below it. See
+    /// [`Job::delivered_floor`].
+    pub fn with_delivered_floor(mut self, floor: u64) -> Self {
+        self.delivered_floor = floor;
+        self
+    }
+
     /// Fires the terminal hook. Must be called with the state lock held,
     /// right after the transition to `state` — before any observer can see
     /// it — and only from the single place that performed the transition.
@@ -247,6 +262,7 @@ impl Job {
             spec,
             cancel: Arc::new(AtomicBool::new(false)),
             recovered,
+            delivered_floor: 0,
             on_terminal: None,
             inner: Mutex::new(Progress {
                 state: JobState::Queued,

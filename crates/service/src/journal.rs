@@ -8,14 +8,21 @@
 //! its original id, and the id counter resumes past the largest id ever
 //! issued, so ids are never reused across restarts.
 //!
-//! Durability contract (**at-least-once**): a job is journaled *before* its
-//! `SUBMIT` is acknowledged, so an acknowledged job survives a crash. The
-//! terminal record is written when the job finishes *organically*; a
-//! shutdown (or crash) between acceptance and the terminal record replays
-//! the job on restart, re-running work whose results died with the process.
-//! Result buffers are **not** journaled — a replayed job re-enumerates from
-//! scratch. Exactly-once delivery would require journaling results, which
-//! the paper's 10⁹-plex result sets rule out.
+//! Durability contract: a job is journaled *before* its `SUBMIT` is
+//! acknowledged, so an acknowledged job survives a crash. The terminal
+//! record is written when the job finishes *organically*; a shutdown (or
+//! crash) between acceptance and the terminal record replays the job on
+//! restart, re-running work whose results died with the process. Result
+//! buffers are **not** journaled — a replayed job re-enumerates from
+//! scratch; journaling the results themselves is ruled out by the paper's
+//! 10⁹-plex result sets. Instead the journal records the **delivery
+//! offset** (`DELIVERED`): the highest sequence number any client has
+//! consumed. A replayed job streams only from that floor, so a restart
+//! does not re-deliver the consumed prefix. `DELIVERED` records are
+//! **batched and coalesced** by the streaming path (one record per batch
+//! or idle flush, never one fsync per result), so the floor can lag the
+//! truth by up to one batch — a crash inside that window re-delivers at
+//! most that many results, the one deliberate at-least-once residue.
 //!
 //! Torn writes: each record is appended and fsync'd as one line, so a crash
 //! mid-append leaves at most one truncated final line, which replay
@@ -35,6 +42,7 @@
 //! NEXT <id>                    id floor (written by compaction)
 //! SUBMIT <id> <key=value ...>  job accepted; fields as in the wire SUBMIT
 //! START <id>                   job left the queue and began running
+//! DELIVERED <id> <seq>         a client consumed results up to seq (excl.)
 //! END <id> <state>             job reached a terminal state
 //! ```
 
@@ -53,8 +61,12 @@ pub struct RecoveredJob {
     /// The original submission, exactly as validated then.
     pub args: SubmitArgs,
     /// True when the job had already started when the server died — an
-    /// orphaned-running job, requeued like a queued one (at-least-once).
+    /// orphaned-running job, requeued like a queued one.
     pub was_started: bool,
+    /// Journaled delivery high-water mark: a client already consumed
+    /// results `[0, delivered)` in the previous lifetime. The replayed job
+    /// streams only from this floor (see [`crate::job::Job::delivered_floor`]).
+    pub delivered: u64,
 }
 
 /// Everything [`replay`] reconstructs from a journal's text.
@@ -77,6 +89,8 @@ enum Record {
     Submit(JobId, SubmitArgs),
     /// Job began running.
     Start(JobId),
+    /// A client consumed results up to this sequence number (exclusive).
+    Delivered(JobId, u64),
     /// Job reached a terminal state.
     End(JobId),
 }
@@ -93,6 +107,16 @@ fn parse_record(line: &str) -> Result<Record, String> {
                 .split_once(' ')
                 .ok_or_else(|| format!("END without state: {line:?}"))?;
             Ok(Record::End(id(id_str)?))
+        }
+        "DELIVERED" => {
+            let (id_str, seq) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("DELIVERED without seq: {line:?}"))?;
+            let seq = seq
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad DELIVERED seq in {line:?}"))?;
+            Ok(Record::Delivered(id(id_str)?, seq))
         }
         "SUBMIT" => {
             let (id_str, fields) = rest
@@ -121,6 +145,7 @@ fn parse_record(line: &str) -> Result<Record, String> {
 /// a malformed complete record is corruption and errors.
 pub fn replay(text: &str) -> Result<Replay, String> {
     let mut submits: BTreeMap<JobId, (SubmitArgs, bool)> = BTreeMap::new();
+    let mut delivered: BTreeMap<JobId, u64> = BTreeMap::new();
     let mut ended: BTreeSet<JobId> = BTreeSet::new();
     let mut max_id: JobId = 0;
     let mut floor: JobId = 1;
@@ -150,6 +175,13 @@ pub fn replay(text: &str) -> Result<Replay, String> {
                     entry.1 = true;
                 }
             }
+            Ok(Record::Delivered(id, seq)) => {
+                // The high-water mark wins: records are monotone within one
+                // stream but independent streams may land out of order.
+                max_id = max_id.max(id);
+                let floor = delivered.entry(id).or_insert(0);
+                *floor = (*floor).max(seq);
+            }
             Ok(Record::End(id)) => {
                 max_id = max_id.max(id);
                 ended.insert(id);
@@ -165,6 +197,7 @@ pub fn replay(text: &str) -> Result<Replay, String> {
             id,
             args,
             was_started,
+            delivered: delivered.get(&id).copied().unwrap_or(0),
         })
         .collect();
     Ok(Replay {
@@ -181,6 +214,11 @@ pub fn replay(text: &str) -> Result<Replay, String> {
 /// docs for the recovery semantics.
 pub struct Journal {
     file: Mutex<File>,
+    /// Highest `DELIVERED` seq already on disk per job — the coalescing
+    /// state: [`Journal::record_delivered`] drops any offset at or below
+    /// it, so concurrent streams of one job (or a resumed stream re-walking
+    /// old ground) never rewrite the floor.
+    delivered: Mutex<BTreeMap<JobId, u64>>,
 }
 
 impl std::fmt::Debug for Journal {
@@ -223,14 +261,26 @@ impl Journal {
                 if job.was_started {
                     writeln!(f, "START {}", job.id)?;
                 }
+                // Delivery floors survive compaction for live jobs only
+                // (terminal jobs' floors die with their other records).
+                if job.delivered > 0 {
+                    writeln!(f, "DELIVERED {} {}", job.id, job.delivered)?;
+                }
             }
             f.sync_all()?;
         }
         std::fs::rename(&tmp, path)?;
         let file = OpenOptions::new().append(true).open(path)?;
+        let delivered = replay
+            .jobs
+            .iter()
+            .filter(|j| j.delivered > 0)
+            .map(|j| (j.id, j.delivered))
+            .collect();
         Ok((
             Journal {
                 file: Mutex::new(file),
+                delivered: Mutex::new(delivered),
             },
             replay,
         ))
@@ -259,7 +309,29 @@ impl Journal {
     /// Records a terminal transition (`done` / `cancelled` / `failed`).
     /// Jobs with this record are never resurrected by replay.
     pub fn record_end(&self, id: JobId, state: &str) -> std::io::Result<()> {
+        // The job can no longer be replayed; its floor is dead weight.
+        self.delivered
+            .lock()
+            .expect("delivered lock poisoned")
+            .remove(&id);
         self.append(&format!("END {id} {state}"))
+    }
+
+    /// Records that a client has consumed results `[0, seq)` of a job —
+    /// **coalesced**: an offset at or below the journaled high-water mark
+    /// is dropped without touching the file, so the fsync cost is bounded
+    /// by floor *advances*, not by calls. The streaming path only calls
+    /// this at batch boundaries and idle flushes (never per result); see
+    /// the module docs for the crash-window consequence.
+    pub fn record_delivered(&self, id: JobId, seq: u64) -> std::io::Result<()> {
+        {
+            let mut delivered = self.delivered.lock().expect("delivered lock poisoned");
+            match delivered.get(&id) {
+                Some(&floor) if seq <= floor => return Ok(()),
+                _ => delivered.insert(id, seq),
+            };
+        }
+        self.append(&format!("DELIVERED {id} {seq}"))
     }
 }
 
@@ -378,6 +450,68 @@ mod tests {
         let (_, r) = Journal::open(&path).unwrap();
         assert!(r.jobs.is_empty(), "cancelled job resurrected: {r:?}");
         assert_eq!(r.next_id, 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_takes_the_delivery_high_water_mark() {
+        let text = "SUBMIT 1 dataset=jazz k=2 q=9\n\
+                    DELIVERED 1 10\n\
+                    DELIVERED 1 300\n\
+                    DELIVERED 1 40\n\
+                    SUBMIT 2 dataset=jazz k=2 q=8\n\
+                    DELIVERED 2 7\n\
+                    END 2 done\n";
+        let r = replay(text).unwrap();
+        assert_eq!(r.jobs.len(), 1);
+        assert_eq!(
+            (r.jobs[0].id, r.jobs[0].delivered),
+            (1, 300),
+            "out-of-order DELIVERED records must resolve to the max"
+        );
+        // A floor without a SUBMIT is not corruption (the SUBMIT may have
+        // been compacted in a pathological interleaving) — just unused.
+        assert!(replay("DELIVERED 9 5\n").unwrap().jobs.is_empty());
+        // Malformed DELIVERED records are corruption.
+        assert!(replay("DELIVERED 1\n").is_err());
+        assert!(replay("DELIVERED 1 x\n").is_err());
+    }
+
+    #[test]
+    fn compaction_keeps_floors_of_live_jobs_only() {
+        let path = tmp_path("delivered");
+        std::fs::remove_file(&path).ok();
+        {
+            let (journal, _) = Journal::open(&path).unwrap();
+            journal.record_submit(1, &args(2, 9)).unwrap();
+            journal.record_start(1).unwrap();
+            journal.record_delivered(1, 120).unwrap();
+            journal.record_submit(2, &args(2, 7)).unwrap();
+            journal.record_delivered(2, 9).unwrap();
+            journal.record_end(2, "done").unwrap();
+        }
+        let (journal, r) = Journal::open(&path).unwrap();
+        assert_eq!(r.jobs.len(), 1);
+        assert_eq!((r.jobs[0].id, r.jobs[0].delivered), (1, 120));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("DELIVERED 1 120"), "{text:?}");
+        assert!(
+            !text.contains("DELIVERED 2"),
+            "terminal floor kept: {text:?}"
+        );
+        // Coalescing survives reopen: replaying the same floor (or lower)
+        // must not append; only an advance does.
+        journal.record_delivered(1, 120).unwrap();
+        journal.record_delivered(1, 80).unwrap();
+        journal.record_delivered(1, 121).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text.matches("DELIVERED 1").count(),
+            2,
+            "one compacted floor plus one advance: {text:?}"
+        );
+        let (_, r) = Journal::open(&path).unwrap();
+        assert_eq!(r.jobs[0].delivered, 121);
         std::fs::remove_file(&path).ok();
     }
 

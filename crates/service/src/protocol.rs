@@ -102,8 +102,11 @@ pub enum Request {
     Submit(Box<SubmitArgs>),
     /// One-line state of a job.
     Status(JobId),
-    /// Stream a job's results from the beginning, then its terminal state.
-    Stream(JobId),
+    /// Stream a job's results starting at the given sequence number (0 =
+    /// from the beginning), then its terminal state. The wire form is
+    /// `STREAM <id>` or `STREAM <id> FROM <seq>`; a resuming client passes
+    /// the first sequence number it has *not* yet consumed.
+    Stream(JobId, u64),
     /// Cooperatively cancel a job.
     Cancel(JobId),
     /// One line per job.
@@ -132,7 +135,8 @@ pub fn render_request(req: &Request) -> String {
         Request::Ping => "PING".to_string(),
         Request::Submit(args) => args.to_line(),
         Request::Status(id) => format!("STATUS {id}"),
-        Request::Stream(id) => format!("STREAM {id}"),
+        Request::Stream(id, 0) => format!("STREAM {id}"),
+        Request::Stream(id, from) => format!("STREAM {id} FROM {from}"),
         Request::Cancel(id) => format!("CANCEL {id}"),
         Request::List => "LIST".to_string(),
         Request::Stats => "STATS".to_string(),
@@ -179,6 +183,24 @@ fn parse_id(rest: &[&str], verb: &str) -> Result<JobId, String> {
     }
 }
 
+/// `STREAM <id>` or `STREAM <id> FROM <seq>` (the keyword is
+/// case-insensitive like the verb; a bare `STREAM <id>` means seq 0).
+fn parse_stream(rest: &[&str]) -> Result<(JobId, u64), String> {
+    let id = |s: &str| -> Result<JobId, String> {
+        s.parse().map_err(|_| format!("invalid job id {s:?}"))
+    };
+    match rest {
+        [i] => Ok((id(i)?, 0)),
+        [i, kw, seq] if kw.eq_ignore_ascii_case("FROM") => {
+            let from = seq
+                .parse()
+                .map_err(|_| format!("invalid FROM seq {seq:?}"))?;
+            Ok((id(i)?, from))
+        }
+        _ => Err("usage: STREAM <job-id> [FROM <seq>]".to_string()),
+    }
+}
+
 fn parse_addr(rest: &[&str], verb: &str) -> Result<String, String> {
     match rest {
         [addr] => Ok(addr.to_string()),
@@ -199,7 +221,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "NODES" => Ok(Request::Nodes),
         "REBALANCE" => Ok(Request::Rebalance),
         "STATUS" => Ok(Request::Status(parse_id(&rest, "STATUS")?)),
-        "STREAM" => Ok(Request::Stream(parse_id(&rest, "STREAM")?)),
+        "STREAM" => {
+            let (id, from) = parse_stream(&rest)?;
+            Ok(Request::Stream(id, from))
+        }
         "CANCEL" => Ok(Request::Cancel(parse_id(&rest, "CANCEL")?)),
         "ADDNODE" => Ok(Request::AddNode(parse_addr(&rest, "ADDNODE")?)),
         "DROPNODE" => Ok(Request::DropNode(parse_addr(&rest, "DROPNODE")?)),
@@ -234,6 +259,26 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
 /// (`OK`, `JOB`, `END`). Used by the client and the tests.
 pub fn parse_response_fields(line: &str) -> Result<BTreeMap<String, String>, String> {
     parse_kv(line.split_whitespace().skip(1))
+}
+
+/// Makes an arbitrary string (typically an error message built from an
+/// `io::Error`) safe to embed as a `key=value` token of a one-line reply:
+/// every whitespace or control character — not just spaces; a newline or
+/// tab would corrupt the line protocol mid-reply — becomes `_`, and the
+/// empty string becomes `"_"` (the grammar rejects empty values).
+pub fn sanitize_value(s: &str) -> String {
+    if s.is_empty() {
+        return "_".to_string();
+    }
+    s.chars()
+        .map(|c| {
+            if c.is_whitespace() || c.is_control() {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect()
 }
 
 /// Renders one streamed result as an NDJSON line:
@@ -332,11 +377,45 @@ mod tests {
         assert_eq!(parse_request("quit").unwrap(), Request::Quit);
         assert_eq!(parse_request("STATUS 7").unwrap(), Request::Status(7));
         assert_eq!(parse_request("CANCEL 3").unwrap(), Request::Cancel(3));
-        assert_eq!(parse_request("STREAM 1").unwrap(), Request::Stream(1));
+        assert_eq!(parse_request("STREAM 1").unwrap(), Request::Stream(1, 0));
         assert!(parse_request("STATUS").is_err());
         assert!(parse_request("STATUS x").is_err());
         assert!(parse_request("FROBNICATE").is_err());
         assert!(parse_request("").is_err());
+    }
+
+    #[test]
+    fn stream_from_parses_and_renders() {
+        assert_eq!(
+            parse_request("STREAM 3 FROM 17").unwrap(),
+            Request::Stream(3, 17)
+        );
+        assert_eq!(
+            parse_request("stream 3 from 17").unwrap(),
+            Request::Stream(3, 17)
+        );
+        assert_eq!(render_request(&Request::Stream(3, 0)), "STREAM 3");
+        assert_eq!(render_request(&Request::Stream(3, 17)), "STREAM 3 FROM 17");
+        for req in [Request::Stream(9, 0), Request::Stream(9, u64::MAX)] {
+            assert_eq!(parse_request(&render_request(&req)).unwrap(), req);
+        }
+        assert!(parse_request("STREAM 3 FROM").is_err());
+        assert!(parse_request("STREAM 3 FROM x").is_err());
+        assert!(parse_request("STREAM 3 UNTIL 9").is_err());
+        assert!(parse_request("STREAM 3 FROM 1 2").is_err());
+    }
+
+    #[test]
+    fn sanitize_value_strips_all_whitespace_and_controls() {
+        assert_eq!(sanitize_value("plain"), "plain");
+        assert_eq!(sanitize_value("two words"), "two_words");
+        assert_eq!(sanitize_value("a\nb\tc\rd"), "a_b_c_d");
+        assert_eq!(sanitize_value("\u{0}\u{1b}"), "__");
+        assert_eq!(sanitize_value(""), "_");
+        // The sanitized value must survive a reply-line round trip.
+        let line = format!("OK error={}", sanitize_value("no such\nfile or directory"));
+        let fields = parse_response_fields(&line).unwrap();
+        assert_eq!(fields["error"], "no_such_file_or_directory");
     }
 
     #[test]

@@ -14,15 +14,26 @@
 //! proxied to the owning backend with ids rewritten in both directions;
 //! replies gain a `backend=` field naming the owner.
 //!
-//! Failover: any transport failure towards a backend marks it dead. Its
-//! **queued** (never observed running) jobs are transparently resubmitted
-//! to the surviving backends under their original router ids; jobs that
-//! were already running are marked `failed` with `error=backend_lost` —
-//! their partial results are gone with the backend, and silently re-running
-//! them could double-deliver plexes to a client that already consumed a
-//! prefix. `DROPNODE` drains a healthy backend the same way (its queued
-//! jobs are cancelled remotely and rerouted; running jobs finish in place
-//! and remain reachable through the router).
+//! With `--replicas R` (R > 1) every submission is additionally placed on
+//! the next R − 1 live backends in the key's rendezvous order. The first
+//! copy is the **primary** and owns the authoritative job state; the rest
+//! are best-effort read replicas: `STATUS`/`STREAM` reads fan out across
+//! primary + live replicas round-robin, and a primary lost mid-stream is
+//! promoted to a live replica instead of being recomputed from scratch.
+//!
+//! Failover: any transport failure towards a backend marks it dead. Jobs
+//! placed on it fail over to the survivors: one with a live replica is
+//! promoted to it in place; the rest — queued *and* running — are
+//! transparently resubmitted under their original router ids. Re-running
+//! is safe because result streams are resumable ([`crate::protocol`]'s
+//! `STREAM … FROM <seq>`): a client consuming a stream when the backend
+//! died is continued on the new placement from the first seq it has not
+//! received, so every result is delivered exactly once. (Cross-backend
+//! resume assumes deterministic result order — submit single-threaded
+//! jobs where that matters; see PROTOCOL.md.) `DROPNODE` drains a healthy
+//! backend gracefully: its queued jobs are cancelled remotely and
+//! rerouted, running jobs finish in place and remain reachable through
+//! the router.
 
 use crate::client::{Client, ClientError};
 use crate::protocol::{self, JobId, Request, SubmitArgs};
@@ -72,6 +83,11 @@ pub struct RouterConfig {
     /// Background health prober; `None` disables it (backends are then
     /// only marked dead reactively, when a proxied request fails).
     pub probe: Option<ProbeConfig>,
+    /// Copies of each job placed across distinct backends (the rendezvous
+    /// top-R for its key). The first is the primary; the rest are
+    /// best-effort read replicas (see the module docs). `1` — the
+    /// default — disables replication.
+    pub replicas: usize,
 }
 
 impl Default for RouterConfig {
@@ -80,6 +96,7 @@ impl Default for RouterConfig {
             addr: "127.0.0.1:7710".to_string(),
             backends: Vec::new(),
             probe: None,
+            replicas: 1,
         }
     }
 }
@@ -143,6 +160,11 @@ impl Node {
 struct Routed {
     backend: String,
     remote_id: JobId,
+    /// Best-effort replica placements, `(backend, backend-local id)` each.
+    /// Replicas run the same job independently; they serve reads and stand
+    /// by for promotion when the primary's backend dies. Entries are
+    /// scrubbed as their backends die.
+    replicas: Vec<(String, JobId)>,
     /// Kept for failover resubmission of queued jobs.
     args: SubmitArgs,
     /// Last state observed from the backend (`queued` until seen otherwise).
@@ -161,6 +183,11 @@ struct RouterState {
     /// The prober's configuration (also surfaced in `STATS`); `None` when
     /// probing is disabled.
     probe: Option<ProbeConfig>,
+    /// [`RouterConfig::replicas`], clamped to ≥ 1.
+    replicas: usize,
+    /// Round-robin cursor spreading `STATUS`/`STREAM` reads over a job's
+    /// primary + live replicas.
+    read_rr: AtomicU64,
 }
 
 // --- rendezvous hashing -----------------------------------------------------
@@ -268,6 +295,8 @@ impl Router {
                 next_id: AtomicU64::new(1),
                 shutdown: AtomicBool::new(false),
                 probe: cfg.probe.clone(),
+                replicas: cfg.replicas.max(1),
+                read_rr: AtomicU64::new(0),
             }),
         })
     }
@@ -367,7 +396,7 @@ fn probe_loop(state: &Arc<RouterState>, cfg: &ProbeConfig) {
                     state,
                     &addr,
                     &Reroute {
-                        fail_running: true,
+                        backend_lost: true,
                         cancel_remote: false,
                     },
                 ),
@@ -487,17 +516,23 @@ const REQUEUEING: &str = "requeueing";
 
 /// What to do with a backend's routed jobs when it leaves the routing set.
 struct Reroute {
-    /// Mark its running jobs failed (the backend is gone) instead of
-    /// leaving them to finish in place (graceful drain).
-    fail_running: bool,
+    /// The backend is gone (crash or probe death): promote each of its
+    /// jobs to a live replica when one exists, requeue the rest — running
+    /// jobs included. Re-running is safe because streams are resumable:
+    /// the router continues a consuming client on the new placement with
+    /// `FROM <first undelivered seq>`, so nothing is double-delivered.
+    /// `false` is the graceful drain (`DROPNODE`): queued jobs move,
+    /// running jobs finish in place.
+    backend_lost: bool,
     /// Best-effort `CANCEL` of the old copy before resubmitting (only
     /// meaningful while the backend is still alive, i.e. `DROPNODE`).
     cancel_remote: bool,
 }
 
-/// Marks `addr` dead (idempotent) and fails over its jobs: queued jobs are
-/// resubmitted to the surviving backends under their original router ids,
-/// running jobs are failed with `error=backend_lost`. Only acts on the
+/// Marks `addr` dead (idempotent) and fails over its jobs: each is
+/// promoted to a live replica when it has one, otherwise resubmitted to
+/// the surviving backends under its original router id — running jobs
+/// included (their streams resume via `FROM`). Only acts on the
 /// alive → dead transition; [`recover_job`] covers jobs stranded on
 /// backends that are already dead or no longer registered.
 fn mark_backend_dead(state: &Arc<RouterState>, addr: &str) {
@@ -518,34 +553,56 @@ fn mark_backend_dead(state: &Arc<RouterState>, addr: &str) {
         state,
         addr,
         &Reroute {
-            fail_running: true,
+            backend_lost: true,
             cancel_remote: false,
         },
     );
 }
 
+/// Promotes a live replica to primary, in place, under the jobs lock.
+/// Promotion is atomic — placement fields flip in one critical section, no
+/// [`REQUEUEING`] claim window — so concurrent readers either still see
+/// the old placement (and fail towards the corpse, harmlessly retrying) or
+/// already see the new one. Returns `false` when no replica is live.
+fn promote_replica(job: &mut Routed, live: &[String]) -> bool {
+    let Some(pos) = job.replicas.iter().position(|(b, _)| live.contains(b)) else {
+        return false;
+    };
+    let (backend, remote_id) = job.replicas.remove(pos);
+    job.backend = backend;
+    job.remote_id = remote_id;
+    job.attempts += 1;
+    true
+}
+
 /// Recovers one routed job after a transport failure towards `observed`,
-/// the backend it was recorded on: a queued job is claimed and resubmitted
-/// to the survivors, a running one is failed. This is the per-job
-/// complement to [`mark_backend_dead`]'s fleet-wide transition pass — it
-/// also rescues jobs recorded against a backend that was *already* dead or
-/// had left the registry when the record was written (a submit racing a
-/// failover pass, or a `DROPNODE`d backend crashing later), which the
-/// transition pass can never see again.
+/// the backend it was recorded on: the job is promoted to a live replica
+/// when it has one, otherwise claimed and resubmitted to the survivors —
+/// whether it was queued or already running (resumable streams make
+/// re-running safe). This is the per-job complement to
+/// [`mark_backend_dead`]'s fleet-wide transition pass — it also rescues
+/// jobs recorded against a backend that was *already* dead or had left the
+/// registry when the record was written (a submit racing a failover pass,
+/// or a `DROPNODE`d backend crashing later), which the transition pass can
+/// never see again.
 fn recover_job(state: &Arc<RouterState>, rid: JobId, observed: &str) {
+    // Live-set snapshot before the jobs lock (lock order: never nodes
+    // inside jobs). `observed` was marked dead by every caller, so it is
+    // not a promotion candidate.
+    let live = live_backends(state);
     let claimed = {
         let mut jobs = state.jobs.lock().expect("jobs lock poisoned");
         match jobs.get_mut(&rid) {
             Some(job) if job.backend == observed && job.error.is_none() => {
+                job.replicas.retain(|(b, _)| b != observed);
                 match job.last_state.as_str() {
-                    "queued" => {
-                        job.last_state = REQUEUEING.to_string();
-                        Some(job.args.clone())
-                    }
-                    "running" => {
-                        job.last_state = "failed".to_string();
-                        job.error = Some(format!("backend_lost:{observed}"));
-                        None
+                    "queued" | "running" => {
+                        if promote_replica(job, &live) {
+                            None
+                        } else {
+                            job.last_state = REQUEUEING.to_string();
+                            Some(job.args.clone())
+                        }
                     }
                     _ => None,
                 }
@@ -569,29 +626,39 @@ fn live_backends(state: &RouterState) -> Vec<String> {
         .collect()
 }
 
-/// Moves `addr`'s queued jobs to the surviving backends (keeping their
-/// router ids) and, per `opts`, fails or leaves its running jobs. Jobs are
-/// claimed ([`REQUEUEING`]) under the lock before resubmission, so a
-/// concurrent [`recover_job`] cannot place a second copy.
+/// Moves `addr`'s jobs to the surviving backends (keeping their router
+/// ids): live replicas are promoted in place; the rest are requeued —
+/// queued jobs always, running jobs only when the backend is lost
+/// ([`Reroute::backend_lost`]). Jobs are claimed ([`REQUEUEING`]) under
+/// the lock before resubmission, so a concurrent [`recover_job`] cannot
+/// place a second copy. On loss, `addr` is also scrubbed from every job's
+/// replica list — including jobs whose primary lives elsewhere.
 fn reroute_jobs_of(state: &Arc<RouterState>, addr: &str, opts: &Reroute) {
+    // Lock order: live-set snapshot before the jobs lock.
+    let live = live_backends(state);
     let mut to_requeue: Vec<(JobId, JobId, SubmitArgs)> = Vec::new();
     {
         let mut jobs = state.jobs.lock().expect("jobs lock poisoned");
         for (&rid, job) in jobs.iter_mut() {
+            if opts.backend_lost {
+                job.replicas.retain(|(b, _)| b != addr);
+            }
             if job.backend != addr || job.error.is_some() {
                 continue;
             }
-            match job.last_state.as_str() {
-                "queued" => {
-                    job.last_state = REQUEUEING.to_string();
-                    to_requeue.push((rid, job.remote_id, job.args.clone()));
-                }
-                "running" if opts.fail_running => {
-                    job.last_state = "failed".to_string();
-                    job.error = Some(format!("backend_lost:{addr}"));
-                }
-                _ => {}
+            let queued = job.last_state == "queued";
+            let running = job.last_state == "running";
+            if !(queued || running) {
+                continue; // terminal, or claimed by a concurrent recovery
             }
+            if opts.backend_lost && promote_replica(job, &live) {
+                continue;
+            }
+            if queued || opts.backend_lost {
+                job.last_state = REQUEUEING.to_string();
+                to_requeue.push((rid, job.remote_id, job.args.clone()));
+            }
+            // else: graceful drain — running jobs finish in place.
         }
     }
     for (rid, old_remote, args) in to_requeue {
@@ -618,6 +685,10 @@ fn finish_requeue(state: &Arc<RouterState>, rid: JobId, args: &SubmitArgs) {
         match (jobs.get_mut(&rid), placed) {
             (Some(job), Ok((backend, remote_id))) => {
                 if job.last_state == REQUEUEING {
+                    // A leftover replica on the new primary's backend would
+                    // be a duplicate copy there; forget it (reads find the
+                    // primary anyway).
+                    job.replicas.retain(|(b, _)| *b != backend);
                     job.backend = backend;
                     job.remote_id = remote_id;
                     job.last_state = "queued".to_string();
@@ -629,7 +700,7 @@ fn finish_requeue(state: &Arc<RouterState>, rid: JobId, args: &SubmitArgs) {
             (Some(job), Err(e)) => {
                 if job.last_state == REQUEUEING {
                     job.last_state = "failed".to_string();
-                    job.error = Some(format!("failover: {}", e.replace(' ', "_")));
+                    job.error = Some(format!("failover: {}", protocol::sanitize_value(&e)));
                 }
             }
             (None, Ok(fresh)) => orphan = Some(fresh),
@@ -689,8 +760,12 @@ fn handle_connection(stream: TcpStream, state: &Arc<RouterState>) -> std::io::Re
             Ok(Request::Ping) => write_line(&mut writer, "OK pong")?,
             Ok(Request::Submit(args)) => {
                 let resp = match submit(state, &args) {
-                    Ok((rid, backend)) => {
-                        format!("OK id={rid} state=queued backend={backend}")
+                    Ok((rid, backend, replicas)) => {
+                        let mut line = format!("OK id={rid} state=queued backend={backend}");
+                        if replicas > 0 {
+                            line.push_str(&format!(" replicas={replicas}"));
+                        }
+                        line
                     }
                     Err(e) => format!("ERR {e}"),
                 };
@@ -704,7 +779,7 @@ fn handle_connection(stream: TcpStream, state: &Arc<RouterState>) -> std::io::Re
                 let resp = proxy_cancel(state, rid);
                 write_line(&mut writer, &resp)?;
             }
-            Ok(Request::Stream(rid)) => proxy_stream(&mut writer, state, rid)?,
+            Ok(Request::Stream(rid, from)) => proxy_stream(&mut writer, state, rid, from)?,
             Ok(Request::List) => list(&mut writer, state)?,
             Ok(Request::Stats) => {
                 let resp = stats(state);
@@ -730,24 +805,76 @@ fn handle_connection(stream: TcpStream, state: &Arc<RouterState>) -> std::io::Re
 
 // --- request implementations ------------------------------------------------
 
-fn submit(state: &Arc<RouterState>, args: &SubmitArgs) -> Result<(JobId, String), String> {
+fn submit(state: &Arc<RouterState>, args: &SubmitArgs) -> Result<(JobId, String, usize), String> {
     if state.shutdown.load(Ordering::Acquire) {
         return Err("router shutting down".into());
     }
     let (backend, remote_id) = place(state, args)?;
+    let replicas = place_replicas(state, args, &backend);
+    let placed = replicas.len();
     let rid = state.next_id.fetch_add(1, Ordering::Relaxed);
     state.jobs.lock().expect("jobs lock poisoned").insert(
         rid,
         Routed {
             backend: backend.clone(),
             remote_id,
+            replicas,
             args: args.clone(),
             last_state: "queued".to_string(),
             error: None,
             attempts: 1,
         },
     );
-    Ok((rid, backend))
+    Ok((rid, backend, placed))
+}
+
+/// Best-effort replica placements: the next `replicas − 1` live backends
+/// in the key's rendezvous order (primary excluded) each get their own
+/// copy of the job. Failures — transport or remote `ERR` — are simply
+/// skipped: replicas are an availability optimisation, never a
+/// prerequisite for accepting the submission.
+fn place_replicas(
+    state: &Arc<RouterState>,
+    args: &SubmitArgs,
+    primary: &str,
+) -> Vec<(String, JobId)> {
+    if state.replicas <= 1 {
+        return Vec::new();
+    }
+    let key = routing_key(args);
+    let mut out = Vec::new();
+    for backend in ranked_backends(&live_backends(state), &key) {
+        if out.len() + 1 >= state.replicas {
+            break;
+        }
+        if backend == primary {
+            continue;
+        }
+        if let Ok(remote_id) = unary(&backend).and_then(|mut c| c.submit(args)) {
+            out.push((backend, remote_id));
+        }
+    }
+    out
+}
+
+/// The read targets of a routed job — `(backend, backend-local id)` for
+/// the primary plus every replica whose backend is currently live.
+/// `STATUS` and `STREAM` rotate over these ([`RouterState::read_rr`]) so
+/// read load fans out; only a reply obtained through the *primary* feeds
+/// [`note_state`] — replica copies advance independently, and their states
+/// must not clobber the authoritative record.
+fn read_targets(state: &RouterState, job: &Routed) -> Vec<(String, JobId)> {
+    let mut targets = vec![(job.backend.clone(), job.remote_id)];
+    if !job.replicas.is_empty() {
+        let live = live_backends(state);
+        targets.extend(
+            job.replicas
+                .iter()
+                .filter(|(b, _)| live.contains(b))
+                .cloned(),
+        );
+    }
+    targets
 }
 
 fn lookup(state: &RouterState, rid: JobId) -> Option<Routed> {
@@ -849,25 +976,37 @@ fn proxy_status(state: &Arc<RouterState>, rid: JobId) -> String {
         if job.error.is_some() {
             return local_status_line(rid, &job);
         }
-        match unary(&job.backend).and_then(|mut c| c.status(job.remote_id)) {
+        // Reads rotate over primary + live replicas.
+        let targets = read_targets(state, &job);
+        let turn = state.read_rr.fetch_add(1, Ordering::Relaxed) as usize % targets.len();
+        let (t_backend, t_remote) = targets[turn].clone();
+        let primary = t_backend == job.backend && t_remote == job.remote_id;
+        match unary(&t_backend).and_then(|mut c| c.status(t_remote)) {
             Ok(fields) => {
-                if let Some(observed) = fields.get("state") {
-                    note_state(state, rid, observed, &job);
+                if primary {
+                    if let Some(observed) = fields.get("state") {
+                        note_state(state, rid, observed, &job);
+                    }
                 }
-                return rewrite_fields("OK", rid, &fields, &job.backend);
+                return rewrite_fields("OK", rid, &fields, &t_backend);
             }
             // The backend evicted its copy past its retention backlog:
             // answer from the router's own record instead of leaking the
-            // backend-local id embedded in the remote message.
+            // backend-local id embedded in the remote message. A replica
+            // eviction just rotates to the next target.
             Err(ClientError::Remote(msg)) if msg.starts_with("no such job") => {
-                return local_status_line(rid, &job);
+                if primary {
+                    return local_status_line(rid, &job);
+                }
             }
             Err(ClientError::Remote(msg)) => return format!("ERR {msg}"),
             // Transport failure: fail the backend over and retry — the job
-            // either moved to a new backend or was terminated locally.
+            // either moved (promotion/requeue) or was terminated locally.
             Err(_) => {
-                mark_backend_dead(state, &job.backend);
-                recover_job(state, rid, &job.backend);
+                mark_backend_dead(state, &t_backend);
+                if primary {
+                    recover_job(state, rid, &job.backend);
+                }
                 std::thread::sleep(RETRY_PAUSE);
             }
         }
@@ -889,6 +1028,13 @@ fn proxy_cancel(state: &Arc<RouterState>, rid: JobId) -> String {
         match unary(&job.backend).and_then(|mut c| c.cancel(job.remote_id)) {
             Ok(observed) => {
                 note_state(state, rid, &observed, &job);
+                // Best-effort: stop the replica copies too — a cancelled
+                // job must not keep computing on R − 1 other backends.
+                for (backend, remote_id) in &job.replicas {
+                    if let Ok(mut c) = unary(backend) {
+                        let _ = c.cancel(*remote_id);
+                    }
+                }
                 return format!("OK id={rid} state={observed} backend={}", job.backend);
             }
             // Evicted on the backend ⇒ long terminal; cancel is idempotent.
@@ -909,11 +1055,20 @@ fn proxy_cancel(state: &Arc<RouterState>, rid: JobId) -> String {
     format!("ERR job {rid} unreachable (backends flapping)")
 }
 
+/// Proxies one result stream, starting at `from`, with **transparent
+/// mid-stream failover**: `next_seq` tracks the first seq the downstream
+/// client has not received, and a backend lost mid-stream is retried on
+/// the job's new placement — a promoted replica or the requeued copy —
+/// with `STREAM … FROM next_seq`. The client sees one gapless,
+/// duplicate-free stream; the only surviving failure mode is every
+/// placement dying ([`MAX_PROXY_ATTEMPTS`] times over).
 fn proxy_stream(
     writer: &mut TcpStream,
     state: &Arc<RouterState>,
     rid: JobId,
+    from: u64,
 ) -> std::io::Result<()> {
+    let mut next_seq = from;
     for _ in 0..MAX_PROXY_ATTEMPTS {
         let Some(job) = lookup(state, rid) else {
             return write_line(writer, &format!("ERR no such job {rid}"));
@@ -929,23 +1084,29 @@ fn proxy_stream(
                 ),
             );
         }
+        // Reads rotate over primary + live replicas (each replica runs the
+        // same job, so any of them can serve the suffix from `next_seq`).
+        let targets = read_targets(state, &job);
+        let turn = state.read_rr.fetch_add(1, Ordering::Relaxed) as usize % targets.len();
+        let (t_backend, t_remote) = targets[turn].clone();
+        let primary = t_backend == job.backend && t_remote == job.remote_id;
         let mut forwarded = 0u64;
         let mut write_err: Option<std::io::Error> = None;
-        // `stream_while` aborts (and the connection drops, stopping the
-        // backend's producer) as soon as a downstream write fails — the
+        // `stream_while_from` aborts (and the connection drops, stopping
+        // the backend's producer) as soon as a downstream write fails — the
         // router must not drain a 10^9-result stream nobody is reading.
-        let streamed = streaming(&job.backend).and_then(|mut c| {
-            c.stream_while(job.remote_id, |seq, plex| {
+        let streamed = streaming(&t_backend).and_then(|mut c| {
+            c.stream_while_from(t_remote, next_seq, |seq, plex| {
                 // Rewrite the NDJSON id field to the router namespace.
                 let line = protocol::render_plex_line(rid, seq, &plex);
                 match write_line(writer, &line) {
                     Ok(()) => {
+                        next_seq = seq + 1;
                         forwarded += 1;
-                        if forwarded == 1 {
+                        if forwarded == 1 && primary {
                             // A streamed result proves the job left the
-                            // queue: record it, or a mid-stream backend
-                            // death would requeue the job and replay the
-                            // prefix this client already consumed.
+                            // queue: record it, so failover treats it as
+                            // running rather than still queued.
                             note_state(state, rid, "running", &job);
                         }
                         true
@@ -963,32 +1124,31 @@ fn proxy_stream(
         match streamed {
             Ok(None) => unreachable!("an aborted stream sets write_err"),
             Ok(Some(end)) => {
-                if let Some(observed) = end.get("state") {
-                    note_state(state, rid, observed, &job);
+                if primary {
+                    if let Some(observed) = end.get("state") {
+                        note_state(state, rid, observed, &job);
+                    }
                 }
-                return write_line(writer, &rewrite_fields("END", rid, &end, &job.backend));
+                return write_line(writer, &rewrite_fields("END", rid, &end, &t_backend));
             }
             Err(ClientError::Remote(msg)) if msg.starts_with("no such job") => {
-                return write_line(
-                    writer,
-                    &format!("ERR results for job {rid} were evicted on {}", job.backend),
-                );
+                if primary {
+                    return write_line(
+                        writer,
+                        &format!("ERR results for job {rid} were evicted on {t_backend}"),
+                    );
+                }
+                // A replica evicted its copy: rotate to the next target.
             }
             Err(ClientError::Remote(msg)) => return write_line(writer, &format!("ERR {msg}")),
             Err(_) => {
-                mark_backend_dead(state, &job.backend);
-                recover_job(state, rid, &job.backend);
-                if forwarded > 0 {
-                    // The client already consumed a prefix under this id;
-                    // restarting from seq 0 on another backend would
-                    // double-deliver. Surface the loss instead.
-                    return write_line(
-                        writer,
-                        &format!("ERR backend {} lost mid-stream", job.backend),
-                    );
+                // Transport failure mid-stream. The client has consumed
+                // exactly [from, next_seq); fail the backend over and
+                // resume the missing suffix on the job's next placement.
+                mark_backend_dead(state, &t_backend);
+                if primary {
+                    recover_job(state, rid, &job.backend);
                 }
-                // Nothing delivered yet: the job may have been requeued —
-                // retry against its (possibly new) backend.
                 std::thread::sleep(RETRY_PAUSE);
             }
         }
@@ -1055,8 +1215,9 @@ fn stats(state: &Arc<RouterState>) -> String {
         .as_ref()
         .map_or("off".to_string(), |p| p.interval.as_millis().to_string());
     let mut line = format!(
-        "OK backends={alive}/{} jobs={jobs} probe-ms={probe}",
-        nodes.len()
+        "OK backends={alive}/{} jobs={jobs} probe-ms={probe} replicas={}",
+        nodes.len(),
+        state.replicas
     );
     for (i, (addr, alive, fails, oks)) in nodes.iter().enumerate() {
         line.push_str(&format!(
@@ -1129,7 +1290,7 @@ fn drop_node(state: &Arc<RouterState>, addr: &str) -> String {
         state,
         addr,
         &Reroute {
-            fail_running: false,
+            backend_lost: false,
             cancel_remote: true,
         },
     );

@@ -41,8 +41,17 @@ const WAIT_TICK: Duration = Duration::from_millis(100);
 /// for `STATUS`/`STREAM` replay. Beyond this, the oldest finished jobs —
 /// and their result buffers — are evicted at submission time, so a
 /// long-lived server's memory is bounded by live jobs + this backlog, not
-/// by its lifetime.
+/// by its lifetime. Retention is also the resume window: `STREAM <id>
+/// FROM <seq>` of a terminal job works until the job is evicted, after
+/// which a resuming client gets `ERR no such job`.
 const RETAIN_TERMINAL_JOBS: usize = 64;
+
+/// Default for [`ServerConfig::delivery_batch`]: streamed results per
+/// journaled `DELIVERED` offset record. The floor is also flushed whenever
+/// a stream goes idle (caught up with the producer), so a live follower's
+/// floor tracks closely; the batch bounds the fsync rate on the
+/// catch-up/burst path.
+const DELIVERY_BATCH: usize = 4096;
 
 /// Server construction knobs.
 #[derive(Clone)]
@@ -63,8 +72,13 @@ pub struct ServerConfig {
     /// accepted job is fsync'd to this file before its `SUBMIT` is
     /// acknowledged, and a restarted server replays queued and
     /// orphaned-running jobs back into the queue (see [`crate::journal`]
-    /// for the at-least-once semantics). `None` disables persistence.
+    /// for the recovery semantics). `None` disables persistence.
     pub journal: Option<std::path::PathBuf>,
+    /// Streamed results between journaled `DELIVERED` offset records
+    /// (`kplexd --delivery-batch`). Smaller = tighter exactly-once window
+    /// across a crash, more fsyncs; the offset is never journaled per
+    /// result. Ignored without a journal.
+    pub delivery_batch: usize,
     /// Test-only: called with the cache key at the start of every cold
     /// load, *outside* the cache's map lock. Tests install a hook that
     /// blocks on a channel to hold a cold load open deterministically (no
@@ -82,6 +96,7 @@ impl std::fmt::Debug for ServerConfig {
             .field("default_threads", &self.default_threads)
             .field("retain_terminal", &self.retain_terminal)
             .field("journal", &self.journal)
+            .field("delivery_batch", &self.delivery_batch)
             .field("cold_load_hook", &self.cold_load_hook.is_some())
             .finish()
     }
@@ -100,6 +115,7 @@ impl Default for ServerConfig {
             default_threads: hw.clamp(1, 8),
             retain_terminal: RETAIN_TERMINAL_JOBS,
             journal: None,
+            delivery_batch: DELIVERY_BATCH,
             cold_load_hook: None,
         }
     }
@@ -120,10 +136,19 @@ struct SharedState {
     shutdown: AtomicBool,
     default_threads: usize,
     retain_terminal: usize,
+    /// Streamed results per journaled `DELIVERED` record (see
+    /// [`ServerConfig::delivery_batch`]).
+    delivery_batch: usize,
     /// Crash-recovery journal; `None` when the server is ephemeral.
     journal: Option<Journal>,
     /// Jobs replayed from the journal at startup (`STATS recovered=`).
     recovered: usize,
+    /// Live client connections, keyed by an accept-order id. Each handler
+    /// thread removes its own entry on exit, so the map tracks only open
+    /// connections. Exists so [`ServerHandle::kill`] can sever them
+    /// abruptly (crash simulation); the graceful shutdown ignores it.
+    conns: Mutex<BTreeMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
     cold_load_hook: Option<LoadHook>,
 }
 
@@ -216,7 +241,11 @@ impl Server {
                 // forever), not silently dropped.
                 match validate(default_threads, &recovered.args) {
                     Ok(spec) => {
+                        // The journaled delivery floor travels with the job:
+                        // a client consumed results below it in the previous
+                        // lifetime, so streams of the replayed job skip them.
                         let job = Job::new_recovered(recovered.id, spec)
+                            .with_delivered_floor(recovered.delivered)
                             .with_terminal_hook(terminal_journal_hook(weak.clone()));
                         jobs.insert(recovered.id, Arc::new(job));
                         queue.push_back(recovered.id);
@@ -244,8 +273,11 @@ impl Server {
                 shutdown: AtomicBool::new(false),
                 default_threads,
                 retain_terminal: cfg.retain_terminal,
+                delivery_batch: cfg.delivery_batch.max(1),
                 journal,
                 recovered,
+                conns: Mutex::new(BTreeMap::new()),
+                next_conn: AtomicU64::new(0),
                 cold_load_hook: cfg.cold_load_hook.clone(),
             }
         });
@@ -305,8 +337,29 @@ impl ServerHandle {
     /// Stops accepting, cancels every live job, and joins the accept loop
     /// and runner pool. Connection handler threads are detached; they exit
     /// as their clients disconnect or their streams observe the shutdown.
-    pub fn shutdown(mut self) {
+    pub fn shutdown(self) {
+        self.teardown(false);
+    }
+
+    /// Crash-equivalent teardown for tests and smoke suites: severs every
+    /// open client connection mid-line — in-flight streams break with a
+    /// transport error on the peer, with no graceful `ERR`/`END` — then
+    /// stops like [`ServerHandle::shutdown`]. Journal-wise the two are
+    /// already identical (nothing is written once shutdown begins), so the
+    /// only observable difference is how abruptly clients are cut off:
+    /// exactly what failover and resume paths need to exercise.
+    pub fn kill(self) {
+        self.teardown(true);
+    }
+
+    fn teardown(mut self, sever: bool) {
         self.state.shutdown.store(true, Ordering::Release);
+        if sever {
+            let conns = self.state.conns.lock().expect("conns lock poisoned");
+            for conn in conns.values() {
+                let _ = conn.shutdown(std::net::Shutdown::Both);
+            }
+        }
         // Cancel live jobs so runners and streamers unblock quickly.
         let jobs: Vec<Arc<Job>> = self
             .state
@@ -340,9 +393,25 @@ fn accept_loop(listener: &TcpListener, state: &Arc<SharedState>) {
                 if state.shutdown.load(Ordering::Acquire) {
                     return;
                 }
+                // Register the connection so `kill()` can sever it; the
+                // handler thread deregisters itself on exit, keeping the
+                // registry bounded by *open* connections.
+                let conn_id = state.next_conn.fetch_add(1, Ordering::Relaxed);
+                if let Ok(clone) = stream.try_clone() {
+                    state
+                        .conns
+                        .lock()
+                        .expect("conns lock poisoned")
+                        .insert(conn_id, clone);
+                }
                 let state = state.clone();
                 std::thread::spawn(move || {
                     let _ = handle_connection(stream, &state);
+                    state
+                        .conns
+                        .lock()
+                        .expect("conns lock poisoned")
+                        .remove(&conn_id);
                 });
             }
             Err(_) if state.shutdown.load(Ordering::Acquire) => return,
@@ -464,8 +533,8 @@ fn handle_connection(stream: TcpStream, state: &Arc<SharedState>) -> std::io::Re
                     "ERR router-only verb (this is a kplexd backend, not a kplexr router)",
                 )?;
             }
-            Ok(Request::Stream(id)) => match state.job(id) {
-                Some(job) => stream_job(&mut writer, state, &job)?,
+            Ok(Request::Stream(id, from)) => match state.job(id) {
+                Some(job) => stream_job(&mut writer, state, &job, from)?,
                 None => write_line(&mut writer, &format!("ERR no such job {id}"))?,
             },
         }
@@ -500,20 +569,47 @@ fn status_line(job: &Job) -> String {
         ));
     }
     if let Some(err) = &s.error {
-        line.push_str(&format!(" error={}", err.replace(' ', "_")));
+        // Full sanitization, not just spaces: an io::Error message can
+        // carry tabs or newlines, which would corrupt the line protocol.
+        line.push_str(&format!(" error={}", protocol::sanitize_value(err)));
     }
     line
 }
 
-/// Streams every buffered result (NDJSON) and follows the job until it is
-/// terminal, then writes the `END` line.
-fn stream_job(writer: &mut TcpStream, state: &SharedState, job: &Arc<Job>) -> std::io::Result<()> {
+/// Streams buffered results (NDJSON) from `from` — raised to the job's
+/// journaled delivery floor — and follows the job until it is terminal,
+/// then writes the `END` line.
+///
+/// The `END` line reports the **actually-sent** high-water position
+/// (`results=` is the next undelivered seq), not the job's buffered total:
+/// if the two ever disagree — a short delivery, or a `FROM` past the end —
+/// a `truncated=true total=<buffered>` marker surfaces the gap instead of
+/// silently claiming completeness.
+fn stream_job(
+    writer: &mut TcpStream,
+    state: &SharedState,
+    job: &Arc<Job>,
+    from: u64,
+) -> std::io::Result<()> {
     // Result lines go through a buffer (one syscall per ~8 KiB instead of
     // two per plex — this is the 10^6-results path). The buffer is flushed
     // whenever the job has nothing new (Idle) and at the end, so a live
     // follower still sees results promptly.
     let mut out = std::io::BufWriter::new(writer);
-    let mut sent = 0usize;
+    // `sent` is the next seq to deliver: it starts at the client's resume
+    // point, never below the journaled floor (results under it were
+    // consumed in a previous server lifetime — re-delivering them would
+    // break exactly-once across the restart).
+    let mut sent = from.max(job.delivered_floor) as usize;
+    // Offset journaling is batched (every `delivery_batch` results) and
+    // flushed at idle points — never one fsync per result.
+    let mut journaled = sent;
+    let note_delivered = |sent: usize, journaled: &mut usize| {
+        if sent > *journaled {
+            state.journal_record(|j| j.record_delivered(job.id, sent as u64));
+            *journaled = sent;
+        }
+    };
     let mut buf = Vec::new();
     loop {
         buf.clear();
@@ -525,21 +621,28 @@ fn stream_job(writer: &mut TcpStream, state: &SharedState, job: &Arc<Job>) -> st
                         &protocol::render_plex_line(job.id, sent as u64, plex),
                     )?;
                     sent += 1;
+                    if sent - journaled >= state.delivery_batch {
+                        note_delivered(sent, &mut journaled);
+                    }
                 }
             }
             StreamStep::Ended(job_state, total) => {
-                debug_assert_eq!(sent as u64, total, "stream must be complete");
-                write_line(
-                    &mut out,
-                    &format!(
-                        "END id={} state={} results={total}",
-                        job.id,
-                        job_state.label()
-                    ),
-                )?;
+                // No floor record here: the job is terminal, its journal
+                // END is already on disk (write-ahead), and replay never
+                // resurrects it — a floor would be dead weight.
+                let mut end = format!(
+                    "END id={} state={} results={sent}",
+                    job.id,
+                    job_state.label()
+                );
+                if sent as u64 != total {
+                    end.push_str(&format!(" truncated=true total={total}"));
+                }
+                write_line(&mut out, &end)?;
                 return out.flush();
             }
             StreamStep::Idle => {
+                note_delivered(sent, &mut journaled);
                 out.flush()?;
                 if state.shutdown.load(Ordering::Acquire) {
                     return write_line(&mut out, "ERR server shutting down")

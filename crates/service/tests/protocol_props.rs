@@ -5,7 +5,7 @@
 
 use kplex_service::protocol::{
     parse_plex_line, parse_request, parse_response_fields, render_plex_line, render_request,
-    Request, SubmitArgs,
+    sanitize_value, Request, SubmitArgs,
 };
 use proptest::prelude::*;
 
@@ -65,7 +65,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
         Just(Request::Rebalance),
         Just(Request::Quit),
         any::<u64>().prop_map(Request::Status),
-        any::<u64>().prop_map(Request::Stream),
+        (any::<u64>(), any::<u64>()).prop_map(|(id, from)| Request::Stream(id, from)),
         any::<u64>().prop_map(Request::Cancel),
         arb_ident().prop_map(Request::AddNode),
         arb_ident().prop_map(Request::DropNode),
@@ -115,6 +115,32 @@ proptest! {
         let _ = parse_plex_line(&line);
         let _ = parse_response_fields(&line);
     }
+
+    /// A `STATUS` line carrying an **arbitrary** error string — tabs,
+    /// newlines, NULs, anything a failing loader or OS error may produce —
+    /// must re-parse into exactly its intended fields once the value went
+    /// through [`sanitize_value`]. This is the wire-injection guard: an
+    /// unsanitized space would split the value into bogus extra tokens, a
+    /// newline would fabricate a whole frame.
+    #[test]
+    fn status_lines_with_arbitrary_errors_reparse(id in any::<u64>(), err in arb_raw_string()) {
+        let line = format!(
+            "OK id={id} state=failed source=jazz k=2 q=9 results=0 error={}",
+            sanitize_value(&err)
+        );
+        prop_assert!(!line.contains('\n'), "sanitized line must stay one frame");
+        let fields = parse_response_fields(&line);
+        prop_assert!(fields.is_ok(), "line {:?} failed to re-parse: {:?}", line, fields);
+        let fields = fields.unwrap();
+        prop_assert_eq!(fields.len(), 7, "extra/missing fields in {:?}", line);
+        prop_assert_eq!(fields.get("id"), Some(&id.to_string()));
+        prop_assert_eq!(fields.get("state").map(String::as_str), Some("failed"));
+        let sanitized = fields.get("error").expect("error field survives");
+        prop_assert!(
+            !sanitized.chars().any(|c| c.is_whitespace() || c.is_control()),
+            "unsanitized char leaked into {:?}", sanitized
+        );
+    }
 }
 
 /// Keys must not contain `=` (values may not either in this grammar).
@@ -122,6 +148,14 @@ fn arb_key() -> impl Strategy<Value = String> {
     const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz-";
     proptest::collection::vec(0..CHARS.len(), 1..10)
         .prop_map(|ixs| ixs.into_iter().map(|i| CHARS[i] as char).collect())
+}
+
+/// Fully unconstrained string: every Latin-1 code point, so tabs, spaces,
+/// newlines, NULs and `=` all appear — the raw material a failing loader
+/// or OS error may hand to `status_line`.
+fn arb_raw_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..256, 0..24)
+        .prop_map(|bytes| bytes.into_iter().map(|b| b as u8 as char).collect())
 }
 
 /// Unconstrained token soup for the never-panic property: includes `=`,

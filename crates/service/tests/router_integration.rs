@@ -40,6 +40,20 @@ fn start_router_probed(
         addr: "127.0.0.1:0".to_string(),
         backends: backends.to_vec(),
         probe,
+        ..RouterConfig::default()
+    })
+    .expect("bind router")
+    .spawn()
+    .expect("spawn router")
+}
+
+/// A probe-less router that places `replicas` copies of every job.
+fn start_router_replicated(backends: &[String], replicas: usize) -> kplex_service::RouterHandle {
+    Router::bind(&RouterConfig {
+        addr: "127.0.0.1:0".to_string(),
+        backends: backends.to_vec(),
+        probe: None,
+        replicas,
     })
     .expect("bind router")
     .spawn()
@@ -154,8 +168,9 @@ fn routing_is_rendezvous_stable_and_cache_affine() {
 
 /// The acceptance scenario: a job queued behind a busy runner fails over to
 /// the surviving backend when its owner dies, completes there with the full
-/// result set, while the job that was *running* on the dead backend is
-/// failed (results lost, never silently re-run).
+/// result set. The job that was *running* on the dead backend is requeued
+/// too — resumable streams (`STREAM … FROM`) make the re-run safe, so the
+/// old failed/backend_lost policy no longer applies.
 #[test]
 fn queued_jobs_fail_over_when_a_backend_dies() {
     let expected = ground_truth("jazz", 2, 7);
@@ -189,32 +204,39 @@ fn queued_jobs_fail_over_when_a_backend_dies() {
     };
     victim.shutdown();
 
-    // The next proxied request notices the outage: the queued job must be
-    // resubmitted to the survivor under its original router id.
+    // The next proxied request notices the outage: both jobs — queued and
+    // running alike — are requeued to the survivor under their original
+    // router ids.
     let status = c.status(queued_id).expect("status after kill");
     let new_owner = status.get("backend").cloned().expect("backend=");
     assert_ne!(new_owner, owner, "queued job still on the dead backend");
     assert_eq!(new_owner, survivor.addr().to_string());
+    let status = c.status(slow_id).expect("status slow after kill");
+    assert_eq!(
+        status.get("backend"),
+        Some(&survivor.addr().to_string()),
+        "running job must be requeued off the corpse: {status:?}"
+    );
+    assert!(
+        matches!(
+            status.get("state").map(String::as_str),
+            Some("queued") | Some("running")
+        ),
+        "requeued job must be live again, not failed: {status:?}"
+    );
+    assert!(
+        status.get("error").is_none(),
+        "no failure recorded: {status:?}"
+    );
 
-    // It completes there with the full, correct result set.
+    // Free the survivor's single runner (the requeued throttled job may be
+    // occupying it), then the queued job completes there with the full,
+    // correct result set.
+    c.cancel(slow_id).expect("cancel requeued job");
     let mut streamed = 0u64;
     let end = c.stream(queued_id, |_, _| streamed += 1).expect("stream");
     assert_eq!(end.get("state").map(String::as_str), Some("done"));
     assert_eq!(streamed, expected, "failover lost or duplicated results");
-
-    // The running job on the dead backend is failed, not silently re-run.
-    let status = c.status(slow_id).expect("status slow after kill");
-    assert_eq!(
-        status.get("state").map(String::as_str),
-        Some("failed"),
-        "running job on a dead backend must fail: {status:?}"
-    );
-    assert!(
-        status
-            .get("error")
-            .is_some_and(|e| e.contains("backend_lost")),
-        "failure must name the cause: {status:?}"
-    );
 
     router.shutdown();
     survivor.shutdown();
@@ -273,23 +295,103 @@ fn jobs_on_a_dropped_backend_recover_after_it_dies() {
     );
 
     // Now the dropped (unregistered) backend crashes. The running job must
-    // still be recovered — failed with backend_lost — by the next STATUS.
+    // still be recovered by the next STATUS — requeued onto a live backend,
+    // not stranded and not failed.
     victim.shutdown();
     let status = c.status(slow_id).expect("status after crash");
     assert_eq!(
-        status.get("state").map(String::as_str),
-        Some("failed"),
+        status.get("backend"),
+        Some(&survivor.addr().to_string()),
         "job stranded on a dropped+dead backend: {status:?}"
     );
     assert!(
-        status
-            .get("error")
-            .is_some_and(|e| e.contains("backend_lost")),
-        "failure must name the cause: {status:?}"
+        matches!(
+            status.get("state").map(String::as_str),
+            Some("queued") | Some("running")
+        ),
+        "recovered job must be live again: {status:?}"
     );
+    assert!(
+        status.get("error").is_none(),
+        "no failure recorded: {status:?}"
+    );
+    c.cancel(slow_id).expect("cancel recovered job");
 
     router.shutdown();
     survivor.shutdown();
+}
+
+/// The tentpole acceptance scenario: with two backends and `--replicas 2`,
+/// killing the owning backend mid-stream is invisible to the client. The
+/// router promotes the replica and resumes with `STREAM … FROM` at the
+/// first unforwarded seq, so every result arrives exactly once, in order,
+/// ending in a clean `END state=done` — no `ERR … lost mid-stream`.
+/// `threads = 1` pins the deterministic result order that makes the
+/// cross-backend seq space line up (see the module docs in `router.rs`).
+#[test]
+fn stream_resumes_exactly_once_when_owner_dies_mid_stream() {
+    let expected = ground_truth("jazz", 2, 8);
+    assert!(expected >= 8, "need enough results to cut mid-stream");
+    let a = start_backend(1);
+    let b = start_backend(1);
+    let addr_a = a.addr().to_string();
+    let addr_b = b.addr().to_string();
+    let backends = vec![addr_a.clone(), addr_b.clone()];
+    let router = start_router_replicated(&backends, 2);
+    let mut c = Client::connect(router.addr()).expect("connect");
+
+    let mut args = SubmitArgs::dataset("jazz", 2, 8);
+    args.threads = Some(1); // deterministic result order across replicas
+    args.throttle_us = Some(1000); // keep the job alive long enough to kill
+    let fields = c.submit_fields(&args).expect("submit");
+    assert_eq!(
+        fields.get("replicas").map(String::as_str),
+        Some("1"),
+        "a replica copy must have been placed: {fields:?}"
+    );
+    let id: u64 = fields
+        .get("id")
+        .and_then(|s| s.parse().ok())
+        .expect("id= in submit reply");
+    let owner = fields.get("backend").cloned().expect("backend=");
+
+    let mut handles = std::collections::BTreeMap::new();
+    handles.insert(addr_a, a);
+    handles.insert(addr_b, b);
+    let mut victim = Some(handles.remove(&owner).expect("owner is one of ours"));
+
+    // Crash the primary from inside the stream callback: `kill()` severs
+    // the router's in-flight connection exactly like a SIGKILL would.
+    let mut seqs = Vec::new();
+    let end = c
+        .stream(id, |seq, _| {
+            seqs.push(seq);
+            if seqs.len() == 3 {
+                if let Some(h) = victim.take() {
+                    h.kill();
+                }
+            }
+        })
+        .expect("stream must survive the owner's death");
+    assert!(victim.is_none(), "stream ended before the cut point");
+    assert_eq!(
+        end.get("state").map(String::as_str),
+        Some("done"),
+        "{end:?}"
+    );
+    assert!(
+        !end.contains_key("truncated"),
+        "resumed stream must be complete: {end:?}"
+    );
+    assert_eq!(seqs.len() as u64, expected, "lost or duplicated results");
+    for (i, seq) in seqs.iter().enumerate() {
+        assert_eq!(*seq, i as u64, "gap or duplicate at position {i}");
+    }
+
+    router.shutdown();
+    for (_, h) in handles {
+        h.shutdown();
+    }
 }
 
 /// ADDNODE grows the registry at runtime, DROPNODE drains a backend
