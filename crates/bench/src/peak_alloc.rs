@@ -19,8 +19,11 @@ unsafe impl GlobalAlloc for PeakAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = System.alloc(layout);
         if !p.is_null() {
+            // ordering: independent event counter, read only as a gauge.
             ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+            // ordering: RMW coherence keeps the byte count itself exact.
             let cur = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            // ordering: cross-thread high-water mark is approximate by design.
             PEAK.fetch_max(cur, Ordering::Relaxed);
         }
         p
@@ -28,6 +31,7 @@ unsafe impl GlobalAlloc for PeakAlloc {
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout);
+        // ordering: RMW coherence keeps the byte count itself exact.
         CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
     }
 
@@ -35,11 +39,15 @@ unsafe impl GlobalAlloc for PeakAlloc {
         let p = System.realloc(ptr, layout, new_size);
         if !p.is_null() {
             if new_size >= layout.size() {
+                // ordering: independent event counter, read only as a gauge.
                 ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+                // ordering: RMW coherence keeps the byte count itself exact.
                 let cur = CURRENT.fetch_add(new_size - layout.size(), Ordering::Relaxed) + new_size
                     - layout.size();
+                // ordering: cross-thread high-water mark is approximate by design.
                 PEAK.fetch_max(cur, Ordering::Relaxed);
             } else {
+                // ordering: RMW coherence keeps the byte count itself exact.
                 CURRENT.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
             }
         }
@@ -50,22 +58,26 @@ unsafe impl GlobalAlloc for PeakAlloc {
 impl PeakAlloc {
     /// Bytes currently allocated.
     pub fn current_bytes() -> usize {
+        // ordering: point-in-time gauge; callers quiesce before reading.
         CURRENT.load(Ordering::Relaxed)
     }
 
     /// High-water mark since the last [`PeakAlloc::reset_peak`].
     pub fn peak_bytes() -> usize {
+        // ordering: point-in-time gauge; callers quiesce before reading.
         PEAK.load(Ordering::Relaxed)
     }
 
     /// Restarts peak tracking from the current live set.
     pub fn reset_peak() {
+        // ordering: gauges; reset races with live allocations by design.
         PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// Total allocation events (alloc + growing realloc) since process
     /// start. Diff two readings to count the allocations of a code region.
     pub fn alloc_calls() -> usize {
+        // ordering: point-in-time gauge; callers quiesce before reading.
         ALLOC_CALLS.load(Ordering::Relaxed)
     }
 }

@@ -268,6 +268,7 @@ impl<'a> Searcher<'a> {
             c.windows(2).all(|w| w[0] < w[1]),
             "candidates must be strictly ascending"
         );
+        // timing: one clock read per search entry to arm the deadline.
         self.deadline = self.budget.map(|b| Instant::now() + b);
         self.deadline_tick = 0;
         self.deadline_hit = false;
@@ -546,6 +547,8 @@ impl<'a> Searcher<'a> {
         // Report-path cancellation check: once the external flag is raised,
         // no further result leaves the kernel.
         if let Some(flag) = &self.stop_flag {
+            // ordering: cancellation latch polled as a hint on the report
+            // path; no data is transferred through the flag.
             if flag.load(Ordering::Relaxed) {
                 self.stop = true;
                 return;
@@ -940,6 +943,8 @@ impl<'a> Searcher<'a> {
             return false;
         };
         self.stop_tick = self.stop_tick.wrapping_add(1);
+        // ordering: cancellation latch polled every STOP_STRIDE recursions;
+        // a slightly stale read only delays the stop by one stride.
         if self.stop_tick & (STOP_STRIDE - 1) == 0 && flag.load(Ordering::Relaxed) {
             self.stop = true;
             return true;
@@ -958,6 +963,7 @@ impl<'a> Searcher<'a> {
             return true;
         }
         self.deadline_tick = self.deadline_tick.wrapping_add(1);
+        // timing: amortized clock poll, one read per DEADLINE_STRIDE.
         if self.deadline_tick & (DEADLINE_STRIDE - 1) == 1 && Instant::now() > dl {
             self.deadline_hit = true;
             return true;

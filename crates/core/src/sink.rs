@@ -158,6 +158,8 @@ impl ChannelSink {
 
 impl PlexSink for ChannelSink {
     fn report(&mut self, vertices: &[VertexId]) -> SinkFlow {
+        // ordering: the stop flag is a latch polled as a hint; the channel
+        // send supplies the actual synchronization for delivered results.
         if self.stop.load(Ordering::Relaxed) || self.tx.send(vertices.to_vec()).is_err() {
             SinkFlow::Stop
         } else {
@@ -231,6 +233,7 @@ mod tests {
         let stop = Arc::new(AtomicBool::new(false));
         let mut s = ChannelSink::new(tx, stop.clone());
         assert_eq!(s.report(&[1, 2]), SinkFlow::Continue);
+        // ordering: single-threaded test; the flag is read on this thread.
         stop.store(true, Ordering::Relaxed);
         // No result is delivered once the flag is observed.
         assert_eq!(s.report(&[3, 4]), SinkFlow::Stop);

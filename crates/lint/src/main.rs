@@ -1,0 +1,36 @@
+//! `kplex-lint` binary: scans the workspace and exits non-zero on any
+//! invariant violation. CI's `analyze` job runs this; locally use
+//! `cargo run -p kplex-lint` (optionally passing an explicit workspace
+//! root as the only argument).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(p) => PathBuf::from(p),
+        // crates/lint -> crates -> workspace root.
+        None => Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("crate dir has a workspace root two levels up")
+            .to_path_buf(),
+    };
+    match kplex_lint::run_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("kplex-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("kplex-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("kplex-lint: error scanning {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -250,6 +250,8 @@ fn run_stage<S: PlexSink + Send>(
         for (si, slot) in slots.iter().enumerate() {
             let slot_ref = slot.get().expect("pre-filled");
             for t in make_tasks(si, slot_ref, params, cfg, opts, &mut dealer_stats) {
+                // ordering: counted in before the push; see the `pending`
+                // invariants above.
                 pending.fetch_add(1, Ordering::Relaxed);
                 deques[si % m].push(t);
             }
@@ -290,6 +292,8 @@ fn run_stage<S: PlexSink + Send>(
                                 .expect("slot filled once");
                             let slot_ref = slots[idx].get().expect("just set");
                             for t in make_tasks(idx, slot_ref, params, cfg, opts, wstats) {
+                                // ordering: counted in before the push; see
+                                // the `pending` invariants above.
                                 pending.fetch_add(1, Ordering::Relaxed);
                                 deque.push(t);
                             }
@@ -358,6 +362,8 @@ fn run_stage<S: PlexSink + Send>(
                     // Children must be counted in (Relaxed suffices, see the
                     // `pending` invariants) before this task counts out.
                     for saved in searcher.take_saved() {
+                        // ordering: see the `pending` invariants — children
+                        // count in before the parent counts out.
                         pending.fetch_add(1, Ordering::Relaxed);
                         deque.push(Task {
                             slot: task.slot,
@@ -572,6 +578,8 @@ mod tests {
     impl PlexSink for CapSink {
         fn report(&mut self, _vertices: &[VertexId]) -> SinkFlow {
             self.mine += 1;
+            // ordering: approximate global cap in a test sink; overshoot by
+            // a few results is tolerated by the assertions.
             if self.seen.fetch_add(1, Ordering::Relaxed) + 1 >= self.cap {
                 SinkFlow::Stop
             } else {
@@ -674,12 +682,9 @@ mod tests {
                 received
             })
         };
-        let tx = std::sync::Mutex::new(tx);
+        // `mpsc::Sender` is `Sync`, so the factory clones it directly.
         let (_, stats) = run_parallel(&g, params, &cfg, &opts, || {
-            SlowChannelSink(kplex_core::ChannelSink::new(
-                tx.lock().expect("poisoned").clone(),
-                flag.clone(),
-            ))
+            SlowChannelSink(kplex_core::ChannelSink::new(tx.clone(), flag.clone()))
         });
         drop(tx);
         let received = drainer.join().expect("drainer panicked");

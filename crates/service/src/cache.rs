@@ -16,8 +16,9 @@
 //! removes the marker and wakes the waiters, which then race to become the
 //! next builder (a transient failure must not poison the key).
 
+use crate::sync::{OrderedCondvar, OrderedMutex, Rank};
 use kplex_core::Prepared;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 
 /// How a lookup was served, for per-job reporting and counters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,9 +98,9 @@ pub struct CacheStats {
 /// A small LRU of `Arc<Prepared>` keyed by (graph key, `q − k`), with
 /// per-entry single-flight cold loads (see the module docs).
 pub struct GraphCache {
-    inner: Mutex<Inner>,
+    inner: OrderedMutex<Inner>,
     /// Signalled whenever a flight lands (successfully or not).
-    landed: Condvar,
+    landed: OrderedCondvar,
     capacity: usize,
 }
 
@@ -107,14 +108,18 @@ impl GraphCache {
     /// A cache holding at most `capacity` prepared graphs (min 1).
     pub fn new(capacity: usize) -> Self {
         Self {
-            inner: Mutex::new(Inner {
-                entries: Vec::new(),
-                hits: 0,
-                coalesced: 0,
-                misses: 0,
-                waiting: 0,
-            }),
-            landed: Condvar::new(),
+            inner: OrderedMutex::new(
+                Rank::CacheInner,
+                "cache-inner",
+                Inner {
+                    entries: Vec::new(),
+                    hits: 0,
+                    coalesced: 0,
+                    misses: 0,
+                    waiting: 0,
+                },
+            ),
+            landed: OrderedCondvar::new(),
             capacity: capacity.max(1),
         }
     }
@@ -131,7 +136,7 @@ impl GraphCache {
         build: impl FnOnce() -> Result<Prepared, String>,
     ) -> Result<(Arc<Prepared>, Fetched), String> {
         let mut waited = false;
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let mut inner = self.inner.lock();
         loop {
             match inner.position(graph_key, shrink) {
                 Some(pos) if inner.entries[pos].is_ready() => {
@@ -156,7 +161,7 @@ impl GraphCache {
                     // in which case the loop falls through to build below).
                     waited = true;
                     inner.waiting += 1;
-                    inner = self.landed.wait(inner).expect("cache lock poisoned");
+                    inner = self.landed.wait(inner);
                     inner.waiting -= 1;
                 }
                 None => break,
@@ -183,7 +188,7 @@ impl GraphCache {
         let built = build();
         std::mem::forget(guard);
 
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let mut inner = self.inner.lock();
         let pos = inner
             .position(graph_key, shrink)
             .expect("pending entry removed by someone else");
@@ -220,7 +225,7 @@ impl GraphCache {
     /// Removes a still-Pending marker (used by [`FlightGuard`] when a build
     /// panics instead of returning).
     fn abort_flight(&self, graph_key: &str, shrink: usize) {
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let mut inner = self.inner.lock();
         if let Some(pos) = inner.position(graph_key, shrink) {
             if !inner.entries[pos].is_ready() {
                 inner.entries.remove(pos);
@@ -231,7 +236,7 @@ impl GraphCache {
 
     /// Current counters. Never blocks on in-flight builds.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("cache lock poisoned");
+        let inner = self.inner.lock();
         CacheStats {
             hits: inner.hits,
             coalesced: inner.coalesced,
@@ -328,6 +333,7 @@ mod tests {
             std::thread::spawn(move || {
                 cache
                     .get_or_build("slow", 2, move || {
+                        // ordering: test counter read after join; SeqCst for simplicity.
                         builds.fetch_add(1, Ordering::SeqCst);
                         started_tx.send(()).unwrap();
                         release_rx.recv().unwrap();
@@ -369,6 +375,7 @@ mod tests {
         assert_eq!(leader_how, Fetched::Miss);
         assert_eq!(waiter_how, Fetched::Coalesced);
         assert!(Arc::ptr_eq(&leader_prep, &waiter_prep));
+        // ordering: read after both joins; SeqCst for simplicity in test code.
         assert_eq!(builds.load(Ordering::SeqCst), 1, "exactly one build ran");
         let stats = cache.stats();
         assert_eq!((stats.misses, stats.coalesced), (2, 1));
@@ -418,6 +425,7 @@ mod tests {
             std::thread::spawn(move || {
                 cache
                     .get_or_build("k", 2, move || {
+                        // ordering: test counter read after join; SeqCst for simplicity.
                         retried.fetch_add(1, Ordering::SeqCst);
                         build(5)
                     })
@@ -432,6 +440,7 @@ mod tests {
         assert!(failing.join().expect("failing thread").is_err());
         let (_, how) = waiter.join().expect("waiter thread");
         assert_eq!(how, Fetched::Miss, "the waiter became the next builder");
+        // ordering: read after join; SeqCst for simplicity in test code.
         assert_eq!(retried.load(Ordering::SeqCst), 1);
     }
 }

@@ -8,10 +8,11 @@
 //! sinks poll, so raising it stops the enumeration mid-task.
 
 use crate::protocol::JobId;
+use crate::sync::{OrderedCondvar, OrderedGuard, OrderedMutex, Rank};
 use kplex_core::{AlgoConfig, Params, SearchStats};
 use kplex_graph::VertexId;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Where a job's graph comes from.
@@ -172,8 +173,8 @@ pub struct Job {
     pub delivered_floor: u64,
     /// Invoked on the terminal transition (see [`TerminalHook`]).
     on_terminal: Option<TerminalHook>,
-    inner: Mutex<Progress>,
-    cond: Condvar,
+    inner: OrderedMutex<Progress>,
+    cond: OrderedCondvar,
 }
 
 /// A point-in-time copy of a job's observable state (one `STATUS` line).
@@ -264,22 +265,26 @@ impl Job {
             recovered,
             delivered_floor: 0,
             on_terminal: None,
-            inner: Mutex::new(Progress {
-                state: JobState::Queued,
-                results: Vec::new(),
-                stats: None,
-                cache_hit: None,
-                error: None,
-                stop_cause: None,
-                started: None,
-                elapsed: None,
-            }),
-            cond: Condvar::new(),
+            inner: OrderedMutex::new(
+                Rank::JobProgress,
+                "job-progress",
+                Progress {
+                    state: JobState::Queued,
+                    results: Vec::new(),
+                    stats: None,
+                    cache_hit: None,
+                    error: None,
+                    stop_cause: None,
+                    started: None,
+                    elapsed: None,
+                },
+            ),
+            cond: OrderedCondvar::new(),
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Progress> {
-        self.inner.lock().expect("job lock poisoned")
+    fn lock(&self) -> OrderedGuard<'_, Progress> {
+        self.inner.lock()
     }
 
     /// Queued → Running. Returns false when the job was cancelled while
@@ -416,7 +421,7 @@ impl Job {
         if p.state.is_terminal() {
             return StreamStep::Ended(p.state, p.results.len() as u64);
         }
-        let (p2, _timeout) = self.cond.wait_timeout(p, wait).expect("job lock poisoned");
+        let (p2, _timed_out) = self.cond.wait_timeout(p, wait);
         p = p2;
         if p.results.len() > from {
             copy(&p, buf);

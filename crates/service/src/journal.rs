@@ -47,11 +47,11 @@
 //! ```
 
 use crate::protocol::{self, JobId, Request, SubmitArgs};
+use crate::sync::{OrderedMutex, Rank};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
 
 /// One non-terminal job reconstructed from a journal.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -213,12 +213,12 @@ pub fn replay(text: &str) -> Result<Replay, String> {
 /// never interleaved and an acknowledged record is on disk. See the module
 /// docs for the recovery semantics.
 pub struct Journal {
-    file: Mutex<File>,
+    file: OrderedMutex<File>,
     /// Highest `DELIVERED` seq already on disk per job — the coalescing
     /// state: [`Journal::record_delivered`] drops any offset at or below
     /// it, so concurrent streams of one job (or a resumed stream re-walking
     /// old ground) never rewrite the floor.
-    delivered: Mutex<BTreeMap<JobId, u64>>,
+    delivered: OrderedMutex<BTreeMap<JobId, u64>>,
 }
 
 impl std::fmt::Debug for Journal {
@@ -279,8 +279,12 @@ impl Journal {
             .collect();
         Ok((
             Journal {
-                file: Mutex::new(file),
-                delivered: Mutex::new(delivered),
+                file: OrderedMutex::new(Rank::JournalFile, "journal-file", file),
+                delivered: OrderedMutex::new(
+                    Rank::JournalDelivered,
+                    "journal-delivered",
+                    delivered,
+                ),
             },
             replay,
         ))
@@ -288,7 +292,7 @@ impl Journal {
 
     /// Appends one line and fsyncs it before returning.
     fn append(&self, line: &str) -> std::io::Result<()> {
-        let mut file = self.file.lock().expect("journal lock poisoned");
+        let mut file = self.file.lock();
         file.write_all(line.as_bytes())?;
         file.write_all(b"\n")?;
         file.sync_data()
@@ -310,10 +314,7 @@ impl Journal {
     /// Jobs with this record are never resurrected by replay.
     pub fn record_end(&self, id: JobId, state: &str) -> std::io::Result<()> {
         // The job can no longer be replayed; its floor is dead weight.
-        self.delivered
-            .lock()
-            .expect("delivered lock poisoned")
-            .remove(&id);
+        self.delivered.lock().remove(&id);
         self.append(&format!("END {id} {state}"))
     }
 
@@ -325,7 +326,7 @@ impl Journal {
     /// the module docs for the crash-window consequence.
     pub fn record_delivered(&self, id: JobId, seq: u64) -> std::io::Result<()> {
         {
-            let mut delivered = self.delivered.lock().expect("delivered lock poisoned");
+            let mut delivered = self.delivered.lock();
             match delivered.get(&id) {
                 Some(&floor) if seq <= floor => return Ok(()),
                 _ => delivered.insert(id, seq),

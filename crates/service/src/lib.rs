@@ -47,6 +47,7 @@ pub mod journal;
 pub mod protocol;
 pub mod router;
 pub mod server;
+pub mod sync;
 
 pub use cache::{CacheStats, Fetched, GraphCache};
 pub use client::{Client, ClientError};
@@ -55,6 +56,7 @@ pub use journal::{Journal, RecoveredJob, Replay};
 pub use protocol::{JobId, Request, SubmitArgs};
 pub use router::{ProbeConfig, Router, RouterConfig, RouterHandle};
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use sync::{OrderedCondvar, OrderedGuard, OrderedMutex, Rank};
 
 /// A shared callback invoked with the cache key at the start of every cold
 /// graph load (see [`ServerConfig::cold_load_hook`]). Wrapped in a newtype

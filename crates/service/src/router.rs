@@ -37,11 +37,12 @@
 
 use crate::client::{Client, ClientError};
 use crate::protocol::{self, JobId, Request, SubmitArgs};
+use crate::sync::{OrderedMutex, Rank};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Upper bound on proxy retries for one request: each retry follows a
@@ -176,8 +177,8 @@ struct Routed {
 }
 
 struct RouterState {
-    nodes: Mutex<Vec<Node>>,
-    jobs: Mutex<BTreeMap<JobId, Routed>>,
+    nodes: OrderedMutex<Vec<Node>>,
+    jobs: OrderedMutex<BTreeMap<JobId, Routed>>,
     next_id: AtomicU64,
     shutdown: AtomicBool,
     /// The prober's configuration (also surfaced in `STATS`); `None` when
@@ -290,8 +291,8 @@ impl Router {
         Ok(Router {
             listener,
             state: Arc::new(RouterState {
-                nodes: Mutex::new(nodes),
-                jobs: Mutex::new(BTreeMap::new()),
+                nodes: OrderedMutex::new(Rank::RouterNodes, "router-nodes", nodes),
+                jobs: OrderedMutex::new(Rank::RouterJobs, "router-jobs", BTreeMap::new()),
                 next_id: AtomicU64::new(1),
                 shutdown: AtomicBool::new(false),
                 probe: cfg.probe.clone(),
@@ -381,7 +382,7 @@ fn probe_loop(state: &Arc<RouterState>, cfg: &ProbeConfig) {
             slept += step;
         }
         let targets: Vec<String> = {
-            let nodes = state.nodes.lock().expect("nodes lock poisoned");
+            let nodes = state.nodes.lock();
             nodes.iter().map(|n| n.addr.clone()).collect()
         };
         for addr in targets {
@@ -426,7 +427,7 @@ fn note_probe(
     ok: bool,
     cfg: &ProbeConfig,
 ) -> Option<ProbeTransition> {
-    let mut nodes = state.nodes.lock().expect("nodes lock poisoned");
+    let mut nodes = state.nodes.lock();
     let node = nodes.iter_mut().find(|n| n.addr == addr)?; // DROPNODEd mid-round
     if ok {
         node.probe_oks = node.probe_oks.saturating_add(1);
@@ -463,7 +464,7 @@ fn rebalance_queued(state: &Arc<RouterState>) -> usize {
     }
     let mut moves: Vec<(JobId, String, JobId, SubmitArgs)> = Vec::new();
     {
-        let mut jobs = state.jobs.lock().expect("jobs lock poisoned");
+        let mut jobs = state.jobs.lock();
         for (&rid, job) in jobs.iter_mut() {
             if job.error.is_some() || job.last_state != "queued" {
                 continue;
@@ -537,7 +538,7 @@ struct Reroute {
 /// backends that are already dead or no longer registered.
 fn mark_backend_dead(state: &Arc<RouterState>, addr: &str) {
     {
-        let mut nodes = state.nodes.lock().expect("nodes lock poisoned");
+        let mut nodes = state.nodes.lock();
         match nodes.iter_mut().find(|n| n.addr == addr) {
             Some(node) if node.alive => {
                 node.alive = false;
@@ -591,7 +592,7 @@ fn recover_job(state: &Arc<RouterState>, rid: JobId, observed: &str) {
     // not a promotion candidate.
     let live = live_backends(state);
     let claimed = {
-        let mut jobs = state.jobs.lock().expect("jobs lock poisoned");
+        let mut jobs = state.jobs.lock();
         match jobs.get_mut(&rid) {
             Some(job) if job.backend == observed && job.error.is_none() => {
                 job.replicas.retain(|(b, _)| b != observed);
@@ -619,7 +620,6 @@ fn live_backends(state: &RouterState) -> Vec<String> {
     state
         .nodes
         .lock()
-        .expect("nodes lock poisoned")
         .iter()
         .filter(|n| n.alive)
         .map(|n| n.addr.clone())
@@ -638,7 +638,7 @@ fn reroute_jobs_of(state: &Arc<RouterState>, addr: &str, opts: &Reroute) {
     let live = live_backends(state);
     let mut to_requeue: Vec<(JobId, JobId, SubmitArgs)> = Vec::new();
     {
-        let mut jobs = state.jobs.lock().expect("jobs lock poisoned");
+        let mut jobs = state.jobs.lock();
         for (&rid, job) in jobs.iter_mut() {
             if opts.backend_lost {
                 job.replicas.retain(|(b, _)| b != addr);
@@ -681,7 +681,7 @@ fn finish_requeue(state: &Arc<RouterState>, rid: JobId, args: &SubmitArgs) {
     let placed = place(state, args);
     let mut orphan: Option<(String, JobId)> = None;
     {
-        let mut jobs = state.jobs.lock().expect("jobs lock poisoned");
+        let mut jobs = state.jobs.lock();
         match (jobs.get_mut(&rid), placed) {
             (Some(job), Ok((backend, remote_id))) => {
                 if job.last_state == REQUEUEING {
@@ -812,8 +812,10 @@ fn submit(state: &Arc<RouterState>, args: &SubmitArgs) -> Result<(JobId, String,
     let (backend, remote_id) = place(state, args)?;
     let replicas = place_replicas(state, args, &backend);
     let placed = replicas.len();
+    // ordering: routed-job ids only need uniqueness; the entry itself is
+    // published under the jobs lock right below.
     let rid = state.next_id.fetch_add(1, Ordering::Relaxed);
-    state.jobs.lock().expect("jobs lock poisoned").insert(
+    state.jobs.lock().insert(
         rid,
         Routed {
             backend: backend.clone(),
@@ -878,12 +880,7 @@ fn read_targets(state: &RouterState, job: &Routed) -> Vec<(String, JobId)> {
 }
 
 fn lookup(state: &RouterState, rid: JobId) -> Option<Routed> {
-    state
-        .jobs
-        .lock()
-        .expect("jobs lock poisoned")
-        .get(&rid)
-        .cloned()
+    state.jobs.lock().get(&rid).cloned()
 }
 
 /// Records the backend-observed state of a routed job. `via` is the
@@ -899,7 +896,7 @@ fn lookup(state: &RouterState, rid: JobId) -> Option<Routed> {
 /// moving — only the claim owner ([`finish_requeue`]) publishes its
 /// outcome.
 fn note_state(state: &RouterState, rid: JobId, observed: &str, via: &Routed) {
-    let mut jobs = state.jobs.lock().expect("jobs lock poisoned");
+    let mut jobs = state.jobs.lock();
     if let Some(job) = jobs.get_mut(&rid) {
         if job.error.is_none()
             && job.last_state != REQUEUEING
@@ -978,6 +975,8 @@ fn proxy_status(state: &Arc<RouterState>, rid: JobId) -> String {
         }
         // Reads rotate over primary + live replicas.
         let targets = read_targets(state, &job);
+        // ordering: round-robin cursor — only read fairness, no data is
+        // published through it.
         let turn = state.read_rr.fetch_add(1, Ordering::Relaxed) as usize % targets.len();
         let (t_backend, t_remote) = targets[turn].clone();
         let primary = t_backend == job.backend && t_remote == job.remote_id;
@@ -1087,6 +1086,8 @@ fn proxy_stream(
         // Reads rotate over primary + live replicas (each replica runs the
         // same job, so any of them can serve the suffix from `next_seq`).
         let targets = read_targets(state, &job);
+        // ordering: round-robin cursor — only read fairness, no data is
+        // published through it.
         let turn = state.read_rr.fetch_add(1, Ordering::Relaxed) as usize % targets.len();
         let (t_backend, t_remote) = targets[turn].clone();
         let primary = t_backend == job.backend && t_remote == job.remote_id;
@@ -1158,7 +1159,7 @@ fn proxy_stream(
 
 fn list(writer: &mut TcpStream, state: &Arc<RouterState>) -> std::io::Result<()> {
     let snapshot: Vec<(JobId, Routed)> = {
-        let jobs = state.jobs.lock().expect("jobs lock poisoned");
+        let jobs = state.jobs.lock();
         jobs.iter().map(|(&rid, j)| (rid, j.clone())).collect()
     };
     // One backend connection per group, not per job.
@@ -1202,13 +1203,13 @@ fn list(writer: &mut TcpStream, state: &Arc<RouterState>) -> std::io::Result<()>
 
 fn stats(state: &Arc<RouterState>) -> String {
     let nodes: Vec<(String, bool, u32, u32)> = {
-        let nodes = state.nodes.lock().expect("nodes lock poisoned");
+        let nodes = state.nodes.lock();
         nodes
             .iter()
             .map(|n| (n.addr.clone(), n.alive, n.probe_fails, n.probe_oks))
             .collect()
     };
-    let jobs = state.jobs.lock().expect("jobs lock poisoned").len();
+    let jobs = state.jobs.lock().len();
     let alive = nodes.iter().filter(|(_, a, _, _)| *a).count();
     let probe = state
         .probe
@@ -1253,7 +1254,7 @@ fn stats(state: &Arc<RouterState>) -> String {
 
 fn add_node(state: &Arc<RouterState>, addr: &str) -> String {
     {
-        let mut nodes = state.nodes.lock().expect("nodes lock poisoned");
+        let mut nodes = state.nodes.lock();
         match nodes.iter_mut().find(|n| n.addr == addr) {
             Some(node) => {
                 // Revive: the operator vouches for it, so the prober's
@@ -1269,14 +1270,14 @@ fn add_node(state: &Arc<RouterState>, addr: &str) -> String {
     // new node migrate to it immediately, instead of waiting for caches to
     // cool behind skewed placement.
     let moved = rebalance_queued(state);
-    let nodes = state.nodes.lock().expect("nodes lock poisoned");
+    let nodes = state.nodes.lock();
     let alive = nodes.iter().filter(|n| n.alive).count();
     format!("OK backends={alive}/{} rebalanced={moved}", nodes.len())
 }
 
 fn drop_node(state: &Arc<RouterState>, addr: &str) -> String {
     let removed = {
-        let mut nodes = state.nodes.lock().expect("nodes lock poisoned");
+        let mut nodes = state.nodes.lock();
         let before = nodes.len();
         nodes.retain(|n| n.addr != addr);
         before != nodes.len()
@@ -1294,21 +1295,21 @@ fn drop_node(state: &Arc<RouterState>, addr: &str) -> String {
             cancel_remote: true,
         },
     );
-    let nodes = state.nodes.lock().expect("nodes lock poisoned");
+    let nodes = state.nodes.lock();
     let alive = nodes.iter().filter(|n| n.alive).count();
     format!("OK backends={alive}/{}", nodes.len())
 }
 
 fn nodes(writer: &mut TcpStream, state: &Arc<RouterState>) -> std::io::Result<()> {
     let snapshot: Vec<(String, bool, u32, u32)> = {
-        let nodes = state.nodes.lock().expect("nodes lock poisoned");
+        let nodes = state.nodes.lock();
         nodes
             .iter()
             .map(|n| (n.addr.clone(), n.alive, n.probe_fails, n.probe_oks))
             .collect()
     };
     let per_backend: BTreeMap<String, usize> = {
-        let jobs = state.jobs.lock().expect("jobs lock poisoned");
+        let jobs = state.jobs.lock();
         let mut m = BTreeMap::new();
         for job in jobs.values() {
             *m.entry(job.backend.clone()).or_insert(0) += 1;

@@ -21,6 +21,7 @@ use crate::cache::{CacheStats, GraphCache};
 use crate::job::{GraphSource, Job, JobSpec, StopCause, StreamStep};
 use crate::journal::Journal;
 use crate::protocol::{self, JobId, Request, SubmitArgs};
+use crate::sync::{OrderedCondvar, OrderedMutex, Rank};
 use crate::LoadHook;
 use kplex_core::{prepare, ChannelSink, Params, PlexSink, SinkFlow};
 use kplex_graph::io;
@@ -28,9 +29,9 @@ use kplex_parallel::{run_parallel_prepared, EngineOptions};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::RecvTimeoutError;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How long blocking waits (queue pop, stream follow) sleep between
@@ -121,17 +122,23 @@ impl Default for ServerConfig {
     }
 }
 
+/// The admission queue and its reservation count, one mutex-protected
+/// unit. `reserved` counts queue slots held by submissions whose journal
+/// fsync is in flight (the fsync runs outside the queue lock); keeping it
+/// inside the same lock as the deque makes `deque.len() + reserved` a
+/// structurally consistent capacity check — it used to be a separate
+/// atomic that was only *conventionally* guarded by this lock.
+struct JobQueue {
+    deque: VecDeque<JobId>,
+    reserved: usize,
+}
+
 struct SharedState {
-    jobs: Mutex<BTreeMap<JobId, Arc<Job>>>,
+    jobs: OrderedMutex<BTreeMap<JobId, Arc<Job>>>,
     next_id: AtomicU64,
-    queue: Mutex<VecDeque<JobId>>,
-    queue_cond: Condvar,
+    queue: OrderedMutex<JobQueue>,
+    queue_cond: OrderedCondvar,
     queue_cap: usize,
-    /// Queue slots reserved by submissions whose journal fsync is in
-    /// flight (the fsync runs outside the queue lock). Mutated only while
-    /// holding the queue lock, so `queue.len() + queue_reserved` is a
-    /// consistent capacity check.
-    queue_reserved: AtomicUsize,
     cache: GraphCache,
     shutdown: AtomicBool,
     default_threads: usize,
@@ -147,7 +154,7 @@ struct SharedState {
     /// thread removes its own entry on exit, so the map tracks only open
     /// connections. Exists so [`ServerHandle::kill`] can sever them
     /// abruptly (crash simulation); the graceful shutdown ignores it.
-    conns: Mutex<BTreeMap<u64, TcpStream>>,
+    conns: OrderedMutex<BTreeMap<u64, TcpStream>>,
     next_conn: AtomicU64,
     cold_load_hook: Option<LoadHook>,
 }
@@ -173,11 +180,7 @@ impl SharedState {
 
 impl SharedState {
     fn job(&self, id: JobId) -> Option<Arc<Job>> {
-        self.jobs
-            .lock()
-            .expect("jobs lock poisoned")
-            .get(&id)
-            .cloned()
+        self.jobs.lock().get(&id).cloned()
     }
 }
 
@@ -263,12 +266,18 @@ impl Server {
             }
             let recovered = queue.len();
             SharedState {
-                jobs: Mutex::new(jobs),
+                jobs: OrderedMutex::new(Rank::ServerJobs, "server-jobs", jobs),
                 next_id: AtomicU64::new(next_id),
-                queue: Mutex::new(queue),
-                queue_cond: Condvar::new(),
+                queue: OrderedMutex::new(
+                    Rank::ServerQueue,
+                    "server-queue",
+                    JobQueue {
+                        deque: queue,
+                        reserved: 0,
+                    },
+                ),
+                queue_cond: OrderedCondvar::new(),
                 queue_cap: cfg.queue_cap.max(1),
-                queue_reserved: AtomicUsize::new(0),
                 cache: GraphCache::new(cfg.cache_cap),
                 shutdown: AtomicBool::new(false),
                 default_threads,
@@ -276,7 +285,7 @@ impl Server {
                 delivery_batch: cfg.delivery_batch.max(1),
                 journal,
                 recovered,
-                conns: Mutex::new(BTreeMap::new()),
+                conns: OrderedMutex::new(Rank::ServerConns, "server-conns", BTreeMap::new()),
                 next_conn: AtomicU64::new(0),
                 cold_load_hook: cfg.cold_load_hook.clone(),
             }
@@ -355,20 +364,13 @@ impl ServerHandle {
     fn teardown(mut self, sever: bool) {
         self.state.shutdown.store(true, Ordering::Release);
         if sever {
-            let conns = self.state.conns.lock().expect("conns lock poisoned");
+            let conns = self.state.conns.lock();
             for conn in conns.values() {
                 let _ = conn.shutdown(std::net::Shutdown::Both);
             }
         }
         // Cancel live jobs so runners and streamers unblock quickly.
-        let jobs: Vec<Arc<Job>> = self
-            .state
-            .jobs
-            .lock()
-            .expect("jobs lock poisoned")
-            .values()
-            .cloned()
-            .collect();
+        let jobs: Vec<Arc<Job>> = self.state.jobs.lock().values().cloned().collect();
         for job in jobs {
             if !job.state().is_terminal() {
                 job.request_cancel();
@@ -396,22 +398,16 @@ fn accept_loop(listener: &TcpListener, state: &Arc<SharedState>) {
                 // Register the connection so `kill()` can sever it; the
                 // handler thread deregisters itself on exit, keeping the
                 // registry bounded by *open* connections.
+                // ordering: connection ids only need uniqueness, nothing
+                // else is published through this counter.
                 let conn_id = state.next_conn.fetch_add(1, Ordering::Relaxed);
                 if let Ok(clone) = stream.try_clone() {
-                    state
-                        .conns
-                        .lock()
-                        .expect("conns lock poisoned")
-                        .insert(conn_id, clone);
+                    state.conns.lock().insert(conn_id, clone);
                 }
                 let state = state.clone();
                 std::thread::spawn(move || {
                     let _ = handle_connection(stream, &state);
-                    state
-                        .conns
-                        .lock()
-                        .expect("conns lock poisoned")
-                        .remove(&conn_id);
+                    state.conns.lock().remove(&conn_id);
                 });
             }
             Err(_) if state.shutdown.load(Ordering::Acquire) => return,
@@ -463,11 +459,7 @@ fn handle_connection(stream: TcpStream, state: &Arc<SharedState>) -> std::io::Re
                         // A job cancelled while queued must also free its
                         // bounded-queue slot, or dead jobs hold capacity
                         // against new submissions until a runner pops them.
-                        state
-                            .queue
-                            .lock()
-                            .expect("queue lock poisoned")
-                            .retain(|&qid| qid != id);
+                        state.queue.lock().deque.retain(|&qid| qid != id);
                         // A queued job dies inside `request_cancel`, which
                         // fires the terminal hook — the journal END record
                         // is already written by the time we reply.
@@ -479,13 +471,7 @@ fn handle_connection(stream: TcpStream, state: &Arc<SharedState>) -> std::io::Re
                 write_line(&mut writer, &resp)?;
             }
             Ok(Request::List) => {
-                let jobs: Vec<Arc<Job>> = state
-                    .jobs
-                    .lock()
-                    .expect("jobs lock poisoned")
-                    .values()
-                    .cloned()
-                    .collect();
+                let jobs: Vec<Arc<Job>> = state.jobs.lock().values().cloned().collect();
                 for job in &jobs {
                     let s = job.snapshot();
                     write_line(
@@ -512,8 +498,8 @@ fn handle_connection(stream: TcpStream, state: &Arc<SharedState>) -> std::io::Re
                     pending,
                     waiting,
                 } = state.cache.stats();
-                let jobs = state.jobs.lock().expect("jobs lock poisoned").len();
-                let depth = state.queue.lock().expect("queue lock poisoned").len();
+                let jobs = state.jobs.lock().len();
+                let depth = state.queue.lock().deque.len();
                 let recovered = state.recovered;
                 write_line(
                     &mut writer,
@@ -661,6 +647,8 @@ fn submit(state: &Arc<SharedState>, args: &SubmitArgs) -> Result<JobId, String> 
         return Err("server shutting down".into());
     }
     let spec = validate(state.default_threads, args)?;
+    // ordering: id allocation only needs uniqueness; publication of the job
+    // itself happens under the queue/jobs locks in phase 2.
     let id = state.next_id.fetch_add(1, Ordering::Relaxed);
     let job = Arc::new(
         Job::new(id, spec).with_terminal_hook(terminal_journal_hook(Arc::downgrade(state))),
@@ -669,15 +657,14 @@ fn submit(state: &Arc<SharedState>, args: &SubmitArgs) -> Result<JobId, String> 
     // by submissions whose journal fsync is still in flight, so the cap
     // cannot be oversubscribed while the lock is released below.
     {
-        let queue = state.queue.lock().expect("queue lock poisoned");
-        let reserved = state.queue_reserved.load(Ordering::Relaxed);
-        if queue.len() + reserved >= state.queue_cap {
+        let mut queue = state.queue.lock();
+        if queue.deque.len() + queue.reserved >= state.queue_cap {
             return Err(format!(
                 "queue full ({} jobs waiting), retry later",
-                queue.len() + reserved
+                queue.deque.len() + queue.reserved
             ));
         }
-        state.queue_reserved.store(reserved + 1, Ordering::Relaxed);
+        queue.reserved += 1;
     }
     // Journal-before-ack, with the fsync OUTSIDE the queue lock —
     // submissions must not serialize runner pops behind disk latency. A
@@ -693,10 +680,10 @@ fn submit(state: &Arc<SharedState>, args: &SubmitArgs) -> Result<JobId, String> 
     };
     // Phase 2: publish (always releasing the reservation first).
     {
-        let mut queue = state.queue.lock().expect("queue lock poisoned");
-        state.queue_reserved.fetch_sub(1, Ordering::Relaxed);
+        let mut queue = state.queue.lock();
+        queue.reserved -= 1;
         journaled?;
-        let mut jobs = state.jobs.lock().expect("jobs lock poisoned");
+        let mut jobs = state.jobs.lock();
         jobs.insert(id, job);
         // Evict the oldest terminal jobs beyond the retention backlog
         // (BTreeMap iterates in id = submission order).
@@ -710,7 +697,7 @@ fn submit(state: &Arc<SharedState>, args: &SubmitArgs) -> Result<JobId, String> 
                 jobs.remove(jid);
             }
         }
-        queue.push_back(id);
+        queue.deque.push_back(id);
     }
     state.queue_cond.notify_one();
     Ok(id)
@@ -748,18 +735,15 @@ fn validate(default_threads: usize, args: &SubmitArgs) -> Result<JobSpec, String
 fn runner_loop(state: &Arc<SharedState>) {
     loop {
         let id = {
-            let mut queue = state.queue.lock().expect("queue lock poisoned");
+            let mut queue = state.queue.lock();
             loop {
                 if state.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                if let Some(id) = queue.pop_front() {
+                if let Some(id) = queue.deque.pop_front() {
                     break id;
                 }
-                let (q, _) = state
-                    .queue_cond
-                    .wait_timeout(queue, WAIT_TICK)
-                    .expect("queue lock poisoned");
+                let (q, _timed_out) = state.queue_cond.wait_timeout(queue, WAIT_TICK);
                 queue = q;
             }
         };
@@ -882,14 +866,10 @@ fn run_job(state: &Arc<SharedState>, job: &Arc<Job>) {
     let mut opts = EngineOptions::with_threads(spec.threads);
     opts.timeout = spec.tau;
     opts.stop_flag = Some(stop.clone());
-    // `mpsc::Sender` is not guaranteed `Sync` on older toolchains, so the
-    // per-worker sink factory clones it from under a mutex.
-    let tx = Mutex::new(tx);
+    // `mpsc::Sender` is `Sync` (channels are lock-free internally), so the
+    // per-worker sink factory clones it directly from the shared reference.
     let (sinks, stats) = run_parallel_prepared(&prep, spec.params, &cfg, &opts, || JobSink {
-        inner: ChannelSink::new(
-            tx.lock().expect("sender lock poisoned").clone(),
-            stop.clone(),
-        ),
+        inner: ChannelSink::new(tx.clone(), stop.clone()),
         throttle: spec.throttle,
     });
     // Every sender must die — the factory's and each worker sink's clone —

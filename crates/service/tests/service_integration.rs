@@ -280,9 +280,10 @@ fn tau_override_preserves_counts() {
 /// the in-flight load instead of loading again.
 #[test]
 fn warm_jobs_and_stats_proceed_while_a_cold_load_is_blocked() {
+    use kplex_service::sync::{OrderedMutex, Rank};
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::mpsc;
-    use std::sync::{Arc, Mutex};
+    use std::sync::Arc;
     use std::time::Duration;
 
     let lastfm_loads = Arc::new(AtomicUsize::new(0));
@@ -290,14 +291,17 @@ fn warm_jobs_and_stats_proceed_while_a_cold_load_is_blocked() {
     let (release_tx, release_rx) = mpsc::channel::<()>();
     let hook = {
         let lastfm_loads = lastfm_loads.clone();
-        let started_tx = Mutex::new(started_tx);
-        let release_rx = Mutex::new(release_rx);
+        // `Sender` is `Sync`; the `Receiver` is not, so it rides in an
+        // OrderedMutex at the leaf rank (never held while locking else).
+        let release_rx = OrderedMutex::new(Rank::Channel, "test-release-rx", release_rx);
         LoadHook::new(move |key: &str| {
             if key.contains("lastfm") {
+                // ordering: test counter read after both jobs finish; SeqCst
+                // for simplicity in test code.
                 lastfm_loads.fetch_add(1, Ordering::SeqCst);
-                started_tx.lock().unwrap().send(()).unwrap();
+                started_tx.send(()).unwrap();
                 // Hold the cold load open until the test releases it.
-                release_rx.lock().unwrap().recv().unwrap();
+                release_rx.lock().recv().unwrap();
             }
         })
     };
@@ -380,6 +384,8 @@ fn warm_jobs_and_stats_proceed_while_a_cold_load_is_blocked() {
         assert_eq!(streamed, expected_lastfm);
     }
     assert_eq!(
+        // ordering: read after both cold streams completed; SeqCst for
+        // simplicity in test code.
         lastfm_loads.load(Ordering::SeqCst),
         1,
         "two concurrent cold submits must run exactly one load (single-flight)"
