@@ -14,7 +14,7 @@ use kplex_core::{
     AlgoConfig, BranchingKind, Params, PivotKind, PlexSink, SearchStats, Searcher, SeedBuilder,
     SinkFlow, UpperBoundKind, XOUT_FLAG,
 };
-use kplex_graph::CsrGraph;
+use kplex_graph::{CsrGraph, GraphStore};
 
 /// The engine configuration that realises FP's per-branch behaviour.
 pub fn fp_config() -> AlgoConfig {

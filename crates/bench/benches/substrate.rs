@@ -9,7 +9,7 @@ use kplex_core::{
     collect_subtasks, AlgoConfig, CountSink, PairMatrix, Params, RefSearcher, SearchStats,
     Searcher, SeedBuilder,
 };
-use kplex_graph::{core_decomposition, gen, BitSet};
+use kplex_graph::{core_decomposition, gen, BitSet, GraphStore};
 
 fn bench(c: &mut Criterion) {
     let g = gen::powerlaw_cluster(20_000, 8, 0.4, 99);

@@ -10,7 +10,7 @@ use kplex_core::{
     collect_subtasks, AlgoConfig, CountSink, PairMatrix, Params, RefSearcher, SavedTask,
     SearchStats, Searcher, SeedBuilder, SeedGraph,
 };
-use kplex_graph::gen;
+use kplex_graph::{gen, GraphStore};
 
 #[global_allocator]
 static ALLOC: PeakAlloc = PeakAlloc;

@@ -21,16 +21,17 @@ USAGE:
   kplex verify    --k K --q Q --results FILE (--input FILE | --dataset NAME)
   kplex stats     (--input FILE | --dataset NAME)
   kplex generate  --dataset NAME --output FILE
+  kplex convert   (--input FILE | --dataset NAME) --output FILE.kpx
   kplex serve     [--addr HOST:PORT] [--runners N] [--queue-cap N]
-                  [--cache-cap N] [--threads N] [--retain N] [--journal PATH]
-                  [--delivery-batch N]
+                  [--cache-cap N] [--threads N] [--store KIND] [--retain N]
+                  [--journal PATH] [--delivery-batch N]
   kplex route     [--addr HOST:PORT] --backend HOST:PORT [--backend ...]
                   [--probe-ms N] [--probe-timeout-ms N]
                   [--probe-fails N] [--probe-rises N] [--replicas N]
   kplex submit    --addr HOST:PORT --k K --q Q
                   (--dataset NAME | --input FILE) [--threads N] [--algo ALGO]
-                  [--limit N] [--timeout-ms N] [--throttle-us N] [--tau-us N]
-                  [--count-only]
+                  [--store KIND] [--limit N] [--timeout-ms N]
+                  [--throttle-us N] [--tau-us N] [--count-only]
   kplex datasets
   kplex help
 
@@ -44,9 +45,14 @@ OPTIONS:
                    basic+r2 | listplex | fp          (default: ours)
   --threads N      parallel engine with N workers    (default: sequential)
   --timeout-us U   straggler timeout in microseconds (default: 100)
+  --store KIND     graph storage backend: csr (in-RAM, fastest), compressed
+                   (varint rows, ~half the bytes) or mmap (out-of-core .kpx
+                   file; graphs larger than RAM)     (default: csr)
   --count-only     print only the number of k-plexes
   --limit N        stop after N results
 
+`convert` writes a graph into the chunked `.kpx` on-disk format that the
+mmap store serves without loading the graph into RAM;
 `serve` runs the kplexd job server in-process (`--journal` makes accepted
 jobs survive a restart); `route` runs the kplexr shard router over one or
 more kplexd backends (`--probe-ms 0` disables its health prober); `submit`
@@ -109,6 +115,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
         "verify" => cmd_verify(&args),
         "stats" => cmd_stats(&args),
         "generate" => cmd_generate(&args),
+        "convert" => cmd_convert(&args),
         "serve" => cmd_serve(&args),
         "route" => cmd_route(&args),
         "submit" => cmd_submit(&args),
@@ -369,6 +376,32 @@ fn cmd_generate(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Converts a graph into the chunked `.kpx` on-disk format served by the
+/// mmap store (`--store mmap`): written atomically, verified by re-opening.
+fn cmd_convert(args: &Args) -> Result<(), CliError> {
+    let output = args
+        .get("output")
+        .ok_or_else(|| usage("convert requires --output FILE.kpx"))?
+        .to_string();
+    let (g, source) = load_graph(args)?;
+    args.reject_unknown().map_err(usage)?;
+    kplex_graph::write_kpx(&g, &output).map_err(|e| CliError::Runtime(e.to_string()))?;
+    // Re-open what we just wrote: a truncated or unmappable file should fail
+    // here, at convert time, not later when a server tries to serve it.
+    let store = kplex_graph::StoreBackend::open_mmap(&output)
+        .map_err(|e| CliError::Runtime(format!("verifying {output}: {e}")))?;
+    use kplex_graph::GraphStore;
+    let bytes = std::fs::metadata(&output)
+        .map(|m| m.len())
+        .unwrap_or_default();
+    eprintln!(
+        "# {source} -> {output} ({} vertices, {} edges, {bytes} bytes on disk)",
+        store.num_vertices(),
+        store.num_edges(),
+    );
+    Ok(())
+}
+
 /// Runs the kplexd job server in-process (same engine, same protocol as the
 /// standalone `kplexd` binary).
 fn cmd_serve(args: &Args) -> Result<(), CliError> {
@@ -382,6 +415,10 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     cfg.default_threads = args
         .get_parse("threads", cfg.default_threads)
         .map_err(usage)?;
+    if let Some(s) = args.get("store") {
+        cfg.default_store = kplex_graph::StoreKind::parse(s)
+            .ok_or_else(|| usage(format!("invalid --store {s:?} (csr, compressed or mmap)")))?;
+    }
     cfg.retain_terminal = args
         .get_parse("retain", cfg.retain_terminal)
         .map_err(usage)?;
@@ -501,6 +538,15 @@ fn cmd_submit(args: &Args) -> Result<(), CliError> {
     }
     if let Some(algo) = args.get("algo") {
         submit.algo = Some(algo.to_string());
+    }
+    if let Some(store) = args.get("store") {
+        // Validate locally so a typo is a usage error, not a server reject.
+        kplex_graph::StoreKind::parse(store).ok_or_else(|| {
+            usage(format!(
+                "invalid --store {store:?} (csr, compressed or mmap)"
+            ))
+        })?;
+        submit.store = Some(store.to_string());
     }
     let limit: u64 = args.get_parse("limit", 0).map_err(usage)?;
     if limit > 0 {
@@ -849,6 +895,93 @@ mod tests {
     #[test]
     fn stats_works_on_dataset() {
         run(&["stats", "--dataset", "jazz"]).unwrap();
+    }
+
+    #[test]
+    fn convert_writes_a_servable_kpx() {
+        let dir = std::env::temp_dir().join(format!("kplex-cli-cv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("jazz.kpx");
+        run(&[
+            "convert",
+            "--dataset",
+            "jazz",
+            "--output",
+            out.to_str().unwrap(),
+        ])
+        .unwrap();
+        // The written file must open as an mmap store identical to the CSR.
+        let store = kplex_graph::StoreBackend::open_mmap(&out).expect("open converted file");
+        let g = kplex_datasets::by_name("jazz").unwrap().load();
+        use kplex_graph::GraphStore;
+        assert_eq!(store.num_vertices(), g.num_vertices());
+        assert_eq!(store.num_edges(), g.num_edges());
+        // Missing --output is a usage error; an unwritable path is runtime.
+        assert!(is_usage(run(&["convert", "--dataset", "jazz"])));
+        assert_eq!(
+            run(&[
+                "convert",
+                "--dataset",
+                "jazz",
+                "--output",
+                "/no/such/dir/x.kpx"
+            ])
+            .unwrap_err()
+            .exit_code(),
+            1
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn submit_rejects_bad_store_locally() {
+        // Never touches the network: --store is validated before connecting.
+        assert!(is_usage(run(&[
+            "submit",
+            "--addr",
+            "x:1",
+            "--dataset",
+            "jazz",
+            "--k",
+            "2",
+            "--q",
+            "9",
+            "--store",
+            "ramdisk"
+        ])));
+        assert!(is_usage(run(&["serve", "--store", "ramdisk"])));
+    }
+
+    #[test]
+    fn submit_streams_with_compressed_store() {
+        let handle = kplex_service::Server::bind(&kplex_service::ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            runners: 1,
+            queue_cap: 4,
+            cache_cap: 2,
+            default_threads: 1,
+            ..kplex_service::ServerConfig::default()
+        })
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+        let addr = handle.addr().to_string();
+        run(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--dataset",
+            "jazz",
+            "--k",
+            "2",
+            "--q",
+            "9",
+            "--store",
+            "compressed",
+            "--count-only",
+        ])
+        .expect("submit with --store compressed");
+        handle.shutdown();
     }
 
     #[test]

@@ -14,23 +14,31 @@ use crate::seed::{SeedBuilder, SeedGraph};
 use crate::sink::{CollectSink, CountSink, PlexSink, SinkFlow};
 use crate::stats::SearchStats;
 use crate::subtask::collect_subtasks;
-use kplex_graph::{core_decomposition, kcore_subgraph, CoreDecomposition, CsrGraph, VertexId};
+use kplex_graph::{
+    core_decomposition, kcore_backend, CoreDecomposition, GraphStore, StoreBackend, VertexId,
+};
 
 /// The preprocessed problem: core-reduced graph plus its degeneracy ordering.
 #[derive(Clone, Debug)]
 pub struct Prepared {
-    /// The (q−k)-core of the input, densely renumbered.
-    pub graph: CsrGraph,
+    /// The (q−k)-core of the input, densely renumbered, resident as the
+    /// backend the input's [`StoreKind::resident`] rule selects (CSR inputs
+    /// stay CSR; compressed and mmap inputs keep the working set compressed).
+    ///
+    /// [`StoreKind::resident`]: kplex_graph::StoreKind::resident
+    pub graph: StoreBackend,
     /// Reduced id -> original id (strictly increasing).
     pub map: Vec<VertexId>,
     /// Core decomposition of the reduced graph.
     pub decomp: CoreDecomposition,
 }
 
-/// Applies Theorem 3.5 and computes the degeneracy ordering.
-pub fn prepare(g: &CsrGraph, params: Params) -> Prepared {
+/// Applies Theorem 3.5 and computes the degeneracy ordering. Accepts any
+/// [`GraphStore`] backend; the reduced rows are streamed straight into the
+/// resident form, so an out-of-core input is never copied uncompressed.
+pub fn prepare<G: GraphStore + ?Sized>(g: &G, params: Params) -> Prepared {
     let shrink_to = (params.q - params.k) as u32;
-    let (graph, map) = kcore_subgraph(g, shrink_to);
+    let (graph, map) = kcore_backend(g, shrink_to, g.kind());
     let decomp = core_decomposition(&graph);
     Prepared { graph, map, decomp }
 }
@@ -89,9 +97,10 @@ pub fn run_seed(
 }
 
 /// Enumerates all maximal k-plexes of `g` with at least `q` vertices,
-/// streaming them into `sink`. Returns the search statistics.
-pub fn enumerate(
-    g: &CsrGraph,
+/// streaming them into `sink`. Returns the search statistics. Works over any
+/// [`GraphStore`] backend.
+pub fn enumerate<G: GraphStore + ?Sized>(
+    g: &G,
     params: Params,
     cfg: &AlgoConfig,
     sink: &mut dyn PlexSink,
@@ -116,15 +125,19 @@ pub fn enumerate(
 }
 
 /// Convenience: count results.
-pub fn enumerate_count(g: &CsrGraph, params: Params, cfg: &AlgoConfig) -> (u64, SearchStats) {
+pub fn enumerate_count<G: GraphStore + ?Sized>(
+    g: &G,
+    params: Params,
+    cfg: &AlgoConfig,
+) -> (u64, SearchStats) {
     let mut sink = CountSink::default();
     let stats = enumerate(g, params, cfg, &mut sink);
     (sink.count, stats)
 }
 
 /// Convenience: collect results in canonical (sorted) order.
-pub fn enumerate_collect(
-    g: &CsrGraph,
+pub fn enumerate_collect<G: GraphStore + ?Sized>(
+    g: &G,
     params: Params,
     cfg: &AlgoConfig,
 ) -> (Vec<Vec<VertexId>>, SearchStats) {

@@ -16,7 +16,7 @@ use crate::seed::SeedBuilder;
 use crate::sink::{PlexSink, SinkFlow};
 use crate::stats::SearchStats;
 use crate::subtask::collect_subtasks;
-use kplex_graph::{CsrGraph, VertexId};
+use kplex_graph::{GraphStore, VertexId};
 
 /// Result of a maximum k-plex search.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -46,7 +46,12 @@ impl PlexSink for BestSink {
 /// vertices (`q_floor` is clamped up to `2k - 1`, the connectivity bound the
 /// engine requires). Returns `None` in [`MaximumResult::plex`] when no plex
 /// reaches the floor.
-pub fn maximum_kplex(g: &CsrGraph, k: usize, q_floor: usize, cfg: &AlgoConfig) -> MaximumResult {
+pub fn maximum_kplex<G: GraphStore + ?Sized>(
+    g: &G,
+    k: usize,
+    q_floor: usize,
+    cfg: &AlgoConfig,
+) -> MaximumResult {
     let q0 = q_floor.max(2 * k - 1).max(1);
     let params0 = Params::new(k, q0).expect("q clamped to the valid range");
     let mut stats = SearchStats::default();
@@ -96,7 +101,7 @@ pub fn maximum_kplex(g: &CsrGraph, k: usize, q_floor: usize, cfg: &AlgoConfig) -
 mod tests {
     use super::*;
     use crate::naive::brute_force;
-    use kplex_graph::gen;
+    use kplex_graph::{gen, CsrGraph};
 
     fn brute_maximum(g: &CsrGraph, k: usize, q: usize) -> Option<usize> {
         brute_force(g, k, q).iter().map(Vec::len).max()

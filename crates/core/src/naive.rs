@@ -9,12 +9,12 @@
 //!   vertices on sparse inputs.
 
 use crate::plex::{is_kplex, is_maximal_kplex};
-use kplex_graph::{CsrGraph, VertexId};
+use kplex_graph::{GraphStore, VertexId};
 
 /// Exhaustively enumerates all maximal k-plexes with at least `q` vertices by
 /// scanning every vertex subset. Panics if the graph has more than 24
 /// vertices (2^24 subsets is the practical ceiling for a test oracle).
-pub fn brute_force(g: &CsrGraph, k: usize, q: usize) -> Vec<Vec<VertexId>> {
+pub fn brute_force<G: GraphStore + ?Sized>(g: &G, k: usize, q: usize) -> Vec<Vec<VertexId>> {
     let n = g.num_vertices();
     assert!(
         n <= 24,
@@ -37,17 +37,21 @@ pub fn brute_force(g: &CsrGraph, k: usize, q: usize) -> Vec<Vec<VertexId>> {
 /// Algorithm 1 (Bron–Kerbosch adapted to k-plexes) with no optimisation at
 /// all: candidates are every later vertex, maximality via the exclusive set.
 /// Returns the sorted list of maximal k-plexes with `|P| >= q`.
-pub fn naive_bron_kerbosch(g: &CsrGraph, k: usize, q: usize) -> Vec<Vec<VertexId>> {
+pub fn naive_bron_kerbosch<G: GraphStore + ?Sized>(
+    g: &G,
+    k: usize,
+    q: usize,
+) -> Vec<Vec<VertexId>> {
     let mut out = Vec::new();
-    let all: Vec<VertexId> = g.vertices().collect();
+    let all: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
     let mut p = Vec::new();
     recurse(g, k, q, &mut p, all, Vec::new(), &mut out);
     out.sort();
     out
 }
 
-fn recurse(
-    g: &CsrGraph,
+fn recurse<G: GraphStore + ?Sized>(
+    g: &G,
     k: usize,
     q: usize,
     p: &mut Vec<VertexId>,
@@ -80,11 +84,11 @@ fn recurse(
 }
 
 /// True iff `p ∪ {u}` is a k-plex (`p` already is one).
-fn extends(g: &CsrGraph, k: usize, p: &[VertexId], u: VertexId) -> bool {
+fn extends<G: GraphStore + ?Sized>(g: &G, k: usize, p: &[VertexId], u: VertexId) -> bool {
     extends_set(g, k, p, u)
 }
 
-fn extends_set(g: &CsrGraph, k: usize, p: &[VertexId], u: VertexId) -> bool {
+fn extends_set<G: GraphStore + ?Sized>(g: &G, k: usize, p: &[VertexId], u: VertexId) -> bool {
     let m = p.len() + 1;
     // u's own constraint.
     let du = p.iter().filter(|&&w| g.has_edge(u, w)).count();

@@ -1,44 +1,41 @@
 //! k-plex predicates over the input graph (Definition 3.1), used by the
 //! engine's output paths and by the test oracles.
 
-use kplex_graph::{CsrGraph, VertexId};
+use kplex_graph::{GraphStore, VertexId};
 
 /// True iff `set` (distinct vertices) induces a k-plex in `g`: every member
 /// is adjacent to all but at most `k` members (itself included).
-pub fn is_kplex(g: &CsrGraph, set: &[VertexId], k: usize) -> bool {
+pub fn is_kplex<G: GraphStore + ?Sized>(g: &G, set: &[VertexId], k: usize) -> bool {
     let need = set.len().saturating_sub(k);
     set.iter().all(|&u| degree_within(g, u, set) >= need)
 }
 
 /// Number of neighbours of `u` inside `set` (`u` itself not counted even if
 /// present).
-pub fn degree_within(g: &CsrGraph, u: VertexId, set: &[VertexId]) -> usize {
+pub fn degree_within<G: GraphStore + ?Sized>(g: &G, u: VertexId, set: &[VertexId]) -> usize {
     // Iterate whichever side is smaller.
     if set.len() < g.degree(u) {
         set.iter().filter(|&&v| v != u && g.has_edge(u, v)).count()
     } else {
-        let mut sorted_check = set;
-        let mut buf;
-        if !set.windows(2).all(|w| w[0] < w[1]) {
-            buf = set.to_vec();
+        let mut scratch = Vec::new();
+        let row = g.row(u, &mut scratch);
+        if set.windows(2).all(|w| w[0] < w[1]) {
+            row.iter().filter(|w| set.binary_search(w).is_ok()).count()
+        } else {
+            let mut buf = set.to_vec();
             buf.sort_unstable();
-            sorted_check = &buf[..];
-            return g
-                .neighbors(u)
-                .iter()
-                .filter(|w| sorted_check.binary_search(w).is_ok())
-                .count();
+            row.iter().filter(|w| buf.binary_search(w).is_ok()).count()
         }
-        g.neighbors(u)
-            .iter()
-            .filter(|w| sorted_check.binary_search(w).is_ok())
-            .count()
     }
 }
 
 /// Finds a vertex outside `set` whose addition keeps the k-plex property, or
 /// `None` if `set` is maximal. `set` must already be a k-plex.
-pub fn find_extension(g: &CsrGraph, set: &[VertexId], k: usize) -> Option<VertexId> {
+pub fn find_extension<G: GraphStore + ?Sized>(
+    g: &G,
+    set: &[VertexId],
+    k: usize,
+) -> Option<VertexId> {
     debug_assert!(is_kplex(g, set, k));
     // A valid extension v must satisfy two conditions:
     //   (1) d_set(v) >= |set| + 1 - k,
@@ -56,11 +53,15 @@ pub fn find_extension(g: &CsrGraph, set: &[VertexId], k: usize) -> Option<Vertex
     // Candidates must neighbour at least one member whenever need >= 1;
     // when need == 0 (tiny sets vs large k) every outside vertex qualifies
     // structurally, so scan all vertices in that case.
-    let candidates: Box<dyn Iterator<Item = VertexId>> = if need >= 1 {
-        Box::new(set.iter().flat_map(|&u| g.neighbors(u).iter().copied()))
+    let mut candidates: Vec<VertexId> = Vec::new();
+    if need >= 1 {
+        let mut scratch = Vec::new();
+        for &u in set {
+            candidates.extend_from_slice(g.row(u, &mut scratch));
+        }
     } else {
-        Box::new(g.vertices())
-    };
+        candidates.extend(0..g.num_vertices() as VertexId);
+    }
     for v in candidates {
         if in_set[v as usize] {
             continue;
@@ -73,7 +74,7 @@ pub fn find_extension(g: &CsrGraph, set: &[VertexId], k: usize) -> Option<Vertex
 }
 
 /// True iff `set` is a maximal k-plex in `g`.
-pub fn is_maximal_kplex(g: &CsrGraph, set: &[VertexId], k: usize) -> bool {
+pub fn is_maximal_kplex<G: GraphStore + ?Sized>(g: &G, set: &[VertexId], k: usize) -> bool {
     is_kplex(g, set, k) && find_extension(g, set, k).is_none()
 }
 

@@ -17,13 +17,18 @@
 //! the tests below).
 
 use crate::config::Params;
-use kplex_graph::{core_decomposition, CsrGraph, GraphBuilder, VertexId};
+use kplex_graph::{
+    core_decomposition, kcore_vertices, GraphBuilder, GraphStore, StoreBackend, VertexId,
+};
 
 /// Outcome of the reduction.
 #[derive(Clone, Debug)]
 pub struct CtcpReduction {
-    /// The reduced, densely renumbered graph.
-    pub graph: CsrGraph,
+    /// The reduced, densely renumbered graph, resident as the backend the
+    /// input's [`StoreKind::resident`] rule selects.
+    ///
+    /// [`StoreKind::resident`]: kplex_graph::StoreKind::resident
+    pub graph: StoreBackend,
     /// Reduced id -> original id (strictly increasing).
     pub map: Vec<VertexId>,
     /// Rounds until fixpoint.
@@ -32,16 +37,39 @@ pub struct CtcpReduction {
     pub edges_removed: usize,
 }
 
-/// Applies CTCP to `g` for the given parameters.
-pub fn ctcp_reduce(g: &CsrGraph, params: Params) -> CtcpReduction {
+/// Applies CTCP to `g` for the given parameters. Accepts any [`GraphStore`]
+/// backend: the initial core peel streams each raw row once, so only the
+/// (q−k)-core working set is ever materialised uncompressed — never a full
+/// copy of an out-of-core input.
+pub fn ctcp_reduce<G: GraphStore + ?Sized>(g: &G, params: Params) -> CtcpReduction {
     let k = params.k as i64;
     let q = params.q as i64;
     let core_floor = (q - k).max(0) as u32;
     let edge_thr = q - 2 * k; // common neighbours required under an edge
 
-    let mut current = g.clone();
+    // Round 0: peel straight off the backend before the in-RAM working copy
+    // exists. The fixpoint loop below re-peels from scratch each round, so
+    // starting from the already-peeled core changes nothing but peak memory.
+    let keep = kcore_vertices(g, core_floor);
+    let mut remap = vec![u32::MAX; g.num_vertices()];
+    for (new, &old) in keep.iter().enumerate() {
+        remap[old as usize] = new as u32;
+    }
+    let mut current = {
+        let mut b = GraphBuilder::new(keep.len());
+        let mut scratch = Vec::new();
+        for (new, &old) in keep.iter().enumerate() {
+            for &w in g.row(old, &mut scratch) {
+                let nw = remap[w as usize];
+                if nw != u32::MAX && (new as u32) < nw {
+                    b.add_edge(new as u32, nw).expect("ids in range");
+                }
+            }
+        }
+        b.build()
+    };
     // map composition: current id -> original id.
-    let mut map: Vec<VertexId> = g.vertices().collect();
+    let mut map: Vec<VertexId> = keep;
     let mut rounds = 0usize;
     let mut edges_removed = 0usize;
     loop {
@@ -99,7 +127,7 @@ pub fn ctcp_reduce(g: &CsrGraph, params: Params) -> CtcpReduction {
         }
     }
     CtcpReduction {
-        graph: current,
+        graph: StoreBackend::from_graph(current, g.kind()),
         map,
         rounds,
         edges_removed,
@@ -111,7 +139,7 @@ mod tests {
     use super::*;
     use crate::config::AlgoConfig;
     use crate::enumerate::enumerate_collect;
-    use kplex_graph::gen;
+    use kplex_graph::{gen, CsrGraph};
 
     /// Mines on the reduced graph and maps ids back.
     fn mine_reduced(g: &CsrGraph, params: Params) -> Vec<Vec<VertexId>> {
@@ -183,8 +211,9 @@ mod tests {
         for &orig in &red.map {
             assert!((orig as usize) < g.num_vertices());
         }
-        // Edges of the reduced graph exist in the original.
-        for (u, v) in red.graph.edges() {
+        // Edges of the reduced graph exist in the original (a CSR input
+        // keeps its reduction resident as CSR).
+        for (u, v) in red.graph.as_csr().expect("csr input").edges() {
             assert!(g.has_edge(red.map[u as usize], red.map[v as usize]));
         }
     }

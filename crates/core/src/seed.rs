@@ -13,7 +13,7 @@
 
 use crate::config::{AlgoConfig, Params};
 use kplex_graph::matrix::AdjMatrix;
-use kplex_graph::{BitSet, CoreDecomposition, CsrGraph, RectBitMatrix, VertexId};
+use kplex_graph::{BitSet, CoreDecomposition, GraphStore, RectBitMatrix, VertexId};
 
 /// Encoding for exclusive-set entries: local vertices are plain indices,
 /// outside vertices carry this flag over their `xout` row index.
@@ -82,6 +82,11 @@ pub struct SeedBuilder {
     /// Input-graph-sized indicator of the seed's later neighbours, used by
     /// the pre-matrix common-neighbour gate. Cleared after every build.
     gate_mark: BitSet,
+    /// Pooled row-decode scratch for [`GraphStore::row`]. Zero-copy backends
+    /// never touch these; compressed backends decode into them, and pooling
+    /// keeps that to at most two live rows with no per-build allocation.
+    row_a: Vec<VertexId>,
+    row_b: Vec<VertexId>,
 }
 
 impl SeedBuilder {
@@ -99,25 +104,51 @@ impl SeedBuilder {
             check: Vec::new(),
             old_to_new: Vec::new(),
             gate_mark: BitSet::new(n),
+            row_a: Vec::new(),
+            row_b: Vec::new(),
         }
     }
 
     /// Builds the seed subgraph for `seed`, or `None` when it provably cannot
     /// host a plex of size `q` (too few vertices or too few seed neighbours).
-    pub fn build(
+    /// Accepts any [`GraphStore`] backend: each raw row the build touches is
+    /// read (and, for compressed backends, decoded) exactly once, into the
+    /// builder's pooled scratch.
+    pub fn build<G: GraphStore + ?Sized>(
         &mut self,
-        g: &CsrGraph,
+        g: &G,
         decomp: &CoreDecomposition,
         seed: VertexId,
         params: Params,
         cfg: &AlgoConfig,
+    ) -> Option<SeedGraph> {
+        // Detach the row scratch so rows can stay borrowed while the rest of
+        // the builder state is mutated.
+        let mut row_a = std::mem::take(&mut self.row_a);
+        let mut row_b = std::mem::take(&mut self.row_b);
+        let out = self.build_inner(g, decomp, seed, params, cfg, &mut row_a, &mut row_b);
+        self.row_a = row_a;
+        self.row_b = row_b;
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_inner<G: GraphStore + ?Sized>(
+        &mut self,
+        g: &G,
+        decomp: &CoreDecomposition,
+        seed: VertexId,
+        params: Params,
+        cfg: &AlgoConfig,
+        row_a: &mut Vec<VertexId>,
+        row_b: &mut Vec<VertexId>,
     ) -> Option<SeedGraph> {
         let (k, q) = (params.k, params.q);
         // Cheap gate first: P must contain >= q - k seed neighbours (the
         // seed tolerates at most k - 1 non-neighbours besides itself), all
         // later in η. This rejects the vast majority of seeds in O(deg).
         let direct_later = g
-            .neighbors(seed)
+            .row(seed, row_a)
             .iter()
             .filter(|&&w| decomp.before(seed, w))
             .count();
@@ -152,14 +183,14 @@ impl SeedBuilder {
                 }
             }
         };
-        for &w in g.neighbors(seed) {
+        for &w in g.row(seed, row_a) {
             visit(w);
         }
-        for &w in g.neighbors(seed) {
+        for &w in g.row(seed, row_a) {
             if !decomp.before(seed, w) {
                 continue; // earlier middles cannot occur inside a plex
             }
-            for &x in g.neighbors(w) {
+            for &x in g.row(w, row_b) {
                 if x != seed {
                     visit(x);
                 }
@@ -193,7 +224,7 @@ impl SeedBuilder {
             let Self {
                 gate_mark, later, ..
             } = self;
-            for &w in g.neighbors(seed) {
+            for &w in g.row(seed, row_a) {
                 if decomp.before(seed, w) {
                     gate_mark.insert(w as usize);
                 }
@@ -204,7 +235,7 @@ impl SeedBuilder {
                 let u = later[i];
                 let adjacent = gate_mark.contains(u as usize);
                 let common = g
-                    .neighbors(u)
+                    .row(u, row_b)
                     .iter()
                     .filter(|&&w| gate_mark.contains(w as usize))
                     .count() as i64;
@@ -222,7 +253,7 @@ impl SeedBuilder {
                 }
             }
             later.truncate(kept);
-            for &w in g.neighbors(seed) {
+            for &w in g.row(seed, row_a) {
                 gate_mark.remove(w as usize);
             }
         }
@@ -245,8 +276,9 @@ impl SeedBuilder {
         }
         let n_local = self.verts.len();
         self.adj.reset(n_local);
-        for (i, &v) in self.verts.iter().enumerate() {
-            for &w in g.neighbors(v) {
+        for i in 0..n_local {
+            let v = self.verts[i];
+            for &w in g.row(v, row_a) {
                 let j = self.map[w as usize];
                 if j != u32::MAX && (j as usize) > i {
                     self.adj.add_edge(i, j as usize);
@@ -352,9 +384,10 @@ impl SeedBuilder {
         let mut xout: Vec<VertexId> = Vec::new();
         let mut rows: Vec<BitSet> = Vec::new();
         let need_deg = (q + 1).saturating_sub(k); // |N(x) ∩ P| >= q+1-k
-        for &x in &self.earlier {
+        for xi in 0..self.earlier.len() {
+            let x = self.earlier[xi];
             let mut row = BitSet::new(nf);
-            for &w in g.neighbors(x) {
+            for &w in g.row(x, row_a) {
                 let lw = self.map[w as usize];
                 if lw != u32::MAX {
                     row.insert(lw as usize);
@@ -407,7 +440,7 @@ impl SeedBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kplex_graph::{core_decomposition, gen};
+    use kplex_graph::{core_decomposition, gen, CsrGraph};
 
     fn build_all(g: &CsrGraph, params: Params, cfg: &AlgoConfig) -> Vec<SeedGraph> {
         let decomp = core_decomposition(g);

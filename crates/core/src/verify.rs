@@ -12,7 +12,7 @@
 
 use crate::naive::naive_bron_kerbosch;
 use crate::plex::{degree_within, find_extension, is_kplex};
-use kplex_graph::{induced_diameter, CsrGraph, VertexId};
+use kplex_graph::{induced_diameter, GraphStore, VertexId};
 use std::collections::HashSet;
 
 /// One verification failure.
@@ -96,8 +96,8 @@ impl std::fmt::Display for Violation {
 
 /// Verifies soundness of `results` (validity, maximality, dedup, diameter).
 /// Returns all violations found (empty = verified).
-pub fn verify_results(
-    g: &CsrGraph,
+pub fn verify_results<G: GraphStore + ?Sized>(
+    g: &G,
     k: usize,
     q: usize,
     results: &[Vec<VertexId>],
@@ -149,8 +149,8 @@ pub fn verify_results(
 
 /// Verifies soundness *and completeness* by recomputing the answer with the
 /// naive oracle. Only feasible for small graphs; panics above the cap.
-pub fn verify_complete(
-    g: &CsrGraph,
+pub fn verify_complete<G: GraphStore + ?Sized>(
+    g: &G,
     k: usize,
     q: usize,
     results: &[Vec<VertexId>],

@@ -14,7 +14,7 @@ use kplex_core::{
     collect_subtasks, AlgoConfig, CollectSink, PairMatrix, Params, RefSearcher, SavedTask,
     SearchStats, Searcher, SeedBuilder,
 };
-use kplex_graph::{gen, CsrGraph, VertexId};
+use kplex_graph::{gen, CsrGraph, GraphStore, VertexId};
 
 /// Runs the full per-seed pipeline with both kernels and compares results
 /// and traversal fingerprints, returning the number of seed graphs checked.

@@ -87,6 +87,30 @@ impl Dataset {
         GraphStats::compute(&self.load())
     }
 
+    /// Path of this dataset's `.kpx` out-of-core store inside the cache
+    /// directory (the file [`ensure_kpx`] writes).
+    ///
+    /// [`ensure_kpx`]: Dataset::ensure_kpx
+    pub fn kpx_path(&self) -> PathBuf {
+        cache_dir().join(format!("{}.kpx", self.name))
+    }
+
+    /// Converts the stand-in graph to the chunked `.kpx` on-disk format (if
+    /// not already cached) and returns its path, ready for
+    /// `StoreBackend::open_mmap`. The conversion goes through [`load`], so
+    /// the binary cache and the `.kpx` file describe the same graph.
+    ///
+    /// [`load`]: Dataset::load
+    pub fn ensure_kpx(&self) -> Result<PathBuf, kplex_graph::GraphError> {
+        let path = self.kpx_path();
+        if !path.is_file() {
+            let g = self.load();
+            let _ = std::fs::create_dir_all(cache_dir());
+            kplex_graph::write_kpx(&g, &path)?;
+        }
+        Ok(path)
+    }
+
     /// Stable identity of this dataset's *content*: the name plus the
     /// generator-registry revision. Two `load()` calls return equal graphs
     /// iff their cache keys are equal, which is what keyed caches (e.g. the
@@ -455,14 +479,42 @@ mod tests {
         assert!(a.num_vertices() >= 190);
     }
 
+    /// `KPLEX_DATA_DIR` is process-global; tests that set it must not
+    /// overlap (the harness runs tests on parallel threads).
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn cache_roundtrip() {
+        let _env = ENV_LOCK.lock().unwrap();
         let dir = std::env::temp_dir().join(format!("kplex-ds-{}", std::process::id()));
         std::env::set_var("KPLEX_DATA_DIR", &dir);
         let d = by_name("jazz").unwrap();
         let a = d.load(); // generates + writes
         let b = d.load(); // reads from cache
         assert_eq!(a, b);
+        std::env::remove_var("KPLEX_DATA_DIR");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ensure_kpx_converts_once_and_roundtrips() {
+        let _env = ENV_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!("kplex-kpx-{}", std::process::id()));
+        std::env::set_var("KPLEX_DATA_DIR", &dir);
+        let d = by_name("jazz").unwrap();
+        let expect = d.load();
+        let path = d.ensure_kpx().expect("convert");
+        assert_eq!(path, d.kpx_path());
+        let mapped = kplex_graph::StoreBackend::open_mmap(&path).expect("open");
+        use kplex_graph::GraphStore;
+        assert_eq!(mapped.num_vertices(), expect.num_vertices());
+        assert_eq!(mapped.num_edges(), expect.num_edges());
+        let mut scratch = Vec::new();
+        for v in 0..expect.num_vertices() as u32 {
+            assert_eq!(mapped.row(v, &mut scratch), expect.neighbors(v));
+        }
+        // Second call is a cache hit on the same path.
+        assert_eq!(d.ensure_kpx().expect("hit"), path);
         std::env::remove_var("KPLEX_DATA_DIR");
         std::fs::remove_dir_all(&dir).ok();
     }

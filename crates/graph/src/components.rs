@@ -5,6 +5,7 @@
 //! split inputs, validate connectivity of results, and estimate distances.
 
 use crate::csr::{CsrGraph, VertexId};
+use crate::store::GraphStore;
 use std::collections::VecDeque;
 
 /// Connected-component labelling.
@@ -93,12 +94,25 @@ pub fn bfs_distances(g: &CsrGraph, source: VertexId) -> Vec<u32> {
 
 /// Exact diameter of the subgraph induced by `set` (`None` when the induced
 /// subgraph is disconnected or empty). Intended for verifying the
-/// diameter-2 property of results (Theorem 3.3), so `set` is small.
-pub fn induced_diameter(g: &CsrGraph, set: &[VertexId]) -> Option<u32> {
+/// diameter-2 property of results (Theorem 3.3), so `set` is small: the
+/// induced subgraph is assembled from O(|set|²) adjacency probes, which
+/// works uniformly across all [`GraphStore`] backends.
+pub fn induced_diameter<G: GraphStore + ?Sized>(g: &G, set: &[VertexId]) -> Option<u32> {
     if set.is_empty() {
         return None;
     }
-    let (sub, _) = g.induced_subgraph(set);
+    let mut ids: Vec<VertexId> = set.to_vec();
+    ids.sort_unstable();
+    ids.dedup();
+    let mut b = crate::csr::GraphBuilder::new(ids.len());
+    for i in 0..ids.len() {
+        for j in i + 1..ids.len() {
+            if g.has_edge(ids[i], ids[j]) {
+                b.add_edge(i as VertexId, j as VertexId).expect("in range");
+            }
+        }
+    }
+    let sub = b.build();
     let mut diameter = 0u32;
     for v in sub.vertices() {
         let dist = bfs_distances(&sub, v);

@@ -9,6 +9,7 @@
 //!   at O((n + m) log n).
 
 use crate::csr::{CsrGraph, VertexId};
+use crate::store::GraphStore;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -37,8 +38,9 @@ impl CoreDecomposition {
 ///
 /// Repeatedly removes a vertex of minimum current degree; the value of that
 /// minimum at removal time is the vertex's core number, and the removal
-/// sequence is the degeneracy ordering η.
-pub fn core_decomposition(g: &CsrGraph) -> CoreDecomposition {
+/// sequence is the degeneracy ordering η. Works over any [`GraphStore`]
+/// backend; rows are read once per peeled vertex through one scratch buffer.
+pub fn core_decomposition<G: GraphStore + ?Sized>(g: &G) -> CoreDecomposition {
     let n = g.num_vertices();
     if n == 0 {
         return CoreDecomposition {
@@ -76,6 +78,7 @@ pub fn core_decomposition(g: &CsrGraph) -> CoreDecomposition {
     let mut order = Vec::with_capacity(n);
     let mut degeneracy = 0u32;
     let mut min_deg_floor = 0u32; // core numbers are non-decreasing along η
+    let mut scratch = Vec::new();
     for i in 0..n {
         let v = vert[i];
         let dv = degree[v as usize].max(min_deg_floor);
@@ -83,7 +86,7 @@ pub fn core_decomposition(g: &CsrGraph) -> CoreDecomposition {
         core[v as usize] = dv;
         degeneracy = degeneracy.max(dv);
         order.push(v);
-        for &w in g.neighbors(v) {
+        for &w in g.row(v, &mut scratch) {
             // Textbook BZ guard: never decrement a neighbour below the level
             // currently being peeled, so processed degrees are non-decreasing
             // and equal the core numbers.
@@ -119,8 +122,8 @@ pub fn core_decomposition(g: &CsrGraph) -> CoreDecomposition {
 
 /// Heap-based peeling producing the paper's canonical η: among vertices of
 /// minimum current degree, the smallest id is removed first, so vertices in
-/// the same k-shell appear in id order.
-pub fn degeneracy_order_by_id(g: &CsrGraph) -> CoreDecomposition {
+/// the same k-shell appear in id order. Works over any [`GraphStore`] backend.
+pub fn degeneracy_order_by_id<G: GraphStore + ?Sized>(g: &G) -> CoreDecomposition {
     let n = g.num_vertices();
     let mut degree: Vec<u32> = (0..n as u32).map(|v| g.degree(v) as u32).collect();
     let mut heap: BinaryHeap<Reverse<(u32, VertexId)>> = (0..n as u32)
@@ -131,6 +134,7 @@ pub fn degeneracy_order_by_id(g: &CsrGraph) -> CoreDecomposition {
     let mut order = Vec::with_capacity(n);
     let mut degeneracy = 0u32;
     let mut floor = 0u32;
+    let mut scratch = Vec::new();
     while let Some(Reverse((d, v))) = heap.pop() {
         if removed[v as usize] || d != degree[v as usize] {
             continue; // stale heap entry
@@ -141,7 +145,7 @@ pub fn degeneracy_order_by_id(g: &CsrGraph) -> CoreDecomposition {
         core[v as usize] = dv;
         degeneracy = degeneracy.max(dv);
         order.push(v);
-        for &w in g.neighbors(v) {
+        for &w in g.row(v, &mut scratch) {
             if !removed[w as usize] {
                 degree[w as usize] -= 1;
                 heap.push(Reverse((degree[w as usize], w)));
@@ -160,12 +164,12 @@ pub fn degeneracy_order_by_id(g: &CsrGraph) -> CoreDecomposition {
     }
 }
 
-/// Returns the vertex ids of the `k`-core of `g` (possibly empty), i.e. the
-/// largest induced subgraph with minimum degree `k` (Theorem 3.5 shrinks the
-/// input to its (q-k)-core before mining).
-pub fn kcore_vertices(g: &CsrGraph, k: u32) -> Vec<VertexId> {
+/// Returns the vertex ids of the `k`-core of `g` (possibly empty, always
+/// ascending), i.e. the largest induced subgraph with minimum degree `k`
+/// (Theorem 3.5 shrinks the input to its (q-k)-core before mining).
+pub fn kcore_vertices<G: GraphStore + ?Sized>(g: &G, k: u32) -> Vec<VertexId> {
     let decomp = core_decomposition(g);
-    g.vertices()
+    (0..g.num_vertices() as VertexId)
         .filter(|&v| decomp.core[v as usize] >= k)
         .collect()
 }

@@ -72,7 +72,9 @@ impl CsrGraph {
         self.offsets[v + 1] - self.offsets[v]
     }
 
-    /// Adjacency test via binary search over the sorted neighbour list.
+    /// Adjacency test over the sorted neighbour list: a linear scan for short
+    /// rows (branch-predictable, no division), binary search above
+    /// [`Self::LINEAR_SCAN_MAX`].
     #[inline]
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
         // Search the shorter list: worst-case degree can be huge on power-law
@@ -82,8 +84,18 @@ impl CsrGraph {
         } else {
             (v, u)
         };
-        self.neighbors(a).binary_search(&b).is_ok()
+        let row = self.neighbors(a);
+        if row.len() <= Self::LINEAR_SCAN_MAX {
+            row.contains(&b)
+        } else {
+            row.binary_search(&b).is_ok()
+        }
     }
+
+    /// Rows at most this long are probed linearly by [`Self::has_edge`];
+    /// longer rows use binary search (correct either way — rows are strictly
+    /// sorted, an invariant [`Self::check_invariants`] enforces).
+    pub const LINEAR_SCAN_MAX: usize = 16;
 
     /// Maximum degree Δ.
     pub fn max_degree(&self) -> usize {
@@ -276,6 +288,33 @@ mod tests {
         assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
         assert!(g.has_edge(2, 3) && g.has_edge(3, 2));
         assert!(!g.has_edge(0, 3) && !g.has_edge(3, 0));
+    }
+
+    #[test]
+    fn has_edge_agrees_across_the_linear_binary_threshold() {
+        // A star whose centre row is well past LINEAR_SCAN_MAX, so the probe
+        // from a leaf scans linearly while the probe from the centre
+        // binary-searches; both must agree with the edge set.
+        let n = 3 * CsrGraph::LINEAR_SCAN_MAX;
+        let g = CsrGraph::from_edges(n, (1..n as VertexId).map(|v| (0, v))).unwrap();
+        assert!(g.degree(0) > CsrGraph::LINEAR_SCAN_MAX);
+        for v in 1..n as VertexId {
+            assert!(g.has_edge(0, v) && g.has_edge(v, 0));
+        }
+        assert!(!g.has_edge(1, 2) && !g.has_edge(2, 1));
+    }
+
+    #[test]
+    fn check_invariants_rejects_unsorted_rows() {
+        // has_edge's binary search (and the mmap format) lean on row
+        // sortedness; pin that check_invariants actually enforces it by
+        // assembling an out-of-order row behind the builder's back.
+        let g = CsrGraph {
+            offsets: vec![0, 2, 3, 4],
+            edges: vec![2, 1, 0, 0], // row 0 is [2, 1]: symmetric but unsorted
+        };
+        let err = g.check_invariants().unwrap_err();
+        assert!(err.to_string().contains("not strictly sorted"), "{err}");
     }
 
     #[test]

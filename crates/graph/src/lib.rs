@@ -32,13 +32,20 @@ pub mod io;
 pub mod io_formats;
 pub mod matrix;
 pub mod stats;
+pub mod store;
 pub mod twohop;
 
 pub use bitset::BitSet;
 pub use components::{bfs_distances, connected_components, induced_diameter, Components};
-pub use coreness::{core_decomposition, degeneracy_order_by_id, kcore_subgraph, CoreDecomposition};
+pub use coreness::{
+    core_decomposition, degeneracy_order_by_id, kcore_subgraph, kcore_vertices, CoreDecomposition,
+};
 pub use csr::{CsrGraph, GraphBuilder, VertexId};
 pub use error::GraphError;
 pub use matrix::{induced_matrix, AdjMatrix, RectBitMatrix};
 pub use stats::GraphStats;
+pub use store::{
+    kcore_backend, write_kpx, CompressedBuilder, CompressedStore, CsrStore, GraphStore, MmapStore,
+    StoreBackend, StoreKind,
+};
 pub use twohop::{Hop, TwoHopExtractor};

@@ -1,10 +1,11 @@
 //! Property-based tests for the graph substrate: the bitset against a
 //! set-model oracle, CSR construction invariants, core decomposition
-//! definitions, component labelling, and I/O roundtrips.
+//! definitions, component labelling, I/O roundtrips, and the storage
+//! backends (CSR / compressed / mmap) against each other.
 
 use kplex_graph::{
     bfs_distances, connected_components, core_decomposition, degeneracy_order_by_id, io,
-    io_formats, BitSet, CsrGraph,
+    io_formats, write_kpx, BitSet, CompressedStore, CsrGraph, GraphStore, StoreBackend,
 };
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -82,6 +83,16 @@ proptest! {
 }
 
 // --- CSR construction ---------------------------------------------------------
+
+/// A unique scratch path per proptest case: cases run concurrently across
+/// test threads, so a fixed name would race.
+fn fresh_kpx_path() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    // ordering: a monotonically unique counter; no synchronization implied.
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("kplex-substrate-{}-{n}.kpx", std::process::id()))
+}
 
 fn arb_graph() -> impl Strategy<Value = CsrGraph> {
     (2usize..40).prop_flat_map(|n| {
@@ -166,6 +177,35 @@ proptest! {
         let mut metis = Vec::new();
         io_formats::write_metis(&g, &mut metis).expect("write");
         prop_assert_eq!(&io_formats::parse_metis(metis.as_slice()).expect("parse"), &g);
+    }
+
+    /// Every storage backend is an exact, byte-for-byte view of the same
+    /// graph: identical vertex/edge counts, identical degrees, identical
+    /// (sorted) neighbour rows, and an agreeing `has_edge` — for the
+    /// compressed rows and for a `.kpx` file written and mapped back.
+    #[test]
+    fn storage_backends_agree_row_for_row(g in arb_graph()) {
+        let compressed = CompressedStore::from_graph(&g);
+        let path = fresh_kpx_path();
+        write_kpx(&g, &path).expect("write .kpx");
+        let mapped = StoreBackend::open_mmap(&path).expect("map .kpx");
+
+        let stores: [&dyn GraphStore; 2] = [&compressed, &mapped];
+        for s in stores {
+            prop_assert_eq!(s.num_vertices(), g.num_vertices());
+            prop_assert_eq!(s.num_edges(), g.num_edges());
+            let mut scratch = Vec::new();
+            for v in g.vertices() {
+                prop_assert_eq!(s.degree(v), g.degree(v));
+                prop_assert_eq!(s.row(v, &mut scratch), g.neighbors(v), "row of {}", v);
+                for w in g.vertices() {
+                    prop_assert_eq!(s.has_edge(v, w), g.has_edge(v, w));
+                }
+            }
+            let d = core_decomposition(s);
+            prop_assert_eq!(d.core, core_decomposition(&g).core);
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | `journal-exhaustive` | every journal `Record` variant appears in `parse_record` and in `replay`, so a new record tag cannot ship without crash-recovery handling |
 //! | `core-hygiene` | no `println!`/`eprintln!`/`dbg!`/`todo!`/`unimplemented!` in the enumeration kernel, and every `Instant::now` there carries a `// timing:` justification |
 //! | `unwrap-allowlist` | non-test `.unwrap()` in `crates/service/src` only at explicitly allowlisted sites — everything else uses the [`OrderedMutex`] poisoning policy or propagates errors |
+//! | `store-abstraction` | no literal `CsrGraph` in non-test code of `crates/core/src` — the enumeration kernel speaks the `GraphStore` trait, so every backend (CSR, compressed, mmap) stays first-class |
 //!
 //! Run it with `cargo run -p kplex-lint` (CI's `analyze` job does); it
 //! exits non-zero on any finding. The rules are exercised by fixture
@@ -67,6 +68,8 @@ pub const RULE_JOURNAL: &str = "journal-exhaustive";
 pub const RULE_HYGIENE: &str = "core-hygiene";
 /// Rule name: non-allowlisted `.unwrap()` in `crates/service/src`.
 pub const RULE_UNWRAP: &str = "unwrap-allowlist";
+/// Rule name: literal `CsrGraph` in non-test enumeration-kernel code.
+pub const RULE_STORE: &str = "store-abstraction";
 
 /// One scanned source line, split into its code and comment halves.
 #[derive(Clone, Debug)]
@@ -544,6 +547,31 @@ pub fn check_core_hygiene(file: &SourceFile) -> Vec<Finding> {
     out
 }
 
+/// `store-abstraction`: non-test code in `crates/core/src` must not name
+/// `CsrGraph` — the kernel is generic over [`GraphStore`], and a concrete
+/// CSR type sneaking back in would silently demote the compressed and mmap
+/// backends to second-class citizens. Tests may build `CsrGraph` fixtures.
+///
+/// [`GraphStore`]: ../kplex_graph/trait.GraphStore.html
+pub fn check_store_abstraction(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || !contains_word(&line.code, "CsrGraph") {
+            continue;
+        }
+        out.push(Finding {
+            file: file.path.clone(),
+            line: idx + 1,
+            rule: RULE_STORE,
+            message: "literal `CsrGraph` in kernel code; take a \
+                      `G: GraphStore + ?Sized` generic (or `&dyn GraphStore`) \
+                      so every storage backend stays usable"
+                .to_string(),
+        });
+    }
+    out
+}
+
 /// One allowlisted `.unwrap()` site for [`check_unwraps`].
 #[derive(Clone, Copy, Debug)]
 pub struct AllowedUnwrap {
@@ -641,6 +669,7 @@ fn rust_files_under(root: &Path, dir: &str) -> io::Result<Vec<String>> {
 /// - `ordering-comment`: every first-party crate under `crates/`
 ///   (`shims/` is vendored stand-in code and exempt);
 /// - `core-hygiene`: the kernel files in `crates/core/src`;
+/// - `store-abstraction`: every file under `crates/core/src`;
 /// - `unwrap-allowlist`: `crates/service/src`;
 /// - the exhaustiveness rules: the protocol, journal, and proptest files.
 pub fn run_workspace(root: &Path) -> io::Result<Vec<Finding>> {
@@ -682,6 +711,11 @@ pub fn run_workspace(root: &Path) -> io::Result<Vec<Finding>> {
         if root.join(&rel).is_file() {
             findings.extend(check_core_hygiene(&scan(root, &rel)?));
         }
+    }
+
+    // store-abstraction over every core source file.
+    for rel in rust_files_under(root, "crates/core/src")? {
+        findings.extend(check_store_abstraction(&scan(root, &rel)?));
     }
 
     // Protocol exhaustiveness: every Request variant renders, parses, and
@@ -1018,5 +1052,32 @@ pub enum Request {
     fn unwrap_in_test_mod_is_fine() {
         let f = file("#[cfg(test)]\nmod tests {\n    fn t() { x().unwrap(); }\n}\n");
         assert!(check_unwraps(&f, &[]).is_empty());
+    }
+
+    // --- store-abstraction ---
+
+    #[test]
+    fn csr_graph_in_kernel_code_is_flagged() {
+        let f = file("fn expand(g: &CsrGraph) {\n    let n = g.num_vertices();\n}\n");
+        let hits = check_store_abstraction(&f);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, RULE_STORE);
+        assert!(hits[0].message.contains("GraphStore"));
+    }
+
+    #[test]
+    fn csr_graph_in_tests_comments_or_strings_is_fine() {
+        let f = file(
+            "// A CsrGraph mention in a comment is fine.\n\
+             fn expand<G: GraphStore + ?Sized>(g: &G) { let m = \"CsrGraph\"; }\n\
+             #[cfg(test)]\nmod tests {\n    use kplex_graph::CsrGraph;\n}\n",
+        );
+        assert!(check_store_abstraction(&f).is_empty());
+    }
+
+    #[test]
+    fn csr_graph_as_identifier_prefix_is_not_a_word_match() {
+        let f = file("struct CsrGraphStats;\n");
+        assert!(check_store_abstraction(&f).is_empty());
     }
 }

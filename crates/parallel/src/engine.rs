@@ -7,7 +7,7 @@ use kplex_core::{
     collect_subtasks, AlgoConfig, CollectSink, CountSink, PairMatrix, Params, PlexSink, Prepared,
     SavedTask, SearchStats, Searcher, SeedBuilder, SeedGraph, SinkFlow, XOUT_FLAG,
 };
-use kplex_graph::{CsrGraph, VertexId};
+use kplex_graph::{GraphStore, VertexId};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, OnceLock};
 use std::time::Duration;
@@ -72,8 +72,9 @@ struct Task {
 }
 
 /// Counts maximal k-plexes in parallel. Returns the count and merged stats.
-pub fn par_enumerate_count(
-    g: &CsrGraph,
+/// Accepts any [`GraphStore`] backend, same as the serial entry points.
+pub fn par_enumerate_count<G: GraphStore + ?Sized>(
+    g: &G,
     params: Params,
     cfg: &AlgoConfig,
     opts: &EngineOptions,
@@ -83,8 +84,8 @@ pub fn par_enumerate_count(
 }
 
 /// Collects all maximal k-plexes in parallel, in canonical sorted order.
-pub fn par_enumerate_collect(
-    g: &CsrGraph,
+pub fn par_enumerate_collect<G: GraphStore + ?Sized>(
+    g: &G,
     params: Params,
     cfg: &AlgoConfig,
     opts: &EngineOptions,
@@ -96,14 +97,15 @@ pub fn par_enumerate_collect(
 }
 
 /// The generic engine: one sink per worker, merged stats.
-pub fn run_parallel<S, F>(
-    g: &CsrGraph,
+pub fn run_parallel<G, S, F>(
+    g: &G,
     params: Params,
     cfg: &AlgoConfig,
     opts: &EngineOptions,
     make_sink: F,
 ) -> (Vec<S>, SearchStats)
 where
+    G: GraphStore + ?Sized,
     S: PlexSink + Send,
     F: Fn() -> S + Sync,
 {
@@ -171,21 +173,19 @@ where
     // Eligibility pre-filter: the builder's cheapest gate (enough later
     // neighbours to host a q-plex) rejects the vast majority of vertices
     // without building anything.
-    let eligible: Vec<VertexId> = prep
-        .decomp
-        .order
-        .iter()
-        .copied()
-        .filter(|&v| {
-            let later = prep
-                .graph
-                .neighbors(v)
-                .iter()
-                .filter(|&&w| prep.decomp.before(v, w))
-                .count();
-            later + params.k >= params.q
-        })
-        .collect();
+    let mut eligible: Vec<VertexId> = Vec::new();
+    let mut scratch = Vec::new();
+    for &v in &prep.decomp.order {
+        let later = prep
+            .graph
+            .row(v, &mut scratch)
+            .iter()
+            .filter(|&&w| prep.decomp.before(v, w))
+            .count();
+        if later + params.k >= params.q {
+            eligible.push(v);
+        }
+    }
     // One spawn for the whole run: worker w builds eligible seeds w, w+M,
     // w+2M, … (parallel construction, per-worker task locality) and all
     // workers then drain with stealing. Spawning fresh threads per batch of
@@ -445,7 +445,7 @@ fn steal_task(stealers: &[Stealer<Task>], wid: usize) -> Option<Task> {
 mod tests {
     use super::*;
     use kplex_core::enumerate_collect;
-    use kplex_graph::gen;
+    use kplex_graph::{gen, CsrGraph};
 
     fn check_parallel_matches_serial(g: &CsrGraph, k: usize, q: usize, opts: &EngineOptions) {
         let params = Params::new(k, q).unwrap();

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! kplexd [--addr HOST:PORT] [--runners N] [--queue-cap N] [--cache-cap N]
-//!        [--threads N] [--journal PATH] [--delivery-batch N]
+//!        [--threads N] [--store csr|compressed|mmap] [--journal PATH]
+//!        [--delivery-batch N]
 //! kplexd smoke    # self-test: submit jazz, stream, cancel, verify
 //! kplexd help
 //! ```
@@ -24,6 +25,10 @@ OPTIONS:
   --queue-cap N      bounded job queue size   (default 64)
   --cache-cap N      prepared-graph LRU size  (default 4)
   --threads N        default per-job engine threads
+  --store KIND       default graph storage backend when SUBMIT omits store=:
+                     csr (in-RAM, fastest), compressed (varint rows, ~half
+                     the bytes) or mmap (out-of-core .kpx file; graphs
+                     larger than RAM)        (default csr)
   --retain N         terminal jobs kept for STATUS/STREAM replay (default 64)
   --journal PATH     append-only job journal: accepted jobs are fsync'd
                      before the SUBMIT is acknowledged, and a restart with
@@ -65,6 +70,11 @@ fn parse_config(args: &[String]) -> Result<ServerConfig, String> {
                 cfg.default_threads = value(i)?
                     .parse()
                     .map_err(|_| "invalid --threads".to_string())?
+            }
+            "--store" => {
+                let v = value(i)?;
+                cfg.default_store = kplex_graph::StoreKind::parse(v)
+                    .ok_or_else(|| format!("invalid --store {v:?} (csr, compressed or mmap)"))?
             }
             "--retain" => {
                 cfg.retain_terminal = value(i)?
@@ -229,5 +239,45 @@ fn smoke_scenarios(addr: std::net::SocketAddr) -> Result<(), String> {
         ));
     }
     println!("kplexd smoke: warm resubmit served from the prepared-graph cache");
+
+    // 4. The same job through the out-of-core mmap backend: the dataset is
+    // converted to a `.kpx` file once, served memory-mapped, and the
+    // streamed count must not change. STATS then carries the per-backend
+    // cache residency fields.
+    let mut args = SubmitArgs::dataset("jazz", 2, 9);
+    args.threads = Some(2);
+    args.store = Some("mmap".into());
+    let id = c.submit(&args).map_err(err)?;
+    let mut streamed = 0u64;
+    let end = c.stream(id, |_, _| streamed += 1).map_err(err)?;
+    if end.get("state").map(String::as_str) != Some("done") {
+        return Err(format!(
+            "mmap job {id} ended {:?}, want done",
+            end.get("state")
+        ));
+    }
+    if streamed != expected {
+        return Err(format!(
+            "mmap backend streamed {streamed} plexes, expected {expected}"
+        ));
+    }
+    let stats = c.stats().map_err(err)?;
+    let store = stats.get("store").map(String::as_str).unwrap_or("-");
+    if store == "-" {
+        return Err(format!("STATS store= is empty after jobs ran: {stats:?}"));
+    }
+    let bytes: u64 = stats
+        .get("graph-bytes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    if bytes == 0 {
+        return Err(format!(
+            "STATS graph-bytes= must be positive with resident cache entries: {stats:?}"
+        ));
+    }
+    println!(
+        "kplexd smoke: mmap-backed job streamed {streamed} plexes \
+         (store={store} graph-bytes={bytes})"
+    );
     Ok(())
 }

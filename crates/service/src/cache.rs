@@ -234,6 +234,32 @@ impl GraphCache {
         self.landed.notify_all();
     }
 
+    /// Aggregates the resident ready entries by storage backend:
+    /// `(backend label, entries, resident bytes)`, one tuple per backend
+    /// present, in label order. Feeds the `store=` and `graph-bytes=`
+    /// fields of `STATS`. Never blocks on in-flight builds.
+    pub fn store_stats(&self) -> Vec<(&'static str, usize, u64)> {
+        use kplex_graph::GraphStore;
+        let inner = self.inner.lock();
+        let mut agg: Vec<(&'static str, usize, u64)> = Vec::new();
+        for e in &inner.entries {
+            let Slot::Ready(prep) = &e.slot else {
+                continue;
+            };
+            let label = prep.graph.kind().label();
+            let bytes = prep.graph.resident_bytes() as u64;
+            match agg.iter_mut().find(|(l, _, _)| *l == label) {
+                Some((_, count, total)) => {
+                    *count += 1;
+                    *total += bytes;
+                }
+                None => agg.push((label, 1, bytes)),
+            }
+        }
+        agg.sort_by_key(|&(l, _, _)| l);
+        agg
+    }
+
     /// Current counters. Never blocks on in-flight builds.
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock();
@@ -305,6 +331,20 @@ mod tests {
         assert_eq!(stats.misses, 4);
         assert_eq!(stats.coalesced, 0);
         assert_eq!(stats.pending, 0);
+    }
+
+    #[test]
+    fn store_stats_aggregate_ready_entries() {
+        let cache = GraphCache::new(4);
+        assert!(cache.store_stats().is_empty());
+        cache.get_or_build("a", 2, || build(1)).unwrap();
+        cache.get_or_build("b", 2, || build(2)).unwrap();
+        let agg = cache.store_stats();
+        assert_eq!(agg.len(), 1, "both entries are CSR-resident");
+        let (label, count, bytes) = agg[0];
+        assert_eq!(label, "csr");
+        assert_eq!(count, 2);
+        assert!(bytes > 0, "CSR entries report their resident size");
     }
 
     #[test]

@@ -83,6 +83,8 @@ pub struct JobSpec {
     pub throttle: Duration,
     /// Straggler-splitting timeout τ_time for the engine.
     pub tau: Option<Duration>,
+    /// Storage backend the prepared graph is held in.
+    pub store: kplex_graph::StoreKind,
 }
 
 impl JobSpec {
@@ -448,6 +450,7 @@ mod tests {
             timeout: None,
             throttle: Duration::ZERO,
             tau: None,
+            store: kplex_graph::StoreKind::Csr,
         }
     }
 

@@ -36,6 +36,10 @@ pub struct SubmitArgs {
     pub throttle_us: Option<u64>,
     /// Straggler-splitting timeout τ_time in microseconds.
     pub tau_us: Option<u64>,
+    /// Storage backend for the job's graph (`store=`): `csr`, `compressed`
+    /// or `mmap` (server default when absent). Free-form on the wire; the
+    /// server validates it against the known backends at submission.
+    pub store: Option<String>,
 }
 
 impl SubmitArgs {
@@ -83,6 +87,9 @@ impl SubmitArgs {
         }
         if let Some(t) = self.tau_us {
             push("tau-us", t.to_string());
+        }
+        if let Some(s) = &self.store {
+            push("store", s.clone());
         }
         line
     }
@@ -241,6 +248,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 timeout_ms: take_parse(&mut kv, "timeout-ms")?,
                 throttle_us: take_parse(&mut kv, "throttle-us")?,
                 tau_us: take_parse(&mut kv, "tau-us")?,
+                store: kv.remove("store"),
             };
             if let Some(unknown) = kv.keys().next() {
                 return Err(format!("unknown SUBMIT key {unknown:?}"));
@@ -355,6 +363,7 @@ mod tests {
         args.threads = Some(4);
         args.limit = Some(1000);
         args.throttle_us = Some(250);
+        args.store = Some("mmap".into());
         let line = args.to_line();
         match parse_request(&line).unwrap() {
             Request::Submit(parsed) => assert_eq!(*parsed, args),

@@ -1239,6 +1239,8 @@ fn stats(state: &Arc<RouterState>) -> String {
                     "cache-entries",
                     "cache-pending",
                     "cache-waiting",
+                    "graph-bytes",
+                    "store",
                 ] {
                     if let Some(v) = fields.get(key) {
                         line.push_str(&format!(" node{i}-{key}={v}"));

@@ -67,6 +67,9 @@ pub struct ServerConfig {
     pub cache_cap: usize,
     /// Default per-job engine threads when `SUBMIT` omits `threads=`.
     pub default_threads: usize,
+    /// Default graph storage backend when `SUBMIT` omits `store=`
+    /// (`kplexd --store`): how prepared graphs are held in the cache.
+    pub default_store: kplex_graph::StoreKind,
     /// Terminal jobs retained for `STATUS`/`STREAM` replay before eviction.
     pub retain_terminal: usize,
     /// Append-only job journal path (`kplexd --journal`). When set, every
@@ -95,6 +98,7 @@ impl std::fmt::Debug for ServerConfig {
             .field("queue_cap", &self.queue_cap)
             .field("cache_cap", &self.cache_cap)
             .field("default_threads", &self.default_threads)
+            .field("default_store", &self.default_store)
             .field("retain_terminal", &self.retain_terminal)
             .field("journal", &self.journal)
             .field("delivery_batch", &self.delivery_batch)
@@ -114,6 +118,7 @@ impl Default for ServerConfig {
             queue_cap: 64,
             cache_cap: 4,
             default_threads: hw.clamp(1, 8),
+            default_store: kplex_graph::StoreKind::Csr,
             retain_terminal: RETAIN_TERMINAL_JOBS,
             journal: None,
             delivery_batch: DELIVERY_BATCH,
@@ -142,6 +147,7 @@ struct SharedState {
     cache: GraphCache,
     shutdown: AtomicBool,
     default_threads: usize,
+    default_store: kplex_graph::StoreKind,
     retain_terminal: usize,
     /// Streamed results per journaled `DELIVERED` record (see
     /// [`ServerConfig::delivery_batch`]).
@@ -223,6 +229,7 @@ impl Server {
     pub fn bind(cfg: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let default_threads = cfg.default_threads.max(1);
+        let default_store = cfg.default_store;
         let (journal, replayed) = match &cfg.journal {
             Some(path) => {
                 let (journal, replay) = Journal::open(path)?;
@@ -242,7 +249,7 @@ impl Server {
                 // may outlive a dataset or an algorithm preset. An invalid
                 // replayed job is failed in the journal (not resurrected
                 // forever), not silently dropped.
-                match validate(default_threads, &recovered.args) {
+                match validate(default_threads, default_store, &recovered.args) {
                     Ok(spec) => {
                         // The journaled delivery floor travels with the job:
                         // a client consumed results below it in the previous
@@ -281,6 +288,7 @@ impl Server {
                 cache: GraphCache::new(cfg.cache_cap),
                 shutdown: AtomicBool::new(false),
                 default_threads,
+                default_store,
                 retain_terminal: cfg.retain_terminal,
                 delivery_batch: cfg.delivery_batch.max(1),
                 journal,
@@ -501,13 +509,27 @@ fn handle_connection(stream: TcpStream, state: &Arc<SharedState>) -> std::io::Re
                 let jobs = state.jobs.lock().len();
                 let depth = state.queue.lock().deque.len();
                 let recovered = state.recovered;
+                // Per-backend cache residency: total bytes plus a
+                // `label:entries:bytes` breakdown ("-" when the cache is
+                // empty — the grammar rejects empty values).
+                let agg = state.cache.store_stats();
+                let graph_bytes: u64 = agg.iter().map(|&(_, _, b)| b).sum();
+                let store = if agg.is_empty() {
+                    "-".to_string()
+                } else {
+                    agg.iter()
+                        .map(|&(l, c, b)| format!("{l}:{c}:{b}"))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
                 write_line(
                     &mut writer,
                     &format!(
                         "OK jobs={jobs} queue-depth={depth} recovered={recovered} \
                          cache-hits={hits} cache-coalesced={coalesced} \
                          cache-misses={misses} cache-entries={entries} \
-                         cache-pending={pending} cache-waiting={waiting}"
+                         cache-pending={pending} cache-waiting={waiting} \
+                         graph-bytes={graph_bytes} store={store}"
                     ),
                 )?;
             }
@@ -646,7 +668,7 @@ fn submit(state: &Arc<SharedState>, args: &SubmitArgs) -> Result<JobId, String> 
         // The runner pool is gone; accepting would queue the job forever.
         return Err("server shutting down".into());
     }
-    let spec = validate(state.default_threads, args)?;
+    let spec = validate(state.default_threads, state.default_store, args)?;
     // ordering: id allocation only needs uniqueness; publication of the job
     // itself happens under the queue/jobs locks in phase 2.
     let id = state.next_id.fetch_add(1, Ordering::Relaxed);
@@ -703,8 +725,17 @@ fn submit(state: &Arc<SharedState>, args: &SubmitArgs) -> Result<JobId, String> 
     Ok(id)
 }
 
-fn validate(default_threads: usize, args: &SubmitArgs) -> Result<JobSpec, String> {
+fn validate(
+    default_threads: usize,
+    default_store: kplex_graph::StoreKind,
+    args: &SubmitArgs,
+) -> Result<JobSpec, String> {
     let params = Params::new(args.k, args.q).map_err(|e| e.to_string())?;
+    let store = match &args.store {
+        None => default_store,
+        Some(s) => kplex_graph::StoreKind::parse(s)
+            .ok_or_else(|| format!("unknown store {s:?} (expected csr, compressed or mmap)"))?,
+    };
     let source = match (&args.dataset, &args.path) {
         (Some(name), None) => {
             kplex_datasets::by_name(name).ok_or_else(|| format!("unknown dataset {name:?}"))?;
@@ -727,6 +758,7 @@ fn validate(default_threads: usize, args: &SubmitArgs) -> Result<JobSpec, String
             .map(Duration::from_millis),
         throttle: Duration::from_micros(args.throttle_us.unwrap_or(0)),
         tau: Some(Duration::from_micros(args.tau_us.unwrap_or(100))),
+        store,
     })
 }
 
@@ -780,6 +812,65 @@ fn load_graph(source: &GraphSource) -> Result<kplex_graph::CsrGraph, String> {
     }
 }
 
+/// Resolves the `.kpx` file backing an `mmap` job: datasets convert into
+/// the data cache once ([`kplex_datasets::Dataset::ensure_kpx`]); a path
+/// already ending in `.kpx` opens as-is; any other path converts to a
+/// sibling `<path>.kpx`, refreshed whenever the source file is newer.
+fn kpx_path_for(source: &GraphSource) -> Result<std::path::PathBuf, String> {
+    match source {
+        GraphSource::Dataset(name) => kplex_datasets::by_name(name)
+            .ok_or_else(|| format!("unknown dataset {name:?}"))?
+            .ensure_kpx()
+            .map_err(|e| format!("converting dataset {name:?} to .kpx: {e}")),
+        GraphSource::Path(path) => {
+            let src = std::path::Path::new(path);
+            if src.extension().is_some_and(|e| e == "kpx") {
+                return Ok(src.to_path_buf());
+            }
+            let out = std::path::PathBuf::from(format!("{path}.kpx"));
+            let fresh = match (std::fs::metadata(&out), std::fs::metadata(src)) {
+                (Ok(o), Ok(s)) => match (o.modified(), s.modified()) {
+                    (Ok(om), Ok(sm)) => om >= sm,
+                    _ => false,
+                },
+                _ => false,
+            };
+            if !fresh {
+                let (g, _) =
+                    io::read_edge_list(src).map_err(|e| format!("loading {path:?}: {e}"))?;
+                kplex_graph::write_kpx(&g, &out)
+                    .map_err(|e| format!("converting {path:?} to .kpx: {e}"))?;
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Loads `source` as the requested backend and runs [`prepare`] on it.
+/// `prepare` keeps the reduced working set resident in the backend the
+/// input's [`kplex_graph::StoreKind::resident`] rule selects, so an `mmap`
+/// job never materialises the full graph uncompressed in RAM.
+fn build_prepared(
+    source: &GraphSource,
+    kind: kplex_graph::StoreKind,
+    params: Params,
+) -> Result<kplex_core::Prepared, String> {
+    use kplex_graph::{CompressedStore, StoreBackend, StoreKind};
+    match kind {
+        StoreKind::Csr => Ok(prepare(&load_graph(source)?, params)),
+        StoreKind::Compressed => {
+            let g = load_graph(source)?;
+            Ok(prepare(&CompressedStore::from_graph(&g), params))
+        }
+        StoreKind::Mmap => {
+            let path = kpx_path_for(source)?;
+            let backend = StoreBackend::open_mmap(&path)
+                .map_err(|e| format!("opening {}: {e}", path.display()))?;
+            Ok(prepare(&backend, params))
+        }
+    }
+}
+
 /// Runs one popped job end to end. The journal's `START` record is written
 /// here; the terminal `END` record is written by the job's terminal hook
 /// (inside the transition itself, so it is on disk before any client can
@@ -810,14 +901,15 @@ fn run_job(state: &Arc<SharedState>, job: &Arc<Job>) {
     // a slow cold load here blocks only jobs for the *same* key, while warm
     // jobs and `STATS` proceed.
     let shrink = spec.params.q - spec.params.k;
-    let key = spec.source.cache_key();
+    // The storage backend is part of the cache identity: the same graph
+    // held as CSR and as compressed rows are different resident objects.
+    let key = format!("{}!{}", spec.source.cache_key(), spec.store.label());
     let hook = state.cold_load_hook.clone();
     let prep = state.cache.get_or_build(&key, shrink, || {
         if let Some(hook) = &hook {
             hook.0(&key);
         }
-        let g = load_graph(&spec.source)?;
-        Ok(prepare(&g, spec.params))
+        build_prepared(&spec.source, spec.store, spec.params)
     });
     let prep = match prep {
         Ok((prep, fetched)) => {

@@ -25,19 +25,18 @@ fn arb_opt_u64() -> impl Strategy<Value = Option<u64>> {
 fn arb_submit() -> impl Strategy<Value = SubmitArgs> {
     (
         (any::<bool>(), arb_ident(), 1usize..6, 1usize..40),
+        (arb_opt_u64(), arb_opt_u64(), arb_opt_u64(), arb_opt_u64()),
         (
-            arb_opt_u64(),
-            arb_opt_u64(),
-            arb_opt_u64(),
-            arb_opt_u64(),
             prop_oneof![Just(None), (1usize..64).prop_map(Some)],
+            prop_oneof![Just(None), arb_ident().prop_map(Some)],
             prop_oneof![Just(None), arb_ident().prop_map(Some)],
         ),
     )
         .prop_map(
             |(
                 (use_dataset, source, k, q),
-                (limit, timeout_ms, throttle_us, tau_us, threads, algo),
+                (limit, timeout_ms, throttle_us, tau_us),
+                (threads, algo, store),
             )| {
                 SubmitArgs {
                     dataset: use_dataset.then(|| source.clone()),
@@ -50,6 +49,7 @@ fn arb_submit() -> impl Strategy<Value = SubmitArgs> {
                     timeout_ms,
                     throttle_us,
                     tau_us,
+                    store,
                 }
             },
         )

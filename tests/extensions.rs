@@ -6,7 +6,7 @@ use kplex_core::{
     ctcp_reduce, enumerate_collect, maximum_kplex, verify_complete, verify_results, AlgoConfig,
     Params,
 };
-use kplex_graph::{gen, induced_diameter};
+use kplex_graph::{gen, induced_diameter, GraphStore};
 
 #[test]
 fn maximum_agrees_with_enumeration_on_every_generator() {
@@ -39,13 +39,16 @@ fn ctcp_composes_with_every_algorithm() {
     let red = ctcp_reduce(&g, params);
     assert!(red.graph.num_vertices() <= g.num_vertices());
     let (direct, _) = enumerate_collect(&g, params, &AlgoConfig::ours());
+    // A CSR input keeps its reduction resident as CSR, which is what the
+    // baseline algorithms (still CSR-typed) consume.
+    let reduced = red.graph.as_csr().expect("csr input stays csr");
     for algo in [
         Algorithm::Ours,
         Algorithm::ListPlex,
         Algorithm::Fp,
         Algorithm::D2k,
     ] {
-        let (on_reduced, _) = algo.run_collect(&red.graph, params);
+        let (on_reduced, _) = algo.run_collect(reduced, params);
         let mut mapped: Vec<Vec<u32>> = on_reduced
             .into_iter()
             .map(|p| p.iter().map(|&v| red.map[v as usize]).collect())
