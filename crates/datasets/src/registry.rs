@@ -67,10 +67,14 @@ impl Dataset {
 
     /// Loads the stand-in graph through the on-disk binary cache. The cache
     /// directory is `$KPLEX_DATA_DIR` or `data/cache` under the current
-    /// directory.
+    /// directory. The filename carries [`REGISTRY_REV`] (like
+    /// [`cache_key`]), so bumping the revision orphans stale files instead
+    /// of silently serving the old graph.
+    ///
+    /// [`cache_key`]: Dataset::cache_key
     pub fn load(&self) -> CsrGraph {
         let dir = cache_dir();
-        let path = dir.join(format!("{}.kplx", self.name));
+        let path = dir.join(format!("{}-r{}.kplx", self.name, REGISTRY_REV));
         if let Ok(g) = io::read_binary(&path) {
             return g;
         }
@@ -88,11 +92,16 @@ impl Dataset {
     }
 
     /// Path of this dataset's `.kpx` out-of-core store inside the cache
-    /// directory (the file [`ensure_kpx`] writes).
+    /// directory (the file [`ensure_kpx`] writes). Like [`load`]'s binary
+    /// cache, the filename carries [`REGISTRY_REV`] so a revision bump
+    /// forces reconversion rather than mmap jobs reading a stale graph
+    /// under a fresh [`cache_key`].
     ///
     /// [`ensure_kpx`]: Dataset::ensure_kpx
+    /// [`load`]: Dataset::load
+    /// [`cache_key`]: Dataset::cache_key
     pub fn kpx_path(&self) -> PathBuf {
-        cache_dir().join(format!("{}.kpx", self.name))
+        cache_dir().join(format!("{}-r{}.kpx", self.name, REGISTRY_REV))
     }
 
     /// Converts the stand-in graph to the chunked `.kpx` on-disk format (if
@@ -461,6 +470,20 @@ mod tests {
         keys.dedup();
         assert_eq!(keys.len(), ds.len(), "duplicate cache keys");
         assert!(keys[0].contains(&format!("@r{REGISTRY_REV}")));
+    }
+
+    #[test]
+    fn on_disk_artifacts_are_revision_keyed() {
+        // A REGISTRY_REV bump must orphan stale .kpx files, not serve them.
+        let d = by_name("jazz").unwrap();
+        let name = d
+            .kpx_path()
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .to_owned();
+        assert_eq!(name, format!("jazz-r{REGISTRY_REV}.kpx"));
     }
 
     #[test]

@@ -42,9 +42,10 @@
 //!
 //! `index_off` and `edges_off` are 4096-byte aligned; combined with the
 //! page alignment of `mmap` itself this guarantees the u64/u32 views are
-//! correctly aligned. Open-time validation is O(n): magic, version, section
-//! offsets, exact file length, and row-index monotonicity; a torn or
-//! truncated file fails loudly with [`GraphError::BinaryFormat`].
+//! correctly aligned. Open-time validation is O(n): magic, version,
+//! overflow-checked section layout (the header's `n`/`m2` are untrusted),
+//! section offsets, exact file length, and row-index monotonicity; a torn,
+//! truncated, or absurd file fails loudly with [`GraphError::BinaryFormat`].
 
 use crate::coreness::CoreDecomposition;
 use crate::csr::{CsrGraph, VertexId};
@@ -400,49 +401,92 @@ const KPX_VERSION: u32 = 1;
 const KPX_HEADER_LEN: usize = 64;
 const KPX_ALIGN: usize = 4096;
 
-fn align_up(x: usize, a: usize) -> usize {
-    x.div_ceil(a) * a
+fn align_up(x: usize, a: usize) -> Option<usize> {
+    Some(x.checked_add(a - 1)? / a * a)
 }
 
-fn kpx_layout(n: usize, m2: usize) -> (usize, usize, usize) {
+/// Section offsets and exact file length of a `.kpx` holding `n` vertices
+/// and `m2` directed edges. `None` if any quantity overflows `usize` or the
+/// file would exceed `isize::MAX` (the slice-length ceiling): `n`/`m2` come
+/// straight from an untrusted header in [`MmapStore::open`], and release
+/// builds wrap on overflow, so unchecked math here would let a crafted
+/// header wrap past the length validation and read out of bounds.
+fn kpx_layout(n: usize, m2: usize) -> Option<(usize, usize, usize)> {
     let index_off = KPX_ALIGN; // the 64-byte header gets a full page
-    let edges_off = align_up(index_off + 8 * (n + 1), KPX_ALIGN);
-    let file_len = edges_off + 4 * m2;
-    (index_off, edges_off, file_len)
+    let index_bytes = n.checked_add(1)?.checked_mul(8)?;
+    let edges_off = align_up(index_off.checked_add(index_bytes)?, KPX_ALIGN)?;
+    let file_len = edges_off.checked_add(m2.checked_mul(4)?)?;
+    if file_len > isize::MAX as usize {
+        return None;
+    }
+    Some((index_off, edges_off, file_len))
+}
+
+fn write_zeros(w: &mut impl std::io::Write, mut n: usize) -> std::io::Result<()> {
+    const ZEROS: [u8; KPX_ALIGN] = [0u8; KPX_ALIGN];
+    while n > 0 {
+        let take = n.min(ZEROS.len());
+        w.write_all(&ZEROS[..take])?;
+        n -= take;
+    }
+    Ok(())
 }
 
 /// Serialises `g` into the `.kpx` mapped format (see the module docs) and
-/// writes it to `path` atomically via a temp file + rename.
+/// writes it to `path` atomically: the sections are streamed through a
+/// buffered writer into a temp file (never materialising the file image in
+/// RAM — the point of the mapped backend is graphs near the RAM budget),
+/// fsync'd, and renamed into place so a crash leaves either the old file or
+/// the new one, not a torn hybrid.
 pub fn write_kpx(g: &CsrGraph, path: impl AsRef<Path>) -> Result<(), GraphError> {
+    use std::io::Write;
     let path = path.as_ref();
     let n = g.num_vertices();
     let m2 = 2 * g.num_edges();
-    let (index_off, edges_off, file_len) = kpx_layout(n, m2);
-    let mut buf = vec![0u8; file_len];
-    buf[..8].copy_from_slice(KPX_MAGIC);
-    buf[8..12].copy_from_slice(&KPX_VERSION.to_le_bytes());
-    buf[16..24].copy_from_slice(&(n as u64).to_le_bytes());
-    buf[24..32].copy_from_slice(&(m2 as u64).to_le_bytes());
-    buf[32..40].copy_from_slice(&(index_off as u64).to_le_bytes());
-    buf[40..48].copy_from_slice(&(edges_off as u64).to_le_bytes());
-    buf[48..56].copy_from_slice(&(file_len as u64).to_le_bytes());
+    let (index_off, edges_off, file_len) =
+        kpx_layout(n, m2).ok_or_else(|| corrupt("graph too large for the .kpx format"))?;
+    let tmp = path.with_extension("kpx.tmp");
+    let mut w = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+    let mut header = [0u8; KPX_HEADER_LEN];
+    header[..8].copy_from_slice(KPX_MAGIC);
+    header[8..12].copy_from_slice(&KPX_VERSION.to_le_bytes());
+    header[16..24].copy_from_slice(&(n as u64).to_le_bytes());
+    header[24..32].copy_from_slice(&(m2 as u64).to_le_bytes());
+    header[32..40].copy_from_slice(&(index_off as u64).to_le_bytes());
+    header[40..48].copy_from_slice(&(edges_off as u64).to_le_bytes());
+    header[48..56].copy_from_slice(&(file_len as u64).to_le_bytes());
+    w.write_all(&header)?;
+    write_zeros(&mut w, index_off - KPX_HEADER_LEN)?;
     let mut acc = 0u64;
-    buf[index_off..index_off + 8].copy_from_slice(&0u64.to_le_bytes());
+    w.write_all(&acc.to_le_bytes())?;
     for v in g.vertices() {
         acc += g.degree(v) as u64;
-        let at = index_off + 8 * (v as usize + 1);
-        buf[at..at + 8].copy_from_slice(&acc.to_le_bytes());
+        w.write_all(&acc.to_le_bytes())?;
     }
-    let mut at = edges_off;
+    write_zeros(&mut w, edges_off - (index_off + 8 * (n + 1)))?;
     for v in g.vertices() {
-        for &w in g.neighbors(v) {
-            buf[at..at + 4].copy_from_slice(&w.to_le_bytes());
-            at += 4;
+        for &x in g.neighbors(v) {
+            w.write_all(&x.to_le_bytes())?;
         }
     }
-    let tmp = path.with_extension("kpx.tmp");
-    std::fs::write(&tmp, &buf)?;
+    let file = w.into_inner().map_err(|e| e.into_error())?;
+    // Durability before the rename: without it, a crash after the rename
+    // can leave an empty/partial destination on journaled filesystems,
+    // destroying a previously valid file.
+    file.sync_all()?;
+    drop(file);
     std::fs::rename(&tmp, path)?;
+    // Best-effort fsync of the directory so the rename itself is durable;
+    // some platforms/filesystems cannot open a directory, which is fine.
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = std::fs::File::open(if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        }) {
+            let _ = dir.sync_all();
+        }
+    }
     Ok(())
 }
 
@@ -667,7 +711,8 @@ impl MmapStore {
         if m2 % 2 != 0 {
             return Err(corrupt("odd directed edge count"));
         }
-        let (index_off, edges_off, file_len) = kpx_layout(n, m2);
+        let (index_off, edges_off, file_len) =
+            kpx_layout(n, m2).ok_or_else(|| corrupt("n/m2 overflow the .kpx layout"))?;
         if u64_at(32) != index_off as u64
             || u64_at(40) != edges_off as u64
             || u64_at(48) != file_len as u64
@@ -1071,6 +1116,45 @@ mod tests {
         std::fs::write(&path, &full).unwrap();
         assert!(MmapStore::open(&path).is_ok());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn overflowing_header_fields_are_rejected() {
+        // A crafted header whose n makes 8*(n+1) wrap in release builds:
+        // n = 2^61 gives 8*(n+1) = 2^64 + 8 ≡ 8, so unchecked layout math
+        // would compute a tiny file_len that the crafted offsets and file
+        // length match exactly — and index() would then build a slice of
+        // 2^61 + 1 u64s over a one-page mapping. The checked layout must
+        // reject this before any slice is constructed.
+        let path = tmp_path("overflow");
+        let n: u64 = 1 << 61;
+        let wrapped_edges_off = 2 * KPX_ALIGN as u64; // align_up(4096 + 8)
+        let mut buf = vec![0u8; wrapped_edges_off as usize]; // m2 = 0
+        buf[..8].copy_from_slice(KPX_MAGIC);
+        buf[8..12].copy_from_slice(&KPX_VERSION.to_le_bytes());
+        buf[16..24].copy_from_slice(&n.to_le_bytes());
+        buf[24..32].copy_from_slice(&0u64.to_le_bytes());
+        buf[32..40].copy_from_slice(&(KPX_ALIGN as u64).to_le_bytes());
+        buf[40..48].copy_from_slice(&wrapped_edges_off.to_le_bytes());
+        buf[48..56].copy_from_slice(&wrapped_edges_off.to_le_bytes());
+        std::fs::write(&path, &buf).unwrap();
+        assert!(MmapStore::open(&path).is_err());
+
+        // Same, with m2 chosen so 4*m2 wraps instead.
+        let m2: u64 = 1 << 62;
+        buf[16..24].copy_from_slice(&4u64.to_le_bytes()); // n = 4
+        buf[24..32].copy_from_slice(&m2.to_le_bytes());
+        std::fs::write(&path, &buf).unwrap();
+        assert!(MmapStore::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn kpx_layout_overflow_returns_none() {
+        assert!(kpx_layout(usize::MAX, 0).is_none());
+        assert!(kpx_layout(usize::MAX / 8, 0).is_none());
+        assert!(kpx_layout(0, usize::MAX / 2).is_none());
+        assert!(kpx_layout(200, 4000).is_some());
     }
 
     #[test]
