@@ -24,14 +24,17 @@ USAGE:
   kplex convert   (--input FILE | --dataset NAME) --output FILE.kpx
   kplex serve     [--addr HOST:PORT] [--runners N] [--queue-cap N]
                   [--cache-cap N] [--threads N] [--store KIND] [--retain N]
-                  [--journal PATH] [--delivery-batch N]
+                  [--journal PATH] [--delivery-batch N] [--principals FILE]
   kplex route     [--addr HOST:PORT] --backend HOST:PORT [--backend ...]
                   [--probe-ms N] [--probe-timeout-ms N]
                   [--probe-fails N] [--probe-rises N] [--replicas N]
+                  [--principals FILE]
   kplex submit    --addr HOST:PORT --k K --q Q
                   (--dataset NAME | --input FILE) [--threads N] [--algo ALGO]
                   [--store KIND] [--limit N] [--timeout-ms N]
                   [--throttle-us N] [--tau-us N] [--count-only]
+                  [--token TOKEN]
+  kplex auth      check --addr HOST:PORT --token TOKEN
   kplex datasets
   kplex help
 
@@ -58,6 +61,12 @@ jobs survive a restart); `route` runs the kplexr shard router over one or
 more kplexd backends (`--probe-ms 0` disables its health prober); `submit`
 sends a job to a running server or router and streams its results (see
 crates/service/PROTOCOL.md).
+
+`--principals FILE` enables multi-tenancy (a passwd-style file of
+token:name:weight:max-queued:max-running:flags lines, see PROTOCOL.md
+\"Authentication & quotas\"); against such a server `submit` needs
+--token TOKEN, and `auth check` verifies a token and prints its principal
+without submitting anything.
 
 EXIT CODES: 0 success, 1 runtime failure, 2 usage error (bad arguments).
 ";
@@ -119,6 +128,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
         "serve" => cmd_serve(&args),
         "route" => cmd_route(&args),
         "submit" => cmd_submit(&args),
+        "auth" => cmd_auth(&args),
         "datasets" => cmd_datasets(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -426,6 +436,12 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     cfg.delivery_batch = args
         .get_parse("delivery-batch", cfg.delivery_batch)
         .map_err(usage)?;
+    if let Some(path) = args.get("principals") {
+        cfg.principals = Some(
+            kplex_service::PrincipalStore::load(std::path::Path::new(path))
+                .map_err(|e| CliError::Runtime(format!("--principals: {e}")))?,
+        );
+    }
     args.reject_unknown().map_err(usage)?;
     let server = kplex_service::Server::bind(&cfg)
         .map_err(|e| CliError::Runtime(format!("cannot bind {}: {e}", cfg.addr)))?;
@@ -481,6 +497,12 @@ fn cmd_route(args: &Args) -> Result<(), CliError> {
         .get_parse("replicas", cfg.replicas)
         .map_err(usage)?
         .max(1);
+    if let Some(path) = args.get("principals") {
+        cfg.principals = Some(
+            kplex_service::PrincipalStore::load(std::path::Path::new(path))
+                .map_err(|e| CliError::Runtime(format!("--principals: {e}")))?,
+        );
+    }
     args.reject_unknown().map_err(usage)?;
     if cfg.backends.is_empty() {
         return Err(usage("route requires at least one --backend HOST:PORT"));
@@ -565,10 +587,20 @@ fn cmd_submit(args: &Args) -> Result<(), CliError> {
         submit.tau_us = Some(tau_us);
     }
     let count_only = args.flag("count-only");
+    let token = args.get("token").map(str::to_string);
     args.reject_unknown().map_err(usage)?;
 
     let rt = |e: kplex_service::ClientError| CliError::Runtime(e.to_string());
     let mut client = Client::connect(addr.as_str()).map_err(rt)?;
+    if let Some(token) = &token {
+        // Tenancy-enabled servers require AUTH before SUBMIT; the reply
+        // names the principal, never the token.
+        let who = client.auth(token).map_err(rt)?;
+        eprintln!(
+            "# authenticated as {}",
+            who.get("principal").map(String::as_str).unwrap_or("?")
+        );
+    }
     let id = client.submit(&submit).map_err(rt)?;
     eprintln!("# submitted job {id} to {addr}");
     let start = Instant::now();
@@ -605,6 +637,29 @@ fn cmd_submit(args: &Args) -> Result<(), CliError> {
         "done" => Ok(()),
         other => Err(CliError::Runtime(format!("job {id} ended {other}"))),
     }
+}
+
+/// `kplex auth check --addr … --token …`: authenticates one connection and
+/// prints the principal the server resolves the token to — an operator's
+/// credential sanity check that never submits work.
+fn cmd_auth(args: &Args) -> Result<(), CliError> {
+    match args.positional().get(1).map(String::as_str) {
+        Some("check") => {}
+        other => return Err(usage(format!("unknown auth subcommand {other:?} (check)"))),
+    }
+    let addr: String = args.require("addr").map_err(usage)?;
+    let token: String = args.require("token").map_err(usage)?;
+    args.reject_unknown().map_err(usage)?;
+    let rt = |e: kplex_service::ClientError| CliError::Runtime(e.to_string());
+    let mut client = Client::connect(addr.as_str()).map_err(rt)?;
+    let who = client.auth(&token).map_err(rt)?;
+    println!(
+        "principal={} weight={} admin={}",
+        who.get("principal").map(String::as_str).unwrap_or("?"),
+        who.get("weight").map(String::as_str).unwrap_or("?"),
+        who.get("admin").map(String::as_str).unwrap_or("?"),
+    );
+    Ok(())
 }
 
 fn cmd_datasets(args: &Args) -> Result<(), CliError> {

@@ -19,6 +19,7 @@
 //! | `core-hygiene` | no `println!`/`eprintln!`/`dbg!`/`todo!`/`unimplemented!` in the enumeration kernel, and every `Instant::now` there carries a `// timing:` justification |
 //! | `unwrap-allowlist` | non-test `.unwrap()` in `crates/service/src` only at explicitly allowlisted sites — everything else uses the [`OrderedMutex`] poisoning policy or propagates errors |
 //! | `store-abstraction` | no literal `CsrGraph` in non-test code of `crates/core/src` — the enumeration kernel speaks the `GraphStore` trait, so every backend (CSR, compressed, mmap) stays first-class |
+//! | `tenant-scoped` | in `crates/service/src/server.rs`, the shared jobs map is only locked inside the principal-scoped accessors (`job_for`/`jobs_for`), their documented runner-side escape hatch (`job_unscoped`), or at sites carrying a `// tenant:` justification — so a new handler cannot quietly serve one tenant's jobs to another |
 //!
 //! Run it with `cargo run -p kplex-lint` (CI's `analyze` job does); it
 //! exits non-zero on any finding. The rules are exercised by fixture
@@ -70,6 +71,8 @@ pub const RULE_HYGIENE: &str = "core-hygiene";
 pub const RULE_UNWRAP: &str = "unwrap-allowlist";
 /// Rule name: literal `CsrGraph` in non-test enumeration-kernel code.
 pub const RULE_STORE: &str = "store-abstraction";
+/// Rule name: jobs-map lock outside the principal-scoped accessors.
+pub const RULE_TENANT: &str = "tenant-scoped";
 
 /// One scanned source line, split into its code and comment halves.
 #[derive(Clone, Debug)]
@@ -486,6 +489,77 @@ pub fn fn_body(file: &SourceFile, name: &str) -> Option<String> {
     None
 }
 
+/// The inclusive line-index span of `fn name` (signature through matching
+/// close brace), or `None` when the fn is absent. Brace counting over the
+/// stripped code, like [`fn_body`].
+pub fn fn_line_span(file: &SourceFile, name: &str) -> Option<(usize, usize)> {
+    let start = file
+        .lines
+        .iter()
+        .position(|l| contains_word(&l.code, "fn") && contains_word(&l.code, name))?;
+    let mut depth = 0i64;
+    let mut entered = false;
+    for (idx, line) in file.lines.iter().enumerate().skip(start) {
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    entered = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+            if entered && depth == 0 {
+                return Some((start, idx));
+            }
+        }
+    }
+    None
+}
+
+/// `tenant-scoped`: every non-test lock of the shared jobs map in the
+/// server (`…jobs.lock(…)`, including the line-wrapped `jobs\n.lock()`
+/// shape) must either live inside the principal-scoped accessors
+/// (`job_for`, `jobs_for`) or their documented runner-side escape hatch
+/// (`job_unscoped`), or carry a `// tenant:` justification on the line or
+/// the comment block directly above — so a new handler cannot quietly
+/// read one tenant's jobs on behalf of another.
+pub fn check_tenant_scoped(file: &SourceFile) -> Vec<Finding> {
+    let spans: Vec<(usize, usize)> = ["job_for", "jobs_for", "job_unscoped"]
+        .iter()
+        .filter_map(|name| fn_line_span(file, name))
+        .collect();
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || !line.code.contains(".lock(") {
+            continue;
+        }
+        let names_jobs = contains_word(&line.code, "jobs")
+            || (idx > 0
+                && file.lines[idx - 1].code.trim_end().ends_with("jobs")
+                && line.code.trim_start().starts_with(".lock("));
+        if !names_jobs {
+            continue;
+        }
+        if spans.iter().any(|&(a, b)| a <= idx && idx <= b) {
+            continue;
+        }
+        if has_annotation(file, idx, "tenant:") {
+            continue;
+        }
+        out.push(Finding {
+            file: file.path.clone(),
+            line: idx + 1,
+            rule: RULE_TENANT,
+            message: "jobs-map lock outside the principal-scoped accessors; \
+                      use `job_for`/`jobs_for`, or justify the unscoped read \
+                      with a `// tenant:` comment"
+                .to_string(),
+        });
+    }
+    out
+}
+
 /// Exhaustiveness core shared by the protocol and journal rules: every
 /// `enum_name::variant` must appear (word-delimited) in `haystack`.
 fn check_coverage(
@@ -671,7 +745,8 @@ fn rust_files_under(root: &Path, dir: &str) -> io::Result<Vec<String>> {
 /// - `core-hygiene`: the kernel files in `crates/core/src`;
 /// - `store-abstraction`: every file under `crates/core/src`;
 /// - `unwrap-allowlist`: `crates/service/src`;
-/// - the exhaustiveness rules: the protocol, journal, and proptest files.
+/// - the exhaustiveness rules: the protocol, journal, and proptest files;
+/// - `tenant-scoped`: `crates/service/src/server.rs`.
 pub fn run_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
 
@@ -799,6 +874,12 @@ pub fn run_workspace(root: &Path) -> io::Result<Vec<Finding>> {
             }),
         }
     }
+
+    // Tenant scoping: server request handlers read the jobs map only
+    // through the principal-scoped accessors (or at sites carrying a
+    // reviewed `// tenant:` justification).
+    let server = scan(root, "crates/service/src/server.rs")?;
+    findings.extend(check_tenant_scoped(&server));
 
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(findings)
@@ -1079,5 +1160,64 @@ pub enum Request {
     fn csr_graph_as_identifier_prefix_is_not_a_word_match() {
         let f = file("struct CsrGraphStats;\n");
         assert!(check_store_abstraction(&f).is_empty());
+    }
+
+    // --- tenant-scoped ---
+
+    #[test]
+    fn unscoped_jobs_lock_in_a_handler_is_flagged() {
+        let f = file(
+            "fn handler(state: &SharedState) {\n    \
+                 let jobs = state.jobs.lock().len();\n\
+             }\n",
+        );
+        let hits = check_tenant_scoped(&f);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, RULE_TENANT);
+        assert_eq!(hits[0].line, 2);
+    }
+
+    #[test]
+    fn line_wrapped_jobs_lock_is_still_flagged() {
+        // `state.jobs` and `.lock()` on separate lines must not dodge the
+        // rule — rustfmt wraps long chains exactly like this.
+        let f = file(
+            "fn handler(state: &SharedState) {\n    \
+                 let j = state.jobs\n        \
+                     .lock()\n        \
+                     .get(&id);\n\
+             }\n",
+        );
+        let hits = check_tenant_scoped(&f);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+    }
+
+    #[test]
+    fn scoped_accessors_annotations_and_tests_pass() {
+        let src = "\
+fn job_for(&self, id: JobId, auth: &ConnAuth) {
+    self.jobs.lock().get(&id)
+}
+fn jobs_for(&self, auth: &ConnAuth) {
+    self.jobs
+        .lock()
+        .values()
+}
+fn job_unscoped(&self, id: JobId) {
+    // tenant: runner-internal dispatch path.
+    self.jobs.lock().get(&id)
+}
+fn stats(state: &SharedState) {
+    // tenant: aggregate counters only, no per-job data.
+    let n = state.jobs.lock().len();
+    let depth = state.queue.lock().depth();
+}
+#[cfg(test)]
+mod tests {
+    fn t(state: &SharedState) { state.jobs.lock().clear(); }
+}
+";
+        let hits = check_tenant_scoped(&file(src));
+        assert!(hits.is_empty(), "{hits:?}");
     }
 }

@@ -3,7 +3,7 @@
 //! ```text
 //! kplexd [--addr HOST:PORT] [--runners N] [--queue-cap N] [--cache-cap N]
 //!        [--threads N] [--store csr|compressed|mmap] [--journal PATH]
-//!        [--delivery-batch N]
+//!        [--delivery-batch N] [--principals FILE]
 //! kplexd smoke    # self-test: submit jazz, stream, cancel, verify
 //! kplexd help
 //! ```
@@ -39,6 +39,12 @@ OPTIONS:
   --delivery-batch N journal the delivery offset every N streamed results
                      (default 4096; smaller = tighter exactly-once window
                      across crashes, more fsyncs — never one per result)
+  --principals FILE  enable multi-tenancy: a passwd-style file of
+                     token:name:weight:max-queued:max-running:flags lines
+                     (see PROTOCOL.md \"Authentication & quotas\"). Clients
+                     must AUTH, per-tenant quotas are enforced, and the
+                     runner pool drains tenants by weighted fair share.
+                     Omitted = anonymous single-queue behavior, unchanged.
 ";
 
 fn parse_config(args: &[String]) -> Result<ServerConfig, String> {
@@ -82,6 +88,13 @@ fn parse_config(args: &[String]) -> Result<ServerConfig, String> {
                     .map_err(|_| "invalid --retain".to_string())?
             }
             "--journal" => cfg.journal = Some(std::path::PathBuf::from(value(i)?)),
+            "--principals" => {
+                let path = std::path::PathBuf::from(value(i)?);
+                cfg.principals = Some(
+                    kplex_service::PrincipalStore::load(&path)
+                        .map_err(|e| format!("--principals: {e}"))?,
+                );
+            }
             "--delivery-batch" => {
                 cfg.delivery_batch = value(i)?
                     .parse()

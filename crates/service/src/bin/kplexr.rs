@@ -3,8 +3,9 @@
 //! ```text
 //! kplexr [--addr HOST:PORT] --backend HOST:PORT [--backend HOST:PORT ...]
 //!        [--probe-ms N] [--probe-timeout-ms N] [--probe-fails N] [--probe-rises N]
-//!        [--replicas N]
-//! kplexr smoke    # self-test: routing, failover, journal replay, mid-stream resume
+//!        [--replicas N] [--principals FILE]
+//! kplexr smoke    # self-test: routing, failover, journal replay, mid-stream
+//!                 # resume, multi-tenant quotas and scoping
 //! kplexr help
 //! ```
 
@@ -33,6 +34,13 @@ OPTIONS:
                         (rendezvous top-N per key); the extras serve STATUS/
                         STREAM reads and stand by for mid-stream promotion
                         when the primary dies (default 1 = off)
+  --principals FILE     enable edge tenancy: the same passwd-style principal
+                        file the backends run with. Clients AUTH to the
+                        router, over-quota submits are rejected at the edge,
+                        proxied jobs are tagged with their principal, and
+                        LIST/STATUS/STREAM/CANCEL are tenant-scoped. The
+                        file must contain an admin principal — the router
+                        authenticates its backend connections with it.
 ";
 
 fn parse_config(args: &[String]) -> Result<RouterConfig, String> {
@@ -58,6 +66,13 @@ fn parse_config(args: &[String]) -> Result<RouterConfig, String> {
             "--probe-fails" => probe.fall = parse_u64(i)?.max(1) as u32,
             "--probe-rises" => probe.rise = parse_u64(i)?.max(1) as u32,
             "--replicas" => cfg.replicas = parse_u64(i)?.max(1) as usize,
+            "--principals" => {
+                let path = std::path::PathBuf::from(value(i)?);
+                cfg.principals = Some(
+                    kplex_service::PrincipalStore::load(&path)
+                        .map_err(|e| format!("--principals: {e}"))?,
+                );
+            }
             other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
         }
         i += 2;
@@ -185,6 +200,7 @@ fn smoke() -> Result<(), String> {
         backends: vec![addr_a.clone()],
         probe: None, // failover is exercised reactively here; probes have their own tests
         replicas: 1,
+        principals: None,
     })
     .and_then(|r| r.spawn())
     .map_err(|e| format!("bind router: {e}"))?;
@@ -202,7 +218,8 @@ fn smoke() -> Result<(), String> {
     ];
     let result = smoke_scenarios(router.addr(), &addr_b, &mut backends)
         .and_then(|()| smoke_restart(router.addr(), &mut backends))
-        .and_then(|()| smoke_resume());
+        .and_then(|()| smoke_resume())
+        .and_then(|()| smoke_tenants());
     router.shutdown();
     for slot in backends.iter_mut() {
         if let Some(h) = slot.handle.take() {
@@ -445,6 +462,7 @@ fn smoke_resume() -> Result<(), String> {
         backends: handles.keys().cloned().collect(),
         probe: None,
         replicas: 2,
+        principals: None,
     })
     .and_then(|r| r.spawn())
     .map_err(|e| format!("bind router: {e}"))?;
@@ -509,5 +527,160 @@ fn smoke_resume() -> Result<(), String> {
     for (_, h) in handles {
         h.shutdown();
     }
+    result
+}
+
+/// Scenario 7: multi-tenant routing. A fresh two-backend fleet where every
+/// process shares one principal file (`alice` max-queued 2, `batch`, and
+/// the `root` admin the router authenticates to backends with). Verifies
+/// the auth gate and bad-token rejection, **edge quota rejection** (alice's
+/// third concurrent submit bounces off the router before any backend sees
+/// it), cross-tenant `STATUS`/`STREAM` denial (indistinguishable from "no
+/// such job"), tenant-scoped vs. admin `LIST`, and per-tenant `STATS`
+/// aggregation across backends (cluster `tenant*-bytes` summed from the
+/// backends' journaled counters).
+fn smoke_tenants() -> Result<(), String> {
+    let err = |e: kplex_service::ClientError| e.to_string();
+    let tmp = std::env::temp_dir();
+    let pfile = tmp.join(format!("kplexr-smoke-{}-principals", std::process::id()));
+    std::fs::write(
+        &pfile,
+        "tok-alice:alice:4:2:1:-\ntok-batch:batch:1:64:8:-\ntok-root:root:1:0:0:admin\n",
+    )
+    .map_err(|e| format!("write principals: {e}"))?;
+    let store = kplex_service::PrincipalStore::load(&pfile).map_err(|e| e.to_string())?;
+    let start = || {
+        let cfg = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            runners: 1,
+            principals: Some(store.clone()),
+            ..ServerConfig::default()
+        };
+        Server::bind(&cfg)
+            .and_then(|s| s.spawn())
+            .map_err(|e| format!("bind backend: {e}"))
+    };
+    let backend_a = start()?;
+    let backend_b = start()?;
+    let router = Router::bind(&RouterConfig {
+        addr: "127.0.0.1:0".to_string(),
+        backends: vec![backend_a.addr().to_string(), backend_b.addr().to_string()],
+        probe: None,
+        replicas: 1,
+        principals: Some(store.clone()),
+    })
+    .and_then(|r| r.spawn())
+    .map_err(|e| format!("bind router: {e}"))?;
+
+    let result = (|| {
+        use kplex_service::ClientError;
+        let mut alice = Client::connect(router.addr()).map_err(err)?;
+        alice.ping().map_err(err)?; // liveness is exempt from the auth gate
+        match alice.stats() {
+            Err(ClientError::Remote(msg)) if msg.contains("authentication required") => {}
+            other => return Err(format!("unauthenticated STATS must bounce, got {other:?}")),
+        }
+        match alice.auth("tok-nobody") {
+            Err(ClientError::Remote(msg)) if msg == "unknown token" => {}
+            other => return Err(format!("bad token must be rejected, got {other:?}")),
+        }
+        let fields = alice.auth("tok-alice").map_err(err)?;
+        if fields.get("principal").map(String::as_str) != Some("alice") {
+            return Err(format!("AUTH reply names the wrong principal: {fields:?}"));
+        }
+
+        // Edge quota: alice's max-queued is 2, so her third concurrent
+        // submit is rejected by the router itself — no backend sees it.
+        let mut slow = SubmitArgs::dataset("jazz", 2, 7);
+        slow.threads = Some(1);
+        slow.throttle_us = Some(3000);
+        let id1 = alice.submit(&slow).map_err(err)?;
+        let id2 = alice.submit(&slow).map_err(err)?;
+        match alice.submit(&slow) {
+            Err(ClientError::Remote(msg)) if msg.contains("quota exceeded") => {
+                println!("kplexr smoke: edge rejected alice's over-quota submit ({msg})");
+            }
+            other => return Err(format!("over-quota submit must bounce, got {other:?}")),
+        }
+
+        // A second tenant cannot see — or even probe for — alice's jobs.
+        let mut batch = Client::connect(router.addr()).map_err(err)?;
+        batch.auth("tok-batch").map_err(err)?;
+        match batch.status(id1) {
+            Err(ClientError::Remote(msg)) if msg.starts_with("no such job") => {}
+            other => return Err(format!("cross-tenant STATUS must be hidden, got {other:?}")),
+        }
+        match batch.stream_while(id1, |_, _| true) {
+            Err(ClientError::Remote(msg)) if msg.starts_with("no such job") => {}
+            other => return Err(format!("cross-tenant STREAM must be denied, got {other:?}")),
+        }
+        println!("kplexr smoke: cross-tenant STATUS/STREAM denied as no-such-job");
+
+        // Alice drains her own backlog (CANCEL is owner-scoped too), then
+        // batch's job runs to completion and accrues result bytes.
+        alice.cancel(id1).map_err(err)?;
+        alice.cancel(id2).map_err(err)?;
+        let expected = ground_truth("jazz", 2, 9)?;
+        let mut args = SubmitArgs::dataset("jazz", 2, 9);
+        args.threads = Some(1);
+        let bid = batch.submit(&args).map_err(err)?;
+        let mut streamed = 0u64;
+        let end = batch.stream(bid, |_, _| streamed += 1).map_err(err)?;
+        if end.get("state").map(String::as_str) != Some("done") || streamed != expected {
+            return Err(format!(
+                "batch job: state={:?} streamed={streamed}, want done/{expected}",
+                end.get("state")
+            ));
+        }
+
+        // Tenant-scoped LIST: batch sees only its own job; the admin sees
+        // every tenant's.
+        let mine = batch.list().map_err(err)?;
+        if mine.is_empty()
+            || !mine
+                .iter()
+                .all(|j| j.get("principal").map(String::as_str) == Some("batch"))
+        {
+            return Err(format!("batch's LIST leaked foreign jobs: {mine:?}"));
+        }
+        let mut root = Client::connect(router.addr()).map_err(err)?;
+        root.auth("tok-root").map_err(err)?;
+        let all = root.list().map_err(err)?;
+        if all.len() <= mine.len() {
+            return Err(format!(
+                "admin LIST must include alice's jobs too ({} vs {})",
+                all.len(),
+                mine.len()
+            ));
+        }
+
+        // Per-tenant STATS aggregation: the router sums the backends'
+        // journaled per-tenant byte counters into cluster tenant*-bytes.
+        let stats = root.stats().map_err(err)?;
+        if stats.get("tenants").map(String::as_str) != Some("3") {
+            return Err(format!("STATS must report tenants=3: {stats:?}"));
+        }
+        let bytes = (0..3)
+            .find(|i| stats.get(&format!("tenant{i}-name")).map(String::as_str) == Some("batch"))
+            .and_then(|i| stats.get(&format!("tenant{i}-bytes")))
+            .and_then(|v| v.parse::<u64>().ok())
+            .ok_or_else(|| format!("no tenant entry for batch in STATS: {stats:?}"))?;
+        if bytes == 0 {
+            return Err(format!(
+                "batch streamed {streamed} results but cluster bytes are 0: {stats:?}"
+            ));
+        }
+        println!(
+            "kplexr smoke: per-tenant STATS aggregated across backends \
+             (batch bytes={bytes}, admin LIST {} jobs, tenant LIST {})",
+            all.len(),
+            mine.len()
+        );
+        Ok(())
+    })();
+    router.shutdown();
+    backend_a.shutdown();
+    backend_b.shutdown();
+    let _ = std::fs::remove_file(&pfile);
     result
 }

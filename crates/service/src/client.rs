@@ -116,6 +116,23 @@ impl Client {
         protocol::parse_response_fields(&resp).map_err(ClientError::Protocol)
     }
 
+    /// Authenticates this connection as the principal owning `token`
+    /// (`AUTH <token>`). Returns the reply fields (`principal=`, `weight=`,
+    /// `admin=`) — the server never echoes the token itself. Required
+    /// before any other verb on a server started with `--principals`.
+    pub fn auth(&mut self, token: &str) -> Result<BTreeMap<String, String>, ClientError> {
+        if token.is_empty() || token.chars().any(char::is_whitespace) {
+            // A whitespace-bearing token would be framed as extra wire
+            // tokens; reject it client-side without putting it on the wire.
+            return Err(ClientError::Protocol(
+                "token is empty or contains whitespace".into(),
+            ));
+        }
+        self.request(&protocol::render_request(&protocol::Request::Auth(
+            token.to_string(),
+        )))
+    }
+
     /// Liveness check.
     pub fn ping(&mut self) -> Result<(), ClientError> {
         self.send("PING")?;

@@ -85,6 +85,11 @@ pub struct JobSpec {
     pub tau: Option<Duration>,
     /// Storage backend the prepared graph is held in.
     pub store: kplex_graph::StoreKind,
+    /// Owning principal's name (`None` = anonymous). Set from the `SUBMIT`
+    /// tag or the submitting connection's authenticated identity; drives
+    /// quota accounting, fair-share lane assignment and `STATUS`/`STREAM`/
+    /// `CANCEL` scoping.
+    pub principal: Option<String>,
 }
 
 impl JobSpec {
@@ -144,6 +149,10 @@ pub(crate) enum StopCause {
 struct Progress {
     state: JobState,
     results: Vec<Vec<VertexId>>,
+    /// Accounted byte cost of the buffered results (saturating — see
+    /// [`crate::auth::plex_bytes`]); folded into the owning tenant's
+    /// cumulative counter by the terminal hook.
+    result_bytes: u64,
     stats: Option<SearchStats>,
     cache_hit: Option<bool>,
     error: Option<String>,
@@ -205,12 +214,16 @@ pub struct JobSnapshot {
     pub error: Option<String>,
 }
 
-/// Callback fired with `(id, terminal label)` at the exact moment a job
-/// transitions to a terminal state — under the job's lock, *before* the
-/// transition becomes observable to any `STATUS`/`STREAM` reader. The
-/// server installs one to write the journal's `END` record write-ahead:
-/// once a client has seen a job terminal, a restart will not resurrect it.
-pub type TerminalHook = Arc<dyn Fn(JobId, &str) + Send + Sync>;
+/// Callback fired with `(id, terminal label, accounted result bytes)` at
+/// the exact moment a job transitions to a terminal state — under the
+/// job's lock, *before* the transition becomes observable to any
+/// `STATUS`/`STREAM` reader. The server installs one to write the
+/// journal's `END` record write-ahead (once a client has seen a job
+/// terminal, a restart will not resurrect it) and to fold the job's result
+/// bytes into its tenant's cumulative counter. Because it runs under the
+/// job lock (rank `JobProgress`), a hook may only touch higher-ranked
+/// locks (the journal's) or lock-free state (atomics).
+pub type TerminalHook = Arc<dyn Fn(JobId, &str, u64) + Send + Sync>;
 
 /// One step of a streaming read.
 pub enum StreamStep {
@@ -252,10 +265,13 @@ impl Job {
     /// Fires the terminal hook. Must be called with the state lock held,
     /// right after the transition to `state` — before any observer can see
     /// it — and only from the single place that performed the transition.
-    fn fire_terminal(&self, state: JobState) {
+    /// `bytes` is the job's accounted result-byte total, final by now: the
+    /// drainer that feeds `append_result` is joined before `finish`, and
+    /// the other terminal paths buffer nothing further.
+    fn fire_terminal(&self, state: JobState, bytes: u64) {
         debug_assert!(state.is_terminal());
         if let Some(hook) = &self.on_terminal {
-            hook(self.id, state.label());
+            hook(self.id, state.label(), bytes);
         }
     }
 
@@ -273,6 +289,7 @@ impl Job {
                 Progress {
                     state: JobState::Queued,
                     results: Vec::new(),
+                    result_bytes: 0,
                     stats: None,
                     cache_hit: None,
                     error: None,
@@ -317,6 +334,8 @@ impl Job {
     pub fn append_result(&self, plex: Vec<VertexId>) -> u64 {
         let mut p = self.lock();
         if (p.results.len() as u64) < self.spec.limit {
+            p.result_bytes =
+                crate::auth::add_bytes(p.result_bytes, crate::auth::plex_bytes(plex.len()));
             p.results.push(plex);
             self.cond.notify_all();
         }
@@ -341,7 +360,7 @@ impl Job {
         if p.state == JobState::Queued {
             p.state = JobState::Cancelled;
             p.elapsed = Some(Duration::ZERO);
-            self.fire_terminal(p.state);
+            self.fire_terminal(p.state, p.result_bytes);
             self.cond.notify_all();
         }
     }
@@ -358,7 +377,7 @@ impl Job {
         p.error = error;
         p.stats = Some(stats);
         p.elapsed = p.started.map(|s| s.elapsed());
-        self.fire_terminal(state);
+        self.fire_terminal(state, p.result_bytes);
         self.cond.notify_all();
     }
 
@@ -373,7 +392,7 @@ impl Job {
         p.state = JobState::Failed;
         p.error = Some(reason);
         p.elapsed = p.started.map(|s| s.elapsed());
-        self.fire_terminal(p.state);
+        self.fire_terminal(p.state, p.result_bytes);
         self.cond.notify_all();
     }
 
@@ -451,6 +470,7 @@ mod tests {
             throttle: Duration::ZERO,
             tau: None,
             store: kplex_graph::StoreKind::Csr,
+            principal: None,
         }
     }
 
@@ -481,6 +501,23 @@ mod tests {
         job.note_stop_cause(StopCause::Cap);
         let p = job.lock();
         assert_eq!(p.stop_cause, Some(StopCause::Cancel));
+    }
+
+    #[test]
+    fn terminal_hook_reports_accounted_bytes() {
+        use std::sync::atomic::AtomicU64;
+        let seen = Arc::new(AtomicU64::new(0));
+        let hook_seen = seen.clone();
+        let job = Job::new(4, spec()).with_terminal_hook(Arc::new(move |_, _, bytes| {
+            // ordering: test observation, read after finish() returns.
+            hook_seen.store(bytes, Ordering::SeqCst);
+        }));
+        job.mark_running();
+        job.append_result(vec![1, 2, 3]); // 12 accounted bytes
+        job.append_result(vec![4]); // 4 accounted bytes
+        job.finish(SearchStats::default());
+        // ordering: test observation, written before finish() returned.
+        assert_eq!(seen.load(Ordering::SeqCst), 16);
     }
 
     #[test]

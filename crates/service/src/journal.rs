@@ -44,7 +44,18 @@
 //! START <id>                   job left the queue and began running
 //! DELIVERED <id> <seq>         a client consumed results up to seq (excl.)
 //! END <id> <state>             job reached a terminal state
+//! TENANT <principal> <bytes>   cumulative result bytes attributed to the
+//!                              principal (by *name*, never token); written
+//!                              at each of the tenant's job terminals with
+//!                              the then-current total, so replay takes the
+//!                              max — and the counters survive restarts and
+//!                              compaction (unlike per-job records, totals
+//!                              are not dropped when their jobs end)
 //! ```
+//!
+//! Per-job `SUBMIT` records carry tenant attribution for free: the fields
+//! are the wire `SUBMIT` line, which includes the `principal=` tag, so a
+//! replayed job re-enters its owner's fair-share lane.
 
 use crate::protocol::{self, JobId, Request, SubmitArgs};
 use crate::sync::{OrderedMutex, Rank};
@@ -79,6 +90,10 @@ pub struct Replay {
     pub next_id: JobId,
     /// Terminal jobs seen (they are *not* resurrected; counted for logs).
     pub terminal: usize,
+    /// Cumulative result bytes per principal name, max over all `TENANT`
+    /// records (they carry growing totals, so the max is the truth). Seeds
+    /// the restarted server's per-tenant counters.
+    pub tenant_bytes: BTreeMap<String, u64>,
 }
 
 /// One parsed journal line.
@@ -93,6 +108,8 @@ enum Record {
     Delivered(JobId, u64),
     /// Job reached a terminal state.
     End(JobId),
+    /// Cumulative result-byte total attributed to a principal name.
+    Tenant(String, u64),
 }
 
 fn parse_record(line: &str) -> Result<Record, String> {
@@ -117,6 +134,19 @@ fn parse_record(line: &str) -> Result<Record, String> {
                 .parse()
                 .map_err(|_| format!("bad DELIVERED seq in {line:?}"))?;
             Ok(Record::Delivered(id(id_str)?, seq))
+        }
+        "TENANT" => {
+            let (name, bytes) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("TENANT without bytes: {line:?}"))?;
+            if name.is_empty() {
+                return Err(format!("TENANT with empty principal: {line:?}"));
+            }
+            let bytes = bytes
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad TENANT bytes in {line:?}"))?;
+            Ok(Record::Tenant(name.to_string(), bytes))
         }
         "SUBMIT" => {
             let (id_str, fields) = rest
@@ -146,6 +176,7 @@ fn parse_record(line: &str) -> Result<Record, String> {
 pub fn replay(text: &str) -> Result<Replay, String> {
     let mut submits: BTreeMap<JobId, (SubmitArgs, bool)> = BTreeMap::new();
     let mut delivered: BTreeMap<JobId, u64> = BTreeMap::new();
+    let mut tenant_bytes: BTreeMap<String, u64> = BTreeMap::new();
     let mut ended: BTreeSet<JobId> = BTreeSet::new();
     let mut max_id: JobId = 0;
     let mut floor: JobId = 1;
@@ -186,6 +217,12 @@ pub fn replay(text: &str) -> Result<Replay, String> {
                 max_id = max_id.max(id);
                 ended.insert(id);
             }
+            Ok(Record::Tenant(name, bytes)) => {
+                // Totals only grow, so the max over all records — however
+                // interleaved across concurrent terminals — is the truth.
+                let total = tenant_bytes.entry(name).or_insert(0);
+                *total = (*total).max(bytes);
+            }
             Err(e) => return Err(format!("record {}: {e}", i + 1)),
         }
     }
@@ -204,6 +241,7 @@ pub fn replay(text: &str) -> Result<Replay, String> {
         jobs,
         next_id: max_id.saturating_add(1).max(floor),
         terminal,
+        tenant_bytes,
     })
 }
 
@@ -219,6 +257,13 @@ pub struct Journal {
     /// it, so concurrent streams of one job (or a resumed stream re-walking
     /// old ground) never rewrite the floor.
     delivered: OrderedMutex<BTreeMap<JobId, u64>>,
+    /// Highest `TENANT` total already on disk per principal — the same
+    /// coalescing idea as `delivered`: [`Journal::record_tenant`] drops a
+    /// total at or below the journaled one, so out-of-order terminal hooks
+    /// never write a stale (smaller) counter. Shares
+    /// [`Rank::JournalDelivered`] with `delivered`; the two are never held
+    /// together.
+    tenant: OrderedMutex<BTreeMap<String, u64>>,
 }
 
 impl std::fmt::Debug for Journal {
@@ -256,6 +301,14 @@ impl Journal {
         {
             let mut f = File::create(&tmp)?;
             writeln!(f, "NEXT {}", replay.next_id)?;
+            // Tenant byte totals are cumulative across the journal's whole
+            // history, so — unlike per-job records — they survive every
+            // compaction (zero totals carry no information and are dropped).
+            for (name, bytes) in &replay.tenant_bytes {
+                if *bytes > 0 {
+                    writeln!(f, "TENANT {name} {bytes}")?;
+                }
+            }
             for job in &replay.jobs {
                 writeln!(f, "{}", submit_record(job.id, &job.args))?;
                 if job.was_started {
@@ -277,6 +330,12 @@ impl Journal {
             .filter(|j| j.delivered > 0)
             .map(|j| (j.id, j.delivered))
             .collect();
+        let tenant = replay
+            .tenant_bytes
+            .iter()
+            .filter(|(_, &b)| b > 0)
+            .map(|(n, &b)| (n.clone(), b))
+            .collect();
         Ok((
             Journal {
                 file: OrderedMutex::new(Rank::JournalFile, "journal-file", file),
@@ -285,6 +344,7 @@ impl Journal {
                     "journal-delivered",
                     delivered,
                 ),
+                tenant: OrderedMutex::new(Rank::JournalDelivered, "journal-tenant", tenant),
             },
             replay,
         ))
@@ -333,6 +393,25 @@ impl Journal {
             };
         }
         self.append(&format!("DELIVERED {id} {seq}"))
+    }
+
+    /// Records a principal's cumulative result-byte total — **coalesced**
+    /// like [`Journal::record_delivered`]: a total at or below the
+    /// journaled one is dropped, so concurrent terminal hooks racing to
+    /// report (each with the counter value it observed) can never regress
+    /// the on-disk total, and replay's max-wins rule sees only advances.
+    /// Called from the job-terminal hook, which runs under the
+    /// `JobProgress` lock — legal, because this only takes journal-ranked
+    /// locks (see `crate::sync::Rank`).
+    pub fn record_tenant(&self, name: &str, total: u64) -> std::io::Result<()> {
+        {
+            let mut tenant = self.tenant.lock();
+            match tenant.get(name) {
+                Some(&floor) if total <= floor => return Ok(()),
+                _ => tenant.insert(name.to_string(), total),
+            };
+        }
+        self.append(&format!("TENANT {name} {total}"))
     }
 }
 
@@ -513,6 +592,60 @@ mod tests {
         );
         let (_, r) = Journal::open(&path).unwrap();
         assert_eq!(r.jobs[0].delivered, 121);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_takes_the_max_tenant_total() {
+        let text = "TENANT alice 40\n\
+                    SUBMIT 1 dataset=jazz k=2 q=9 principal=alice\n\
+                    TENANT alice 12\n\
+                    TENANT batch 8\n\
+                    END 1 done\n";
+        let r = replay(text).unwrap();
+        assert_eq!(r.tenant_bytes.get("alice"), Some(&40), "max total wins");
+        assert_eq!(r.tenant_bytes.get("batch"), Some(&8));
+        assert_eq!(r.jobs.len(), 0);
+        // The replayed SUBMIT keeps its principal tag.
+        let r = replay("SUBMIT 1 dataset=jazz k=2 q=9 principal=alice\n").unwrap();
+        assert_eq!(r.jobs[0].args.principal.as_deref(), Some("alice"));
+        // Malformed TENANT records are corruption.
+        assert!(replay("TENANT alice\n").is_err());
+        assert!(replay("TENANT alice x\n").is_err());
+        assert!(replay("TENANT  7\n").is_err(), "empty principal name");
+    }
+
+    #[test]
+    fn tenant_totals_survive_compaction_and_coalesce() {
+        let path = tmp_path("tenant");
+        std::fs::remove_file(&path).ok();
+        {
+            let (journal, _) = Journal::open(&path).unwrap();
+            journal.record_submit(1, &args(2, 9)).unwrap();
+            journal.record_tenant("alice", 16).unwrap();
+            journal.record_tenant("alice", 48).unwrap();
+            journal.record_end(1, "done").unwrap();
+        }
+        // Every job is terminal, yet the tenant totals outlive compaction.
+        let (journal, r) = Journal::open(&path).unwrap();
+        assert!(r.jobs.is_empty());
+        assert_eq!(r.tenant_bytes.get("alice"), Some(&48));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("TENANT alice 48"), "{text:?}");
+        assert_eq!(text.matches("TENANT alice").count(), 1, "{text:?}");
+        // Coalescing is seeded from the compacted floor: stale or equal
+        // totals must not append, only an advance does.
+        journal.record_tenant("alice", 48).unwrap();
+        journal.record_tenant("alice", 12).unwrap();
+        journal.record_tenant("alice", 64).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text.matches("TENANT alice").count(),
+            2,
+            "one compacted total plus one advance: {text:?}"
+        );
+        let (_, r) = Journal::open(&path).unwrap();
+        assert_eq!(r.tenant_bytes.get("alice"), Some(&64));
         std::fs::remove_file(&path).ok();
     }
 

@@ -40,6 +40,7 @@
 
 #![deny(missing_docs)]
 
+pub mod auth;
 pub mod cache;
 pub mod client;
 pub mod job;
@@ -49,6 +50,7 @@ pub mod router;
 pub mod server;
 pub mod sync;
 
+pub use auth::{Principal, PrincipalStore};
 pub use cache::{CacheStats, Fetched, GraphCache};
 pub use client::{Client, ClientError};
 pub use job::{GraphSource, Job, JobSnapshot, JobSpec, JobState};

@@ -40,6 +40,15 @@ pub struct SubmitArgs {
     /// or `mmap` (server default when absent). Free-form on the wire; the
     /// server validates it against the known backends at submission.
     pub store: Option<String>,
+    /// Tenant attribution tag (`principal=`): the *name* (never the token)
+    /// of the principal the job belongs to. Clients normally omit it — an
+    /// authenticated connection's submissions are tagged server-side — but
+    /// an **admin** principal (the `kplexr` router proxying on a tenant's
+    /// behalf) may tag explicitly. A non-admin connection tagging a
+    /// principal other than its own is rejected at submission. Because the
+    /// tag rides in the `SUBMIT` wire line, journal `SUBMIT` records carry
+    /// attribution for free and replay restores per-tenant ownership.
+    pub principal: Option<String>,
 }
 
 impl SubmitArgs {
@@ -91,6 +100,9 @@ impl SubmitArgs {
         if let Some(s) = &self.store {
             push("store", s.clone());
         }
+        if let Some(p) = &self.principal {
+            push("principal", p.clone());
+        }
         line
     }
 }
@@ -105,6 +117,11 @@ impl SubmitArgs {
 pub enum Request {
     /// Liveness check.
     Ping,
+    /// Authenticate this connection as a tenant: `AUTH <token>`. The token
+    /// maps to a principal via the server's `--principals` store; the reply
+    /// names the principal but **never echoes the token**. Servers without
+    /// a principal store reject the verb (authentication disabled).
+    Auth(String),
     /// Submit a new enumeration job.
     Submit(Box<SubmitArgs>),
     /// One-line state of a job.
@@ -140,6 +157,7 @@ pub enum Request {
 pub fn render_request(req: &Request) -> String {
     match req {
         Request::Ping => "PING".to_string(),
+        Request::Auth(token) => format!("AUTH {token}"),
         Request::Submit(args) => args.to_line(),
         Request::Status(id) => format!("STATUS {id}"),
         Request::Stream(id, 0) => format!("STREAM {id}"),
@@ -215,6 +233,16 @@ fn parse_addr(rest: &[&str], verb: &str) -> Result<String, String> {
     }
 }
 
+/// `AUTH <token>` — exactly one token argument. The error message never
+/// echoes what was (or was not) supplied: a mistyped token pasted with a
+/// stray space must not leak its fragments into the reply.
+fn parse_auth(rest: &[&str]) -> Result<String, String> {
+    match rest {
+        [token] => Ok(token.to_string()),
+        _ => Err("usage: AUTH <token>".to_string()),
+    }
+}
+
 /// Parses one request line. Verbs are case-insensitive; arguments are not.
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let mut tokens = line.split_whitespace();
@@ -233,6 +261,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Stream(id, from))
         }
         "CANCEL" => Ok(Request::Cancel(parse_id(&rest, "CANCEL")?)),
+        "AUTH" => Ok(Request::Auth(parse_auth(&rest)?)),
         "ADDNODE" => Ok(Request::AddNode(parse_addr(&rest, "ADDNODE")?)),
         "DROPNODE" => Ok(Request::DropNode(parse_addr(&rest, "DROPNODE")?)),
         "SUBMIT" => {
@@ -249,6 +278,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 throttle_us: take_parse(&mut kv, "throttle-us")?,
                 tau_us: take_parse(&mut kv, "tau-us")?,
                 store: kv.remove("store"),
+                principal: kv.remove("principal"),
             };
             if let Some(unknown) = kv.keys().next() {
                 return Err(format!("unknown SUBMIT key {unknown:?}"));
@@ -287,6 +317,42 @@ pub fn sanitize_value(s: &str) -> String {
             }
         })
         .collect()
+}
+
+/// Replaces every occurrence of every registered secret token in `s` with
+/// `****`. This is the token-scrubbing half of the sanitize layer: any
+/// value that could embed client-supplied text (an error message quoting a
+/// path, a failed loader's output) goes through it before hitting a reply
+/// line, so an authentication token can never be echoed back — not in
+/// `STATUS` error fields, not in `STATS`, not in journal records.
+///
+/// Splice-proof by construction: secrets are drawn from the principal-file
+/// charset `[A-Za-z0-9_.-]` (see [`crate::auth`]), which excludes `*`, so
+/// a replacement can never manufacture a new occurrence of any secret —
+/// every secret occurrence in the output lies entirely within a preserved
+/// fragment of the input, and processing secrets longest-first guarantees
+/// each such fragment gets its own pass.
+pub fn redact_secrets(s: &str, secrets: &[String]) -> String {
+    let mut ordered: Vec<&String> = secrets.iter().filter(|t| !t.is_empty()).collect();
+    ordered.sort_by_key(|t| std::cmp::Reverse(t.len()));
+    let mut out = s.to_string();
+    for secret in ordered {
+        out = out.replace(secret.as_str(), "****");
+    }
+    out
+}
+
+/// [`sanitize_value`] followed by [`redact_secrets`]: the composition every
+/// reply-embedded free-form value on an authenticated server goes through.
+///
+/// The order is load-bearing. Sanitizing maps whitespace and control
+/// characters to `_`, and `_` is *inside* the token charset — so redacting
+/// first would let sanitation manufacture a token occurrence afterwards
+/// (input `a b` becoming secret `a_b`). Sanitizing first cannot destroy a
+/// real occurrence (token characters are never whitespace or control), and
+/// redacting last catches both real and manufactured ones.
+pub fn sanitize_value_redacted(s: &str, secrets: &[String]) -> String {
+    redact_secrets(&sanitize_value(s), secrets)
 }
 
 /// Renders one streamed result as an NDJSON line:
@@ -364,6 +430,7 @@ mod tests {
         args.limit = Some(1000);
         args.throttle_us = Some(250);
         args.store = Some("mmap".into());
+        args.principal = Some("alice".into());
         let line = args.to_line();
         match parse_request(&line).unwrap() {
             Request::Submit(parsed) => assert_eq!(*parsed, args),
@@ -450,6 +517,48 @@ mod tests {
         ] {
             assert_eq!(parse_request(&render_request(&req)).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn auth_parses_and_renders() {
+        assert_eq!(
+            parse_request("AUTH s3cr3t").unwrap(),
+            Request::Auth("s3cr3t".into())
+        );
+        assert_eq!(
+            parse_request("auth s3cr3t").unwrap(),
+            Request::Auth("s3cr3t".into())
+        );
+        assert_eq!(render_request(&Request::Auth("t0k".into())), "AUTH t0k");
+        assert_eq!(
+            parse_request(&render_request(&Request::Auth("t0k".into()))).unwrap(),
+            Request::Auth("t0k".into())
+        );
+        // Arity errors are a fixed string — no echo of token fragments.
+        for bad in ["AUTH", "AUTH sec ret"] {
+            assert_eq!(parse_request(bad).unwrap_err(), "usage: AUTH <token>");
+        }
+    }
+
+    #[test]
+    fn redaction_scrubs_every_token_occurrence() {
+        let secrets = vec!["tok-alice".to_string(), "ab".to_string()];
+        assert_eq!(
+            redact_secrets("loading /tmp/tok-alice/g.edges: denied", &secrets),
+            "loading /tmp/****/g.edges: denied"
+        );
+        // Overlapping/substring secrets: longest replaced first, shorter
+        // ones still caught in the remaining fragments.
+        assert_eq!(redact_secrets("ab tok-aliceab", &secrets), "**** ********");
+        // Replacement text can never recreate a secret (charset excludes *).
+        let secrets = vec!["a".to_string()];
+        assert!(!redact_secrets("aaaa", &secrets).contains('a'));
+        // Empty secrets are ignored rather than exploding the string.
+        assert_eq!(redact_secrets("x", &[String::new()]), "x");
+        assert_eq!(
+            sanitize_value_redacted("bad token tok-x here", &["tok-x".to_string()]),
+            "bad_token_****_here"
+        );
     }
 
     #[test]

@@ -64,14 +64,26 @@ const CONNECT_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(2);
 /// the job computes.
 const UNARY_READ_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
 
-/// A backend connection for one-shot request/response calls (bounded).
-fn unary(addr: &str) -> Result<Client, ClientError> {
-    Client::connect_timeout(addr, CONNECT_TIMEOUT, Some(UNARY_READ_TIMEOUT))
+/// A backend connection for one-shot request/response calls (bounded). On
+/// a tenancy-enabled router this authenticates to the backend as the admin
+/// principal — proxied jobs are tagged `principal=`, which backends accept
+/// only from an admin connection.
+fn unary(state: &RouterState, addr: &str) -> Result<Client, ClientError> {
+    let mut c = Client::connect_timeout(addr, CONNECT_TIMEOUT, Some(UNARY_READ_TIMEOUT))?;
+    if let Some(token) = &state.admin_token {
+        c.auth(token)?;
+    }
+    Ok(c)
 }
 
-/// A backend connection for `STREAM` proxying (bounded connect only).
-fn streaming(addr: &str) -> Result<Client, ClientError> {
-    Client::connect_timeout(addr, CONNECT_TIMEOUT, None)
+/// A backend connection for `STREAM` proxying (bounded connect only),
+/// admin-authenticated like [`unary`].
+fn streaming(state: &RouterState, addr: &str) -> Result<Client, ClientError> {
+    let mut c = Client::connect_timeout(addr, CONNECT_TIMEOUT, None)?;
+    if let Some(token) = &state.admin_token {
+        c.auth(token)?;
+    }
+    Ok(c)
 }
 
 /// Router construction knobs.
@@ -89,6 +101,14 @@ pub struct RouterConfig {
     /// best-effort read replicas (see the module docs). `1` — the
     /// default — disables replication.
     pub replicas: usize,
+    /// Principal store (`kplexr --principals`, same file as the backends):
+    /// enables edge tenancy — clients `AUTH` to the router, over-quota
+    /// submits are rejected before any backend sees them, proxied jobs are
+    /// tagged with the owning principal, and proxied verbs are scoped to
+    /// it. Requires the file to contain an admin principal: the router
+    /// authenticates its backend connections with the first admin token.
+    /// `None` preserves the anonymous router exactly.
+    pub principals: Option<crate::auth::PrincipalStore>,
 }
 
 impl Default for RouterConfig {
@@ -98,6 +118,7 @@ impl Default for RouterConfig {
             backends: Vec::new(),
             probe: None,
             replicas: 1,
+            principals: None,
         }
     }
 }
@@ -189,6 +210,13 @@ struct RouterState {
     /// Round-robin cursor spreading `STATUS`/`STREAM` reads over a job's
     /// primary + live replicas.
     read_rr: AtomicU64,
+    /// Principal store; `None` = tenancy disabled.
+    principals: Option<crate::auth::PrincipalStore>,
+    /// Registered tokens, scrubbed from every reply line.
+    secrets: Vec<String>,
+    /// The admin token the router presents to backends (first admin in the
+    /// store); `None` = anonymous backend connections.
+    admin_token: Option<String>,
 }
 
 // --- rendezvous hashing -----------------------------------------------------
@@ -288,6 +316,19 @@ impl Router {
                 nodes.push(Node::new(addr.clone()));
             }
         }
+        let principals = cfg.principals.clone();
+        let secrets = principals.as_ref().map(|s| s.tokens()).unwrap_or_default();
+        let admin_token = principals
+            .as_ref()
+            .and_then(|s| s.admin_token())
+            .map(String::from);
+        if principals.is_some() && admin_token.is_none() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "principals file has no admin principal — the router needs one \
+                 to authenticate its backend connections",
+            ));
+        }
         Ok(Router {
             listener,
             state: Arc::new(RouterState {
@@ -298,6 +339,9 @@ impl Router {
                 probe: cfg.probe.clone(),
                 replicas: cfg.replicas.max(1),
                 read_rr: AtomicU64::new(0),
+                principals,
+                secrets,
+                admin_token,
             }),
         })
     }
@@ -481,7 +525,7 @@ fn rebalance_queued(state: &Arc<RouterState>) -> usize {
     let moved = moves.len();
     for (rid, old_backend, old_remote, args) in moves {
         // Stop the old queued copy so the job cannot run twice.
-        if let Ok(mut c) = unary(&old_backend) {
+        if let Ok(mut c) = unary(state, &old_backend) {
             let _ = c.cancel(old_remote);
         }
         finish_requeue(state, rid, &args);
@@ -664,7 +708,7 @@ fn reroute_jobs_of(state: &Arc<RouterState>, addr: &str, opts: &Reroute) {
     for (rid, old_remote, args) in to_requeue {
         if opts.cancel_remote {
             // Drain: stop the old copy so the job cannot run twice.
-            if let Ok(mut c) = unary(addr) {
+            if let Ok(mut c) = unary(state, addr) {
                 let _ = c.cancel(old_remote);
             }
         }
@@ -709,7 +753,7 @@ fn finish_requeue(state: &Arc<RouterState>, rid: JobId, args: &SubmitArgs) {
     }
     if let Some((backend, remote_id)) = orphan {
         // Best-effort: stop the superfluous copy.
-        if let Ok(mut c) = unary(&backend) {
+        if let Ok(mut c) = unary(state, &backend) {
             let _ = c.cancel(remote_id);
         }
     }
@@ -722,7 +766,7 @@ fn finish_requeue(state: &Arc<RouterState>, rid: JobId, args: &SubmitArgs) {
 fn place(state: &Arc<RouterState>, args: &SubmitArgs) -> Result<(String, JobId), String> {
     let key = routing_key(args);
     for backend in ranked_backends(&live_backends(state), &key) {
-        let submitted = unary(&backend).and_then(|mut c| c.submit(args));
+        let submitted = unary(state, &backend).and_then(|mut c| c.submit(args));
         match submitted {
             Ok(remote_id) => return Ok((backend, remote_id)),
             Err(ClientError::Remote(msg)) => return Err(msg),
@@ -734,6 +778,18 @@ fn place(state: &Arc<RouterState>, args: &SubmitArgs) -> Result<(String, JobId),
 
 // --- connection handling ----------------------------------------------------
 
+/// [`write_line`] through the token-redaction chokepoint: with a principal
+/// store loaded, every registered token is scrubbed before the line hits
+/// the wire. Streamed NDJSON plex lines deliberately bypass this — they
+/// are numeric-only by construction and form the hot path.
+fn reply_line(writer: &mut TcpStream, state: &RouterState, line: &str) -> std::io::Result<()> {
+    if state.secrets.is_empty() {
+        write_line(writer, line)
+    } else {
+        write_line(writer, &protocol::redact_secrets(line, &state.secrets))
+    }
+}
+
 /// One `write_all` per line (no buffering): streamed results must reach a
 /// live follower promptly even when the backend trickles them out.
 fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
@@ -743,23 +799,89 @@ fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
     stream.write_all(framed.as_bytes())
 }
 
+/// `true` when the principal authenticated on this connection (if any) may
+/// see a job owned by `owner`. Tenancy disabled (`auth` is `None` only
+/// happens then, thanks to the verb gate) sees everything; an admin sees
+/// everything; otherwise only the owner.
+fn may_see(auth: &Option<crate::auth::Principal>, owner: Option<&str>) -> bool {
+    match auth {
+        None => true,
+        Some(p) => p.admin || owner == Some(p.name.as_str()),
+    }
+}
+
+/// Pre-proxy visibility check for `STATUS`/`CANCEL`/`STREAM`: an unknown
+/// job is `true` so the proxy path emits its own (identical) error — a
+/// denied tenant cannot distinguish "hidden" from "nonexistent".
+fn visible(state: &RouterState, rid: JobId, auth: &Option<crate::auth::Principal>) -> bool {
+    match lookup(state, rid) {
+        Some(job) => may_see(auth, job.args.principal.as_deref()),
+        None => true,
+    }
+}
+
 fn handle_connection(stream: TcpStream, state: &Arc<RouterState>) -> std::io::Result<()> {
     let mut writer = stream.try_clone()?;
     let reader = BufReader::new(stream);
+    // Per-connection authentication state (`AUTH <token>`); `None` until
+    // the client authenticates. On a tenancy-disabled router it stays
+    // `None` and every verb passes the gate below.
+    let mut auth: Option<crate::auth::Principal> = None;
+    // Every reply line leaves through this chokepoint so a registered
+    // token can never be echoed back — not in errors, not in proxied
+    // backend messages. Streamed NDJSON plex lines bypass it (they are
+    // numeric-only by construction, and the stream is the hot path).
+    let reply = |writer: &mut TcpStream, line: &str| -> std::io::Result<()> {
+        reply_line(writer, state, line)
+    };
     for line in reader.lines() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        match protocol::parse_request(&line) {
-            Err(e) => write_line(&mut writer, &format!("ERR {e}"))?,
-            Ok(Request::Quit) => {
-                write_line(&mut writer, "OK bye")?;
+        let req = match protocol::parse_request(&line) {
+            Err(e) => {
+                reply(&mut writer, &format!("ERR {e}"))?;
+                continue;
+            }
+            Ok(req) => req,
+        };
+        // Tenancy gate: with a principal store loaded, everything except
+        // liveness checks and the handshake itself requires `AUTH` first.
+        if state.principals.is_some()
+            && auth.is_none()
+            && !matches!(req, Request::Ping | Request::Quit | Request::Auth(_))
+        {
+            reply(&mut writer, "ERR authentication required (AUTH <token>)")?;
+            continue;
+        }
+        match req {
+            Request::Quit => {
+                reply(&mut writer, "OK bye")?;
                 return Ok(());
             }
-            Ok(Request::Ping) => write_line(&mut writer, "OK pong")?,
-            Ok(Request::Submit(args)) => {
-                let resp = match submit(state, &args) {
+            Request::Ping => reply(&mut writer, "OK pong")?,
+            Request::Auth(token) => {
+                let resp = match &state.principals {
+                    None => {
+                        "ERR authentication disabled (start kplexr with --principals)".to_string()
+                    }
+                    Some(store) => match store.authenticate(&token) {
+                        Some(p) => {
+                            auth = Some(p.clone());
+                            format!(
+                                "OK principal={} weight={} admin={}",
+                                p.name, p.weight, p.admin
+                            )
+                        }
+                        // Deliberately does not echo the attempted token.
+                        None => "ERR unknown token".to_string(),
+                    },
+                };
+                reply(&mut writer, &resp)?;
+            }
+            Request::Submit(args) => {
+                let resp = match submit(state, &args, &auth) {
                     Ok((rid, backend, replicas)) => {
                         let mut line = format!("OK id={rid} state=queued backend={backend}");
                         if replicas > 0 {
@@ -769,46 +891,170 @@ fn handle_connection(stream: TcpStream, state: &Arc<RouterState>) -> std::io::Re
                     }
                     Err(e) => format!("ERR {e}"),
                 };
-                write_line(&mut writer, &resp)?;
+                reply(&mut writer, &resp)?;
             }
-            Ok(Request::Status(rid)) => {
-                let resp = proxy_status(state, rid);
-                write_line(&mut writer, &resp)?;
+            Request::Status(rid) => {
+                let resp = if visible(state, rid, &auth) {
+                    proxy_status(state, rid)
+                } else {
+                    format!("ERR no such job {rid}")
+                };
+                reply(&mut writer, &resp)?;
             }
-            Ok(Request::Cancel(rid)) => {
-                let resp = proxy_cancel(state, rid);
-                write_line(&mut writer, &resp)?;
+            Request::Cancel(rid) => {
+                let resp = if visible(state, rid, &auth) {
+                    proxy_cancel(state, rid)
+                } else {
+                    format!("ERR no such job {rid}")
+                };
+                reply(&mut writer, &resp)?;
             }
-            Ok(Request::Stream(rid, from)) => proxy_stream(&mut writer, state, rid, from)?,
-            Ok(Request::List) => list(&mut writer, state)?,
-            Ok(Request::Stats) => {
+            Request::Stream(rid, from) => {
+                if visible(state, rid, &auth) {
+                    proxy_stream(&mut writer, state, rid, from)?;
+                } else {
+                    reply(&mut writer, &format!("ERR no such job {rid}"))?;
+                }
+            }
+            Request::List => list(&mut writer, state, &auth)?,
+            Request::Stats => {
                 let resp = stats(state);
-                write_line(&mut writer, &resp)?;
+                reply(&mut writer, &resp)?;
             }
-            Ok(Request::AddNode(addr)) => {
-                let resp = add_node(state, &addr);
-                write_line(&mut writer, &resp)?;
+            Request::AddNode(addr) => {
+                let resp = if admin_only(&auth) {
+                    add_node(state, &addr)
+                } else {
+                    "ERR topology changes require an admin principal".to_string()
+                };
+                reply(&mut writer, &resp)?;
             }
-            Ok(Request::DropNode(addr)) => {
-                let resp = drop_node(state, &addr);
-                write_line(&mut writer, &resp)?;
+            Request::DropNode(addr) => {
+                let resp = if admin_only(&auth) {
+                    drop_node(state, &addr)
+                } else {
+                    "ERR topology changes require an admin principal".to_string()
+                };
+                reply(&mut writer, &resp)?;
             }
-            Ok(Request::Nodes) => nodes(&mut writer, state)?,
-            Ok(Request::Rebalance) => {
-                let moved = rebalance_queued(state);
-                write_line(&mut writer, &format!("OK rebalanced={moved}"))?;
+            Request::Nodes => nodes(&mut writer, state)?,
+            Request::Rebalance => {
+                if admin_only(&auth) {
+                    let moved = rebalance_queued(state);
+                    reply(&mut writer, &format!("OK rebalanced={moved}"))?;
+                } else {
+                    reply(
+                        &mut writer,
+                        "ERR topology changes require an admin principal",
+                    )?;
+                }
             }
         }
     }
     Ok(())
 }
 
+/// Topology mutations (`ADDNODE`/`DROPNODE`/`REBALANCE`) are admin-only
+/// once tenancy is on: a non-admin tenant must not be able to drain or
+/// repoint the cluster. Without a store, `auth` is always `None` and
+/// everything is allowed, as before.
+fn admin_only(auth: &Option<crate::auth::Principal>) -> bool {
+    match auth {
+        None => true,
+        Some(p) => p.admin,
+    }
+}
+
 // --- request implementations ------------------------------------------------
 
-fn submit(state: &Arc<RouterState>, args: &SubmitArgs) -> Result<(JobId, String, usize), String> {
+/// The submission principal the router acts for: the authenticated
+/// principal itself, or — admin only — the principal named by an explicit
+/// `principal=` tag. Mirrors the backend's resolution so edge rejections
+/// and backend rejections agree.
+fn effective_principal(
+    state: &RouterState,
+    args: &SubmitArgs,
+    auth: &Option<crate::auth::Principal>,
+) -> Result<Option<crate::auth::Principal>, String> {
+    let Some(store) = &state.principals else {
+        if args.principal.is_some() {
+            return Err("principal= requires a router started with --principals".into());
+        }
+        return Ok(None);
+    };
+    // The verb gate guarantees an authenticated principal here; keep the
+    // check anyway so this function is safe to call from any path.
+    let Some(me) = auth else {
+        return Err("authentication required (AUTH <token>)".into());
+    };
+    match args.principal.as_deref() {
+        None => Ok(Some(me.clone())),
+        Some(name) if name == me.name => Ok(Some(me.clone())),
+        Some(name) => {
+            if !me.admin {
+                return Err(
+                    "only an admin principal may submit on another principal's behalf".into(),
+                );
+            }
+            store
+                .by_name(name)
+                .cloned()
+                .map(Some)
+                .ok_or_else(|| format!("unknown principal {name:?}"))
+        }
+    }
+}
+
+/// This tenant's routed jobs the router still believes are waiting to run
+/// — the population the edge `max-queued` quota counts. `max-running` is
+/// deliberately *not* checked here: it is a dispatch-rate constraint the
+/// backends' fair-share runners enforce, and rejecting submits on it would
+/// turn a throughput limit into an availability outage.
+fn queued_jobs_of(state: &RouterState, principal: &str) -> usize {
+    state
+        .jobs
+        .lock()
+        .values()
+        .filter(|j| {
+            j.error.is_none()
+                && j.args.principal.as_deref() == Some(principal)
+                && (j.last_state == "queued" || j.last_state == REQUEUEING)
+        })
+        .count()
+}
+
+fn submit(
+    state: &Arc<RouterState>,
+    args: &SubmitArgs,
+    auth: &Option<crate::auth::Principal>,
+) -> Result<(JobId, String, usize), String> {
     if state.shutdown.load(Ordering::Acquire) {
         return Err("router shutting down".into());
     }
+    let mut args = args.clone();
+    if let Some(p) = effective_principal(state, &args, auth)? {
+        // Edge quota: reject before any backend sees the job. Checked
+        // against the router's own routed-job records, so a saturating
+        // tenant is cut off even when its jobs are spread over many
+        // backends whose per-lane counts are each under quota. The check
+        // and the placement are not atomic — concurrent submits can
+        // overshoot by the race width — but the backends' per-lane check
+        // backstops it authoritatively.
+        if p.max_queued != 0 {
+            let queued = queued_jobs_of(state, &p.name);
+            if queued >= p.max_queued {
+                return Err(format!(
+                    "quota exceeded: principal {} has {queued} jobs queued (max-queued={})",
+                    p.name, p.max_queued
+                ));
+            }
+        }
+        // Tag the proxied copy with the *effective* principal so backends
+        // account it to the right tenant lane (they accept the tag because
+        // the router's connection is admin-authenticated).
+        args.principal = Some(p.name.clone());
+    }
+    let args = &args;
     let (backend, remote_id) = place(state, args)?;
     let replicas = place_replicas(state, args, &backend);
     let placed = replicas.len();
@@ -852,7 +1098,7 @@ fn place_replicas(
         if backend == primary {
             continue;
         }
-        if let Ok(remote_id) = unary(&backend).and_then(|mut c| c.submit(args)) {
+        if let Ok(remote_id) = unary(state, &backend).and_then(|mut c| c.submit(args)) {
             out.push((backend, remote_id));
         }
     }
@@ -922,6 +1168,9 @@ fn local_status_line(rid: JobId, job: &Routed) -> String {
         "OK id={rid} state={} source={source} k={} q={} results=0 backend={}",
         job.last_state, job.args.k, job.args.q, job.backend
     );
+    if let Some(principal) = &job.args.principal {
+        line.push_str(&format!(" principal={principal}"));
+    }
     if let Some(error) = &job.error {
         line.push_str(&format!(" error={error}"));
     }
@@ -937,7 +1186,7 @@ fn rewrite_fields(
     fields: &BTreeMap<String, String>,
     backend: &str,
 ) -> String {
-    const ORDER: [&str; 11] = [
+    const ORDER: [&str; 12] = [
         "state",
         "source",
         "k",
@@ -947,6 +1196,7 @@ fn rewrite_fields(
         "cache",
         "branches",
         "outputs",
+        "principal",
         "error",
         "count",
     ];
@@ -980,7 +1230,7 @@ fn proxy_status(state: &Arc<RouterState>, rid: JobId) -> String {
         let turn = state.read_rr.fetch_add(1, Ordering::Relaxed) as usize % targets.len();
         let (t_backend, t_remote) = targets[turn].clone();
         let primary = t_backend == job.backend && t_remote == job.remote_id;
-        match unary(&t_backend).and_then(|mut c| c.status(t_remote)) {
+        match unary(state, &t_backend).and_then(|mut c| c.status(t_remote)) {
             Ok(fields) => {
                 if primary {
                     if let Some(observed) = fields.get("state") {
@@ -1024,13 +1274,13 @@ fn proxy_cancel(state: &Arc<RouterState>, rid: JobId) -> String {
                 job.last_state, job.backend
             );
         }
-        match unary(&job.backend).and_then(|mut c| c.cancel(job.remote_id)) {
+        match unary(state, &job.backend).and_then(|mut c| c.cancel(job.remote_id)) {
             Ok(observed) => {
                 note_state(state, rid, &observed, &job);
                 // Best-effort: stop the replica copies too — a cancelled
                 // job must not keep computing on R − 1 other backends.
                 for (backend, remote_id) in &job.replicas {
-                    if let Ok(mut c) = unary(backend) {
+                    if let Ok(mut c) = unary(state, backend) {
                         let _ = c.cancel(*remote_id);
                     }
                 }
@@ -1070,13 +1320,14 @@ fn proxy_stream(
     let mut next_seq = from;
     for _ in 0..MAX_PROXY_ATTEMPTS {
         let Some(job) = lookup(state, rid) else {
-            return write_line(writer, &format!("ERR no such job {rid}"));
+            return reply_line(writer, state, &format!("ERR no such job {rid}"));
         };
         if job.error.is_some() {
             // Locally terminated: an empty, well-formed stream.
             let error = job.error.as_deref().unwrap_or("backend_lost");
-            return write_line(
+            return reply_line(
                 writer,
+                state,
                 &format!(
                     "END id={rid} state={} results=0 error={error}",
                     job.last_state
@@ -1096,7 +1347,7 @@ fn proxy_stream(
         // `stream_while_from` aborts (and the connection drops, stopping
         // the backend's producer) as soon as a downstream write fails — the
         // router must not drain a 10^9-result stream nobody is reading.
-        let streamed = streaming(&t_backend).and_then(|mut c| {
+        let streamed = streaming(state, &t_backend).and_then(|mut c| {
             c.stream_while_from(t_remote, next_seq, |seq, plex| {
                 // Rewrite the NDJSON id field to the router namespace.
                 let line = protocol::render_plex_line(rid, seq, &plex);
@@ -1130,18 +1381,21 @@ fn proxy_stream(
                         note_state(state, rid, observed, &job);
                     }
                 }
-                return write_line(writer, &rewrite_fields("END", rid, &end, &t_backend));
+                return reply_line(writer, state, &rewrite_fields("END", rid, &end, &t_backend));
             }
             Err(ClientError::Remote(msg)) if msg.starts_with("no such job") => {
                 if primary {
-                    return write_line(
+                    return reply_line(
                         writer,
+                        state,
                         &format!("ERR results for job {rid} were evicted on {t_backend}"),
                     );
                 }
                 // A replica evicted its copy: rotate to the next target.
             }
-            Err(ClientError::Remote(msg)) => return write_line(writer, &format!("ERR {msg}")),
+            Err(ClientError::Remote(msg)) => {
+                return reply_line(writer, state, &format!("ERR {msg}"))
+            }
             Err(_) => {
                 // Transport failure mid-stream. The client has consumed
                 // exactly [from, next_seq); fail the backend over and
@@ -1154,13 +1408,23 @@ fn proxy_stream(
             }
         }
     }
-    write_line(writer, &format!("ERR job {rid} unreachable"))
+    reply_line(writer, state, &format!("ERR job {rid} unreachable"))
 }
 
-fn list(writer: &mut TcpStream, state: &Arc<RouterState>) -> std::io::Result<()> {
+fn list(
+    writer: &mut TcpStream,
+    state: &Arc<RouterState>,
+    auth: &Option<crate::auth::Principal>,
+) -> std::io::Result<()> {
+    // Tenant scoping happens on the router's own records before any
+    // backend is contacted: a non-admin principal only ever sees (and the
+    // router only ever proxies status for) its own jobs.
     let snapshot: Vec<(JobId, Routed)> = {
         let jobs = state.jobs.lock();
-        jobs.iter().map(|(&rid, j)| (rid, j.clone())).collect()
+        jobs.iter()
+            .filter(|(_, j)| may_see(auth, j.args.principal.as_deref()))
+            .map(|(&rid, j)| (rid, j.clone()))
+            .collect()
     };
     // One backend connection per group, not per job.
     let mut groups: BTreeMap<String, Vec<(JobId, Routed)>> = BTreeMap::new();
@@ -1172,7 +1436,7 @@ fn list(writer: &mut TcpStream, state: &Arc<RouterState>) -> std::io::Result<()>
     }
     let mut count = 0usize;
     for (backend, group) in groups {
-        let mut client = unary(&backend).ok();
+        let mut client = unary(state, &backend).ok();
         if client.is_none() {
             mark_backend_dead(state, &backend);
             for (rid, _) in &group {
@@ -1195,10 +1459,10 @@ fn list(writer: &mut TcpStream, state: &Arc<RouterState>) -> std::io::Result<()>
                     local_status_line(rid, &job).replacen("OK", "JOB", 1)
                 }
             };
-            write_line(writer, &line)?;
+            reply_line(writer, state, &line)?;
         }
     }
-    write_line(writer, &format!("END count={count}"))
+    reply_line(writer, state, &format!("END count={count}"))
 }
 
 fn stats(state: &Arc<RouterState>) -> String {
@@ -1220,6 +1484,9 @@ fn stats(state: &Arc<RouterState>) -> String {
         nodes.len(),
         state.replicas
     );
+    // Cluster-wide per-tenant result bytes, summed from every live
+    // backend's own `tenant{j}-bytes` counters (tenancy only).
+    let mut tenant_bytes: BTreeMap<String, u64> = BTreeMap::new();
     for (i, (addr, alive, fails, oks)) in nodes.iter().enumerate() {
         line.push_str(&format!(
             " node{i}-addr={addr} node{i}-alive={alive} \
@@ -1228,7 +1495,7 @@ fn stats(state: &Arc<RouterState>) -> String {
         if !alive {
             continue;
         }
-        match unary(addr).and_then(|mut c| c.stats()) {
+        match unary(state, addr).and_then(|mut c| c.stats()) {
             Ok(fields) => {
                 for key in [
                     "jobs",
@@ -1246,9 +1513,55 @@ fn stats(state: &Arc<RouterState>) -> String {
                         line.push_str(&format!(" node{i}-{key}={v}"));
                     }
                 }
+                if state.principals.is_some() {
+                    let mut j = 0usize;
+                    while let Some(name) = fields.get(&format!("tenant{j}-name")) {
+                        let bytes = fields
+                            .get(&format!("tenant{j}-bytes"))
+                            .and_then(|v| v.parse::<u64>().ok())
+                            .unwrap_or(0);
+                        let total = tenant_bytes.entry(name.clone()).or_insert(0);
+                        *total = crate::auth::add_bytes(*total, bytes);
+                        j += 1;
+                    }
+                }
             }
             Err(ClientError::Remote(_)) => {}
             Err(_) => mark_backend_dead(state, addr),
+        }
+    }
+    if let Some(store) = &state.principals {
+        // Per-tenant cluster view: queued/running from the router's own
+        // routed-job records (the edge-quota population), bytes from the
+        // backends' journalled counters summed above.
+        let mut queued: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut running: BTreeMap<&str, usize> = BTreeMap::new();
+        let routed = state.jobs.lock();
+        for job in routed.values() {
+            let Some(owner) = job.args.principal.as_deref() else {
+                continue;
+            };
+            let Some(p) = store.by_name(owner) else {
+                continue;
+            };
+            if job.error.is_some() {
+                continue;
+            }
+            match job.last_state.as_str() {
+                "queued" | REQUEUEING => *queued.entry(p.name.as_str()).or_insert(0) += 1,
+                "running" => *running.entry(p.name.as_str()).or_insert(0) += 1,
+                _ => {}
+            }
+        }
+        line.push_str(&format!(" tenants={}", store.len()));
+        for (i, p) in store.principals().iter().enumerate() {
+            line.push_str(&format!(
+                " tenant{i}-name={} tenant{i}-queued={} tenant{i}-running={} tenant{i}-bytes={}",
+                p.name,
+                queued.get(p.name.as_str()).copied().unwrap_or(0),
+                running.get(p.name.as_str()).copied().unwrap_or(0),
+                tenant_bytes.get(&p.name).copied().unwrap_or(0),
+            ));
         }
     }
     line

@@ -16,6 +16,21 @@
 //! `Arc<AtomicBool>` per job is observed by the engine's workers inside the
 //! branch recursion, so a cancelled job's workers stop mid-task while other
 //! jobs keep running undisturbed.
+//!
+//! ## Tenancy
+//!
+//! With [`ServerConfig::principals`] set the server is **multi-tenant**:
+//! clients must `AUTH <token>` before any other verb, submissions are
+//! attributed to the authenticated principal, per-tenant quotas
+//! (max-queued, max-running) are enforced at admission and dispatch, and
+//! the admission queue becomes per-tenant lanes drained by deficit-weighted
+//! round-robin (see `JobQueue`) — a flooding tenant keeps its throughput
+//! share but can never starve another tenant's submit. `STATUS` / `STREAM`
+//! / `CANCEL` / `LIST` are scoped to the owning principal (admin sees all),
+//! and every reply line is scrubbed of registered tokens
+//! ([`protocol::redact_secrets`]). Without `--principals` none of this
+//! exists: one anonymous FIFO lane, no `AUTH`, byte-for-byte the previous
+//! behavior.
 
 use crate::cache::{CacheStats, GraphCache};
 use crate::job::{GraphSource, Job, JobSpec, StopCause, StreamStep};
@@ -83,6 +98,10 @@ pub struct ServerConfig {
     /// across a crash, more fsyncs; the offset is never journaled per
     /// result. Ignored without a journal.
     pub delivery_batch: usize,
+    /// Principal store (`kplexd --principals`): enables tenancy — `AUTH`,
+    /// per-tenant quotas, fair-share lanes, scoped verbs, token redaction.
+    /// `None` preserves the anonymous single-queue behavior exactly.
+    pub principals: Option<crate::auth::PrincipalStore>,
     /// Test-only: called with the cache key at the start of every cold
     /// load, *outside* the cache's map lock. Tests install a hook that
     /// blocks on a channel to hold a cold load open deterministically (no
@@ -102,6 +121,7 @@ impl std::fmt::Debug for ServerConfig {
             .field("retain_terminal", &self.retain_terminal)
             .field("journal", &self.journal)
             .field("delivery_batch", &self.delivery_batch)
+            .field("principals", &self.principals.as_ref().map(|s| s.len()))
             .field("cold_load_hook", &self.cold_load_hook.is_some())
             .finish()
     }
@@ -122,20 +142,147 @@ impl Default for ServerConfig {
             retain_terminal: RETAIN_TERMINAL_JOBS,
             journal: None,
             delivery_batch: DELIVERY_BATCH,
+            principals: None,
             cold_load_hook: None,
         }
     }
 }
 
-/// The admission queue and its reservation count, one mutex-protected
-/// unit. `reserved` counts queue slots held by submissions whose journal
-/// fsync is in flight (the fsync runs outside the queue lock); keeping it
-/// inside the same lock as the deque makes `deque.len() + reserved` a
-/// structurally consistent capacity check — it used to be a separate
-/// atomic that was only *conventionally* guarded by this lock.
-struct JobQueue {
+/// One tenant's sub-queue inside the fair-share admission queue.
+struct TenantLane {
+    /// Queued job ids, FIFO within the lane.
     deque: VecDeque<JobId>,
+    /// Remaining dispatches in this lane's current scheduler turn. Refilled
+    /// to `weight` when the lane's turn starts; the lane rotates to the
+    /// back of the order when it hits 0.
+    deficit: u64,
+    /// Fair-share weight (dispatches per rotation), from the principal
+    /// store; 1 for the anonymous lane.
+    weight: u64,
+    /// Max concurrently running jobs (0 = unlimited): a lane at its limit
+    /// is skipped by the scheduler until a job finishes.
+    max_running: usize,
+    /// Jobs of this lane currently held by runners.
+    running: usize,
+    /// Slots held by submissions whose journal fsync is in flight (the
+    /// fsync runs outside the queue lock); counted against both the global
+    /// capacity and the lane's max-queued quota so neither can be
+    /// oversubscribed while the lock is released.
     reserved: usize,
+}
+
+/// The admission queue: per-tenant lanes drained by **deficit-weighted
+/// round-robin**, one mutex-protected unit (including the reservation
+/// counts — see [`TenantLane::reserved`]).
+///
+/// Lanes are keyed by principal name; the anonymous lane (servers without
+/// `--principals`, and pre-tenancy journal replays) is keyed `""` — not a
+/// legal principal name, so it can never collide. With a single lane of
+/// weight 1 the scheduler degenerates to exactly the previous FIFO.
+///
+/// Anti-starvation: a lane with queued work is visited once per rotation
+/// and a lane's turn spends at most `weight` dispatches, so a job at the
+/// head of its lane starts within `Σ other lanes' weights` dispatches of
+/// its lane's turn — however deep any other lane's backlog is. The
+/// fairness integration test pins this bound.
+#[derive(Default)]
+struct JobQueue {
+    /// Lane per tenant, created on first use and kept for the server's
+    /// lifetime (bounded by the principal count + 1).
+    lanes: BTreeMap<String, TenantLane>,
+    /// Round-robin rotation order of lane keys. The lane whose turn is in
+    /// progress sits at the front.
+    order: VecDeque<String>,
+}
+
+impl JobQueue {
+    /// The lane for `key`, created with the given scheduling parameters if
+    /// absent (parameters of an existing lane are left untouched).
+    fn lane_mut(&mut self, key: &str, weight: u64, max_running: usize) -> &mut TenantLane {
+        if !self.lanes.contains_key(key) {
+            self.order.push_back(key.to_string());
+        }
+        self.lanes
+            .entry(key.to_string())
+            .or_insert_with(|| TenantLane {
+                deque: VecDeque::new(),
+                deficit: 0,
+                weight: weight.max(1),
+                max_running,
+                running: 0,
+                reserved: 0,
+            })
+    }
+
+    /// Total queued jobs across all lanes (`STATS queue-depth=`).
+    fn depth(&self) -> usize {
+        self.lanes.values().map(|l| l.deque.len()).sum()
+    }
+
+    /// Total in-flight reservations across all lanes.
+    fn reserved_total(&self) -> usize {
+        self.lanes.values().map(|l| l.reserved).sum()
+    }
+
+    /// Removes a queued job wherever it sits (the `CANCEL` path: a dead job
+    /// must not hold queue capacity until a runner pops it).
+    fn remove_queued(&mut self, id: JobId) {
+        for lane in self.lanes.values_mut() {
+            lane.deque.retain(|&qid| qid != id);
+        }
+    }
+
+    /// Pops the next job to run under deficit-weighted round-robin, or
+    /// `None` when every lane is empty or blocked at its max-running limit.
+    /// The caller owns the returned lane's running slot and must release it
+    /// (decrement `running`, then notify) when the job leaves the runner.
+    fn pop_next(&mut self) -> Option<(JobId, String)> {
+        // One full rotation suffices: with unit job cost a refilled deficit
+        // (weight >= 1) always covers a dispatch, so any lane that is
+        // non-empty and under its running limit dispatches when visited.
+        for _ in 0..self.order.len() {
+            let Some(key) = self.order.pop_front() else {
+                break;
+            };
+            let Some(lane) = self.lanes.get_mut(&key) else {
+                continue;
+            };
+            if lane.max_running != 0 && lane.running >= lane.max_running {
+                // At quota: skip without spending deficit; a finishing job
+                // notifies the condvar so this lane is revisited.
+                self.order.push_back(key);
+                continue;
+            }
+            let Some(&id) = lane.deque.front() else {
+                // Empty lane forfeits its turn — deficits must not be
+                // hoarded while idle, or a returning flood would burst.
+                lane.deficit = 0;
+                self.order.push_back(key);
+                continue;
+            };
+            if lane.deficit == 0 {
+                lane.deficit = lane.weight;
+            }
+            lane.deficit -= 1;
+            lane.deque.pop_front();
+            lane.running += 1;
+            if lane.deficit == 0 {
+                self.order.push_back(key.clone());
+            } else {
+                // Turn still in progress: stay at the front for the next pop.
+                self.order.push_front(key.clone());
+            }
+            return Some((id, key));
+        }
+        None
+    }
+
+    /// Returns a lane's running slot after its job left the runner.
+    fn release_running(&mut self, key: &str) {
+        if let Some(lane) = self.lanes.get_mut(key) {
+            lane.running = lane.running.saturating_sub(1);
+        }
+    }
 }
 
 struct SharedState {
@@ -162,6 +309,17 @@ struct SharedState {
     /// abruptly (crash simulation); the graceful shutdown ignores it.
     conns: OrderedMutex<BTreeMap<u64, TcpStream>>,
     next_conn: AtomicU64,
+    /// Principal store; `None` = tenancy disabled (anonymous server).
+    principals: Option<crate::auth::PrincipalStore>,
+    /// Every registered token — scrubbed from every reply line
+    /// ([`protocol::redact_secrets`]). Empty when tenancy is disabled.
+    secrets: Vec<String>,
+    /// Cumulative result bytes per principal name (the anonymous key is
+    /// `""`). Atomics with a key set **fixed at bind** (principals file ∪
+    /// journal replay ∪ anonymous), because the job-terminal hook that
+    /// updates them runs under the `JobProgress` lock — below the rank of
+    /// the jobs/queue mutexes, which therefore must not be taken there.
+    tenant_bytes: BTreeMap<String, AtomicU64>,
     cold_load_hook: Option<LoadHook>,
 }
 
@@ -184,22 +342,111 @@ impl SharedState {
     }
 }
 
+/// One connection's authentication state: which principal (if any) has
+/// presented a valid token on this connection.
+#[derive(Clone, Debug, Default)]
+struct ConnAuth {
+    /// `None` before a successful `AUTH` — and always, on a server without
+    /// a principal store (where nothing is gated on it).
+    principal: Option<crate::auth::Principal>,
+}
+
+impl ConnAuth {
+    /// May this connection observe a job owned by `owner`? Only meaningful
+    /// after the auth gate: on a tenancy-enabled server an unauthenticated
+    /// connection never reaches a job-reading verb.
+    fn may_see(&self, owner: Option<&str>) -> bool {
+        match &self.principal {
+            None => true, // tenancy disabled: every job is visible
+            Some(p) => p.admin || owner == Some(p.name.as_str()),
+        }
+    }
+}
+
 impl SharedState {
-    fn job(&self, id: JobId) -> Option<Arc<Job>> {
+    /// Principal-scoped job lookup — the only jobs-map read path handlers
+    /// may use (enforced by the `tenant-scoped` lint rule). A job outside
+    /// the caller's scope is indistinguishable from a missing one, so
+    /// cross-tenant probes cannot enumerate ids.
+    fn job_for(&self, id: JobId, auth: &ConnAuth) -> Option<Arc<Job>> {
+        self.jobs
+            .lock()
+            .get(&id)
+            .filter(|job| auth.may_see(job.spec.principal.as_deref()))
+            .cloned()
+    }
+
+    /// Principal-scoped job listing (see [`SharedState::job_for`]).
+    fn jobs_for(&self, auth: &ConnAuth) -> Vec<Arc<Job>> {
+        self.jobs
+            .lock()
+            .values()
+            .filter(|job| auth.may_see(job.spec.principal.as_deref()))
+            .cloned()
+            .collect()
+    }
+
+    /// Unscoped lookup for the runner pool, which dispatches every
+    /// tenant's jobs and is not a client handler.
+    fn job_unscoped(&self, id: JobId) -> Option<Arc<Job>> {
+        // tenant: runner-internal dispatch path, not reachable from a
+        // client verb — handlers must go through job_for/jobs_for.
         self.jobs.lock().get(&id).cloned()
     }
 }
 
-/// The terminal hook installed on every job of a journaled server: writes
-/// the `END` record the instant the job's terminal transition is performed
-/// — under the job's lock, *before* any `STATUS`/`STREAM` reader can
-/// observe it. Write-ahead matters: once a client has seen a job terminal
-/// (and consumed its results), a restart must not resurrect it. The state
-/// handle is weak so the jobs map and the state do not form an `Arc` cycle.
-fn terminal_journal_hook(state: std::sync::Weak<SharedState>) -> crate::job::TerminalHook {
-    Arc::new(move |id, label| {
+/// The deficit-round-robin parameters for a lane key: the principal's
+/// weight and max-running quota, or `(1, unlimited)` for the anonymous
+/// lane and for principals no longer in the store (a journal can outlive a
+/// provisioning change).
+fn lane_params(store: &Option<crate::auth::PrincipalStore>, key: &str) -> (u64, usize) {
+    store
+        .as_ref()
+        .and_then(|s| s.by_name(key))
+        .map(|p| (p.weight, p.max_running))
+        .unwrap_or((1, 0))
+}
+
+/// The terminal hook installed on every job: writes the journal `END`
+/// record the instant the job's terminal transition is performed — under
+/// the job's lock, *before* any `STATUS`/`STREAM` reader can observe it.
+/// Write-ahead matters: once a client has seen a job terminal (and
+/// consumed its results), a restart must not resurrect it. It then folds
+/// the job's accounted result bytes into the owning tenant's cumulative
+/// counter and journals the new total (`TENANT` record, named principals
+/// only — an anonymous server's journal stays byte-identical to before
+/// tenancy existed). The hook runs under the `JobProgress` lock, so it may
+/// only touch atomics and journal-ranked locks — see the field doc on
+/// `SharedState::tenant_bytes`. The state handle is weak so the jobs map
+/// and the state do not form an `Arc` cycle.
+fn terminal_journal_hook(
+    state: std::sync::Weak<SharedState>,
+    principal: Option<String>,
+) -> crate::job::TerminalHook {
+    Arc::new(move |id, label, bytes| {
         if let Some(state) = state.upgrade() {
             state.journal_record(|j| j.record_end(id, label));
+            if bytes == 0 {
+                return;
+            }
+            let key = principal.as_deref().unwrap_or("");
+            let Some(counter) = state.tenant_bytes.get(key) else {
+                return;
+            };
+            // ordering: AcqRel/Acquire publish the advanced total before the
+            // journal write below reads it; the counter is a monotone
+            // statistic with no other data hanging off it.
+            let prev = match counter.fetch_update(Ordering::AcqRel, Ordering::Acquire, |t| {
+                Some(crate::auth::add_bytes(t, bytes))
+            }) {
+                Ok(prev) | Err(prev) => prev,
+            };
+            let total = crate::auth::add_bytes(prev, bytes);
+            if let Some(name) = &principal {
+                // Coalesced in the journal: racing terminals can only
+                // advance the on-disk total (max wins on replay anyway).
+                state.journal_record(|j| j.record_tenant(name, total));
+            }
         }
     })
 }
@@ -238,12 +485,29 @@ impl Server {
             None => (None, None),
         };
         let next_id = replayed.as_ref().map_or(1, |r| r.next_id);
+        let principals = cfg.principals.clone();
+        let secrets = principals.as_ref().map(|s| s.tokens()).unwrap_or_default();
+        // Per-tenant byte counters: the key set is fixed here — principals
+        // file ∪ journaled totals ∪ the anonymous key — because the
+        // terminal hook that updates them may not allocate map entries
+        // under its lock rank. Journaled totals seed the counters, so
+        // cumulative accounting survives restarts.
+        let mut tenant_bytes: BTreeMap<String, AtomicU64> = BTreeMap::new();
+        tenant_bytes.insert(String::new(), AtomicU64::new(0));
+        if let Some(store) = &principals {
+            for p in store.principals() {
+                tenant_bytes.entry(p.name.clone()).or_default();
+            }
+        }
+        for (name, &bytes) in replayed.iter().flat_map(|r| &r.tenant_bytes) {
+            tenant_bytes.insert(name.clone(), AtomicU64::new(bytes));
+        }
         // `new_cyclic`: replayed jobs need the terminal hook, and the hook
         // needs a (weak — jobs must not keep the state alive in a cycle)
         // handle to the state being built.
         let state = Arc::new_cyclic(|weak: &std::sync::Weak<SharedState>| {
             let mut jobs = BTreeMap::new();
-            let mut queue = VecDeque::new();
+            let mut queue = JobQueue::default();
             for recovered in replayed.into_iter().flat_map(|r| r.jobs) {
                 // Re-validate against *this* lifetime's registry: a journal
                 // may outlive a dataset or an algorithm preset. An invalid
@@ -254,11 +518,23 @@ impl Server {
                         // The journaled delivery floor travels with the job:
                         // a client consumed results below it in the previous
                         // lifetime, so streams of the replayed job skip them.
+                        // The journaled principal tag travels with it too —
+                        // back into its owner's fair-share lane and byte
+                        // accounting.
+                        let principal = spec.principal.clone();
                         let job = Job::new_recovered(recovered.id, spec)
                             .with_delivered_floor(recovered.delivered)
-                            .with_terminal_hook(terminal_journal_hook(weak.clone()));
+                            .with_terminal_hook(terminal_journal_hook(
+                                weak.clone(),
+                                principal.clone(),
+                            ));
                         jobs.insert(recovered.id, Arc::new(job));
-                        queue.push_back(recovered.id);
+                        let key = principal.unwrap_or_default();
+                        let (weight, max_running) = lane_params(&principals, &key);
+                        queue
+                            .lane_mut(&key, weight, max_running)
+                            .deque
+                            .push_back(recovered.id);
                     }
                     Err(reason) => {
                         eprintln!(
@@ -271,18 +547,11 @@ impl Server {
                     }
                 }
             }
-            let recovered = queue.len();
+            let recovered = queue.depth();
             SharedState {
                 jobs: OrderedMutex::new(Rank::ServerJobs, "server-jobs", jobs),
                 next_id: AtomicU64::new(next_id),
-                queue: OrderedMutex::new(
-                    Rank::ServerQueue,
-                    "server-queue",
-                    JobQueue {
-                        deque: queue,
-                        reserved: 0,
-                    },
-                ),
+                queue: OrderedMutex::new(Rank::ServerQueue, "server-queue", queue),
                 queue_cond: OrderedCondvar::new(),
                 queue_cap: cfg.queue_cap.max(1),
                 cache: GraphCache::new(cfg.cache_cap),
@@ -295,6 +564,9 @@ impl Server {
                 recovered,
                 conns: OrderedMutex::new(Rank::ServerConns, "server-conns", BTreeMap::new()),
                 next_conn: AtomicU64::new(0),
+                principals,
+                secrets,
+                tenant_bytes,
                 cold_load_hook: cfg.cold_load_hook.clone(),
             }
         });
@@ -378,6 +650,7 @@ impl ServerHandle {
             }
         }
         // Cancel live jobs so runners and streamers unblock quickly.
+        // tenant: teardown spans every tenant by design.
         let jobs: Vec<Arc<Job>> = self.state.jobs.lock().values().cloned().collect();
         for job in jobs {
             if !job.state().is_terminal() {
@@ -434,40 +707,87 @@ fn write_line<W: Write>(stream: &mut W, line: &str) -> std::io::Result<()> {
 fn handle_connection(stream: TcpStream, state: &Arc<SharedState>) -> std::io::Result<()> {
     let mut writer = stream.try_clone()?;
     let reader = BufReader::new(stream);
+    let mut auth = ConnAuth::default();
+    // Every reply line leaves through this chokepoint, scrubbed of every
+    // registered token — the no-token-ever-echoed guarantee does not rely
+    // on each handler remembering to redact. (Result NDJSON lines stream
+    // through `stream_job`'s buffered fast path instead; they are vertex
+    // id arrays and framing, with no client- or operator-supplied text.)
+    let reply = |writer: &mut TcpStream, line: &str| -> std::io::Result<()> {
+        if state.secrets.is_empty() {
+            write_line(writer, line)
+        } else {
+            write_line(writer, &protocol::redact_secrets(line, &state.secrets))
+        }
+    };
     for line in reader.lines() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        match protocol::parse_request(&line) {
-            Err(e) => write_line(&mut writer, &format!("ERR {e}"))?,
-            Ok(Request::Quit) => {
-                write_line(&mut writer, "OK bye")?;
+        let req = match protocol::parse_request(&line) {
+            Ok(req) => req,
+            Err(e) => {
+                reply(&mut writer, &format!("ERR {e}"))?;
+                continue;
+            }
+        };
+        // The auth gate: with tenancy enabled, every verb except
+        // PING/QUIT/AUTH requires a successful AUTH on this connection.
+        if state.principals.is_some()
+            && auth.principal.is_none()
+            && !matches!(req, Request::Ping | Request::Quit | Request::Auth(_))
+        {
+            reply(&mut writer, "ERR authentication required (AUTH <token>)")?;
+            continue;
+        }
+        match req {
+            Request::Quit => {
+                reply(&mut writer, "OK bye")?;
                 return Ok(());
             }
-            Ok(Request::Ping) => write_line(&mut writer, "OK pong")?,
-            Ok(Request::Submit(args)) => {
-                let resp = match submit(state, &args) {
+            Request::Ping => reply(&mut writer, "OK pong")?,
+            Request::Auth(token) => {
+                let resp = match &state.principals {
+                    None => {
+                        "ERR authentication disabled (start kplexd with --principals)".to_string()
+                    }
+                    Some(store) => match store.authenticate(&token) {
+                        Some(p) => {
+                            auth.principal = Some(p.clone());
+                            format!(
+                                "OK principal={} weight={} admin={}",
+                                p.name, p.weight, p.admin
+                            )
+                        }
+                        // Deliberately does not echo the presented token.
+                        None => "ERR unknown token".to_string(),
+                    },
+                };
+                reply(&mut writer, &resp)?;
+            }
+            Request::Submit(args) => {
+                let resp = match submit(state, &args, &auth) {
                     Ok(id) => format!("OK id={id} state=queued"),
                     Err(e) => format!("ERR {e}"),
                 };
-                write_line(&mut writer, &resp)?;
+                reply(&mut writer, &resp)?;
             }
-            Ok(Request::Status(id)) => {
-                let resp = match state.job(id) {
-                    Some(job) => status_line(&job),
+            Request::Status(id) => {
+                let resp = match state.job_for(id, &auth) {
+                    Some(job) => status_line(&job, &state.secrets),
                     None => format!("ERR no such job {id}"),
                 };
-                write_line(&mut writer, &resp)?;
+                reply(&mut writer, &resp)?;
             }
-            Ok(Request::Cancel(id)) => {
-                let resp = match state.job(id) {
+            Request::Cancel(id) => {
+                let resp = match state.job_for(id, &auth) {
                     Some(job) => {
                         job.request_cancel();
                         // A job cancelled while queued must also free its
                         // bounded-queue slot, or dead jobs hold capacity
                         // against new submissions until a runner pops them.
-                        state.queue.lock().deque.retain(|&qid| qid != id);
+                        state.queue.lock().remove_queued(id);
                         // A queued job dies inside `request_cancel`, which
                         // fires the terminal hook — the journal END record
                         // is already written by the time we reply.
@@ -476,28 +796,29 @@ fn handle_connection(stream: TcpStream, state: &Arc<SharedState>) -> std::io::Re
                     }
                     None => format!("ERR no such job {id}"),
                 };
-                write_line(&mut writer, &resp)?;
+                reply(&mut writer, &resp)?;
             }
-            Ok(Request::List) => {
-                let jobs: Vec<Arc<Job>> = state.jobs.lock().values().cloned().collect();
+            Request::List => {
+                let jobs = state.jobs_for(&auth);
                 for job in &jobs {
                     let s = job.snapshot();
-                    write_line(
-                        &mut writer,
-                        &format!(
-                            "JOB id={} state={} source={} k={} q={} results={}",
-                            s.id,
-                            s.state.label(),
-                            s.source,
-                            s.params.k,
-                            s.params.q,
-                            s.results
-                        ),
-                    )?;
+                    let mut line = format!(
+                        "JOB id={} state={} source={} k={} q={} results={}",
+                        s.id,
+                        s.state.label(),
+                        s.source,
+                        s.params.k,
+                        s.params.q,
+                        s.results
+                    );
+                    if let Some(owner) = &job.spec.principal {
+                        line.push_str(&format!(" principal={owner}"));
+                    }
+                    reply(&mut writer, &line)?;
                 }
-                write_line(&mut writer, &format!("END count={}", jobs.len()))?;
+                reply(&mut writer, &format!("END count={}", jobs.len()))?;
             }
-            Ok(Request::Stats) => {
+            Request::Stats => {
                 let CacheStats {
                     hits,
                     coalesced,
@@ -506,8 +827,10 @@ fn handle_connection(stream: TcpStream, state: &Arc<SharedState>) -> std::io::Re
                     pending,
                     waiting,
                 } = state.cache.stats();
+                // tenant: STATS is an aggregate view; it exposes counts and
+                // principal *names* (public), never job details or tokens.
                 let jobs = state.jobs.lock().len();
-                let depth = state.queue.lock().deque.len();
+                let depth = state.queue.lock().depth();
                 let recovered = state.recovered;
                 // Per-backend cache residency: total bytes plus a
                 // `label:entries:bytes` breakdown ("-" when the cache is
@@ -522,35 +845,56 @@ fn handle_connection(stream: TcpStream, state: &Arc<SharedState>) -> std::io::Re
                         .collect::<Vec<_>>()
                         .join(",")
                 };
-                write_line(
-                    &mut writer,
-                    &format!(
-                        "OK jobs={jobs} queue-depth={depth} recovered={recovered} \
-                         cache-hits={hits} cache-coalesced={coalesced} \
-                         cache-misses={misses} cache-entries={entries} \
-                         cache-pending={pending} cache-waiting={waiting} \
-                         graph-bytes={graph_bytes} store={store}"
-                    ),
-                )?;
+                let mut line = format!(
+                    "OK jobs={jobs} queue-depth={depth} recovered={recovered} \
+                     cache-hits={hits} cache-coalesced={coalesced} \
+                     cache-misses={misses} cache-entries={entries} \
+                     cache-pending={pending} cache-waiting={waiting} \
+                     graph-bytes={graph_bytes} store={store}"
+                );
+                // Tenant accounting block, present only with a principal
+                // store (an anonymous server's STATS stays byte-identical).
+                if let Some(store) = &state.principals {
+                    line.push_str(&format!(" tenants={}", store.len()));
+                    let queue = state.queue.lock();
+                    for (i, p) in store.principals().iter().enumerate() {
+                        let (queued, running) = queue
+                            .lanes
+                            .get(&p.name)
+                            .map(|l| (l.deque.len() + l.reserved, l.running))
+                            .unwrap_or((0, 0));
+                        // ordering: the counter is a standalone monotone
+                        // statistic; Acquire pairs with the hook's AcqRel.
+                        let bytes = state
+                            .tenant_bytes
+                            .get(&p.name)
+                            .map(|c| c.load(Ordering::Acquire))
+                            .unwrap_or(0);
+                        line.push_str(&format!(
+                            " tenant{i}-name={} tenant{i}-queued={queued} \
+                             tenant{i}-running={running} tenant{i}-bytes={bytes}",
+                            p.name
+                        ));
+                    }
+                }
+                reply(&mut writer, &line)?;
             }
-            Ok(
-                Request::AddNode(_) | Request::DropNode(_) | Request::Nodes | Request::Rebalance,
-            ) => {
-                write_line(
+            Request::AddNode(_) | Request::DropNode(_) | Request::Nodes | Request::Rebalance => {
+                reply(
                     &mut writer,
                     "ERR router-only verb (this is a kplexd backend, not a kplexr router)",
                 )?;
             }
-            Ok(Request::Stream(id, from)) => match state.job(id) {
+            Request::Stream(id, from) => match state.job_for(id, &auth) {
                 Some(job) => stream_job(&mut writer, state, &job, from)?,
-                None => write_line(&mut writer, &format!("ERR no such job {id}"))?,
+                None => reply(&mut writer, &format!("ERR no such job {id}"))?,
             },
         }
     }
     Ok(())
 }
 
-fn status_line(job: &Job) -> String {
+fn status_line(job: &Job, secrets: &[String]) -> String {
     let s = job.snapshot();
     let mut line = format!(
         "OK id={} state={} source={} k={} q={} results={} elapsed-ms={}",
@@ -570,6 +914,9 @@ fn status_line(job: &Job) -> String {
     if s.recovered {
         line.push_str(" recovered=true");
     }
+    if let Some(owner) = &job.spec.principal {
+        line.push_str(&format!(" principal={owner}"));
+    }
     if let Some(stats) = &s.stats {
         line.push_str(&format!(
             " branches={} outputs={}",
@@ -578,8 +925,13 @@ fn status_line(job: &Job) -> String {
     }
     if let Some(err) = &s.error {
         // Full sanitization, not just spaces: an io::Error message can
-        // carry tabs or newlines, which would corrupt the line protocol.
-        line.push_str(&format!(" error={}", protocol::sanitize_value(err)));
+        // carry tabs or newlines, which would corrupt the line protocol —
+        // and redaction, because an error can embed operator- or
+        // client-supplied text (a path, say) that contains a token.
+        line.push_str(&format!(
+            " error={}",
+            protocol::sanitize_value_redacted(err, secrets)
+        ));
     }
     line
 }
@@ -643,6 +995,10 @@ fn stream_job(
                     job.id,
                     job_state.label()
                 );
+                if let Some(owner) = &job.spec.principal {
+                    // Tenant-tagged terminal frame, same as `STATUS`.
+                    end.push_str(&format!(" principal={owner}"));
+                }
                 if sent as u64 != total {
                     end.push_str(&format!(" truncated=true total={total}"));
                 }
@@ -663,30 +1019,89 @@ fn stream_job(
 
 // --- submission -------------------------------------------------------------
 
-fn submit(state: &Arc<SharedState>, args: &SubmitArgs) -> Result<JobId, String> {
+/// Resolves the principal a submission runs **as**: the authenticated one,
+/// unless an admin tags another principal's name (the router's proxy
+/// path). Returns the effective principal, or `None` for the anonymous
+/// server.
+fn effective_principal(
+    state: &SharedState,
+    args: &SubmitArgs,
+    auth: &ConnAuth,
+) -> Result<Option<crate::auth::Principal>, String> {
+    let Some(store) = &state.principals else {
+        if args.principal.is_some() {
+            return Err("principal= requires a server started with --principals".into());
+        }
+        return Ok(None);
+    };
+    let Some(me) = &auth.principal else {
+        // Unreachable past the connection's auth gate; kept as defense.
+        return Err("authentication required (AUTH <token>)".into());
+    };
+    match &args.principal {
+        None => Ok(Some(me.clone())),
+        Some(tag) if *tag == me.name => Ok(Some(me.clone())),
+        Some(tag) => {
+            if !me.admin {
+                return Err(
+                    "only an admin principal may submit on another principal's behalf".into(),
+                );
+            }
+            store
+                .by_name(tag)
+                .cloned()
+                .map(Some)
+                .ok_or_else(|| format!("unknown principal {tag:?}"))
+        }
+    }
+}
+
+fn submit(state: &Arc<SharedState>, args: &SubmitArgs, auth: &ConnAuth) -> Result<JobId, String> {
     if state.shutdown.load(Ordering::Acquire) {
         // The runner pool is gone; accepting would queue the job forever.
         return Err("server shutting down".into());
     }
-    let spec = validate(state.default_threads, state.default_store, args)?;
+    let principal = effective_principal(state, args, auth)?;
+    let mut spec = validate(state.default_threads, state.default_store, args)?;
+    spec.principal = principal.as_ref().map(|p| p.name.clone());
+    // What the journal must remember is the *effective* principal — an
+    // untagged submit by an authenticated tenant replays into that
+    // tenant's lane, not the anonymous one.
+    let journal_args = {
+        let mut a = args.clone();
+        a.principal = spec.principal.clone();
+        a
+    };
+    let lane_key = spec.principal.clone().unwrap_or_default();
+    let (weight, max_running) = principal
+        .as_ref()
+        .map(|p| (p.weight, p.max_running))
+        .unwrap_or((1, 0));
+    let max_queued = principal.as_ref().map_or(0, |p| p.max_queued);
     // ordering: id allocation only needs uniqueness; publication of the job
     // itself happens under the queue/jobs locks in phase 2.
     let id = state.next_id.fetch_add(1, Ordering::Relaxed);
-    let job = Arc::new(
-        Job::new(id, spec).with_terminal_hook(terminal_journal_hook(Arc::downgrade(state))),
-    );
-    // Phase 1: reserve a queue slot. The capacity check counts slots held
-    // by submissions whose journal fsync is still in flight, so the cap
-    // cannot be oversubscribed while the lock is released below.
+    let hook = terminal_journal_hook(Arc::downgrade(state), spec.principal.clone());
+    let job = Arc::new(Job::new(id, spec).with_terminal_hook(hook));
+    // Phase 1: reserve a queue slot, checking the global capacity *and*
+    // the tenant's max-queued quota. Both checks count slots held by
+    // submissions whose journal fsync is still in flight, so neither limit
+    // can be oversubscribed while the lock is released below.
     {
         let mut queue = state.queue.lock();
-        if queue.deque.len() + queue.reserved >= state.queue_cap {
+        let waiting = queue.depth() + queue.reserved_total();
+        if waiting >= state.queue_cap {
+            return Err(format!("queue full ({waiting} jobs waiting), retry later"));
+        }
+        let lane = queue.lane_mut(&lane_key, weight, max_running);
+        let lane_waiting = lane.deque.len() + lane.reserved;
+        if max_queued != 0 && lane_waiting >= max_queued {
             return Err(format!(
-                "queue full ({} jobs waiting), retry later",
-                queue.deque.len() + queue.reserved
+                "quota exceeded: principal {lane_key} has {lane_waiting} jobs \
+                 queued (max-queued={max_queued})"
             ));
         }
-        queue.reserved += 1;
+        lane.reserved += 1;
     }
     // Journal-before-ack, with the fsync OUTSIDE the queue lock —
     // submissions must not serialize runner pops behind disk latency. A
@@ -696,30 +1111,37 @@ fn submit(state: &Arc<SharedState>, args: &SubmitArgs) -> Result<JobId, String> 
     // id still holds: the job is invisible to runners until phase 2.
     let journaled = match &state.journal {
         Some(journal) => journal
-            .record_submit(id, args)
+            .record_submit(id, &journal_args)
             .map_err(|e| format!("journal write failed: {e}")),
         None => Ok(()),
     };
     // Phase 2: publish (always releasing the reservation first).
     {
         let mut queue = state.queue.lock();
-        queue.reserved -= 1;
+        queue.lane_mut(&lane_key, weight, max_running).reserved -= 1;
         journaled?;
-        let mut jobs = state.jobs.lock();
-        jobs.insert(id, job);
-        // Evict the oldest terminal jobs beyond the retention backlog
-        // (BTreeMap iterates in id = submission order).
-        let stale: Vec<JobId> = jobs
-            .iter()
-            .filter(|(_, j)| j.state().is_terminal())
-            .map(|(&jid, _)| jid)
-            .collect();
-        if stale.len() > state.retain_terminal {
-            for jid in &stale[..stale.len() - state.retain_terminal] {
-                jobs.remove(jid);
+        {
+            // tenant: terminal-job eviction walks every tenant's jobs —
+            // retention is a global memory bound, not a per-tenant view.
+            let mut jobs = state.jobs.lock();
+            jobs.insert(id, job);
+            // Evict the oldest terminal jobs beyond the retention backlog
+            // (BTreeMap iterates in id = submission order).
+            let stale: Vec<JobId> = jobs
+                .iter()
+                .filter(|(_, j)| j.state().is_terminal())
+                .map(|(&jid, _)| jid)
+                .collect();
+            if stale.len() > state.retain_terminal {
+                for jid in &stale[..stale.len() - state.retain_terminal] {
+                    jobs.remove(jid);
+                }
             }
         }
-        queue.deque.push_back(id);
+        queue
+            .lane_mut(&lane_key, weight, max_running)
+            .deque
+            .push_back(id);
     }
     state.queue_cond.notify_one();
     Ok(id)
@@ -759,6 +1181,9 @@ fn validate(
         throttle: Duration::from_micros(args.throttle_us.unwrap_or(0)),
         tau: Some(Duration::from_micros(args.tau_us.unwrap_or(100))),
         store,
+        // The tag as submitted (journal replay path); the live submit path
+        // overwrites this with the connection's effective principal.
+        principal: args.principal.clone(),
     })
 }
 
@@ -766,22 +1191,30 @@ fn validate(
 
 fn runner_loop(state: &Arc<SharedState>) {
     loop {
-        let id = {
+        let (id, lane_key) = {
             let mut queue = state.queue.lock();
             loop {
                 if state.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                if let Some(id) = queue.deque.pop_front() {
-                    break id;
+                // Deficit-round-robin pop; `None` also covers the
+                // jobs-queued-but-every-lane-at-max-running case, where
+                // this runner waits for a finishing job's notify.
+                if let Some(popped) = queue.pop_next() {
+                    break popped;
                 }
                 let (q, _timed_out) = state.queue_cond.wait_timeout(queue, WAIT_TICK);
                 queue = q;
             }
         };
-        if let Some(job) = state.job(id) {
+        if let Some(job) = state.job_unscoped(id) {
             execute(state, &job);
         }
+        // Release the lane's running slot and wake every waiter: a lane
+        // blocked at its max-running quota may just have become eligible,
+        // and which runner sleeps on the condvar is arbitrary.
+        state.queue.lock().release_running(&lane_key);
+        state.queue_cond.notify_all();
     }
 }
 

@@ -1,11 +1,15 @@
 //! Property-based round-trip tests for the wire protocol: every request
-//! frame survives `parse(render(x)) == x`, NDJSON result lines survive
-//! their own round trip, and arbitrary malformed input produces protocol
-//! errors — never panics.
+//! frame survives `parse(render(x)) == x` (including `AUTH` and
+//! tenant-tagged submissions), NDJSON result lines survive their own round
+//! trip, arbitrary malformed input produces protocol errors — never panics
+//! — and the tenancy layer's two safety properties hold: per-tenant byte
+//! accounting saturates instead of overflowing, and no reply line ever
+//! echoes a registered token.
 
+use kplex_service::auth::{add_bytes, plex_bytes};
 use kplex_service::protocol::{
-    parse_plex_line, parse_request, parse_response_fields, render_plex_line, render_request,
-    sanitize_value, Request, SubmitArgs,
+    parse_plex_line, parse_request, parse_response_fields, redact_secrets, render_plex_line,
+    render_request, sanitize_value, sanitize_value_redacted, Request, SubmitArgs,
 };
 use proptest::prelude::*;
 
@@ -30,13 +34,14 @@ fn arb_submit() -> impl Strategy<Value = SubmitArgs> {
             prop_oneof![Just(None), (1usize..64).prop_map(Some)],
             prop_oneof![Just(None), arb_ident().prop_map(Some)],
             prop_oneof![Just(None), arb_ident().prop_map(Some)],
+            prop_oneof![Just(None), arb_ident().prop_map(Some)],
         ),
     )
         .prop_map(
             |(
                 (use_dataset, source, k, q),
                 (limit, timeout_ms, throttle_us, tau_us),
-                (threads, algo, store),
+                (threads, algo, store, principal),
             )| {
                 SubmitArgs {
                     dataset: use_dataset.then(|| source.clone()),
@@ -50,6 +55,7 @@ fn arb_submit() -> impl Strategy<Value = SubmitArgs> {
                     throttle_us,
                     tau_us,
                     store,
+                    principal,
                 }
             },
         )
@@ -69,8 +75,17 @@ fn arb_request() -> impl Strategy<Value = Request> {
         any::<u64>().prop_map(Request::Cancel),
         arb_ident().prop_map(Request::AddNode),
         arb_ident().prop_map(Request::DropNode),
+        arb_secret().prop_map(Request::Auth),
         arb_submit().prop_map(|a| Request::Submit(Box::new(a))),
     ]
+}
+
+/// An authentication token drawn from the principal-file charset
+/// `[A-Za-z0-9_.-]` (what `kplex_service::auth` accepts).
+fn arb_secret() -> impl Strategy<Value = String> {
+    const CHARS: &[u8] = b"ABCXYZabcxyz012789_.-";
+    proptest::collection::vec(0..CHARS.len(), 4..20)
+        .prop_map(|ixs| ixs.into_iter().map(|i| CHARS[i] as char).collect())
 }
 
 // --- round trips -------------------------------------------------------------
@@ -140,6 +155,63 @@ proptest! {
             !sanitized.chars().any(|c| c.is_whitespace() || c.is_control()),
             "unsanitized char leaked into {:?}", sanitized
         );
+    }
+
+    /// Per-tenant result-byte accounting uses saturating arithmetic end to
+    /// end: across an arbitrary job sequence — any plex sizes, any starting
+    /// counter, including adversarial `usize::MAX` results — the running
+    /// total never panics, never wraps, and never regresses (a wrapped
+    /// counter would both corrupt quota enforcement and journal a `TENANT`
+    /// total that replay's max-wins merge could pin forever).
+    #[test]
+    fn quota_byte_accounting_saturates(
+        start in any::<u64>(),
+        sizes in proptest::collection::vec(0usize..usize::MAX, 0..64),
+    ) {
+        let mut total = start;
+        for vertices in sizes {
+            let next = add_bytes(total, plex_bytes(vertices));
+            prop_assert!(next >= total, "byte counter regressed: {total} -> {next}");
+            total = next;
+        }
+        // The ceiling is absorbing, not wrapping.
+        prop_assert_eq!(add_bytes(u64::MAX, plex_bytes(usize::MAX)), u64::MAX);
+        prop_assert_eq!(add_bytes(u64::MAX, 1), u64::MAX);
+    }
+
+    /// No reply line ever contains a registered token. A value embedding a
+    /// leaked token — surrounded by arbitrary junk, including whitespace
+    /// and control characters — goes through the `sanitize_value_redacted`
+    /// layer, the assembled line through the per-connection `redact_secrets`
+    /// chokepoint, and afterwards no registered token may appear anywhere,
+    /// even when tokens are substrings of each other.
+    #[test]
+    fn reply_lines_never_echo_registered_tokens(
+        secrets in proptest::collection::vec(arb_secret(), 1..4),
+        prefix in arb_raw_string(),
+        suffix in arb_raw_string(),
+        pick in 0usize..16,
+    ) {
+        let leaked = format!("{prefix}{}{suffix}", secrets[pick % secrets.len()]);
+        // Value layer: what STATUS error= fields go through.
+        let value = sanitize_value_redacted(&leaked, &secrets);
+        for secret in &secrets {
+            prop_assert!(
+                !value.contains(secret.as_str()),
+                "token {:?} survived sanitize_value_redacted: {:?}", secret, value
+            );
+        }
+        // Line layer: the per-connection reply chokepoint.
+        let line = redact_secrets(
+            &format!("OK id=7 state=failed error={value}"),
+            &secrets,
+        );
+        for secret in &secrets {
+            prop_assert!(
+                !line.contains(secret.as_str()),
+                "token {:?} leaked into reply line {:?}", secret, line
+            );
+        }
     }
 }
 

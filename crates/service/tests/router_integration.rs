@@ -54,6 +54,7 @@ fn start_router_replicated(backends: &[String], replicas: usize) -> kplex_servic
         backends: backends.to_vec(),
         probe: None,
         replicas,
+        principals: None,
     })
     .expect("bind router")
     .spawn()
