@@ -2,8 +2,9 @@
 //!
 //! Usage: `repro [--threads N] <experiment>` where experiment is one of
 //! `table2 table3 table4 table5 table6 table7 fig7 fig8 fig9 fig13 all`,
-//! or `bench-smoke` for the CI perf-snapshot job (writes `BENCH_3.json`
-//! and the storage-substrate snapshot `BENCH_4.json`).
+//! or `bench-smoke` for the CI perf-snapshot job (writes `BENCH_3.json`,
+//! the storage-substrate snapshot `BENCH_4.json`, and the scheduler
+//! thread-sweep snapshot `BENCH_5.json`).
 //!
 //! Each experiment prints a markdown artifact and stores it under
 //! `results/<id>.md`. Absolute numbers are from the synthetic stand-in
@@ -199,6 +200,101 @@ fn store_smoke() {
     std::fs::write("BENCH_4.json", &json).expect("write store snapshot");
     println!("{json}");
     eprintln!("[bench-smoke] wrote BENCH_4.json");
+    thread_sweep();
+}
+
+/// The scheduler thread-sweep snapshot: the wiki-vote (3, 9) cell run
+/// through the work-stealing engine at 1/2/4/8 workers, recording median
+/// wall-clock plus the per-configuration deltas of the engine's
+/// steal/park counters ([`kplex_parallel::SchedMetrics`]). Written to `BENCH_5.json`,
+/// uploaded by CI next to `BENCH_4.json`.
+///
+/// Two properties are asserted, not just recorded: every thread count
+/// yields the identical plex count (the engine is exact under any
+/// schedule), and parks balance unparks once the pool quiesces (nobody
+/// sleeps past termination). Wall-clock *speedup* is recorded but not
+/// asserted — it is a property of the host: the JSON carries
+/// `host_threads` so a reader can tell a scheduler regression from a
+/// one-core CI box, where all thread counts legitimately tie.
+fn thread_sweep() {
+    use kplex_parallel::SchedMetrics;
+    use std::sync::Arc;
+    const RUNS: usize = 3;
+    let (ds, k, q) = ("wiki-vote", 3usize, 9usize);
+    let params = Params::new(k, q).expect("valid parameters");
+    let cfg = kplex_core::AlgoConfig::ours();
+    let g = load(ds);
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let metrics = Arc::new(SchedMetrics::default());
+    let mut entries = Vec::new();
+    let mut medians = Vec::new();
+    let mut counts = Vec::new();
+    for nthreads in [1usize, 2, 4, 8] {
+        let mut opts = EngineOptions::with_threads(nthreads);
+        opts.timeout = Some(Duration::from_micros(100));
+        opts.metrics = Some(metrics.clone());
+        let before = (
+            metrics.steals(),
+            metrics.injector_steals(),
+            metrics.parks(),
+            metrics.unparks(),
+        );
+        let mut times = Vec::with_capacity(RUNS);
+        let mut count = 0u64;
+        for _ in 0..RUNS {
+            let t0 = Instant::now();
+            let (c, _) = par_enumerate_count(&g, params, &cfg, &opts);
+            times.push(t0.elapsed().as_secs_f64());
+            count = c;
+        }
+        let (steals, inj, parks, unparks) = (
+            metrics.steals() - before.0,
+            metrics.injector_steals() - before.1,
+            metrics.parks() - before.2,
+            metrics.unparks() - before.3,
+        );
+        assert_eq!(
+            parks, unparks,
+            "{nthreads}-thread runs ended with a worker still parked"
+        );
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = times[RUNS / 2];
+        eprintln!(
+            "[bench-smoke] {ds} k={k} q={q} threads={nthreads}: median {}s, \
+             {steals} steals / {inj} injector steals / {parks} parks over {RUNS} runs",
+            fmt_secs(median)
+        );
+        entries.push(format!(
+            "    {{\"dataset\": \"{ds}\", \"k\": {k}, \"q\": {q}, \"threads\": {nthreads}, \
+             \"runs\": {RUNS}, \"median_s\": {median:.6}, \"plexes\": {count}, \
+             \"steals\": {steals}, \"injector_steals\": {inj}, \
+             \"parks\": {parks}, \"unparks\": {unparks}}}"
+        ));
+        medians.push(median);
+        counts.push(count);
+    }
+    assert!(
+        counts.windows(2).all(|w| w[0] == w[1]),
+        "result counts diverged across thread counts: {counts:?}"
+    );
+    eprintln!(
+        "[bench-smoke] thread sweep speedup vs 1 thread (host has {host}): \
+         2thr {} 4thr {} 8thr {}",
+        fmt_ratio(medians[0] / medians[1]),
+        fmt_ratio(medians[0] / medians[2]),
+        fmt_ratio(medians[0] / medians[3]),
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"sched-thread-sweep/bench-smoke\",\n  \
+         \"host_threads\": {host},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_5.json", &json).expect("write sched snapshot");
+    println!("{json}");
+    eprintln!("[bench-smoke] wrote BENCH_5.json");
 }
 
 static THREAD_OVERRIDE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();

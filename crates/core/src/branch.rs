@@ -171,6 +171,10 @@ pub struct Searcher<'a> {
     deadline_tick: u32,
     deadline_hit: bool,
     saved: Vec<SavedTask>,
+    /// When set, deferred branches are published here the moment they are
+    /// split off instead of accumulating in `saved` — the parallel engine
+    /// uses this to hand work to idle workers mid-task.
+    spawn_hook: Option<Box<dyn FnMut(SavedTask) + 'a>>,
 }
 
 impl<'a> Searcher<'a> {
@@ -214,6 +218,7 @@ impl<'a> Searcher<'a> {
             deadline_tick: 0,
             deadline_hit: false,
             saved: Vec::new(),
+            spawn_hook: None,
         }
     }
 
@@ -248,8 +253,20 @@ impl<'a> Searcher<'a> {
     }
 
     /// Takes the branches deferred by timeout splitting since the last call.
+    /// Empty while a spawn hook is installed — deferred branches go to the
+    /// hook instead.
     pub fn take_saved(&mut self) -> Vec<SavedTask> {
         std::mem::take(&mut self.saved)
+    }
+
+    /// Routes deferred branches to `hook` as they are split off, instead of
+    /// accumulating them for [`Searcher::take_saved`]. The parallel engine
+    /// installs a hook that publishes the branch to its scheduler
+    /// immediately, so parked workers can pick a straggler's spill-off up
+    /// *while the straggler is still running* rather than after its task
+    /// ends. `None` restores the accumulate-and-take behaviour.
+    pub fn set_spawn_hook(&mut self, hook: Option<Box<dyn FnMut(SavedTask) + 'a>>) {
+        self.spawn_hook = hook;
     }
 
     /// Runs one task ⟨P, C, X⟩. `init_p` is the full plex-so-far (e.g.
@@ -983,8 +1000,11 @@ impl<'a> Searcher<'a> {
         buf.extend_from_slice(&self.added_arena[added_start..]);
         self.c_bits.collect_into(&mut buf);
         buf.extend_from_slice(&self.x_arena[self.x_start..]);
-        self.saved
-            .push(SavedTask::from_buf(buf, p_len as u32, c_len as u32));
+        let snap = SavedTask::from_buf(buf, p_len as u32, c_len as u32);
+        match &mut self.spawn_hook {
+            Some(hook) => hook(snap),
+            None => self.saved.push(snap),
+        }
         self.stats.timeout_splits += 1;
     }
 }

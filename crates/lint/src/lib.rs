@@ -20,6 +20,7 @@
 //! | `unwrap-allowlist` | non-test `.unwrap()` in `crates/service/src` only at explicitly allowlisted sites — everything else uses the [`OrderedMutex`] poisoning policy or propagates errors |
 //! | `store-abstraction` | no literal `CsrGraph` in non-test code of `crates/core/src` — the enumeration kernel speaks the `GraphStore` trait, so every backend (CSR, compressed, mmap) stays first-class |
 //! | `tenant-scoped` | in `crates/service/src/server.rs`, the shared jobs map is only locked inside the principal-scoped accessors (`job_for`/`jobs_for`), their documented runner-side escape hatch (`job_unscoped`), or at sites carrying a `// tenant:` justification — so a new handler cannot quietly serve one tenant's jobs to another |
+//! | `engine-no-sleep` | no `thread::sleep` in non-test code of `crates/parallel/src` — the engine idles workers by park/unpark with an explicit wakeup protocol, and a sleep call quietly reintroduces the timed-polling latency (and the lost-wakeup masking) the scheduler rewrite removed |
 //!
 //! Run it with `cargo run -p kplex-lint` (CI's `analyze` job does); it
 //! exits non-zero on any finding. The rules are exercised by fixture
@@ -73,6 +74,8 @@ pub const RULE_UNWRAP: &str = "unwrap-allowlist";
 pub const RULE_STORE: &str = "store-abstraction";
 /// Rule name: jobs-map lock outside the principal-scoped accessors.
 pub const RULE_TENANT: &str = "tenant-scoped";
+/// Rule name: `thread::sleep` in non-test parallel-engine code.
+pub const RULE_ENGINE_SLEEP: &str = "engine-no-sleep";
 
 /// One scanned source line, split into its code and comment halves.
 #[derive(Clone, Debug)]
@@ -646,6 +649,32 @@ pub fn check_store_abstraction(file: &SourceFile) -> Vec<Finding> {
     out
 }
 
+/// `engine-no-sleep`: non-test code in `crates/parallel/src` must not call
+/// `thread::sleep` (or any `sleep`-named function). The scheduler idles
+/// workers via park/unpark with an explicit push→wake protocol and a
+/// pending==0 termination handshake; a sleep call is timed polling sneaking
+/// back in — it re-adds a sleep-period latency cliff to wakeup and
+/// cancellation, and worse, it *masks* lost-wakeup bugs by bounding how
+/// long one can hang. Tests may sleep to pace sinks and provoke races.
+pub fn check_engine_no_sleep(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || !contains_word(&line.code, "sleep") {
+            continue;
+        }
+        out.push(Finding {
+            file: file.path.clone(),
+            line: idx + 1,
+            rule: RULE_ENGINE_SLEEP,
+            message: "`sleep` in engine code; idle workers must park on the \
+                      scheduler's Parker (woken by push/termination), never \
+                      poll on a timer"
+                .to_string(),
+        });
+    }
+    out
+}
+
 /// One allowlisted `.unwrap()` site for [`check_unwraps`].
 #[derive(Clone, Copy, Debug)]
 pub struct AllowedUnwrap {
@@ -746,7 +775,8 @@ fn rust_files_under(root: &Path, dir: &str) -> io::Result<Vec<String>> {
 /// - `store-abstraction`: every file under `crates/core/src`;
 /// - `unwrap-allowlist`: `crates/service/src`;
 /// - the exhaustiveness rules: the protocol, journal, and proptest files;
-/// - `tenant-scoped`: `crates/service/src/server.rs`.
+/// - `tenant-scoped`: `crates/service/src/server.rs`;
+/// - `engine-no-sleep`: `crates/parallel/src`.
 pub fn run_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
 
@@ -760,6 +790,9 @@ pub fn run_workspace(root: &Path) -> io::Result<Vec<Finding>> {
             findings.extend(check_ordering_comments(&file));
             if rel.starts_with("crates/service/src") {
                 findings.extend(check_unwraps(&file, UNWRAP_ALLOWLIST));
+            }
+            if rel.starts_with("crates/parallel/src") {
+                findings.extend(check_engine_no_sleep(&file));
             }
         }
     }
@@ -1133,6 +1166,31 @@ pub enum Request {
     fn unwrap_in_test_mod_is_fine() {
         let f = file("#[cfg(test)]\nmod tests {\n    fn t() { x().unwrap(); }\n}\n");
         assert!(check_unwraps(&f, &[]).is_empty());
+    }
+
+    // --- engine-no-sleep ---
+
+    #[test]
+    fn sleep_in_engine_code_is_flagged() {
+        let f = file("fn idle() { std::thread::sleep(IDLE_SLEEP); }\n");
+        let hits = check_engine_no_sleep(&f);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, RULE_ENGINE_SLEEP);
+        assert!(hits[0].message.contains("park"));
+    }
+
+    #[test]
+    fn park_and_sleep_named_items_pass_engine_rule() {
+        // Parking is the sanctioned idle path; a `sleep`-containing
+        // identifier (word boundaries) and comment/string mentions are not
+        // calls; tests may pace with real sleeps.
+        let f = file(
+            "fn idle(p: &Parker) { p.park(); }\n\
+             const IDLE_SLEEP: u32 = 50; // thread::sleep was removed\n\
+             fn label() -> &'static str { \"sleep\" }\n\
+             #[cfg(test)]\nmod tests {\n    fn pace() { std::thread::sleep(D); }\n}\n",
+        );
+        assert!(check_engine_no_sleep(&f).is_empty());
     }
 
     // --- store-abstraction ---

@@ -1,24 +1,18 @@
 //! The stage-based parallel engine.
 
-use crossbeam::deque::{Steal, Stealer, Worker as Deque};
-use crossbeam::utils::Backoff;
+use crate::sched::{SchedConfig, SchedHook, SchedMetrics, Scheduler};
 use kplex_core::enumerate::{prepare, MapSink};
 use kplex_core::{
     collect_subtasks, AlgoConfig, CollectSink, CountSink, PairMatrix, Params, PlexSink, Prepared,
     SavedTask, SearchStats, Searcher, SeedBuilder, SeedGraph, SinkFlow, XOUT_FLAG,
 };
 use kplex_graph::{GraphStore, VertexId};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Barrier, OnceLock};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
-/// How long an idle worker sleeps between termination checks once its
-/// exponential backoff is exhausted (all spins and yields spent). Bounds the
-/// stage-termination latency while keeping fully idle workers off the CPU.
-const IDLE_SLEEP: Duration = Duration::from_micros(50);
-
 /// Knobs of the parallel engine.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct EngineOptions {
     /// Number of worker threads `M`.
     pub threads: usize,
@@ -41,6 +35,17 @@ pub struct EngineOptions {
     /// [`SinkFlow::Stop`], so an early-stopping sink halts *all* workers
     /// promptly rather than one.
     pub stop_flag: Option<Arc<AtomicBool>>,
+    /// Pin worker threads to CPUs per the detected topology (socket-fill
+    /// placement, see [`crate::topology`]). Off by default: pinning helps
+    /// a dedicated machine and hurts a time-shared one.
+    pub pin_threads: bool,
+    /// Deterministic-scheduler test seam (see [`crate::sched::SchedHook`]);
+    /// `None` in production.
+    pub sched_hook: Option<SchedHook>,
+    /// Scheduler counter sink. The service passes one long-lived instance
+    /// so STATS can report cumulative steal/park counts; `None` counts
+    /// into a run-private instance that is dropped with the run.
+    pub metrics: Option<Arc<SchedMetrics>>,
 }
 
 impl EngineOptions {
@@ -53,7 +58,25 @@ impl EngineOptions {
             serial_construction: false,
             single_task_per_seed: false,
             stop_flag: None,
+            pin_threads: false,
+            sched_hook: None,
+            metrics: None,
         }
+    }
+}
+
+impl std::fmt::Debug for EngineOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineOptions")
+            .field("threads", &self.threads)
+            .field("timeout", &self.timeout)
+            .field("serial_construction", &self.serial_construction)
+            .field("single_task_per_seed", &self.single_task_per_seed)
+            .field("stop_flag", &self.stop_flag)
+            .field("pin_threads", &self.pin_threads)
+            .field("sched_hook", &self.sched_hook.as_ref().map(|_| ".."))
+            .field("metrics", &self.metrics)
+            .finish()
     }
 }
 
@@ -211,9 +234,18 @@ where
     (sinks, total)
 }
 
-/// Runs one stage to completion. When `construct` is provided, worker `i`
-/// first builds slot `i` and enqueues its sub-tasks; with `None` the slots
-/// are pre-filled and tasks are dealt round-robin.
+/// Runs one stage to completion on the work-stealing scheduler
+/// ([`crate::sched`]): a global injector, per-worker LIFO deques with
+/// local-pop → injector-batch-steal → peer-steal find order, and
+/// park/unpark idling (no sleep-polling — `kplex-lint` enforces that).
+///
+/// When `construct` is provided, worker `i` builds seeds `i, i+M, …` and
+/// publishes their sub-tasks as it goes; each worker holds a *construction
+/// token* in the scheduler's `pending` count while it may still create
+/// tasks, so early finishers start stealing immediately (no barrier) and
+/// the stage cannot terminate under a still-constructing worker. With
+/// `None` the slots are pre-filled and all tasks go through the injector,
+/// where workers spread them via batched steals.
 #[allow(clippy::too_many_arguments)]
 fn run_stage<S: PlexSink + Send>(
     id_map: &[VertexId],
@@ -226,55 +258,47 @@ fn run_stage<S: PlexSink + Send>(
     sinks: &mut [S],
 ) -> SearchStats {
     let m = sinks.len();
-    let deques: Vec<Deque<Task>> = (0..m).map(|_| Deque::new_lifo()).collect();
-    let stealers: Vec<Stealer<Task>> = deques.iter().map(|d| d.stealer()).collect();
-    // `pending` counts tasks that exist anywhere (queued or running). Stage
-    // termination is `pending == 0`, which is sound on weak memory models
-    // because of two invariants, both on this single atomic:
-    //  * an increment always precedes the matching `deque.push` in program
-    //    order, so a task is counted before it can be observed;
-    //  * a task's child increments always precede the parent's decrement in
-    //    program order, and RMW coherence keeps every thread's operations on
-    //    one atomic in program order within the modification order — so the
-    //    counter can only reach 0 after every transitively spawned task has
-    //    been counted in and back out. The increments can therefore stay
-    //    `Relaxed`; the decrement is `Release` and the idle-side load
-    //    `Acquire` so that a worker leaving the stage also observes all
-    //    writes made by the tasks that ran elsewhere.
-    let pending = AtomicUsize::new(0);
-    let barrier = Barrier::new(m);
+    let (sched, ctxs) = Scheduler::new(SchedConfig {
+        workers: m,
+        pin: opts.pin_threads,
+        hook: opts.sched_hook.clone(),
+        metrics: opts.metrics.clone(),
+    });
 
-    // Pre-filled slots: deal tasks before spawning workers.
     let mut dealer_stats = SearchStats::default();
     if construct.is_none() {
+        // Pre-filled slots: inject everything before spawning workers.
         for (si, slot) in slots.iter().enumerate() {
             let slot_ref = slot.get().expect("pre-filled");
             for t in make_tasks(si, slot_ref, params, cfg, opts, &mut dealer_stats) {
-                // ordering: counted in before the push; see the `pending`
-                // invariants above.
-                pending.fetch_add(1, Ordering::Relaxed);
-                deques[si % m].push(t);
+                sched.inject(t);
             }
         }
+    } else {
+        // One construction token per worker, released when that worker's
+        // construction loop ends (see the doc comment above).
+        sched.count_in(m);
     }
 
     let mut worker_stats: Vec<SearchStats> = (0..m).map(|_| SearchStats::default()).collect();
     std::thread::scope(|scope| {
-        let pending = &pending;
-        let barrier = &barrier;
-        let stealers = &stealers;
-        let mut handles = Vec::new();
-        for (((wid, deque), sink), wstats) in deques
+        let sched = &sched;
+        let mut join_handles = Vec::new();
+        for ((ctx, sink), wstats) in ctxs
             .into_iter()
-            .enumerate()
             .zip(sinks.iter_mut())
             .zip(worker_stats.iter_mut())
         {
-            handles.push(scope.spawn(move || {
+            join_handles.push(scope.spawn(move || {
+                let wid = ctx.wid();
+                // Attach on the worker thread: CPU pinning (when enabled)
+                // happens here, before the builder/searcher allocations, so
+                // first-touch NUMA policy places them on the local node.
+                let handle = ctx.attach(sched);
                 // Phase 1: construction (when not pre-filled). Worker w
-                // builds every M-th eligible seed and enqueues its tasks on
-                // the worker's own deque (cache locality: a worker drains
-                // its own seeds' tasks first).
+                // builds every M-th eligible seed and publishes its tasks
+                // as it goes — parked siblings are woken to steal them, so
+                // a skewed seed no longer idles the rest of the pool.
                 if let Some((prep, seeds)) = construct {
                     let mut builder = SeedBuilder::new(prep.graph.num_vertices());
                     let mut idx = wid;
@@ -292,46 +316,27 @@ fn run_stage<S: PlexSink + Send>(
                                 .expect("slot filled once");
                             let slot_ref = slots[idx].get().expect("just set");
                             for t in make_tasks(idx, slot_ref, params, cfg, opts, wstats) {
-                                // ordering: counted in before the push; see
-                                // the `pending` invariants above.
-                                pending.fetch_add(1, Ordering::Relaxed);
-                                deque.push(t);
+                                handle.push(t);
                             }
                         }
                         idx += m;
                     }
-                    barrier.wait();
+                    handle.count_out();
                 }
-                // Phase 2: drain own queue, then steal. Idle workers back
-                // off exponentially (spin → yield → capped sleep) instead of
-                // busy-spinning on yield_now, which burned a full core per
-                // idle worker at the end of every stage.
+                // Phase 2: drain. `next()` finds work (own deque → injector
+                // → peers, same-socket first) and parks while there is
+                // none; `None` is the termination handshake (pending == 0).
                 let mut sink = MapSink::new(sink, id_map);
+                let handle = &handle;
                 // Cache the searcher across consecutive tasks on one slot.
                 let mut cur: Option<(usize, Searcher)> = None;
-                let mut backoff = Backoff::new();
-                loop {
-                    let task = match deque.pop() {
-                        Some(t) => Some(t),
-                        None => steal_task(stealers, wid),
-                    };
-                    let Some(task) = task else {
-                        if pending.load(Ordering::Acquire) == 0 {
-                            break;
-                        }
-                        if backoff.is_completed() {
-                            std::thread::sleep(IDLE_SLEEP);
-                        } else {
-                            backoff.snooze();
-                        }
-                        continue;
-                    };
-                    backoff = Backoff::new();
+                while let Some(task) = handle.next() {
                     // A raised stop flag (external cancel or a sibling's
-                    // early-stopping sink) drains the queues without running:
-                    // tasks still count out so stage termination stays exact.
+                    // early-stopping sink) drains the queues without
+                    // running: tasks still count out so stage termination
+                    // stays exact and parked workers get their final wake.
                     if stop.load(Ordering::Acquire) {
-                        pending.fetch_sub(1, Ordering::Release);
+                        handle.count_out();
                         continue;
                     }
                     let slot_ref = slots[task.slot].get().expect("slot set before tasks");
@@ -345,6 +350,18 @@ fn run_stage<S: PlexSink + Send>(
                                 Searcher::new(&slot_ref.seed, params, cfg, slot_ref.pairs.as_ref());
                             s.set_time_budget(opts.timeout);
                             s.set_stop_flag(Some(stop.clone()));
+                            // Deferred branches (timeout splits) are
+                            // published mid-task: while peers are parked
+                            // they overflow to the global injector and wake
+                            // one, so a straggler's spill-off is picked up
+                            // while the straggler is still running.
+                            let slot_id = task.slot;
+                            s.set_spawn_hook(Some(Box::new(move |snap| {
+                                handle.push_overflow(Task {
+                                    slot: slot_id,
+                                    snap,
+                                });
+                            })));
                             cur = Some((task.slot, s));
                             &mut cur.as_mut().expect("just set").1
                         }
@@ -359,25 +376,17 @@ fn run_stage<S: PlexSink + Send>(
                         // construction phase.
                         stop.store(true, Ordering::Release);
                     }
-                    // Children must be counted in (Relaxed suffices, see the
-                    // `pending` invariants) before this task counts out.
-                    for saved in searcher.take_saved() {
-                        // ordering: see the `pending` invariants — children
-                        // count in before the parent counts out.
-                        pending.fetch_add(1, Ordering::Relaxed);
-                        deque.push(Task {
-                            slot: task.slot,
-                            snap: saved,
-                        });
-                    }
-                    pending.fetch_sub(1, Ordering::Release);
+                    // Children were counted in by the spawn hook during
+                    // run_task, so they precede this count-out in program
+                    // order — the termination invariant holds.
+                    handle.count_out();
                 }
                 if let Some((_, old)) = cur.take() {
                     wstats.merge(&old.stats);
-                }
+                };
             }));
         }
-        for h in handles {
+        for h in join_handles {
             h.join().expect("worker panicked");
         }
     });
@@ -414,31 +423,6 @@ fn make_tasks(
         .into_iter()
         .map(|snap| Task { slot, snap })
         .collect()
-}
-
-/// Round-robin steal starting after the worker's own index.
-///
-/// `Steal::Retry` (a CAS collision with the victim or another thief) is
-/// retried a bounded number of times per victim, then the thief moves on —
-/// a victim under heavy contention would otherwise pin this worker in an
-/// unbounded spin while every other deque sits full. The caller's drain
-/// loop backs off and sweeps again, so a task skipped this sweep is picked
-/// up on the next one.
-fn steal_task(stealers: &[Stealer<Task>], wid: usize) -> Option<Task> {
-    /// Consecutive `Steal::Retry`s tolerated on one victim per sweep.
-    const MAX_RETRIES_PER_VICTIM: usize = 8;
-    let m = stealers.len();
-    for off in 1..m {
-        let victim = (wid + off) % m;
-        for _ in 0..MAX_RETRIES_PER_VICTIM {
-            match stealers[victim].steal() {
-                Steal::Success(t) => return Some(t),
-                Steal::Retry => continue,
-                Steal::Empty => break,
-            }
-        }
-    }
-    None
 }
 
 #[cfg(test)]
@@ -544,11 +528,10 @@ mod tests {
         kplex_baselines::enumerate_fp(&g, params, &mut sink);
         let serial = sink.into_sorted();
         let opts = EngineOptions {
-            threads: 3,
             timeout: None,
             serial_construction: true,
             single_task_per_seed: true,
-            stop_flag: None,
+            ..EngineOptions::with_threads(3)
         };
         let (par, _) = par_enumerate_collect(&g, params, &fp_cfg, &opts);
         assert_eq!(par, serial);

@@ -2,20 +2,21 @@
 //!
 //! Task-based parallel enumeration (Section 6 of the paper).
 //!
-//! The engine processes seed vertices in *stages*: in stage `j`, the `M`
-//! worker threads take the next `M` seed vertices of the degeneracy
-//! ordering, each builds its seed subgraph and enqueues that seed's initial
-//! sub-tasks into its own work-stealing deque, and then all workers drain
-//! the stage — own queue first (cache locality: tasks of one queue share a
-//! seed subgraph), stealing from siblings once empty (load balance). Stage
-//! memory (seed subgraphs, pair matrices) is released before the next stage
-//! begins.
+//! Worker `w` builds every `M`-th eligible seed subgraph and publishes
+//! that seed's initial sub-tasks as it goes; all workers concurrently
+//! drain through the work-stealing scheduler ([`sched`]): own deque first
+//! (cache locality: tasks of one deque share a seed subgraph), then the
+//! global injector, then peers — same-socket victims first
+//! ([`topology`]). Idle workers park on a token parker and are woken by
+//! the next push (at most one wakeup per push); termination is a
+//! pending==0 handshake, not timed polling.
 //!
 //! Straggler elimination: every task carries a time budget `τ_time`; when a
 //! task runs past it, the searcher stops recursing and re-packages its
-//! pending branches as new tasks on the worker's queue
-//! ([`kplex_core::SavedTask`]), so one deep sub-tree cannot serialise the
-//! stage tail.
+//! pending branches as new tasks ([`kplex_core::SavedTask`]) — published
+//! mid-task through the searcher's spawn hook, overflowing to the global
+//! injector whenever a peer is parked — so one deep sub-tree cannot
+//! serialise the stage tail.
 //!
 //! ```
 //! use kplex_core::{enumerate_count, AlgoConfig, Params};
@@ -33,7 +34,11 @@
 #![deny(missing_docs)]
 
 pub mod engine;
+pub mod sched;
+pub mod topology;
 
 pub use engine::{
     par_enumerate_collect, par_enumerate_count, run_parallel, run_parallel_prepared, EngineOptions,
 };
+pub use sched::{SchedEvent, SchedHook, SchedMetrics};
+pub use topology::Topology;

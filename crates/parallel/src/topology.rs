@@ -1,0 +1,290 @@
+//! CPU/NUMA topology detection, worker placement, and thread pinning.
+//!
+//! The scheduler wants three things from the machine: how many CPUs there
+//! are, which socket (physical package) each belongs to, and a way to pin a
+//! worker thread to one CPU. Everything is read from
+//! `/sys/devices/system/cpu` (falling back to a flat single-socket layout
+//! when sysfs is unavailable — macOS, restricted containers), and pinning
+//! is a raw `sched_setaffinity` syscall on Linux x86_64/aarch64 — the
+//! workspace links no libc, same situation as the graph crate's raw `mmap`.
+//!
+//! Placement policy: workers fill sockets in order (worker 0..s₀ on socket
+//! 0, the next batch on socket 1, …), wrapping when there are more workers
+//! than CPUs. Stealing prefers same-socket victims first — a steal inside a
+//! socket moves a task between caches that share an LLC, a cross-socket
+//! steal drags it over the interconnect — and per-worker state (seed
+//! builders, searcher arenas) is allocated on the worker thread *after*
+//! pinning, so first-touch NUMA policy places those pages on the worker's
+//! own node.
+
+/// One CPU as placement sees it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cpu {
+    /// Kernel CPU id (the `N` of `cpuN`).
+    pub id: usize,
+    /// Physical package (socket) id; `0` when sysfs does not expose one.
+    pub socket: usize,
+}
+
+/// The machine layout the scheduler plans against.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// Online CPUs, sorted by socket then id.
+    pub cpus: Vec<Cpu>,
+    /// Number of distinct sockets (≥ 1 whenever `cpus` is non-empty).
+    pub sockets: usize,
+}
+
+impl Topology {
+    /// Reads the live topology from sysfs; falls back to a flat
+    /// single-socket layout sized by `available_parallelism` when sysfs is
+    /// missing or unparsable.
+    pub fn detect() -> Topology {
+        Self::from_sysfs("/sys/devices/system/cpu").unwrap_or_else(|| {
+            let n = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            Topology::flat(n)
+        })
+    }
+
+    /// A synthetic flat topology: `n` CPUs on one socket.
+    pub fn flat(n: usize) -> Topology {
+        Topology {
+            cpus: (0..n.max(1)).map(|id| Cpu { id, socket: 0 }).collect(),
+            sockets: 1,
+        }
+    }
+
+    /// Parses `<root>/online` + `<root>/cpu*/topology/physical_package_id`.
+    fn from_sysfs(root: &str) -> Option<Topology> {
+        let online = std::fs::read_to_string(format!("{root}/online")).ok()?;
+        let ids = parse_cpu_list(online.trim())?;
+        if ids.is_empty() {
+            return None;
+        }
+        let mut cpus: Vec<Cpu> = ids
+            .into_iter()
+            .map(|id| {
+                let socket =
+                    std::fs::read_to_string(format!("{root}/cpu{id}/topology/physical_package_id"))
+                        .ok()
+                        .and_then(|s| s.trim().parse().ok())
+                        .unwrap_or(0);
+                Cpu { id, socket }
+            })
+            .collect();
+        cpus.sort_by_key(|c| (c.socket, c.id));
+        let sockets = cpus
+            .iter()
+            .map(|c| c.socket)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        Some(Topology { cpus, sockets })
+    }
+
+    /// Assigns `m` workers to CPUs: fill sockets in order, wrap when
+    /// oversubscribed. Returns one [`Cpu`] per worker.
+    pub fn place(&self, m: usize) -> Vec<Cpu> {
+        (0..m).map(|w| self.cpus[w % self.cpus.len()]).collect()
+    }
+
+    /// Per-worker steal order over a placement: every other worker exactly
+    /// once, same-socket victims first, each tier rotated by the thief's
+    /// index so concurrent thieves fan out over different victims instead
+    /// of all hammering worker 0.
+    pub fn steal_order(placement: &[Cpu]) -> Vec<Vec<usize>> {
+        let m = placement.len();
+        (0..m)
+            .map(|w| {
+                let mut local: Vec<usize> = Vec::new();
+                let mut remote: Vec<usize> = Vec::new();
+                for off in 1..m {
+                    let v = (w + off) % m;
+                    if placement[v].socket == placement[w].socket {
+                        local.push(v);
+                    } else {
+                        remote.push(v);
+                    }
+                }
+                local.extend(remote);
+                local
+            })
+            .collect()
+    }
+}
+
+/// Parses a kernel CPU list (`0`, `0-7`, `0-3,8-11,14`) into sorted ids.
+pub fn parse_cpu_list(s: &str) -> Option<Vec<usize>> {
+    let mut out = Vec::new();
+    if s.is_empty() {
+        return Some(out);
+    }
+    for part in s.split(',') {
+        let part = part.trim();
+        if let Some((lo, hi)) = part.split_once('-') {
+            let lo: usize = lo.trim().parse().ok()?;
+            let hi: usize = hi.trim().parse().ok()?;
+            if hi < lo || hi - lo > 4096 {
+                return None;
+            }
+            out.extend(lo..=hi);
+        } else {
+            out.push(part.parse().ok()?);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    Some(out)
+}
+
+/// Pins the calling thread to `cpu`. Returns whether the kernel accepted
+/// the mask; on non-Linux (or non-x86_64/aarch64) targets this is a no-op
+/// returning `false`. Best-effort by design: a failed pin degrades to the
+/// unpinned behaviour, never to an error.
+pub fn pin_current_thread(cpu: usize) -> bool {
+    imp::pin(cpu)
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod imp {
+    //! Raw `sched_setaffinity(0, len, mask)` — pid 0 = calling thread.
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_SCHED_SETAFFINITY: usize = 203;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_SCHED_SETAFFINITY: usize = 122;
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall3(nr: usize, a1: usize, a2: usize, a3: usize) -> isize {
+        let ret: isize;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") nr as isize => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall3(nr: usize, a1: usize, a2: usize, a3: usize) -> isize {
+        let ret: isize;
+        std::arch::asm!(
+            "svc 0",
+            in("x8") nr,
+            inlateout("x0") a1 => ret,
+            in("x1") a2,
+            in("x2") a3,
+            options(nostack),
+        );
+        ret
+    }
+
+    pub(super) fn pin(cpu: usize) -> bool {
+        // A fixed 1024-bit mask covers every machine this targets; the
+        // kernel only requires the mask to name at least one online CPU.
+        let mut mask = [0u64; 16];
+        let word = cpu / 64;
+        if word >= mask.len() {
+            return false;
+        }
+        mask[word] = 1u64 << (cpu % 64);
+        let ret = unsafe {
+            syscall3(
+                SYS_SCHED_SETAFFINITY,
+                0,
+                std::mem::size_of_val(&mask),
+                mask.as_ptr() as usize,
+            )
+        };
+        ret == 0
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod imp {
+    pub(super) fn pin(_cpu: usize) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_list_forms_parse() {
+        assert_eq!(parse_cpu_list("0").unwrap(), vec![0]);
+        assert_eq!(parse_cpu_list("0-3").unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(parse_cpu_list("0-2,5,7-8").unwrap(), vec![0, 1, 2, 5, 7, 8]);
+        assert_eq!(parse_cpu_list("").unwrap(), Vec::<usize>::new());
+        assert!(parse_cpu_list("x").is_none());
+        assert!(parse_cpu_list("5-2").is_none());
+    }
+
+    #[test]
+    fn detect_never_panics_and_is_nonempty() {
+        let t = Topology::detect();
+        assert!(!t.cpus.is_empty());
+        assert!(t.sockets >= 1);
+    }
+
+    #[test]
+    fn placement_wraps_when_oversubscribed() {
+        let t = Topology::flat(2);
+        let p = t.place(5);
+        assert_eq!(p.len(), 5);
+        assert_eq!(p[0].id, 0);
+        assert_eq!(p[1].id, 1);
+        assert_eq!(p[2].id, 0);
+        assert_eq!(p[4].id, 0);
+    }
+
+    #[test]
+    fn steal_order_prefers_same_socket() {
+        // 4 workers over 2 sockets: 0,1 on socket 0; 2,3 on socket 1.
+        let placement = vec![
+            Cpu { id: 0, socket: 0 },
+            Cpu { id: 1, socket: 0 },
+            Cpu { id: 2, socket: 1 },
+            Cpu { id: 3, socket: 1 },
+        ];
+        let orders = Topology::steal_order(&placement);
+        assert_eq!(orders[0], vec![1, 2, 3]);
+        assert_eq!(orders[2], vec![3, 0, 1]);
+        // Every worker sees every other exactly once.
+        for (w, o) in orders.iter().enumerate() {
+            let mut all: Vec<usize> = o.clone();
+            all.push(w);
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn steal_order_rotation_spreads_thieves() {
+        let placement = vec![Cpu { id: 0, socket: 0 }; 4];
+        let orders = Topology::steal_order(&placement);
+        // All same socket: order is a pure rotation, so first victims differ.
+        let firsts: Vec<usize> = orders.iter().map(|o| o[0]).collect();
+        assert_eq!(firsts, vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn pin_is_best_effort() {
+        // On Linux pinning to CPU 0 should succeed; elsewhere it must
+        // return false rather than fail. Either way: no panic.
+        let _ = pin_current_thread(0);
+    }
+}

@@ -1508,6 +1508,10 @@ fn stats(state: &Arc<RouterState>) -> String {
                     "cache-waiting",
                     "graph-bytes",
                     "store",
+                    "sched-steals",
+                    "sched-injector-steals",
+                    "sched-parks",
+                    "sched-unparks",
                 ] {
                     if let Some(v) = fields.get(key) {
                         line.push_str(&format!(" node{i}-{key}={v}"));

@@ -40,7 +40,7 @@ use crate::sync::{OrderedCondvar, OrderedMutex, Rank};
 use crate::LoadHook;
 use kplex_core::{prepare, ChannelSink, Params, PlexSink, SinkFlow};
 use kplex_graph::io;
-use kplex_parallel::{run_parallel_prepared, EngineOptions};
+use kplex_parallel::{run_parallel_prepared, EngineOptions, SchedMetrics};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -321,6 +321,10 @@ struct SharedState {
     /// the jobs/queue mutexes, which therefore must not be taken there.
     tenant_bytes: BTreeMap<String, AtomicU64>,
     cold_load_hook: Option<LoadHook>,
+    /// Scheduler counters aggregated across every job this server has
+    /// run (`STATS sched-*=`). One shared instance: the engine's workers
+    /// bump it with relaxed atomics, so cross-job sharing costs nothing.
+    sched_metrics: Arc<SchedMetrics>,
 }
 
 impl SharedState {
@@ -568,6 +572,7 @@ impl Server {
                 secrets,
                 tenant_bytes,
                 cold_load_hook: cfg.cold_load_hook.clone(),
+                sched_metrics: Arc::new(SchedMetrics::default()),
             }
         });
         Ok(Server {
@@ -845,12 +850,22 @@ fn handle_connection(stream: TcpStream, state: &Arc<SharedState>) -> std::io::Re
                         .collect::<Vec<_>>()
                         .join(",")
                 };
+                // Work-stealing engine counters, cumulative over every job
+                // this server lifetime has run (they do not survive
+                // restarts — unlike tenant bytes they are not journaled).
+                let sm = &state.sched_metrics;
                 let mut line = format!(
                     "OK jobs={jobs} queue-depth={depth} recovered={recovered} \
                      cache-hits={hits} cache-coalesced={coalesced} \
                      cache-misses={misses} cache-entries={entries} \
                      cache-pending={pending} cache-waiting={waiting} \
-                     graph-bytes={graph_bytes} store={store}"
+                     graph-bytes={graph_bytes} store={store} \
+                     sched-steals={} sched-injector-steals={} \
+                     sched-parks={} sched-unparks={}",
+                    sm.steals(),
+                    sm.injector_steals(),
+                    sm.parks(),
+                    sm.unparks()
                 );
                 // Tenant accounting block, present only with a principal
                 // store (an anonymous server's STATS stays byte-identical).
@@ -1391,6 +1406,7 @@ fn run_job(state: &Arc<SharedState>, job: &Arc<Job>) {
     let mut opts = EngineOptions::with_threads(spec.threads);
     opts.timeout = spec.tau;
     opts.stop_flag = Some(stop.clone());
+    opts.metrics = Some(state.sched_metrics.clone());
     // `mpsc::Sender` is `Sync` (channels are lock-free internally), so the
     // per-worker sink factory clones it directly from the shared reference.
     let (sinks, stats) = run_parallel_prepared(&prep, spec.params, &cfg, &opts, || JobSink {

@@ -146,6 +146,16 @@ fn concurrent_jobs_cancel_and_warm_cache() {
     let hits_after: u64 = c.stats().expect("stats")["cache-hits"].parse().unwrap();
     assert!(hits_after > hits_before);
 
+    // Work-stealing counters are exposed and balanced between jobs: with
+    // every pool quiesced, each park has a matching unpark.
+    let stats = c.stats().expect("stats");
+    let parks: u64 = stats["sched-parks"].parse().unwrap();
+    let unparks: u64 = stats["sched-unparks"].parse().unwrap();
+    assert_eq!(
+        parks, unparks,
+        "a worker is still parked after all jobs ended"
+    );
+
     handle.shutdown();
 }
 
